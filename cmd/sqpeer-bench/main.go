@@ -1,0 +1,55 @@
+// Command sqpeer-bench regenerates the paper's evaluation artifacts: one
+// experiment per figure (fig1..fig7) plus the quantified-claim
+// experiments (son, sub, adapt, dist, adv). Each experiment prints
+// paper-style result rows and self-checks whether the reproduced behavior
+// matches the paper's statement.
+//
+// Usage:
+//
+//	sqpeer-bench              # run everything
+//	sqpeer-bench -exp fig4    # run one experiment
+//	sqpeer-bench -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sqpeer/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var reports []*harness.Report
+	if *exp == "all" {
+		reports = harness.All()
+	} else {
+		r, err := harness.Run(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		reports = []*harness.Report{r}
+	}
+	failed := 0
+	for _, r := range reports {
+		fmt.Println(r)
+		if !r.Pass {
+			failed++
+		}
+	}
+	fmt.Printf("%d/%d experiments reproduced\n", len(reports)-failed, len(reports))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,165 @@
+// Command elearning deploys a hybrid (super-peer) SON for the e-learning
+// community the paper's introduction motivates: universities share RDF/S
+// descriptions of courses, lectures and authors under one community
+// schema; one peer is a legacy relational database exposed through
+// SWIM-style virtual views; a client asks RQL queries that are routed by
+// the super-peer and processed by the asking peer (paper §3.1, Figure 6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqpeer"
+)
+
+const eduNS = "http://elearning.example/schema#"
+
+func edu(local string) sqpeer.IRI { return sqpeer.IRI(eduNS + local) }
+
+// eduSchema declares the community schema: Course -teaches-> Lecture
+// -authoredBy-> Author, with AdvancedCourse ⊑ Course and a subproperty
+// teachesAdvanced ⊑ teaches.
+func eduSchema() *sqpeer.Schema {
+	s := sqpeer.NewSchema(eduNS)
+	for _, c := range []string{"Course", "Lecture", "Author", "AdvancedCourse"} {
+		s.MustAddClass(edu(c))
+	}
+	s.MustAddProperty(edu("teaches"), edu("Course"), edu("Lecture"))
+	s.MustAddProperty(edu("authoredBy"), edu("Lecture"), edu("Author"))
+	s.MustSetSubClassOf(edu("AdvancedCourse"), edu("Course"))
+	s.MustAddProperty(edu("teachesAdvanced"), edu("AdvancedCourse"), edu("Lecture"))
+	s.MustSetSubPropertyOf(edu("teachesAdvanced"), edu("teaches"))
+	if err := s.Validate(); err != nil {
+		log.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+func res(site, local string) sqpeer.IRI {
+	return sqpeer.IRI(fmt.Sprintf("http://%s.example/data#%s", site, local))
+}
+
+func main() {
+	schema := eduSchema()
+	net := sqpeer.NewNetwork()
+	son := sqpeer.NewHybridSON(net, schema)
+	if _, err := son.AddSuperPeer("SP-edu"); err != nil {
+		log.Fatal(err)
+	}
+
+	// University A: materialized RDF base with courses and lectures.
+	uniA := sqpeer.NewBase()
+	for i := 0; i < 3; i++ {
+		course := res("uniA", fmt.Sprintf("course%d", i))
+		lecture := res("shared", fmt.Sprintf("lecture%d", i))
+		uniA.Add(sqpeer.Statement(course, edu("teaches"), lecture))
+		uniA.Add(sqpeer.Typing(course, edu("Course")))
+		uniA.Add(sqpeer.Typing(lecture, edu("Lecture")))
+	}
+	// University B: advanced courses only (subproperty teachesAdvanced).
+	uniB := sqpeer.NewBase()
+	for i := 0; i < 2; i++ {
+		course := res("uniB", fmt.Sprintf("advanced%d", i))
+		lecture := res("shared", fmt.Sprintf("lecture%d", i))
+		uniB.Add(sqpeer.Statement(course, edu("teachesAdvanced"), lecture))
+		uniB.Add(sqpeer.Typing(course, edu("AdvancedCourse")))
+		uniB.Add(sqpeer.Typing(lecture, edu("Lecture")))
+	}
+
+	// Publisher C: a legacy relational catalog of lecture authorship,
+	// exposed as a virtual RDF/S view through SWIM mapping rules (the
+	// virtual scenario of §2.2).
+	db := sqpeer.NewRelationalDB() // facade constructor below
+	authors := newTable("authorship", "lecture", "author")
+	for i := 0; i < 3; i++ {
+		authors.MustInsert(fmt.Sprintf("lecture%d", i), fmt.Sprintf("author%d", i%2))
+	}
+	if err := db.AddTable(authors); err != nil {
+		log.Fatal(err)
+	}
+	virtual := &sqpeer.VirtualBase{
+		Schema: schema,
+		DB:     db,
+		RelMappings: []sqpeer.RelationalMapping{{
+			Table: "authorship", SubjectColumn: "lecture", ObjectColumn: "author",
+			SubjectPrefix: "http://shared.example/data#",
+			ObjectPrefix:  "http://publisherC.example/data#",
+			Property:      edu("authoredBy"),
+			SubjectClass:  edu("Lecture"), ObjectClass: edu("Author"),
+		}},
+	}
+	pubBase, err := virtual.Materialize()
+	if err != nil {
+		log.Fatalf("materialize virtual base: %v", err)
+	}
+	virtualAS, err := virtual.ActiveSchema()
+	if err != nil {
+		log.Fatalf("virtual active-schema: %v", err)
+	}
+	fmt.Println("publisher C advertises (from mapping rules, no data touched):")
+	fmt.Println(" ", virtualAS)
+
+	for id, base := range map[sqpeer.PeerID]*sqpeer.Base{
+		"uniA": uniA, "uniB": uniB, "publisherC": pubBase,
+	} {
+		if _, err := son.AddSimplePeer(id, base, "SP-edu"); err != nil {
+			log.Fatalf("add %s: %v", id, err)
+		}
+	}
+
+	// The client's question: which courses teach lectures by which
+	// authors? teaches ⊑-closure pulls uniB's advanced courses in.
+	query := `SELECT C, A
+FROM {C}e:teaches{L}, {L}e:authoredBy{A}
+USING NAMESPACE e = &` + eduNS + `&`
+	fmt.Println("\nclient query at uniA:")
+	fmt.Println(query)
+
+	uniAPeer, _ := son.Peer("uniA")
+	compiled, err := sqpeer.ParseRQL(query, schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann, err := uniAPeer.RequestRouting("SP-edu", compiled.Pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsuper-peer annotation (routing phase):")
+	fmt.Println(" ", ann)
+
+	rows, err := son.Query("uniA", query)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	fmt.Println("\nanswer (processing phase at uniA):")
+	fmt.Print(rows)
+
+	// A narrower query over advanced courses only: routing must select
+	// uniB alone for the first pattern.
+	advanced := `SELECT C FROM {C;e:AdvancedCourse}e:teaches{L}, {L}e:authoredBy{A}
+USING NAMESPACE e = &` + eduNS + `&`
+	annAdv, err := uniAPeer.RequestRouting("SP-edu", mustCompile(advanced, schema).Pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nadvanced-course query routes to:")
+	fmt.Println(" ", annAdv)
+	advRows, err := son.Query("uniA", advanced)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(advRows)
+}
+
+func mustCompile(q string, s *sqpeer.Schema) *sqpeer.CompiledQuery {
+	c, err := sqpeer.ParseRQL(q, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func newTable(name string, cols ...string) *sqpeer.RelationalTable {
+	return sqpeer.NewRelationalTable(name, cols...)
+}

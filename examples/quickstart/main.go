@@ -1,0 +1,134 @@
+// Command quickstart walks through the paper's running example end to
+// end: the Figure-1 community schema, RVL advertisement and RQL query;
+// the Figure-2 routing annotation (including the prop4 ⊑ prop1
+// subsumption match); the Figure-3 plan and channel deployment; and the
+// Figure-4 optimization rewrites — finishing with a real distributed
+// execution over four in-process peers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqpeer"
+)
+
+func main() {
+	schema := sqpeer.PaperSchema()
+	fmt.Println("== Figure 1: community RDF/S schema (namespace n1) ==")
+	fmt.Print(schema)
+
+	// The RVL advertisement of Figure 1: a peer populating C5, C6 and
+	// prop4 from its base.
+	views, err := sqpeer.ParseRVL(sqpeer.PaperRVL, schema)
+	if err != nil {
+		log.Fatalf("parse RVL: %v", err)
+	}
+	fmt.Println("\n== Figure 1: RVL advertisement and derived active-schema ==")
+	fmt.Println(views[0].View)
+	fmt.Println(views[0].ActiveSchema())
+
+	// The RQL query of Figure 1 and its semantic query pattern.
+	compiled, err := sqpeer.ParseRQL(sqpeer.PaperRQL, schema)
+	if err != nil {
+		log.Fatalf("parse RQL: %v", err)
+	}
+	fmt.Println("\n== Figure 1: RQL query and extracted query pattern ==")
+	fmt.Println(sqpeer.PaperRQL)
+	fmt.Println("pattern:", compiled.Pattern)
+
+	// Four peers with the Figure-2 bases on one simulated network.
+	net := sqpeer.NewNetwork()
+	peers := map[sqpeer.PeerID]*sqpeer.Peer{}
+	for id, base := range paperBases(3) {
+		p, err := sqpeer.NewPeer(sqpeer.PeerConfig{
+			ID: id, Kind: sqpeer.SimplePeer, Schema: schema, Base: base,
+		}, net)
+		if err != nil {
+			log.Fatalf("peer %s: %v", id, err)
+		}
+		peers[id] = p
+	}
+	// Everyone learns everyone's advertisement (a tiny fully-known SON).
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				a.Learn(b.Advertisement())
+			}
+		}
+	}
+
+	// Figure 2: the routing annotation. P4 is annotated on Q1 because
+	// prop4 ⊑ prop1.
+	p1 := peers["P1"]
+	ann := p1.Router.Route(compiled.Pattern)
+	fmt.Println("\n== Figure 2: annotated query pattern ==")
+	fmt.Println(ann)
+
+	// Figure 3: Plan 1 from the query-processing algorithm.
+	pr, err := p1.PlanQuery(compiled.Pattern)
+	if err != nil {
+		log.Fatalf("plan: %v", err)
+	}
+	fmt.Println("\n== Figure 3: generated plan (Plan 1) ==")
+	fmt.Println(pr.Raw)
+
+	// Figure 4: Plan 3 after distribution + transformation rules.
+	fmt.Println("\n== Figure 4: optimized plan (Plan 3) ==")
+	fmt.Println(pr.Optimized)
+	fmt.Print(sqpeer.IndentPlan(pr.Optimized))
+
+	// Execute: channels are deployed to P2, P3, P4 and the answer is
+	// assembled at P1.
+	rows, err := p1.Engine.Execute(pr.Optimized)
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	fmt.Println("== Distributed answer at P1 ==")
+	fmt.Print(rows)
+	m := p1.Engine.Metrics()
+	fmt.Printf("\nchannels deployed: %d, subplans shipped: %d, rows shipped: %d\n",
+		m.ChannelsOpened, m.SubplansShipped, m.RowsShipped)
+	c := net.Counters()
+	fmt.Printf("network: %d messages, %d bytes\n", c.Messages, c.Bytes)
+}
+
+// paperBases rebuilds the Figure-2 peer bases: P1 holds prop1+prop2, P2
+// holds prop1, P3 holds prop2, P4 holds prop4+prop2, all sharing join
+// resources y_i.
+func paperBases(pairs int) map[sqpeer.PeerID]*sqpeer.Base {
+	n1 := func(local string) sqpeer.IRI {
+		return sqpeer.IRI("http://ics.forth.gr/SON/n1#" + local)
+	}
+	y := func(i int) sqpeer.IRI {
+		return sqpeer.IRI(fmt.Sprintf("http://ics.forth.gr/data/shared#y%d", i))
+	}
+	res := func(peer, local string, i int) sqpeer.IRI {
+		return sqpeer.IRI(fmt.Sprintf("http://ics.forth.gr/data/%s#%s%d", peer, local, i))
+	}
+	out := map[sqpeer.PeerID]*sqpeer.Base{}
+	build := func(peerName string, props ...string) *sqpeer.Base {
+		b := sqpeer.NewBase()
+		for _, prop := range props {
+			for i := 0; i < pairs; i++ {
+				switch prop {
+				case "prop1":
+					b.Add(sqpeer.Statement(res(peerName, "x", i), n1("prop1"), y(i)))
+					b.Add(sqpeer.Typing(res(peerName, "x", i), n1("C1")))
+				case "prop4":
+					b.Add(sqpeer.Statement(res(peerName, "x5_", i), n1("prop4"), y(i)))
+					b.Add(sqpeer.Typing(res(peerName, "x5_", i), n1("C5")))
+				case "prop2":
+					b.Add(sqpeer.Statement(y(i), n1("prop2"), res(peerName, "z", i)))
+					b.Add(sqpeer.Typing(res(peerName, "z", i), n1("C3")))
+				}
+			}
+		}
+		return b
+	}
+	out["P1"] = build("P1", "prop1", "prop2")
+	out["P2"] = build("P2", "prop1")
+	out["P3"] = build("P3", "prop2")
+	out["P4"] = build("P4", "prop4", "prop2")
+	return out
+}

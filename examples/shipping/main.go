@@ -1,0 +1,93 @@
+// Command shipping replays the paper's Figure-5 discussion: peer P1 must
+// combine subquery results from P2 and P3, and the optimizer's cost model
+// decides between data shipping (join at P1) and query shipping (join
+// pushed to P2) under three regimes — a slow P1–P3 link, a heavily loaded
+// P2, and a large intermediate result at P2.
+package main
+
+import (
+	"fmt"
+
+	"sqpeer"
+)
+
+const n1NS = "http://ics.forth.gr/SON/n1#"
+
+func n1(local string) sqpeer.IRI { return sqpeer.IRI(n1NS + local) }
+
+// scenario builds a catalog for one Figure-5 regime and reports the cost
+// model's verdict.
+func scenario(name string, setup func(cat *sqpeer.Catalog)) {
+	cat := sqpeer.NewCatalog()
+	// Baseline statistics: P2 and P3 both hold 1000 pairs.
+	for _, id := range []sqpeer.PeerID{"P1", "P2", "P3"} {
+		card := 1000
+		if id == "P1" {
+			card = 0
+		}
+		cat.PutPeer(&sqpeer.PeerStats{
+			Peer:  id,
+			Slots: 4,
+			PropertyCard: map[sqpeer.IRI]int{
+				n1("prop1"): card, n1("prop2"): card,
+			},
+			DistinctSubjects: map[sqpeer.IRI]int{
+				n1("prop1"): card, n1("prop2"): card,
+			},
+			DistinctObjects: map[sqpeer.IRI]int{
+				n1("prop1"): card, n1("prop2"): card,
+			},
+		})
+	}
+	setup(cat)
+
+	cm := sqpeer.NewCostModel(cat)
+	q := sqpeer.PaperQuery()
+	// The Figure-5 plan shape: ⋈(Q1@P2, Q2@P3) rooted at P1.
+	ann := newAnnotated(q)
+	p, err := sqpeer.GeneratePlan(ann)
+	if err != nil {
+		panic(err)
+	}
+	data := cm.EstimateCost(p.Root, "P1", sqpeer.DataShipping)
+	query := cm.EstimateCost(p.Root, "P1", sqpeer.QueryShipping)
+	policy, best := cm.ChoosePolicy(p.Root, "P1")
+
+	fmt.Printf("== %s ==\n", name)
+	fmt.Printf("  plan: %s (root P1)\n", p)
+	fmt.Printf("  data-shipping cost:  %8.1f ms (join at P1)\n", data.TotalMS)
+	fmt.Printf("  query-shipping cost: %8.1f ms (join at %s)\n", query.TotalMS, query.Decisions[0].Site)
+	fmt.Printf("  chosen policy:       %s (%.1f ms)\n\n", policy, best.TotalMS)
+}
+
+func newAnnotated(q *sqpeer.QueryPattern) *sqpeer.Annotated {
+	ann := sqpeer.NewAnnotatedPattern(q)
+	ann.Annotate("Q1", "P2", nil)
+	ann.Annotate("Q2", "P3", nil)
+	return ann
+}
+
+func main() {
+	scenario("regime (a): slow P1–P3 link, fast P2–P3 link", func(cat *sqpeer.Catalog) {
+		cat.PutLink("P1", "P3", sqpeer.Link{LatencyMS: 500, BandwidthKBps: 10})
+		cat.PutLink("P2", "P3", sqpeer.Link{LatencyMS: 5, BandwidthKBps: 10000})
+		cat.PutLink("P1", "P2", sqpeer.Link{LatencyMS: 20, BandwidthKBps: 1000})
+	})
+	scenario("regime (b): P2 under heavy processing load", func(cat *sqpeer.Catalog) {
+		cat.SetLoad("P2", 4000)
+	})
+	scenario("regime (c): large intermediate result at P2", func(cat *sqpeer.Catalog) {
+		cat.PutPeer(&sqpeer.PeerStats{
+			Peer: "P2", Slots: 4,
+			PropertyCard:     map[sqpeer.IRI]int{n1("prop1"): 50000},
+			DistinctSubjects: map[sqpeer.IRI]int{n1("prop1"): 50000},
+			DistinctObjects:  map[sqpeer.IRI]int{n1("prop1"): 50000},
+		})
+		cat.PutPeer(&sqpeer.PeerStats{
+			Peer: "P3", Slots: 4,
+			PropertyCard:     map[sqpeer.IRI]int{n1("prop2"): 100},
+			DistinctSubjects: map[sqpeer.IRI]int{n1("prop2"): 100},
+			DistinctObjects:  map[sqpeer.IRI]int{n1("prop2"): 100},
+		})
+	})
+}

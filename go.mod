@@ -1,0 +1,3 @@
+module sqpeer
+
+go 1.22

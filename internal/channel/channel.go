@@ -1,0 +1,296 @@
+// Package channel implements the ubQL-style communication channels SQPeer
+// deploys to execute distributed plans (paper §2.4): each channel has a
+// root node (the peer that launched the execution, which manages the
+// channel under a locally unique id) and a destination node; data packets
+// flow from the destination to the root and carry query results,
+// "changing plan" information, failure notices, or statistics useful for
+// optimization.
+package channel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+)
+
+// PacketType discriminates channel packet contents.
+type PacketType int
+
+const (
+	// Results carries (a batch of) query result rows.
+	Results PacketType = iota
+	// PlanChange carries a replacement (sub)plan during run-time
+	// adaptation.
+	PlanChange
+	// Failure reports that the destination cannot contribute (peer
+	// failure, unresolvable subplan).
+	Failure
+	// Stats carries statistics useful for query optimization.
+	Stats
+	// Done marks the end of the destination's result stream.
+	Done
+)
+
+// String names the packet type.
+func (t PacketType) String() string {
+	switch t {
+	case Results:
+		return "results"
+	case PlanChange:
+		return "plan-change"
+	case Failure:
+		return "failure"
+	case Stats:
+		return "stats"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("packet(%d)", int(t))
+	}
+}
+
+// Packet is one unit of channel traffic.
+type Packet struct {
+	// ChannelID identifies the channel at its root.
+	ChannelID string `json:"channelId"`
+	// Type discriminates Payload.
+	Type PacketType `json:"type"`
+	// Seq orders packets within the channel.
+	Seq int `json:"seq"`
+	// Rows is the number of result rows carried (Results packets), used
+	// for throughput monitoring.
+	Rows int `json:"rows"`
+	// Payload is the serialized body.
+	Payload []byte `json:"payload"`
+}
+
+// Channel is the root-side view of one deployed channel.
+type Channel struct {
+	// ID is the root-locally unique channel id.
+	ID string
+	// Root manages the channel; Dest is the remote peer.
+	Root, Dest pattern.PeerID
+
+	mu     sync.Mutex
+	seq    int
+	closed bool
+	failed bool
+	// rowsReceived counts result rows for throughput observation.
+	rowsReceived int
+}
+
+// Failed reports whether the channel observed a failure (destination down
+// or Failure packet received).
+func (c *Channel) Failed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed
+}
+
+// Closed reports whether the channel has been closed by its root.
+func (c *Channel) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// RowsReceived returns the number of result rows that arrived so far.
+func (c *Channel) RowsReceived() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rowsReceived
+}
+
+// openReq is the wire body of a channel-open request.
+type openReq struct {
+	ChannelID string         `json:"channelId"`
+	Root      pattern.PeerID `json:"root"`
+}
+
+// Manager is one peer's channel endpoint: it opens channels as root,
+// accepts them as destination, dispatches inbound packets to per-channel
+// callbacks, and ships packets upstream when acting as a destination.
+type Manager struct {
+	self pattern.PeerID
+	net  *network.Network
+
+	mu       sync.Mutex
+	nextID   int
+	channels map[string]*Channel                  // channels rooted here
+	onPacket map[string]func(Packet)              // root-side packet callbacks
+	inbound  map[string]pattern.PeerID            // channelID -> root (dest side)
+	onOpen   func(id string, root pattern.PeerID) // dest-side accept hook
+}
+
+// NewManager wires a manager for peer self into the network, registering
+// the chan.* message handlers.
+func NewManager(self pattern.PeerID, net *network.Network) *Manager {
+	m := &Manager{
+		self:     self,
+		net:      net,
+		channels: map[string]*Channel{},
+		onPacket: map[string]func(Packet){},
+		inbound:  map[string]pattern.PeerID{},
+	}
+	net.AddNode(self)
+	net.Handle(self, "chan.open", m.handleOpen)
+	net.Handle(self, "chan.packet", m.handlePacket)
+	net.Handle(self, "chan.close", m.handleClose)
+	return m
+}
+
+// Self returns the peer this manager belongs to.
+func (m *Manager) Self() pattern.PeerID { return m.self }
+
+// OnOpen registers a destination-side hook invoked when a remote root
+// opens a channel to this peer.
+func (m *Manager) OnOpen(fn func(id string, root pattern.PeerID)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onOpen = fn
+}
+
+// Open deploys a channel from this peer (the root) to dest. onPacket, if
+// non-nil, receives every packet the destination sends back.
+func (m *Manager) Open(dest pattern.PeerID, onPacket func(Packet)) (*Channel, error) {
+	m.mu.Lock()
+	m.nextID++
+	id := fmt.Sprintf("%s#%d", m.self, m.nextID)
+	m.mu.Unlock()
+
+	body, err := json.Marshal(openReq{ChannelID: id, Root: m.self})
+	if err != nil {
+		return nil, fmt.Errorf("channel: marshal open: %w", err)
+	}
+	if _, err := m.net.Call(m.self, dest, "chan.open", body); err != nil {
+		return nil, fmt.Errorf("channel: open to %s: %w", dest, err)
+	}
+	ch := &Channel{ID: id, Root: m.self, Dest: dest}
+	m.mu.Lock()
+	m.channels[id] = ch
+	if onPacket != nil {
+		m.onPacket[id] = onPacket
+	}
+	m.mu.Unlock()
+	return ch, nil
+}
+
+// Close tears the channel down, notifying the destination (best effort:
+// a dead destination is fine).
+func (m *Manager) Close(ch *Channel) {
+	ch.mu.Lock()
+	ch.closed = true
+	ch.mu.Unlock()
+	body, _ := json.Marshal(openReq{ChannelID: ch.ID, Root: m.self})
+	_ = m.net.Send(m.self, ch.Dest, "chan.close", body) // best effort
+	m.mu.Lock()
+	delete(m.channels, ch.ID)
+	delete(m.onPacket, ch.ID)
+	m.mu.Unlock()
+}
+
+// MarkFailed records a channel failure at the root (e.g. the open
+// succeeded but a later send to the destination errored).
+func (m *Manager) MarkFailed(ch *Channel) {
+	ch.mu.Lock()
+	ch.failed = true
+	ch.mu.Unlock()
+}
+
+// Channel returns the root-side channel with the given id.
+func (m *Manager) Channel(id string) (*Channel, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch, ok := m.channels[id]
+	return ch, ok
+}
+
+// OpenChannels returns ids of channels rooted at this peer, sorted.
+func (m *Manager) OpenChannels() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.channels))
+	for id := range m.channels {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SendToRoot ships a packet upstream on an inbound channel (this peer is
+// the destination). The packet's sequence number is assigned here.
+func (m *Manager) SendToRoot(channelID string, typ PacketType, rows int, payload []byte) error {
+	m.mu.Lock()
+	root, ok := m.inbound[channelID]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("channel: %s: unknown inbound channel %q", m.self, channelID)
+	}
+	pkt := Packet{ChannelID: channelID, Type: typ, Rows: rows, Payload: payload}
+	body, err := json.Marshal(pkt)
+	if err != nil {
+		return fmt.Errorf("channel: marshal packet: %w", err)
+	}
+	if err := m.net.Send(m.self, root, "chan.packet", body); err != nil {
+		return fmt.Errorf("channel: send to root %s: %w", root, err)
+	}
+	return nil
+}
+
+func (m *Manager) handleOpen(msg network.Message) ([]byte, error) {
+	var req openReq
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return nil, fmt.Errorf("channel: bad open request: %w", err)
+	}
+	m.mu.Lock()
+	m.inbound[req.ChannelID] = req.Root
+	hook := m.onOpen
+	m.mu.Unlock()
+	if hook != nil {
+		hook(req.ChannelID, req.Root)
+	}
+	return []byte("ok"), nil
+}
+
+func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
+	var pkt Packet
+	if err := json.Unmarshal(msg.Payload, &pkt); err != nil {
+		return nil, fmt.Errorf("channel: bad packet: %w", err)
+	}
+	m.mu.Lock()
+	ch := m.channels[pkt.ChannelID]
+	cb := m.onPacket[pkt.ChannelID]
+	m.mu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("channel: %s: packet for unknown channel %q", m.self, pkt.ChannelID)
+	}
+	ch.mu.Lock()
+	ch.seq++
+	pkt.Seq = ch.seq
+	if pkt.Type == Results {
+		ch.rowsReceived += pkt.Rows
+	}
+	if pkt.Type == Failure {
+		ch.failed = true
+	}
+	ch.mu.Unlock()
+	if cb != nil {
+		cb(pkt)
+	}
+	return nil, nil
+}
+
+func (m *Manager) handleClose(msg network.Message) ([]byte, error) {
+	var req openReq
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return nil, fmt.Errorf("channel: bad close request: %w", err)
+	}
+	m.mu.Lock()
+	delete(m.inbound, req.ChannelID)
+	m.mu.Unlock()
+	return nil, nil
+}

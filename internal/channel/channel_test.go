@@ -1,0 +1,186 @@
+package channel_test
+
+import (
+	"sync"
+	"testing"
+
+	"sqpeer/internal/channel"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+)
+
+func managers(t testing.TB, net *network.Network, ids ...pattern.PeerID) map[pattern.PeerID]*channel.Manager {
+	t.Helper()
+	out := map[pattern.PeerID]*channel.Manager{}
+	for _, id := range ids {
+		out[id] = channel.NewManager(id, net)
+	}
+	return out
+}
+
+func TestOpenSendReceive(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+
+	var mu sync.Mutex
+	var got []channel.Packet
+	ch, err := ms["P1"].Open("P2", func(p channel.Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if ch.Root != "P1" || ch.Dest != "P2" {
+		t.Errorf("channel ends = %s → %s", ch.Root, ch.Dest)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Results, 3, []byte("rows")); err != nil {
+		t.Fatalf("SendToRoot: %v", err)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Done, 0, nil); err != nil {
+		t.Fatalf("SendToRoot done: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("received %d packets", len(got))
+	}
+	if got[0].Type != channel.Results || got[0].Rows != 3 || string(got[0].Payload) != "rows" {
+		t.Errorf("packet 0 = %+v", got[0])
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if ch.RowsReceived() != 3 {
+		t.Errorf("RowsReceived = %d", ch.RowsReceived())
+	}
+}
+
+func TestOpenToDeadPeerFails(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P3")
+	net.Fail("P3")
+	if _, err := ms["P1"].Open("P3", nil); err == nil {
+		t.Fatal("Open to failed peer succeeded — Figure 7's failed channel scenario requires an error")
+	}
+}
+
+func TestFailurePacketMarksChannel(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+	ch, err := ms["P1"].Open("P2", nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if ch.Failed() {
+		t.Error("fresh channel reported failed")
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Failure, 0, []byte("peer overloaded")); err != nil {
+		t.Fatalf("SendToRoot: %v", err)
+	}
+	if !ch.Failed() {
+		t.Error("Failure packet did not mark the channel")
+	}
+	ms["P1"].MarkFailed(ch)
+	if !ch.Failed() {
+		t.Error("MarkFailed did not mark the channel")
+	}
+}
+
+func TestCloseChannel(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+	ch, err := ms["P1"].Open("P2", nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := ms["P1"].OpenChannels(); len(got) != 1 || got[0] != ch.ID {
+		t.Errorf("OpenChannels = %v", got)
+	}
+	ms["P1"].Close(ch)
+	if !ch.Closed() {
+		t.Error("channel not marked closed")
+	}
+	if got := ms["P1"].OpenChannels(); len(got) != 0 {
+		t.Errorf("OpenChannels after close = %v", got)
+	}
+	// Destination side forgot the channel: sends now fail.
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Results, 1, nil); err == nil {
+		t.Error("SendToRoot on closed channel succeeded")
+	}
+}
+
+func TestOnOpenHook(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+	var hookID string
+	var hookRoot pattern.PeerID
+	ms["P2"].OnOpen(func(id string, root pattern.PeerID) {
+		hookID, hookRoot = id, root
+	})
+	ch, err := ms["P1"].Open("P2", nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if hookID != ch.ID || hookRoot != "P1" {
+		t.Errorf("OnOpen got (%q, %s)", hookID, hookRoot)
+	}
+}
+
+func TestChannelIDsUniquePerRoot(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2", "P3")
+	a, err := ms["P1"].Open("P2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ms["P1"].Open("P3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Errorf("duplicate channel ids: %s", a.ID)
+	}
+	if _, ok := ms["P1"].Channel(a.ID); !ok {
+		t.Error("Channel lookup failed")
+	}
+	if _, ok := ms["P1"].Channel("ghost"); ok {
+		t.Error("ghost channel found")
+	}
+}
+
+func TestSendToRootUnknownChannel(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P2")
+	if err := ms["P2"].SendToRoot("nope", channel.Results, 0, nil); err == nil {
+		t.Error("unknown inbound channel accepted")
+	}
+}
+
+func TestPacketTypeNames(t *testing.T) {
+	names := map[channel.PacketType]string{
+		channel.Results: "results", channel.PlanChange: "plan-change",
+		channel.Failure: "failure", channel.Stats: "stats", channel.Done: "done",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestPacketsCountedOnNetwork(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+	ch, _ := ms["P1"].Open("P2", nil)
+	net.ResetCounters()
+	_ = ms["P2"].SendToRoot(ch.ID, channel.Results, 10, make([]byte, 500))
+	c := net.Counters()
+	if c.PerKind["chan.packet"] != 1 {
+		t.Errorf("PerKind = %v", c.PerKind)
+	}
+	if c.Bytes < 500 {
+		t.Errorf("Bytes = %d, payload not accounted", c.Bytes)
+	}
+}

@@ -1,0 +1,331 @@
+// Package dht implements the paper's final future-work item (§5):
+// "investigate the possible use of Distributed Hash Tables for RDF/S
+// schemas with subsumption information, used in the query routing
+// process". It provides a Chord-style ring over the simulated network
+// whose keys are schema property IRIs: every peer publishes each
+// populated property of its active-schema under the property itself and
+// all of its superproperties (baking the subsumption closure into the
+// index), so a single O(log n)-hop lookup for a query pattern's property
+// returns every peer able to answer it — including subproperty providers.
+//
+// The ring stabilizes eagerly after each membership change (this is a
+// simulation substrate, not a churn-tolerant Chord), but lookups route
+// hop by hop through real network messages so the experiment harness can
+// account them.
+package dht
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// fingerBits is the ring's identifier width (and finger-table size).
+const fingerBits = 64
+
+// hashKey maps a string onto the ring.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Registration is one published advertisement entry: a peer declaring a
+// populated pattern, indexed under some (super)property.
+type Registration struct {
+	// Peer is the advertising peer.
+	Peer pattern.PeerID `json:"peer"`
+	// Pattern is the populated pattern (the peer's own property with its
+	// end-point classes, not the index key).
+	Pattern pattern.PathPattern `json:"pattern"`
+	// SchemaName scopes the registration to its SON.
+	SchemaName string `json:"schemaName"`
+}
+
+// node is one DHT participant's state.
+type node struct {
+	id   pattern.PeerID
+	hash uint64
+
+	mu     sync.Mutex
+	store  map[rdf.IRI][]Registration // keys this node is responsible for
+	finger []pattern.PeerID           // finger[i] = successor(hash + 2^i)
+	succ   pattern.PeerID
+	pred   pattern.PeerID
+}
+
+// Ring is a Chord-style DHT over the simulated network.
+type Ring struct {
+	// Net is the transport lookups route over.
+	Net *network.Network
+
+	mu    sync.Mutex
+	nodes map[pattern.PeerID]*node
+	order []pattern.PeerID // membership sorted by ring hash
+}
+
+// NewRing returns an empty ring on the network.
+func NewRing(net *network.Network) *Ring {
+	return &Ring{Net: net, nodes: map[pattern.PeerID]*node{}}
+}
+
+// Join adds a peer to the ring and re-stabilizes finger tables. Keys the
+// new node becomes responsible for are handed over from its successor.
+func (r *Ring) Join(id pattern.PeerID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.nodes[id]; dup {
+		return fmt.Errorf("dht: node %s already joined", id)
+	}
+	n := &node{id: id, hash: hashKey(string(id)), store: map[rdf.IRI][]Registration{}}
+	r.nodes[id] = n
+	r.Net.AddNode(id)
+	r.Net.Handle(id, "dht.find", r.findHandler(n))
+	r.Net.Handle(id, "dht.put", r.putHandler(n))
+	r.rebuildLocked()
+	r.redistributeLocked()
+	return nil
+}
+
+// Leave removes a peer, handing its keys to its successor.
+func (r *Ring) Leave(id pattern.PeerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		return
+	}
+	delete(r.nodes, id)
+	r.rebuildLocked()
+	// Hand over stored keys.
+	if len(r.order) > 0 {
+		succ := r.nodes[r.successorOfLocked(n.hash)]
+		n.mu.Lock()
+		succ.mu.Lock()
+		for k, regs := range n.store {
+			succ.store[k] = append(succ.store[k], regs...)
+		}
+		succ.mu.Unlock()
+		n.mu.Unlock()
+	}
+}
+
+// Size returns the ring membership count.
+func (r *Ring) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.nodes)
+}
+
+// rebuildLocked recomputes the sorted membership and every node's
+// successor, predecessor and finger table.
+func (r *Ring) rebuildLocked() {
+	r.order = r.order[:0]
+	for id := range r.nodes {
+		r.order = append(r.order, id)
+	}
+	sort.Slice(r.order, func(i, j int) bool {
+		return r.nodes[r.order[i]].hash < r.nodes[r.order[j]].hash
+	})
+	if len(r.order) == 0 {
+		return
+	}
+	for i, id := range r.order {
+		n := r.nodes[id]
+		n.mu.Lock()
+		n.succ = r.order[(i+1)%len(r.order)]
+		n.pred = r.order[(i-1+len(r.order))%len(r.order)]
+		n.finger = make([]pattern.PeerID, fingerBits)
+		for b := 0; b < fingerBits; b++ {
+			target := n.hash + (uint64(1) << uint(b)) // wraps naturally
+			n.finger[b] = r.successorOfLocked(target)
+		}
+		n.mu.Unlock()
+	}
+}
+
+// successorOfLocked returns the node responsible for a ring position.
+func (r *Ring) successorOfLocked(h uint64) pattern.PeerID {
+	if len(r.order) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.order), func(i int) bool {
+		return r.nodes[r.order[i]].hash >= h
+	})
+	if i == len(r.order) {
+		i = 0
+	}
+	return r.order[i]
+}
+
+// redistributeLocked reassigns every stored key to its current
+// responsible node (after a join).
+func (r *Ring) redistributeLocked() {
+	type kv struct {
+		key  rdf.IRI
+		regs []Registration
+	}
+	var all []kv
+	for _, n := range r.nodes {
+		n.mu.Lock()
+		for k, regs := range n.store {
+			all = append(all, kv{k, regs})
+		}
+		n.store = map[rdf.IRI][]Registration{}
+		n.mu.Unlock()
+	}
+	for _, e := range all {
+		owner := r.nodes[r.successorOfLocked(hashKey(string(e.key)))]
+		owner.mu.Lock()
+		owner.store[e.key] = append(owner.store[e.key], e.regs...)
+		owner.mu.Unlock()
+	}
+}
+
+// responsible reports whether node n owns key hash h.
+func (r *Ring) responsible(n *node, h uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.successorOfLocked(h) == n.id
+}
+
+// closestFinger returns n's finger that most closely precedes target
+// without overshooting, falling back to the successor.
+func (n *node) closestFinger(target uint64) pattern.PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	best := n.succ
+	bestDist := distance(n.hash, target) // anything closer wins
+	for _, f := range n.finger {
+		if f == "" || f == n.id {
+			continue
+		}
+		fh := hashKey(string(f))
+		d := distance(fh, target)
+		if d < bestDist {
+			bestDist = d
+			best = f
+		}
+	}
+	return best
+}
+
+// distance is the clockwise ring distance from a to b.
+func distance(a, b uint64) uint64 { return b - a } // unsigned wrap-around
+
+// wire bodies.
+type findReq struct {
+	Key rdf.IRI `json:"key"`
+}
+type findResp struct {
+	Regs []Registration `json:"regs"`
+	Hops int            `json:"hops"`
+}
+type putReq struct {
+	Key rdf.IRI      `json:"key"`
+	Reg Registration `json:"reg"`
+}
+
+// findHandler answers or forwards a lookup.
+func (r *Ring) findHandler(n *node) network.Handler {
+	return func(msg network.Message) ([]byte, error) {
+		var req findReq
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return nil, fmt.Errorf("dht: bad find request: %w", err)
+		}
+		h := hashKey(string(req.Key))
+		if r.responsible(n, h) {
+			n.mu.Lock()
+			regs := append([]Registration{}, n.store[req.Key]...)
+			n.mu.Unlock()
+			return json.Marshal(findResp{Regs: regs, Hops: 0})
+		}
+		next := n.closestFinger(h)
+		reply, err := r.Net.Call(n.id, next, "dht.find", msg.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("dht: forward to %s: %w", next, err)
+		}
+		var resp findResp
+		if err := json.Unmarshal(reply, &resp); err != nil {
+			return nil, err
+		}
+		resp.Hops++
+		return json.Marshal(resp)
+	}
+}
+
+// putHandler stores or forwards a registration.
+func (r *Ring) putHandler(n *node) network.Handler {
+	return func(msg network.Message) ([]byte, error) {
+		var req putReq
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return nil, fmt.Errorf("dht: bad put request: %w", err)
+		}
+		h := hashKey(string(req.Key))
+		if r.responsible(n, h) {
+			n.mu.Lock()
+			// Deduplicate identical registrations.
+			dup := false
+			for _, existing := range n.store[req.Key] {
+				if existing.Peer == req.Reg.Peer && existing.Pattern.SameShape(req.Reg.Pattern) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				n.store[req.Key] = append(n.store[req.Key], req.Reg)
+			}
+			n.mu.Unlock()
+			return []byte("ok"), nil
+		}
+		next := n.closestFinger(h)
+		return r.Net.Call(n.id, next, "dht.put", msg.Payload)
+	}
+}
+
+// Publish indexes a peer's active-schema: each populated pattern is
+// registered under its property and every superproperty per the schema —
+// the "RDF/S schemas with subsumption information" part of the paper's
+// proposal. Returns the number of registrations stored.
+func (r *Ring) Publish(from pattern.PeerID, schema *rdf.Schema, as *pattern.ActiveSchema) (int, error) {
+	stored := 0
+	for _, pp := range as.Patterns {
+		for _, key := range schema.SuperProperties(pp.Property) {
+			body, err := json.Marshal(putReq{Key: key, Reg: Registration{
+				Peer: from, Pattern: pp, SchemaName: as.SchemaName,
+			}})
+			if err != nil {
+				return stored, fmt.Errorf("dht: marshal put: %w", err)
+			}
+			if _, err := r.Net.Call(from, from, "dht.put", body); err != nil {
+				return stored, err
+			}
+			stored++
+		}
+	}
+	return stored, nil
+}
+
+// Lookup resolves the peers registered under a property key, returning
+// the registrations and the number of forwarding hops taken.
+func (r *Ring) Lookup(from pattern.PeerID, key rdf.IRI) ([]Registration, int, error) {
+	body, err := json.Marshal(findReq{Key: key})
+	if err != nil {
+		return nil, 0, fmt.Errorf("dht: marshal find: %w", err)
+	}
+	reply, err := r.Net.Call(from, from, "dht.find", body)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp findResp
+	if err := json.Unmarshal(reply, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Regs, resp.Hops, nil
+}

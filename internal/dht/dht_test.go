@@ -1,0 +1,214 @@
+package dht_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sqpeer/internal/dht"
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+func paperRing(t testing.TB, extraNodes int) (*dht.Ring, *network.Network) {
+	t.Helper()
+	net := network.New()
+	ring := dht.NewRing(net)
+	schema := gen.PaperSchema()
+	for id, as := range gen.PaperActiveSchemas() {
+		if err := ring.Join(id); err != nil {
+			t.Fatalf("Join(%s): %v", id, err)
+		}
+		if _, err := ring.Publish(id, schema, as); err != nil {
+			t.Fatalf("Publish(%s): %v", id, err)
+		}
+	}
+	for i := 0; i < extraNodes; i++ {
+		id := pattern.PeerID(fmt.Sprintf("X%03d", i))
+		if err := ring.Join(id); err != nil {
+			t.Fatalf("Join(%s): %v", id, err)
+		}
+	}
+	return ring, net
+}
+
+func TestLookupFindsDirectProviders(t *testing.T) {
+	ring, _ := paperRing(t, 0)
+	regs, _, err := ring.Lookup("P1", gen.N1("prop2"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	peers := map[pattern.PeerID]bool{}
+	for _, reg := range regs {
+		peers[reg.Peer] = true
+	}
+	for _, want := range []pattern.PeerID{"P1", "P3", "P4"} {
+		if !peers[want] {
+			t.Errorf("prop2 lookup missing %s: %v", want, regs)
+		}
+	}
+	if peers["P2"] {
+		t.Errorf("prop2 lookup returned non-provider P2")
+	}
+}
+
+// TestLookupSubsumptionIndexing: publishing under superproperties makes a
+// prop1 lookup find P4, whose base populates only prop4 ⊑ prop1 — the
+// "DHT for RDF/S schemas with subsumption information" of §5.
+func TestLookupSubsumptionIndexing(t *testing.T) {
+	ring, _ := paperRing(t, 0)
+	regs, _, err := ring.Lookup("P2", gen.N1("prop1"))
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	var foundP4 bool
+	for _, reg := range regs {
+		if reg.Peer == "P4" {
+			foundP4 = true
+			if reg.Pattern.Property != gen.N1("prop4") {
+				t.Errorf("P4's registration must carry its own prop4 pattern, got %s", reg.Pattern.Property)
+			}
+		}
+	}
+	if !foundP4 {
+		t.Fatalf("prop1 lookup missed the prop4 provider P4: %v", regs)
+	}
+	// The reverse must not hold: a prop4 lookup must not return prop1
+	// providers.
+	regs4, _, err := ring.Lookup("P2", gen.N1("prop4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range regs4 {
+		if reg.Pattern.Property == gen.N1("prop1") {
+			t.Errorf("prop4 lookup returned a plain prop1 provider: %v", reg)
+		}
+	}
+}
+
+func TestDHTRouterMatchesRegistryRouting(t *testing.T) {
+	ring, _ := paperRing(t, 0)
+	router := dht.NewRouter(ring, gen.PaperSchema(), "P1")
+	ann, st, err := router.Route(gen.PaperQuery())
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P1 P2 P4]" {
+		t.Errorf("DHT Q1 peers = %s, want [P1 P2 P4]", got)
+	}
+	if got := fmt.Sprint(ann.PeersFor("Q2")); got != "[P1 P3 P4]" {
+		t.Errorf("DHT Q2 peers = %s, want [P1 P3 P4]", got)
+	}
+	if !ann.Complete() {
+		t.Error("DHT routing incomplete")
+	}
+	if st.Lookups != 2 {
+		t.Errorf("Lookups = %d", st.Lookups)
+	}
+	// P4's rewrite carries prop4.
+	rw := ann.RewritesFor("Q1", "P4")
+	if len(rw) != 1 || rw[0].Property != gen.N1("prop4") {
+		t.Errorf("DHT rewrite = %v", rw)
+	}
+}
+
+func TestLookupHopsScaleLogarithmically(t *testing.T) {
+	// With 64 extra nodes, hop counts should stay well below ring size.
+	ring, _ := paperRing(t, 64)
+	maxHops := 0
+	for _, key := range []rdf.IRI{gen.N1("prop1"), gen.N1("prop2"), gen.N1("prop4")} {
+		_, hops, err := ring.Lookup("X000", key)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", key, err)
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	if maxHops > 14 { // ~2·log2(68) with slack
+		t.Errorf("lookup took %d hops on a 68-node ring", maxHops)
+	}
+}
+
+func TestJoinRedistributesKeys(t *testing.T) {
+	net := network.New()
+	ring := dht.NewRing(net)
+	schema := gen.PaperSchema()
+	if err := ring.Join("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.Publish("P1", schema, gen.PaperActiveSchemas()["P1"]); err != nil {
+		t.Fatal(err)
+	}
+	// After many joins the key must still resolve from any node.
+	for i := 0; i < 16; i++ {
+		if err := ring.Join(pattern.PeerID(fmt.Sprintf("N%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regs, _, err := ring.Lookup("N07", gen.N1("prop1"))
+	if err != nil {
+		t.Fatalf("Lookup after joins: %v", err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("registration lost during redistribution")
+	}
+}
+
+func TestLeaveHandsOverKeys(t *testing.T) {
+	ring, _ := paperRing(t, 8)
+	// Find who holds prop2 by leaving nodes until lookups still work.
+	before, _, err := ring.Lookup("P1", gen.N1("prop2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring.Leave("X003")
+	ring.Leave("X005")
+	after, _, err := ring.Lookup("P1", gen.N1("prop2"))
+	if err != nil {
+		t.Fatalf("Lookup after leave: %v", err)
+	}
+	if len(after) < len(before) {
+		t.Errorf("registrations lost on leave: %d < %d", len(after), len(before))
+	}
+	if ring.Size() != 4+8-2 {
+		t.Errorf("Size = %d", ring.Size())
+	}
+}
+
+func TestDuplicatePublishIsIdempotent(t *testing.T) {
+	ring, _ := paperRing(t, 0)
+	schema := gen.PaperSchema()
+	before, _, _ := ring.Lookup("P2", gen.N1("prop1"))
+	if _, err := ring.Publish("P2", schema, gen.PaperActiveSchemas()["P2"]); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := ring.Lookup("P2", gen.N1("prop1"))
+	if len(after) != len(before) {
+		t.Errorf("duplicate publish grew the index: %d → %d", len(before), len(after))
+	}
+}
+
+func TestJoinDuplicateRejected(t *testing.T) {
+	net := network.New()
+	ring := dht.NewRing(net)
+	if err := ring.Join("P1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ring.Join("P1"); err == nil {
+		t.Error("duplicate join accepted")
+	}
+	ring.Leave("ghost") // must not panic
+}
+
+func TestLookupUnknownKeyIsEmpty(t *testing.T) {
+	ring, _ := paperRing(t, 4)
+	regs, _, err := ring.Lookup("P1", "http://nowhere#prop")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("unknown key returned %v", regs)
+	}
+}

@@ -1,0 +1,71 @@
+package dht
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// Router routes semantic query patterns through the DHT instead of a
+// local advertisement registry: one ring lookup per path pattern returns
+// the candidate registrations, which are then filtered with the same
+// sound-and-complete subsumption test the registry router uses. Because
+// Publish already indexed every pattern under its superproperties, a
+// lookup for a query property finds subproperty providers without any
+// extra traffic.
+type Router struct {
+	// Ring is the schema DHT.
+	Ring *Ring
+	// Schema supplies the subsumption checks.
+	Schema *rdf.Schema
+	// Self is the peer issuing lookups.
+	Self pattern.PeerID
+}
+
+// NewRouter returns a DHT-backed router for a peer.
+func NewRouter(ring *Ring, schema *rdf.Schema, self pattern.PeerID) *Router {
+	return &Router{Ring: ring, Schema: schema, Self: self}
+}
+
+// RouteStats reports the DHT work one routing call performed.
+type RouteStats struct {
+	// Lookups is the number of ring lookups (one per path pattern).
+	Lookups int
+	// Hops is the total forwarding hops across lookups.
+	Hops int
+	// Candidates counts registrations returned before filtering.
+	Candidates int
+}
+
+// Route annotates the query pattern from DHT lookups.
+func (r *Router) Route(q *pattern.QueryPattern) (*pattern.Annotated, RouteStats, error) {
+	ann := pattern.NewAnnotated(q)
+	var st RouteStats
+	for _, qp := range q.Patterns {
+		regs, hops, err := r.Ring.Lookup(r.Self, qp.Property)
+		if err != nil {
+			return nil, st, fmt.Errorf("dht: routing %s: %w", qp.ID, err)
+		}
+		st.Lookups++
+		st.Hops += hops
+		st.Candidates += len(regs)
+		for _, reg := range regs {
+			if reg.SchemaName != "" && q.SchemaName != "" && reg.SchemaName != q.SchemaName {
+				continue
+			}
+			if !pattern.IsSubsumed(r.Schema, reg.Pattern, qp) {
+				continue
+			}
+			ann.Annotate(qp.ID, reg.Peer, []pattern.PathPattern{{
+				ID:         qp.ID,
+				SubjectVar: qp.SubjectVar,
+				ObjectVar:  qp.ObjectVar,
+				Property:   reg.Pattern.Property,
+				Domain:     reg.Pattern.Domain,
+				Range:      reg.Pattern.Range,
+			}})
+		}
+	}
+	return ann, st, nil
+}

@@ -1,0 +1,549 @@
+// Package exec is SQPeer's distributed plan executor (paper §2.4–2.5):
+// it walks a distributed plan at a root peer, deploys one ubQL-style
+// channel per contributing peer, ships subplans, gathers result packets,
+// and combines them with unions (horizontal distribution) and joins
+// (vertical distribution). Join placement follows the configured shipping
+// policy; on peer failure the executor adopts ubQL semantics — discard
+// intermediate results, replan around the obsolete peer, restart.
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"sqpeer/internal/channel"
+	"sqpeer/internal/network"
+	"sqpeer/internal/optimizer"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/routing"
+	"sqpeer/internal/rql"
+	"sqpeer/internal/stats"
+)
+
+// LocalSource evaluates scan subqueries against a peer's local base.
+type LocalSource interface {
+	// EvalScan evaluates the conjunction of path patterns locally,
+	// returning the joined rows.
+	EvalScan(patterns []pattern.PathPattern) *rql.ResultSet
+}
+
+// PeerFailure reports that a remote peer could not contribute: the
+// executor's replanning treats its peer as obsolete.
+type PeerFailure struct {
+	// Peer is the failed peer.
+	Peer pattern.PeerID
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the failure.
+func (e *PeerFailure) Error() string {
+	return fmt.Sprintf("exec: peer %s failed: %v", e.Peer, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *PeerFailure) Unwrap() error { return e.Err }
+
+// HoleError reports an attempt to execute a plan that still contains
+// holes; hybrid systems treat it as a routing bug, ad-hoc systems forward
+// the partial plan instead of executing it.
+type HoleError struct {
+	// PatternIDs are the path patterns with no responsible peer.
+	PatternIDs []string
+}
+
+// Error renders the hole list.
+func (e *HoleError) Error() string {
+	return fmt.Sprintf("exec: plan has unresolved holes for %v", e.PatternIDs)
+}
+
+// Engine executes distributed plans at one peer. The same engine serves
+// both roles: root of its own queries, and remote evaluator of subplans
+// shipped by other peers (registered under the "exec.subplan" and
+// "exec.collect" message kinds).
+type Engine struct {
+	// Self is the peer this engine runs at.
+	Self pattern.PeerID
+	// Net is the transport.
+	Net *network.Network
+	// Channels is the peer's channel manager.
+	Channels *channel.Manager
+	// Local evaluates scans against the peer's base.
+	Local LocalSource
+	// Policy places joins; HybridShipping consults Cost.
+	Policy optimizer.ShippingPolicy
+	// Cost estimates placements for HybridShipping; nil forces
+	// DataShipping behaviour.
+	Cost *optimizer.CostModel
+	// Router, when set, enables run-time adaptation: on peer failure the
+	// engine replans around the obsolete peer and restarts (ubQL
+	// discard).
+	Router *routing.Router
+	// MaxReplans bounds adaptation retries (default 3 when Router set).
+	MaxReplans int
+	// BatchSize caps rows per Results packet when this engine answers
+	// shipped subplans (default 256). Smaller batches mean more packets —
+	// the ubQL streaming the throughput monitor observes.
+	BatchSize int
+	// StatsProvider, when set, supplies this peer's current statistics,
+	// piggybacked as a Stats packet on every answered subplan (paper
+	// §2.4: packets "can also contain ... statistics useful for query
+	// optimization").
+	StatsProvider func() *stats.PeerStats
+	// StatsSink, when set, receives statistics arriving on channels this
+	// engine roots, keeping the local catalog fresh.
+	StatsSink func(*stats.PeerStats)
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// Metrics counts executor activity for the experiment harness.
+type Metrics struct {
+	// ChannelsOpened counts channels deployed by this engine as root.
+	ChannelsOpened int
+	// SubplansShipped counts subplans sent to remote peers.
+	SubplansShipped int
+	// RowsShipped counts result rows received from remote peers.
+	RowsShipped int
+	// BytesShipped counts result payload bytes received from remotes.
+	BytesShipped int
+	// Replans counts run-time adaptations performed.
+	Replans int
+	// LocalScans counts scans evaluated against the local base.
+	LocalScans int
+}
+
+// NewEngine wires an engine for a peer into the network, registering the
+// subplan-execution handler.
+func NewEngine(self pattern.PeerID, net *network.Network, ch *channel.Manager, local LocalSource) *Engine {
+	e := &Engine{
+		Self:     self,
+		Net:      net,
+		Channels: ch,
+		Local:    local,
+		Policy:   optimizer.DataShipping,
+	}
+	net.Handle(self, "exec.subplan", e.handleSubplan)
+	return e
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics
+}
+
+// ResetMetrics zeroes the counters between experiment runs.
+func (e *Engine) ResetMetrics() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.metrics = Metrics{}
+}
+
+// Execute runs a distributed plan rooted at this peer and returns the
+// final result set, applying the query pattern's projections. Plans with
+// holes are rejected with *HoleError. With a Router configured, peer
+// failures trigger replanning (up to MaxReplans) before surfacing as
+// *PeerFailure.
+func (e *Engine) Execute(p *plan.Plan) (*rql.ResultSet, error) {
+	maxReplans := e.MaxReplans
+	if maxReplans == 0 {
+		maxReplans = 3
+	}
+	current := p
+	for attempt := 0; ; attempt++ {
+		if holes := plan.Holes(current.Root); len(holes) > 0 {
+			ids := make([]string, len(holes))
+			for i, h := range holes {
+				ids[i] = h.Patterns[0].ID
+			}
+			return nil, &HoleError{PatternIDs: ids}
+		}
+		rs, err := e.executeOnce(current)
+		if err == nil {
+			if current.Query != nil && len(current.Query.Projections) > 0 {
+				rs = rs.Project(current.Query.Projections)
+			}
+			return rs, nil
+		}
+		pf, ok := failureOf(err)
+		if !ok || e.Router == nil || attempt >= maxReplans {
+			return nil, err
+		}
+		// ubQL adaptation: discard intermediates, drop the obsolete peer
+		// from our routing knowledge, replan, restart.
+		e.Router.Registry.Unregister(pf.Peer)
+		replanned, rerr := optimizer.Replan(current, map[pattern.PeerID]bool{pf.Peer: true}, e.Router)
+		if rerr != nil {
+			return nil, fmt.Errorf("exec: adaptation after %v: %w", err, rerr)
+		}
+		e.mu.Lock()
+		e.metrics.Replans++
+		e.mu.Unlock()
+		current = replanned
+	}
+}
+
+func failureOf(err error) (*PeerFailure, bool) {
+	for e := err; e != nil; {
+		if pf, ok := e.(*PeerFailure); ok {
+			return pf, true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		e = u.Unwrap()
+	}
+	return nil, false
+}
+
+// execution is the per-Execute state: one channel per contacted peer.
+type execution struct {
+	engine   *Engine
+	mu       sync.Mutex
+	channels map[pattern.PeerID]*channel.Channel
+	inbox    map[string]*remoteResult // channelID -> collector
+	// cache memoizes remote dispatches within this execution: optimized
+	// plans repeat the same scan under several union branches, and a
+	// subplan already answered by a peer need not be shipped again.
+	cache map[string]*rql.ResultSet
+}
+
+type remoteResult struct {
+	rows *rql.ResultSet
+	err  error
+	done bool
+}
+
+func (e *Engine) executeOnce(p *plan.Plan) (*rql.ResultSet, error) {
+	ex := &execution{
+		engine:   e,
+		channels: map[pattern.PeerID]*channel.Channel{},
+		inbox:    map[string]*remoteResult{},
+		cache:    map[string]*rql.ResultSet{},
+	}
+	defer ex.closeAll()
+	return ex.run(p.Root)
+}
+
+// run evaluates a plan node, producing its rows at e.Self.
+func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
+	e := ex.engine
+	switch v := n.(type) {
+	case *plan.Scan:
+		if v.IsHole() {
+			return nil, &HoleError{PatternIDs: v.PatternIDs()}
+		}
+		if v.Peer == e.Self {
+			e.mu.Lock()
+			e.metrics.LocalScans++
+			e.mu.Unlock()
+			return e.Local.EvalScan(v.Patterns), nil
+		}
+		return ex.runRemote(v.Peer, v)
+	case *plan.Union:
+		acc := rql.NewResultSet()
+		for _, in := range v.Inputs {
+			rs, err := ex.run(in)
+			if err != nil {
+				return nil, err
+			}
+			acc = acc.Union(rs)
+		}
+		return acc, nil
+	case *plan.Join:
+		site := ex.placeJoin(v)
+		if site != e.Self {
+			return ex.runRemote(site, v)
+		}
+		var acc *rql.ResultSet
+		for _, in := range v.Inputs {
+			rs, err := ex.run(in)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = rs
+			} else {
+				acc = acc.Join(rs)
+			}
+		}
+		if acc == nil {
+			acc = rql.NewResultSet()
+		}
+		return acc, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown plan node %T", n)
+	}
+}
+
+// placeJoin picks the join's execution site under the engine's policy.
+// Remote placement ships the whole join subtree to the site (query
+// shipping); the shipped peer then executes it with itself as the join
+// site, which terminates the recursion.
+func (ex *execution) placeJoin(j *plan.Join) pattern.PeerID {
+	e := ex.engine
+	switch e.Policy {
+	case optimizer.DataShipping:
+		return e.Self
+	case optimizer.QueryShipping:
+		if e.Cost != nil {
+			if site := largestScanPeer(e.Cost, j); site != "" {
+				return site
+			}
+		}
+		// Without statistics, push to the first remote scan peer.
+		for _, s := range plan.Scans(j) {
+			if !s.IsHole() && s.Peer != e.Self {
+				return s.Peer
+			}
+		}
+		return e.Self
+	default: // HybridShipping
+		if e.Cost == nil {
+			return e.Self
+		}
+		rep := e.Cost.EstimateCost(j, e.Self, optimizer.HybridShipping)
+		// The last decision recorded corresponds to the outermost join.
+		if len(rep.Decisions) > 0 {
+			return rep.Decisions[len(rep.Decisions)-1].Site
+		}
+		return e.Self
+	}
+}
+
+func largestScanPeer(cm *optimizer.CostModel, j *plan.Join) pattern.PeerID {
+	var best pattern.PeerID
+	bestCard := -1.0
+	for _, s := range plan.Scans(j) {
+		if s.IsHole() {
+			continue
+		}
+		if c := cm.CardOf(s); c > bestCard {
+			bestCard = c
+			best = s.Peer
+		}
+	}
+	return best
+}
+
+// subplanReq is the wire body of a shipped subplan.
+type subplanReq struct {
+	ChannelID string `json:"channelId"`
+	Plan      []byte `json:"plan"`
+}
+
+// runRemote ships the node to the site peer and gathers its rows through
+// the channel.
+func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+	e := ex.engine
+	cacheKey := string(site) + "\x00" + n.String()
+	ex.mu.Lock()
+	if cached, ok := ex.cache[cacheKey]; ok {
+		ex.mu.Unlock()
+		return cached, nil
+	}
+	ex.mu.Unlock()
+	ch, err := ex.channelTo(site)
+	if err != nil {
+		return nil, &PeerFailure{Peer: site, Err: err}
+	}
+	sub := &plan.Plan{Root: n, Query: nil}
+	data, err := plan.Marshal(sub)
+	if err != nil {
+		return nil, fmt.Errorf("exec: marshal subplan: %w", err)
+	}
+	body, err := json.Marshal(subplanReq{ChannelID: ch.ID, Plan: data})
+	if err != nil {
+		return nil, fmt.Errorf("exec: marshal subplan request: %w", err)
+	}
+	ex.mu.Lock()
+	ex.inbox[ch.ID] = &remoteResult{}
+	ex.mu.Unlock()
+	e.mu.Lock()
+	e.metrics.SubplansShipped++
+	e.mu.Unlock()
+	if err := e.Net.Send(e.Self, site, "exec.subplan", body); err != nil {
+		e.Channels.MarkFailed(ch)
+		return nil, &PeerFailure{Peer: site, Err: err}
+	}
+	// Delivery is synchronous: by the time Send returns, the remote has
+	// executed and its packets have been dispatched to our collector.
+	ex.mu.Lock()
+	res := ex.inbox[ch.ID]
+	delete(ex.inbox, ch.ID)
+	ex.mu.Unlock()
+	if res.err != nil {
+		e.Channels.MarkFailed(ch)
+		return nil, &PeerFailure{Peer: site, Err: res.err}
+	}
+	if !res.done {
+		e.Channels.MarkFailed(ch)
+		return nil, &PeerFailure{Peer: site, Err: fmt.Errorf("result stream ended without done packet")}
+	}
+	if res.rows == nil {
+		res.rows = rql.NewResultSet()
+	}
+	ex.mu.Lock()
+	ex.cache[cacheKey] = res.rows
+	ex.mu.Unlock()
+	return res.rows, nil
+}
+
+// channelTo returns (opening if necessary) the execution's channel to a
+// peer — one channel per peer, as in the paper.
+func (ex *execution) channelTo(site pattern.PeerID) (*channel.Channel, error) {
+	ex.mu.Lock()
+	if ch, ok := ex.channels[site]; ok {
+		ex.mu.Unlock()
+		return ch, nil
+	}
+	ex.mu.Unlock()
+	e := ex.engine
+	ch, err := e.Channels.Open(site, func(pkt channel.Packet) { ex.onPacket(pkt) })
+	if err != nil {
+		return nil, err
+	}
+	ex.mu.Lock()
+	ex.channels[site] = ch
+	ex.mu.Unlock()
+	e.mu.Lock()
+	e.metrics.ChannelsOpened++
+	e.mu.Unlock()
+	return ch, nil
+}
+
+func (ex *execution) onPacket(pkt channel.Packet) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	res, ok := ex.inbox[pkt.ChannelID]
+	if !ok {
+		return // late packet from a previous dispatch on this channel
+	}
+	switch pkt.Type {
+	case channel.Results:
+		var rs rql.ResultSet
+		if err := json.Unmarshal(pkt.Payload, &rs); err != nil {
+			res.err = fmt.Errorf("exec: bad results packet: %w", err)
+			return
+		}
+		if res.rows == nil {
+			res.rows = &rs
+		} else {
+			res.rows = res.rows.Union(&rs)
+		}
+		e := ex.engine
+		e.mu.Lock()
+		e.metrics.RowsShipped += pkt.Rows
+		e.metrics.BytesShipped += len(pkt.Payload)
+		e.mu.Unlock()
+	case channel.Stats:
+		if sink := ex.engine.StatsSink; sink != nil {
+			var ps stats.PeerStats
+			if err := json.Unmarshal(pkt.Payload, &ps); err == nil && ps.Peer != "" {
+				sink(&ps)
+			}
+		}
+	case channel.Failure:
+		res.err = fmt.Errorf("exec: remote failure: %s", pkt.Payload)
+	case channel.Done:
+		res.done = true
+	}
+}
+
+func (ex *execution) closeAll() {
+	ex.mu.Lock()
+	chans := make([]*channel.Channel, 0, len(ex.channels))
+	for _, ch := range ex.channels {
+		chans = append(chans, ch)
+	}
+	ex.channels = map[pattern.PeerID]*channel.Channel{}
+	ex.mu.Unlock()
+	for _, ch := range chans {
+		ex.engine.Channels.Close(ch)
+	}
+}
+
+// handleSubplan executes a subplan shipped by a remote root: joins run at
+// this peer (the query-shipping semantics), scans at other peers are
+// fetched recursively, and the rows stream back on the root's channel.
+func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
+	var req subplanReq
+	if err := json.Unmarshal(msg.Payload, &req); err != nil {
+		return nil, fmt.Errorf("exec: bad subplan request: %w", err)
+	}
+	sub, err := plan.Unmarshal(req.Plan)
+	if err != nil {
+		return nil, err
+	}
+	// Execute with this peer as root and data-shipping placement, so the
+	// shipped join runs here (terminating the recursion).
+	local := &Engine{
+		Self: e.Self, Net: e.Net, Channels: e.Channels, Local: e.Local,
+		Policy:        optimizer.DataShipping,
+		StatsProvider: e.StatsProvider,
+		StatsSink:     e.StatsSink,
+	}
+	ex := &execution{
+		engine:   local,
+		channels: map[pattern.PeerID]*channel.Channel{},
+		inbox:    map[string]*remoteResult{},
+		cache:    map[string]*rql.ResultSet{},
+	}
+	defer ex.closeAll()
+	rows, err := ex.run(sub.Root)
+	// Fold the nested execution's metrics into the serving engine's.
+	e.mu.Lock()
+	e.metrics.LocalScans += local.metrics.LocalScans
+	e.metrics.SubplansShipped += local.metrics.SubplansShipped
+	e.metrics.ChannelsOpened += local.metrics.ChannelsOpened
+	e.mu.Unlock()
+	if err != nil {
+		if serr := e.Channels.SendToRoot(req.ChannelID, channel.Failure, 0, []byte(err.Error())); serr != nil {
+			return nil, serr
+		}
+		return []byte("failed"), nil
+	}
+	if err := e.streamResults(req.ChannelID, rows); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}
+
+// streamResults ships a result set upstream in BatchSize-row packets
+// followed by a Done marker.
+func (e *Engine) streamResults(channelID string, rows *rql.ResultSet) error {
+	batch := e.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	for start := 0; start == 0 || start < rows.Len(); start += batch {
+		end := start + batch
+		if end > rows.Len() {
+			end = rows.Len()
+		}
+		part := &rql.ResultSet{Vars: rows.Vars, Rows: rows.Rows[start:end]}
+		payload, err := json.Marshal(part)
+		if err != nil {
+			return fmt.Errorf("exec: marshal rows: %w", err)
+		}
+		if err := e.Channels.SendToRoot(channelID, channel.Results, part.Len(), payload); err != nil {
+			return err
+		}
+	}
+	if e.StatsProvider != nil {
+		if ps := e.StatsProvider(); ps != nil {
+			if payload, err := json.Marshal(ps); err == nil {
+				if err := e.Channels.SendToRoot(channelID, channel.Stats, 0, payload); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return e.Channels.SendToRoot(channelID, channel.Done, 0, nil)
+}

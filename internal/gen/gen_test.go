@@ -1,0 +1,219 @@
+package gen_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+)
+
+func TestPaperSchemaShape(t *testing.T) {
+	s := gen.PaperSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(s.Classes()) != 6 || len(s.Properties()) != 4 {
+		t.Fatalf("classes=%d properties=%d", len(s.Classes()), len(s.Properties()))
+	}
+	if !s.IsSubPropertyOf(gen.N1("prop4"), gen.N1("prop1")) {
+		t.Error("prop4 ⊑ prop1 missing")
+	}
+}
+
+func TestPaperQueryValidates(t *testing.T) {
+	if err := gen.PaperQuery().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestPaperRQLMatchesPaperQuery(t *testing.T) {
+	c, err := rql.ParseAndAnalyze(gen.PaperRQL, gen.PaperSchema())
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	if c.Pattern.String() != gen.PaperQuery().String() {
+		t.Errorf("RQL text and fixture query diverge:\n%s\n%s", c.Pattern, gen.PaperQuery())
+	}
+}
+
+func TestPaperBasesJoinAcrossPeers(t *testing.T) {
+	bases := gen.PaperBases(2)
+	// P2's prop1 objects and P3's prop2 subjects share y_i, so a
+	// cross-peer join is possible.
+	p2Pairs := bases["P2"].Pairs(gen.N1("prop1"), nil)
+	p3Pairs := bases["P3"].Pairs(gen.N1("prop2"), nil)
+	if len(p2Pairs) != 2 || len(p3Pairs) != 2 {
+		t.Fatalf("pair counts: %d, %d", len(p2Pairs), len(p3Pairs))
+	}
+	joinable := false
+	for _, a := range p2Pairs {
+		for _, b := range p3Pairs {
+			if a.Y == b.X {
+				joinable = true
+			}
+		}
+	}
+	if !joinable {
+		t.Error("P2 and P3 bases share no join keys")
+	}
+}
+
+func TestSyntheticSchema(t *testing.T) {
+	s := gen.NewSynthetic(5, true)
+	if err := s.Schema.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !s.Schema.IsSubPropertyOf(s.SubProp(3), s.Prop(3)) {
+		t.Error("sp3 ⊑ p3 missing")
+	}
+	if !s.Schema.IsSubClassOf(gen.SynIRI("Ks2"), s.Class(2)) {
+		t.Error("Ks2 ⊑ K2 missing")
+	}
+	plain := gen.NewSynthetic(3, false)
+	if plain.Schema.HasProperty(gen.SynIRI("sp1")) {
+		t.Error("subs generated without WithSubs")
+	}
+}
+
+func TestSyntheticQueryAndRQLAgree(t *testing.T) {
+	s := gen.NewSynthetic(6, false)
+	q := s.Query(2, 3)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(q.Patterns) != 3 || q.Patterns[0].Property != s.Prop(2) {
+		t.Errorf("query = %s", q)
+	}
+	c, err := rql.ParseAndAnalyze(s.RQL(2, 3), s.Schema)
+	if err != nil {
+		t.Fatalf("RQL: %v", err)
+	}
+	if c.Pattern.String() != q.String() {
+		t.Errorf("RQL and Query diverge:\n%s\n%s", c.Pattern, q)
+	}
+}
+
+// TestDistributionsPreserveData: under every distribution the union of
+// peer bases holds exactly the same chain triples, and the chain query
+// over the union finds every chain.
+func TestDistributionsPreserveData(t *testing.T) {
+	s := gen.NewSynthetic(4, false)
+	const peers, chains = 3, 6
+	for _, dist := range []gen.Distribution{gen.Vertical, gen.Horizontal, gen.Mixed} {
+		bases := s.Bases(peers, chains, dist)
+		if len(bases) != peers {
+			t.Fatalf("%s: %d bases", dist, len(bases))
+		}
+		merged := rdf.NewBase()
+		for _, b := range bases {
+			for _, tr := range b.Triples() {
+				merged.Add(tr)
+			}
+		}
+		c, err := rql.ParseAndAnalyze(s.RQL(1, 4), s.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := rql.Eval(c, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != chains {
+			t.Errorf("%s: merged eval = %d rows, want %d", dist, rows.Len(), chains)
+		}
+	}
+}
+
+// TestVerticalVsHorizontalShape verifies the structural difference: under
+// Vertical each property lives wholly at one peer; under Horizontal every
+// peer holds every property but only some chains.
+func TestVerticalVsHorizontalShape(t *testing.T) {
+	s := gen.NewSynthetic(4, false)
+	const peers, chains = 2, 4
+
+	vert := s.Bases(peers, chains, gen.Vertical)
+	for i := 1; i <= 4; i++ {
+		holders := 0
+		for _, b := range vert {
+			if len(b.Pairs(s.Prop(i), nil)) > 0 {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Errorf("vertical: p%d held by %d peers, want 1", i, holders)
+		}
+	}
+	horiz := s.Bases(peers, chains, gen.Horizontal)
+	for _, b := range horiz {
+		for i := 1; i <= 4; i++ {
+			if got := len(b.Pairs(s.Prop(i), nil)); got != chains/peers {
+				t.Errorf("horizontal: peer holds %d p%d pairs, want %d", got, i, chains/peers)
+			}
+		}
+	}
+}
+
+func TestIrrelevantBaseNeverMatchesWindowQuery(t *testing.T) {
+	s := gen.NewSynthetic(6, false)
+	irr := s.IrrelevantBase(3, 5)
+	if irr.Len() == 0 {
+		t.Fatal("irrelevant base is empty")
+	}
+	as := pattern.DeriveActiveSchema(irr, s.Schema)
+	q := s.Query(1, 3)
+	for _, qp := range q.Patterns {
+		if pattern.Covers(s.Schema, as, qp, pattern.FullSubsumption) {
+			t.Errorf("irrelevant base covers %s", qp.ID)
+		}
+	}
+}
+
+func TestActiveSchemasDerivation(t *testing.T) {
+	s := gen.NewSynthetic(3, false)
+	bases := s.Bases(3, 3, gen.Vertical)
+	ass := gen.ActiveSchemas(s.Schema, bases)
+	if len(ass) != 3 {
+		t.Fatalf("derived %d active-schemas", len(ass))
+	}
+	total := 0
+	for _, as := range ass {
+		total += as.Size()
+	}
+	if total != 3 {
+		t.Errorf("total advertised properties = %d, want 3 (one per peer)", total)
+	}
+}
+
+func TestRandomQueriesDeterministic(t *testing.T) {
+	s := gen.NewSynthetic(8, false)
+	a := s.RandomQueries(5, 2, 42)
+	b := s.RandomQueries(5, 2, 42)
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("seeded generation not deterministic at %d", i)
+		}
+	}
+	c := s.RandomQueries(5, 2, 43)
+	same := true
+	for i := range a {
+		if a[i].String() != c[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	if gen.Vertical.String() != "vertical" || gen.Horizontal.String() != "horizontal" ||
+		gen.Mixed.String() != "mixed" {
+		t.Error("distribution names wrong")
+	}
+	if fmt.Sprint(gen.Distribution(9)) == "" {
+		t.Error("unknown distribution should render")
+	}
+}

@@ -1,0 +1,138 @@
+// Package gen provides workload generators: the paper's running example
+// (Figures 1–7) as a reusable fixture, plus synthetic community schemas,
+// peer bases with controlled data distribution, and query workloads for
+// the benchmark harness.
+package gen
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// PaperNS is the namespace n1 of the paper's Figure-1 community schema.
+const PaperNS = "http://ics.forth.gr/SON/n1#"
+
+// N1 qualifies a local name in the paper's n1 namespace.
+func N1(local string) rdf.IRI { return rdf.IRI(PaperNS + local) }
+
+// PaperSchema builds the community RDF/S schema of Figure 1: classes
+// C1..C4 connected by prop1(C1→C2), prop2(C2→C3), prop3(C3→C4);
+// subclasses C5⊑C1 and C6⊑C2 related by prop4(C5→C6) ⊑ prop1.
+func PaperSchema() *rdf.Schema {
+	s := rdf.NewSchema(PaperNS)
+	for _, c := range []string{"C1", "C2", "C3", "C4", "C5", "C6"} {
+		s.MustAddClass(N1(c))
+	}
+	s.MustAddProperty(N1("prop1"), N1("C1"), N1("C2"))
+	s.MustAddProperty(N1("prop2"), N1("C2"), N1("C3"))
+	s.MustAddProperty(N1("prop3"), N1("C3"), N1("C4"))
+	s.MustSetSubClassOf(N1("C5"), N1("C1"))
+	s.MustSetSubClassOf(N1("C6"), N1("C2"))
+	s.MustAddProperty(N1("prop4"), N1("C5"), N1("C6"))
+	s.MustSetSubPropertyOf(N1("prop4"), N1("prop1"))
+	s.Freeze()
+	return s
+}
+
+// PaperQuery builds the semantic query pattern of the RQL query Q of
+// Figure 1: Q1 = {X;C1} prop1 {Y;C2} joined on Y with
+// Q2 = {Y;C2} prop2 {Z;C3}, projecting X and Y.
+func PaperQuery() *pattern.QueryPattern {
+	return &pattern.QueryPattern{
+		SchemaName: PaperNS,
+		Patterns: []pattern.PathPattern{
+			{ID: "Q1", SubjectVar: "X", ObjectVar: "Y", Property: N1("prop1"), Domain: N1("C1"), Range: N1("C2")},
+			{ID: "Q2", SubjectVar: "Y", ObjectVar: "Z", Property: N1("prop2"), Domain: N1("C2"), Range: N1("C3")},
+		},
+		Projections: []string{"X", "Y"},
+	}
+}
+
+// PaperRQL is the Figure-1 RQL query in concrete syntax, used by the rql
+// package tests and the quickstart example.
+const PaperRQL = `SELECT X, Y
+FROM {X;n1:C1}n1:prop1{Y}, {Y}n1:prop2{Z}
+USING NAMESPACE n1 = &` + PaperNS + `&`
+
+// PaperRVL is the Figure-1 RVL advertisement view in concrete syntax: it
+// populates C5, C6 and prop4 from the peer's base.
+const PaperRVL = `CREATE NAMESPACE mv = &http://ics.forth.gr/views/v1#&
+VIEW n1:C5(X), n1:C6(Y), n1:prop4(X, Y)
+FROM {X;n1:C5}n1:prop4{Y;n1:C6}
+USING NAMESPACE n1 = &` + PaperNS + `&`
+
+// PaperActiveSchemas returns the four peer active-schemas of Figure 2:
+//
+//	P1: prop1, prop2    P2: prop1    P3: prop2    P4: prop4, prop2
+func PaperActiveSchemas() map[pattern.PeerID]*pattern.ActiveSchema {
+	s := PaperSchema()
+	mk := func(props ...string) *pattern.ActiveSchema {
+		a := pattern.NewActiveSchema(PaperNS)
+		for _, p := range props {
+			if err := a.AddProperty(s, N1(p)); err != nil {
+				panic(err)
+			}
+		}
+		return a
+	}
+	return map[pattern.PeerID]*pattern.ActiveSchema{
+		"P1": mk("prop1", "prop2"),
+		"P2": mk("prop1"),
+		"P3": mk("prop2"),
+		"P4": mk("prop4", "prop2"),
+	}
+}
+
+// PaperBases materializes description bases for the Figure-2 peers,
+// `pairsPerProp` instance pairs per populated property. Resources are
+// named per peer so answers are traceable, and the join variable Y is
+// shared between prop1/prop4 objects and prop2 subjects so the Figure-1
+// query joins successfully within and across peers.
+func PaperBases(pairsPerProp int) map[pattern.PeerID]*rdf.Base {
+	out := map[pattern.PeerID]*rdf.Base{}
+	data := func(peer, local string, i int) rdf.IRI {
+		return rdf.IRI(fmt.Sprintf("http://ics.forth.gr/data/%s#%s%d", peer, local, i))
+	}
+	// Shared join resources: y_i appears as object of prop1/prop4 pairs
+	// and subject of prop2 pairs across all peers, giving cross-peer joins.
+	y := func(i int) rdf.IRI { return rdf.IRI(fmt.Sprintf("http://ics.forth.gr/data/shared#y%d", i)) }
+
+	build := func(peer string, props []string) *rdf.Base {
+		b := rdf.NewBase()
+		for _, prop := range props {
+			for i := 0; i < pairsPerProp; i++ {
+				switch prop {
+				case "prop1":
+					x := data(peer, "x", i)
+					b.Add(rdf.Statement(x, N1("prop1"), y(i)))
+					b.Add(rdf.Typing(x, N1("C1")))
+					b.Add(rdf.Typing(y(i), N1("C2")))
+				case "prop4":
+					x := data(peer, "x5_", i)
+					b.Add(rdf.Statement(x, N1("prop4"), y(i)))
+					b.Add(rdf.Typing(x, N1("C5")))
+					b.Add(rdf.Typing(y(i), N1("C6")))
+				case "prop2":
+					z := data(peer, "z", i)
+					b.Add(rdf.Statement(y(i), N1("prop2"), z))
+					b.Add(rdf.Typing(y(i), N1("C2")))
+					b.Add(rdf.Typing(z, N1("C3")))
+				case "prop3":
+					zz := data(peer, "zz", i)
+					w := data(peer, "w", i)
+					b.Add(rdf.Statement(zz, N1("prop3"), w))
+					b.Add(rdf.Typing(zz, N1("C3")))
+					b.Add(rdf.Typing(w, N1("C4")))
+				}
+			}
+		}
+		return b
+	}
+	out["P1"] = build("P1", []string{"prop1", "prop2"})
+	out["P2"] = build("P2", []string{"prop1"})
+	out["P3"] = build("P3", []string{"prop2"})
+	out["P4"] = build("P4", []string{"prop4", "prop2"})
+	return out
+}

@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// SynNS is the namespace of generated community schemas.
+const SynNS = "http://ics.forth.gr/SON/syn#"
+
+// Distribution selects how generated data is spread over peer bases
+// (paper §2.3: "data distribution (vertical, horizontal and mixed) of
+// peer bases").
+type Distribution int
+
+const (
+	// Vertical gives each peer all instance pairs of a subset of the
+	// properties (peers specialize by schema part).
+	Vertical Distribution = iota
+	// Horizontal gives each peer a slice of the instance chains across
+	// all properties (peers specialize by data part).
+	Horizontal
+	// Mixed splits both ways: property groups × chain slices.
+	Mixed
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Vertical:
+		return "vertical"
+	case Horizontal:
+		return "horizontal"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// Synthetic generates chain-shaped community schemas, peer bases with
+// controlled distribution, and conjunctive chain queries — the workload
+// family behind the parameter-sweep benchmarks.
+type Synthetic struct {
+	// Schema is the generated community schema: classes K0..Kn linked by
+	// properties p1..pn (pi: K(i-1) → Ki), optionally with subclasses
+	// K*i ⊑ Ki and subproperties sp i ⊑ pi.
+	Schema *rdf.Schema
+	// NProps is the chain length n.
+	NProps int
+	// WithSubs records whether subsumption structure was generated.
+	WithSubs bool
+}
+
+// SynIRI qualifies a local name in the synthetic namespace.
+func SynIRI(local string) rdf.IRI { return rdf.IRI(SynNS + local) }
+
+// NewSynthetic builds a chain schema with n properties. With subs, every
+// property pi gains a subproperty spi ⊑ pi between subclasses
+// Ks(i-1) ⊑ K(i-1) and Ksi ⊑ Ki, mirroring the paper's prop4 ⊑ prop1.
+func NewSynthetic(nProps int, withSubs bool) *Synthetic {
+	s := rdf.NewSchema(SynNS)
+	for i := 0; i <= nProps; i++ {
+		s.MustAddClass(SynIRI(fmt.Sprintf("K%d", i)))
+	}
+	for i := 1; i <= nProps; i++ {
+		s.MustAddProperty(SynIRI(fmt.Sprintf("p%d", i)),
+			SynIRI(fmt.Sprintf("K%d", i-1)), SynIRI(fmt.Sprintf("K%d", i)))
+	}
+	if withSubs {
+		for i := 0; i <= nProps; i++ {
+			s.MustAddClass(SynIRI(fmt.Sprintf("Ks%d", i)))
+			s.MustSetSubClassOf(SynIRI(fmt.Sprintf("Ks%d", i)), SynIRI(fmt.Sprintf("K%d", i)))
+		}
+		for i := 1; i <= nProps; i++ {
+			s.MustAddProperty(SynIRI(fmt.Sprintf("sp%d", i)),
+				SynIRI(fmt.Sprintf("Ks%d", i-1)), SynIRI(fmt.Sprintf("Ks%d", i)))
+			s.MustSetSubPropertyOf(SynIRI(fmt.Sprintf("sp%d", i)), SynIRI(fmt.Sprintf("p%d", i)))
+		}
+	}
+	s.Freeze()
+	return &Synthetic{Schema: s, NProps: nProps, WithSubs: withSubs}
+}
+
+// Prop returns the i-th chain property (1-based).
+func (s *Synthetic) Prop(i int) rdf.IRI { return SynIRI(fmt.Sprintf("p%d", i)) }
+
+// SubProp returns the i-th subproperty (1-based; only with WithSubs).
+func (s *Synthetic) SubProp(i int) rdf.IRI { return SynIRI(fmt.Sprintf("sp%d", i)) }
+
+// Class returns the i-th chain class (0-based).
+func (s *Synthetic) Class(i int) rdf.IRI { return SynIRI(fmt.Sprintf("K%d", i)) }
+
+// chainRes names the j-th chain's resource at position i.
+func chainRes(i, j int) rdf.IRI {
+	return rdf.IRI(fmt.Sprintf("http://ics.forth.gr/data/syn#r_%d_%d", i, j))
+}
+
+// Query builds a conjunctive chain query over properties
+// p(start)..p(start+length-1), variables V0..Vlength, projecting the two
+// end variables.
+func (s *Synthetic) Query(start, length int) *pattern.QueryPattern {
+	q := &pattern.QueryPattern{SchemaName: SynNS}
+	for k := 0; k < length; k++ {
+		i := start + k
+		q.Patterns = append(q.Patterns, pattern.PathPattern{
+			ID:         fmt.Sprintf("Q%d", k+1),
+			SubjectVar: fmt.Sprintf("V%d", k),
+			ObjectVar:  fmt.Sprintf("V%d", k+1),
+			Property:   s.Prop(i),
+			Domain:     s.Class(i - 1),
+			Range:      s.Class(i),
+		})
+	}
+	q.Projections = []string{"V0", fmt.Sprintf("V%d", length)}
+	return q
+}
+
+// RQL renders the chain query in concrete syntax.
+func (s *Synthetic) RQL(start, length int) string {
+	froms := ""
+	for k := 0; k < length; k++ {
+		if k > 0 {
+			froms += ", "
+		}
+		froms += fmt.Sprintf("{V%d}syn:p%d{V%d}", k, start+k, k+1)
+	}
+	return fmt.Sprintf("SELECT V0, V%d FROM %s USING NAMESPACE syn = &%s&",
+		length, froms, SynNS)
+}
+
+// Bases materializes peer bases for the given distribution: `chains`
+// complete instance chains r_0_j → r_1_j → … → r_n_j spread over `peers`
+// bases. Every generated base gets the typing triples of its resources.
+func (s *Synthetic) Bases(peers, chains int, dist Distribution) map[pattern.PeerID]*rdf.Base {
+	out := map[pattern.PeerID]*rdf.Base{}
+	ids := make([]pattern.PeerID, peers)
+	for k := 0; k < peers; k++ {
+		ids[k] = pattern.PeerID(fmt.Sprintf("SP-%03d", k))
+		out[ids[k]] = rdf.NewBase()
+	}
+	grid := 1
+	if dist == Mixed {
+		for grid*grid < peers {
+			grid++
+		}
+	}
+	owner := func(propIdx, chainIdx int) pattern.PeerID {
+		switch dist {
+		case Vertical:
+			return ids[(propIdx-1)%peers]
+		case Horizontal:
+			return ids[chainIdx%peers]
+		default: // Mixed: property groups × chain slices
+			row := (propIdx - 1) % grid
+			col := chainIdx % grid
+			return ids[(row*grid+col)%peers]
+		}
+	}
+	for j := 0; j < chains; j++ {
+		for i := 1; i <= s.NProps; i++ {
+			b := out[owner(i, j)]
+			b.Add(rdf.Statement(chainRes(i-1, j), s.Prop(i), chainRes(i, j)))
+			b.Add(rdf.Typing(chainRes(i-1, j), s.Class(i-1)))
+			b.Add(rdf.Typing(chainRes(i, j), s.Class(i)))
+		}
+	}
+	return out
+}
+
+// IrrelevantBase builds a base populated only with properties OUTSIDE the
+// window [1..relevantProps], so a query over that window never matches it
+// — the irrelevant-peer population of the SON-vs-flooding experiment.
+func (s *Synthetic) IrrelevantBase(relevantProps, chains int) *rdf.Base {
+	b := rdf.NewBase()
+	for j := 0; j < chains; j++ {
+		for i := relevantProps + 1; i <= s.NProps; i++ {
+			b.Add(rdf.Statement(chainRes(i-1, j), s.Prop(i), chainRes(i, j)))
+			b.Add(rdf.Typing(chainRes(i-1, j), s.Class(i-1)))
+		}
+	}
+	return b
+}
+
+// ActiveSchemas derives the advertisement of every generated base.
+func ActiveSchemas(schema *rdf.Schema, bases map[pattern.PeerID]*rdf.Base) map[pattern.PeerID]*pattern.ActiveSchema {
+	out := map[pattern.PeerID]*pattern.ActiveSchema{}
+	for id, b := range bases {
+		out[id] = pattern.DeriveActiveSchema(b, schema)
+	}
+	return out
+}
+
+// RandomQueries generates q random chain queries of the given length with
+// a seeded PRNG (deterministic workloads for benchmarks).
+func (s *Synthetic) RandomQueries(q, length int, seed int64) []*pattern.QueryPattern {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*pattern.QueryPattern, q)
+	for k := range out {
+		maxStart := s.NProps - length + 1
+		if maxStart < 1 {
+			maxStart = 1
+		}
+		out[k] = s.Query(1+rng.Intn(maxStart), length)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/rdf"
+)
+
+func init() {
+	register("churn", "peer churn: join/leave/fail under continuous querying (§1/§2.5)", claimChurn)
+}
+
+// claimChurn stresses the paper's core premise — "each peer base can join
+// and leave the network at will" — by failing and recovering redundant
+// providers between queries. Every query must either succeed (run-time
+// adaptation routes around the churn) and the answer size must track the
+// set of live providers.
+func claimChurn() *Report {
+	r := &Report{ID: "churn", Title: "peer churn: join/leave/fail under continuous querying (§1/§2.5)", Pass: true}
+	rng := rand.New(rand.NewSource(7))
+	schema := gen.PaperSchema()
+	net := network.New()
+
+	// Anchors A1 (prop1) and A2 (prop2) never fail, so the query is
+	// always answerable; V* peers are churned.
+	mk := func(id pattern.PeerID, base *rdf.Base) *peer.Peer {
+		p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: base}, net)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	asker := mk("P0", rdf.NewBase())
+	peers := map[pattern.PeerID]*peer.Peer{"P0": asker}
+	peers["A1"] = mk("A1", roleBase("A1", 2, "prop1"))
+	peers["A2"] = mk("A2", roleBase("A2", 2, "prop2"))
+	var volatile []pattern.PeerID
+	for i := 0; i < 6; i++ {
+		id := pattern.PeerID(fmt.Sprintf("V%d", i))
+		prop := "prop1"
+		if i%2 == 1 {
+			prop = "prop2"
+		}
+		peers[id] = mk(id, roleBase(string(id), 2, prop))
+		volatile = append(volatile, id)
+	}
+	for _, p := range peers {
+		for _, q := range peers {
+			if p != q {
+				p.Learn(q.Advertisement())
+			}
+		}
+	}
+
+	const rounds = 40
+	down := map[pattern.PeerID]bool{}
+	successes, replans, minRows, maxRows := 0, 0, 1<<30, 0
+	for round := 0; round < rounds; round++ {
+		// Churn step: fail or recover one volatile peer.
+		v := volatile[rng.Intn(len(volatile))]
+		if down[v] {
+			net.Recover(v)
+			delete(down, v)
+			// A recovering peer re-announces itself (re-join).
+			if err := peers[v].PushAdvertisement("P0"); err == nil {
+				// also restore the asker's statistics knowledge
+				asker.Learn(peers[v].Advertisement())
+			}
+		} else if rng.Intn(2) == 0 {
+			net.Fail(v)
+			down[v] = true
+		}
+
+		before := asker.Engine.Metrics().Replans
+		rows, err := asker.Ask(gen.PaperRQL)
+		if err != nil {
+			r.linef("  round %d: query failed: %v", round, err)
+			continue
+		}
+		successes++
+		replans += asker.Engine.Metrics().Replans - before
+		if rows.Len() < minRows {
+			minRows = rows.Len()
+		}
+		if rows.Len() > maxRows {
+			maxRows = rows.Len()
+		}
+	}
+	r.linef("  rounds=%d successes=%d replans=%d answer-size range=[%d..%d]",
+		rounds, successes, replans, minRows, maxRows)
+	r.check("every query under churn succeeds (anchors guarantee answerability)", successes == rounds)
+	r.check("run-time adaptation was exercised", replans > 0)
+	r.check("answers shrink and grow with the live provider set", minRows < maxRows)
+	// Anchor floor: with only A1×A2 alive, 2 prop1 pairs join 2 prop2
+	// pairs on shared keys → at least 2 rows always.
+	r.check("answers never drop below the anchor contribution", minRows >= 2)
+	return r
+}

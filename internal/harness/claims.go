@@ -1,0 +1,328 @@
+package harness
+
+import (
+	"fmt"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/overlay"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/routing"
+)
+
+func init() {
+	register("son", "SON routing vs Gnutella-style flooding (claim §1/§2.2)", claimSON)
+	register("sub", "subsumption-aware vs exact-match routing (claim §2.3)", claimSubsumption)
+	register("adapt", "run-time adaptation to peer departure (claim §2.5)", claimAdapt)
+	register("dist", "vertical/horizontal/mixed data distribution (claim §2.4)", claimDistribution)
+	register("adv", "active-schema vs whole-schema advertisements (claim §2.2)", claimAdvertisements)
+	register("topn", "peer-count constraints: completeness vs load (future work §5)", claimTopN)
+}
+
+// claimSON compares a hybrid SON against flooding on the same peer
+// population: messages per query, per-peer query load, and answers found.
+func claimSON() *Report {
+	r := &Report{ID: "son", Title: "SON routing vs Gnutella-style flooding (claim §1/§2.2)", Pass: true}
+	r.linef("  %6s %9s | %12s %12s %8s | %12s %12s %8s",
+		"peers", "relevant", "SON msgs", "SON touched", "rows", "flood msgs", "flood touched", "rows")
+
+	for _, n := range []int{20, 50, 100} {
+		sonMsgs, sonTouched, sonRows := sonRun(n)
+		flMsgs, flTouched, flRows := floodRun(n)
+		r.linef("  %6d %9s | %12d %12d %8d | %12d %12d %8d",
+			n, "20%", sonMsgs, sonTouched, sonRows, flMsgs, flTouched, flRows)
+		r.check(fmt.Sprintf("n=%d: SON touches fewer peers than flooding", n), sonTouched < flTouched)
+		r.check(fmt.Sprintf("n=%d: SON finds at least as many answers", n), sonRows >= flRows)
+	}
+	return r
+}
+
+// sonRun builds a hybrid SON of n peers (20% relevant) and returns
+// (messages, peers touched, answer rows) for one Figure-1 query.
+func sonRun(n int) (msgs, touched, rows int) {
+	net := network.New()
+	h := overlay.NewHybrid(net, gen.PaperSchema())
+	if _, err := h.AddSuperPeer("SP1"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		id := pattern.PeerID(fmt.Sprintf("N%03d", i))
+		if _, err := h.AddSimplePeer(id, claimBase(i, string(id)), "SP1"); err != nil {
+			panic(err)
+		}
+	}
+	net.ResetCounters()
+	rs, err := h.Query("N000", gen.PaperRQL)
+	if err != nil {
+		panic(err)
+	}
+	c := net.Counters()
+	for id, got := range c.PerNodeReceived {
+		if got > 0 && id != "SP1" && id != "N000" {
+			touched++
+		}
+	}
+	return c.Messages, touched, rs.Len()
+}
+
+// floodRun builds a flooding network of n peers on a ring topology with
+// chords and returns the same metrics.
+func floodRun(n int) (msgs, touched, rows int) {
+	net := network.New()
+	f := overlay.NewFlooding(net, gen.PaperSchema())
+	for i := 0; i < n; i++ {
+		id := pattern.PeerID(fmt.Sprintf("N%03d", i))
+		var nbrs []pattern.PeerID
+		if i > 0 {
+			nbrs = append(nbrs, pattern.PeerID(fmt.Sprintf("N%03d", i-1)))
+		}
+		if i >= 10 {
+			nbrs = append(nbrs, pattern.PeerID(fmt.Sprintf("N%03d", i-10)))
+		}
+		if _, err := f.AddPeer(id, claimBase(i, string(id)), nbrs...); err != nil {
+			panic(err)
+		}
+	}
+	net.ResetCounters()
+	res, err := f.Query("N000", gen.PaperRQL, n)
+	if err != nil {
+		panic(err)
+	}
+	c := net.Counters()
+	for id, got := range c.PerNodeReceived {
+		if got > 0 && id != "N000" {
+			touched++
+		}
+	}
+	return c.Messages, touched, res.Rows.Len()
+}
+
+// claimBase gives peer i its data role: 20% of peers are relevant (10%
+// hold prop1+prop2 co-located so flooding can find something too, 10%
+// split across prop1/prop2), the rest hold irrelevant prop3.
+func claimBase(i int, name string) *rdf.Base {
+	switch i % 10 {
+	case 1:
+		return roleBase(name, 2, "prop1", "prop2")
+	case 2:
+		if i%20 == 2 {
+			return roleBase(name, 2, "prop1")
+		}
+		return roleBase(name, 2, "prop2")
+	default:
+		return roleBase(name, 2, "prop3")
+	}
+}
+
+// claimSubsumption ablates RDF/S subsumption in routing and measures peer
+// recall and answer completeness.
+func claimSubsumption() *Report {
+	r := &Report{ID: "sub", Title: "subsumption-aware vs exact-match routing (claim §2.3)", Pass: true}
+	peers, _ := paperSystem(4)
+	p1 := peers["P1"]
+
+	for _, mode := range []pattern.SubsumptionMode{pattern.FullSubsumption, pattern.ExactOnly} {
+		p1.Router.Mode = mode
+		ann := p1.Router.Route(gen.PaperQuery())
+		pl, err := plan.Generate(ann)
+		if err != nil {
+			r.check("plan generation", false)
+			return r
+		}
+		rows, err := p1.Engine.Execute(pl)
+		if err != nil {
+			r.check("execution", false)
+			return r
+		}
+		r.linef("  %-18s peers(Q1)=%v rows=%d", mode, ann.PeersFor("Q1"), rows.Len())
+		if mode == pattern.FullSubsumption {
+			r.check("full subsumption recalls P4 for Q1",
+				fmt.Sprint(ann.PeersFor("Q1")) == "[P1 P2 P4]")
+			r.check("full subsumption finds all 12 answers", rows.Len() == 12)
+		} else {
+			r.check("exact-only misses P4 for Q1",
+				fmt.Sprint(ann.PeersFor("Q1")) == "[P1 P2]")
+			r.check("exact-only loses the prop4 answers (8 < 12)", rows.Len() == 8)
+		}
+	}
+	p1.Router.Mode = pattern.FullSubsumption
+	return r
+}
+
+// claimAdapt kills peers mid-query and measures recovery.
+func claimAdapt() *Report {
+	r := &Report{ID: "adapt", Title: "run-time adaptation to peer departure (claim §2.5)", Pass: true}
+	const trials = 20
+	recovered, replans := 0, 0
+	for t := 0; t < trials; t++ {
+		peers, net := paperSystem(3)
+		p1 := peers["P1"]
+		pr, err := p1.PlanQuery(gen.PaperQuery())
+		if err != nil {
+			r.check("planning", false)
+			return r
+		}
+		// Alternate which redundant peer dies after routing.
+		victim := pattern.PeerID("P4")
+		if t%2 == 1 {
+			victim = "P2"
+		}
+		net.Fail(victim)
+		rows, err := p1.Engine.Execute(pr.Optimized)
+		if err == nil && rows.Len() > 0 {
+			recovered++
+		}
+		replans += p1.Engine.Metrics().Replans
+	}
+	r.linef("  trials=%d recovered=%d total replans=%d", trials, recovered, replans)
+	r.check("every redundant-peer failure is recovered", recovered == trials)
+	r.check("recovery used replanning (ubQL discard + re-route)", replans >= trials)
+
+	// Non-redundant failure: the only Q2 peer dies → query must fail.
+	peers, net := paperSystem(2)
+	p1 := peers["P1"]
+	p1.Registry.Unregister("P1")
+	p1.Registry.Unregister("P4")
+	pr, _ := p1.PlanQuery(gen.PaperQuery())
+	net.Fail("P3")
+	_, err := p1.Engine.Execute(pr.Optimized)
+	r.check("unrecoverable failure is reported, not silent", err != nil)
+	return r
+}
+
+// claimDistribution exercises vertical, horizontal and mixed partitioning
+// of the same data and verifies plan shapes and answer completeness.
+func claimDistribution() *Report {
+	r := &Report{ID: "dist", Title: "vertical/horizontal/mixed data distribution (claim §2.4)", Pass: true}
+	syn := gen.NewSynthetic(3, false)
+	const peers, chains = 3, 12
+	r.linef("  chain query over p1⋈p2⋈p3, %d peers, %d chains:", peers, chains)
+	r.linef("  %-12s %8s %10s %10s %8s", "distribution", "scans", "channels", "msgs", "rows")
+
+	for _, dist := range []gen.Distribution{gen.Vertical, gen.Horizontal, gen.Mixed} {
+		net := network.New()
+		bases := syn.Bases(peers, chains, dist)
+		var nodes []*peer.Peer
+		for id, base := range bases {
+			p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: syn.Schema, Base: base}, net)
+			if err != nil {
+				panic(err)
+			}
+			nodes = append(nodes, p)
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if a != b {
+					a.Learn(b.Advertisement())
+				}
+			}
+		}
+		root := nodes[0]
+		net.ResetCounters()
+		root.Engine.ResetMetrics()
+		pr, err := root.PlanQuery(syn.Query(1, 3))
+		if err != nil {
+			r.check(dist.String()+" planning", false)
+			continue
+		}
+		rows, err := root.Engine.Execute(pr.Optimized)
+		if err != nil {
+			r.check(dist.String()+" execution", false)
+			continue
+		}
+		m := root.Engine.Metrics()
+		c := net.Counters()
+		r.linef("  %-12s %8d %10d %10d %8d",
+			dist, plan.CountSubplans(pr.Optimized.Root), m.ChannelsOpened, c.Messages, rows.Len())
+		r.check(dist.String()+": all chains found (completeness via ∪, correctness via ⋈)",
+			rows.Len() == chains)
+	}
+	return r
+}
+
+// claimAdvertisements compares fine-grained active-schema advertisements
+// against whole-schema advertisements: the per-peer load of irrelevant
+// queries (paper §2.2: "the load of queries processed by each peer is
+// smaller, since a peer receives only relevant to its base queries").
+func claimAdvertisements() *Report {
+	r := &Report{ID: "adv", Title: "active-schema vs whole-schema advertisements (claim §2.2)", Pass: true}
+	syn := gen.NewSynthetic(6, false)
+	const peers = 30
+	bases := syn.Bases(peers, 12, gen.Vertical)
+
+	queries := syn.RandomQueries(40, 2, 7)
+
+	run := func(whole bool) (annotations int) {
+		reg := routing.NewRegistry()
+		for id, base := range bases {
+			if whole {
+				reg.Register(id, pattern.WholeSchemaAdvertisement(syn.Schema))
+			} else {
+				reg.Register(id, pattern.DeriveActiveSchema(base, syn.Schema))
+			}
+		}
+		router := routing.NewRouter(syn.Schema, reg)
+		for _, q := range queries {
+			ann := router.Route(q)
+			for _, pp := range q.Patterns {
+				annotations += len(ann.PeersFor(pp.ID))
+			}
+		}
+		return annotations
+	}
+	fine := run(false)
+	whole := run(true)
+	r.linef("  subqueries dispatched over %d queries: active-schema=%d whole-schema=%d (%.1fx)",
+		len(queries), fine, whole, float64(whole)/float64(fine))
+	r.check("active-schemas dispatch far fewer subqueries", fine < whole)
+	r.check("whole-schema advertisements spam every peer",
+		whole == len(queries)*2*peers)
+	return r
+}
+
+// claimTopN exercises the paper's future-work constraint (§5): capping
+// the number of peers each path pattern is broadcast to trades answer
+// completeness for processing load.
+func claimTopN() *Report {
+	r := &Report{ID: "topn", Title: "peer-count constraints: completeness vs load (future work §5)", Pass: true}
+	r.linef("  %10s %10s %10s %8s", "max peers", "subplans", "msgs", "rows")
+	var prevRows, prevMsgs int
+	for i, cap := range []int{1, 2, 0} {
+		peers, net := paperSystem(4)
+		p1 := peers["P1"]
+		p1.Router.MaxPeersPerPattern = cap
+		pr, err := p1.PlanQuery(gen.PaperQuery())
+		if err != nil {
+			r.check("planning", false)
+			return r
+		}
+		rows, err := p1.Engine.Execute(pr.Optimized)
+		if err != nil {
+			r.check("execution", false)
+			return r
+		}
+		c := net.Counters()
+		label := fmt.Sprintf("%d", cap)
+		if cap == 0 {
+			label = "∞"
+		}
+		r.linef("  %10s %10d %10d %8d", label, plan.CountSubplans(pr.Optimized.Root), c.Messages, rows.Len())
+		if i > 0 {
+			r.check(fmt.Sprintf("cap=%s: rows and traffic grow together", label),
+				rows.Len() >= prevRows && c.Messages >= prevMsgs)
+		}
+		prevRows, prevMsgs = rows.Len(), c.Messages
+	}
+	// The cap prefers full-coverage peers, so even cap=1 answers the
+	// query (just with fewer alternatives).
+	peers, _ := paperSystem(4)
+	p1 := peers["P1"]
+	p1.Router.MaxPeersPerPattern = 1
+	pr, _ := p1.PlanQuery(gen.PaperQuery())
+	rows, err := p1.Engine.Execute(pr.Optimized)
+	r.check("cap=1 still yields a valid (correct, partial) answer", err == nil && rows.Len() > 0)
+	return r
+}

@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+
+	"sqpeer/internal/dht"
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/overlay"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/rdf"
+)
+
+func init() {
+	register("dht", "DHT routing index for RDF/S schemas (future work §5)", claimDHT)
+}
+
+// claimDHT evaluates the paper's DHT proposal: a Chord-style index over
+// schema properties (with subsumption folded into publication) versus the
+// ad-hoc architecture's k-depth neighborhood pull, on a line topology
+// where the query's providers sit far from the asker.
+func claimDHT() *Report {
+	r := &Report{ID: "dht", Title: "DHT routing index for RDF/S schemas (future work §5)", Pass: true}
+	schema := gen.PaperSchema()
+
+	// Correctness on the paper fixture: DHT routing reproduces Figure 2,
+	// including the subsumption match of P4.
+	net := network.New()
+	ring := dht.NewRing(net)
+	for id, as := range gen.PaperActiveSchemas() {
+		if err := ring.Join(id); err != nil {
+			r.check("join", false)
+			return r
+		}
+		if _, err := ring.Publish(id, schema, as); err != nil {
+			r.check("publish", false)
+			return r
+		}
+	}
+	router := dht.NewRouter(ring, schema, "P1")
+	ann, st, err := router.Route(gen.PaperQuery())
+	if err != nil {
+		r.check("route", false)
+		return r
+	}
+	r.linef("  DHT annotation: %s (lookups=%d hops=%d)", ann, st.Lookups, st.Hops)
+	r.check("DHT reproduces the Figure-2 annotation (incl. prop4 ⊑ prop1)",
+		fmt.Sprint(ann.PeersFor("Q1")) == "[P1 P2 P4]" &&
+			fmt.Sprint(ann.PeersFor("Q2")) == "[P1 P3 P4]")
+
+	// The DHT-routed plan executes like any other.
+	peers, _ := paperSystem(2)
+	pl, err := plan.Generate(ann)
+	if err != nil {
+		r.check("plan", false)
+		return r
+	}
+	rows, err := peers["P1"].Engine.Execute(pl)
+	r.check("DHT-routed plan executes (6 rows)", err == nil && rows.Len() == 6)
+
+	// Scaling: on an n-peer line where only the far end answers Q2, the
+	// ad-hoc k-depth pull must expand across the whole line, while the
+	// DHT resolves it in O(log n) hops.
+	r.linef("  line-topology sweep (provider at the far end):")
+	r.linef("    %6s %18s %14s %12s", "peers", "adhoc pull msgs", "dht msgs", "dht hops")
+	for _, n := range []int{16, 32, 64} {
+		pullMsgs := adhocPullCost(n)
+		dhtMsgs, hops := dhtLookupCost(n)
+		r.linef("    %6d %18d %14d %12d", n, pullMsgs, dhtMsgs, hops)
+		r.check(fmt.Sprintf("n=%d: DHT routes with fewer messages than full-depth pull", n),
+			dhtMsgs < pullMsgs)
+	}
+	return r
+}
+
+// adhocPullCost builds a line of n peers where only the last holds prop2,
+// expands the first peer's neighborhood until routing completes, and
+// returns the messages spent.
+func adhocPullCost(n int) int {
+	net := network.New()
+	a := overlay.NewAdhoc(net, gen.PaperSchema())
+	ids := make([]pattern.PeerID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = pattern.PeerID(fmt.Sprintf("L%03d", i))
+		base := rdf.NewBase()
+		switch {
+		case i == n-1:
+			base = roleBase(string(ids[i]), 2, "prop2")
+		case i == 1:
+			base = roleBase(string(ids[i]), 2, "prop1")
+		}
+		var nbrs []pattern.PeerID
+		if i > 0 {
+			nbrs = append(nbrs, ids[i-1])
+		}
+		if _, err := a.AddPeer(ids[i], base, nbrs...); err != nil {
+			panic(err)
+		}
+	}
+	net.ResetCounters()
+	p, _ := a.Peer(ids[0])
+	for depth := 2; depth <= n; depth++ {
+		if _, err := a.ExpandNeighborhood(ids[0], depth); err != nil {
+			panic(err)
+		}
+		if p.Router.Route(gen.PaperQuery()).Complete() {
+			break
+		}
+	}
+	return net.Counters().Messages
+}
+
+// dhtLookupCost publishes the same line population into a ring and
+// measures one full routing from the first peer.
+func dhtLookupCost(n int) (msgs, hops int) {
+	net := network.New()
+	ring := dht.NewRing(net)
+	schema := gen.PaperSchema()
+	ids := make([]pattern.PeerID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = pattern.PeerID(fmt.Sprintf("L%03d", i))
+		if err := ring.Join(ids[i]); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		base := rdf.NewBase()
+		switch {
+		case i == n-1:
+			base = roleBase(string(ids[i]), 2, "prop2")
+		case i == 1:
+			base = roleBase(string(ids[i]), 2, "prop1")
+		default:
+			continue
+		}
+		as := pattern.DeriveActiveSchema(base, schema)
+		if _, err := ring.Publish(ids[i], schema, as); err != nil {
+			panic(err)
+		}
+	}
+	net.ResetCounters()
+	router := dht.NewRouter(ring, schema, ids[0])
+	ann, st, err := router.Route(gen.PaperQuery())
+	if err != nil || !ann.Complete() {
+		panic(fmt.Sprintf("dht routing failed: %v complete=%v", err, ann.Complete()))
+	}
+	return net.Counters().Messages, st.Hops
+}

@@ -1,0 +1,68 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/harness"
+)
+
+func TestIDsAreStable(t *testing.T) {
+	ids := harness.IDs()
+	want := []string{"adapt", "adv", "churn", "dht", "dist", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "med", "son", "sub", "topn"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := harness.Run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestEveryExperimentReproduces runs each experiment individually so a
+// failure names the exact experiment (the root integration test runs the
+// whole suite in one shot).
+func TestEveryExperimentReproduces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness experiments skipped in -short mode")
+	}
+	for _, id := range harness.IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := harness.Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Pass {
+				t.Errorf("experiment %s mismatched:\n%s", id, r)
+			}
+			out := r.String()
+			if !strings.Contains(out, strings.ToUpper(id)) {
+				t.Errorf("report does not name itself: %s", out)
+			}
+			if r.Pass && !strings.Contains(out, "REPRODUCED") {
+				t.Errorf("passing report not marked REPRODUCED: %s", out)
+			}
+		})
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r, err := harness.Run("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	for _, want := range []string{"=== FIG1", "[OK ]", "--- FIG1: REPRODUCED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

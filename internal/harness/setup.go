@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/rdf"
+)
+
+// paperSystem builds the Figure-2 peers P1..P4 with their bases on one
+// network, with full mutual advertisement knowledge.
+func paperSystem(pairs int) (map[pattern.PeerID]*peer.Peer, *network.Network) {
+	schema := gen.PaperSchema()
+	bases := gen.PaperBases(pairs)
+	net := network.New()
+	peers := map[pattern.PeerID]*peer.Peer{}
+	for _, id := range []pattern.PeerID{"P1", "P2", "P3", "P4"} {
+		p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: bases[id]}, net)
+		if err != nil {
+			panic(err)
+		}
+		peers[id] = p
+	}
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				a.Learn(b.Advertisement())
+			}
+		}
+	}
+	net.ResetCounters()
+	return peers, net
+}
+
+// figure6Bases builds the five Figure-6 simple-peer bases: P2, P3 hold
+// prop1 pairs, P5 holds prop2 pairs, P1 is empty, P4 holds the
+// irrelevant prop3.
+func figure6Bases(pairs int) map[pattern.PeerID]*rdf.Base {
+	return map[pattern.PeerID]*rdf.Base{
+		"P1": rdf.NewBase(),
+		"P2": roleBase("P2", pairs, "prop1"),
+		"P3": roleBase("P3", pairs, "prop1"),
+		"P4": roleBase("P4", pairs, "prop3"),
+		"P5": roleBase("P5", pairs, "prop2"),
+	}
+}
+
+// roleBase builds a base holding `pairs` pairs of each named paper
+// property, sharing join resources with gen.PaperBases.
+func roleBase(peerName string, pairs int, props ...string) *rdf.Base {
+	b := rdf.NewBase()
+	y := func(i int) rdf.IRI {
+		return rdf.IRI(fmt.Sprintf("http://ics.forth.gr/data/shared#y%d", i))
+	}
+	for _, prop := range props {
+		for i := 0; i < pairs; i++ {
+			switch prop {
+			case "prop1":
+				x := rdf.IRI(fmt.Sprintf("http://d/%s#x%d", peerName, i))
+				b.Add(rdf.Statement(x, gen.N1("prop1"), y(i)))
+				b.Add(rdf.Typing(x, gen.N1("C1")))
+			case "prop2":
+				z := rdf.IRI(fmt.Sprintf("http://d/%s#z%d", peerName, i))
+				b.Add(rdf.Statement(y(i), gen.N1("prop2"), z))
+				b.Add(rdf.Typing(z, gen.N1("C3")))
+			case "prop3":
+				s := rdf.IRI(fmt.Sprintf("http://d/%s#s%d", peerName, i))
+				o := rdf.IRI(fmt.Sprintf("http://d/%s#o%d", peerName, i))
+				b.Add(rdf.Statement(s, gen.N1("prop3"), o))
+			case "prop4":
+				x := rdf.IRI(fmt.Sprintf("http://d/%s#x5_%d", peerName, i))
+				b.Add(rdf.Statement(x, gen.N1("prop4"), y(i)))
+				b.Add(rdf.Typing(x, gen.N1("C5")))
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,208 @@
+// Package mediate implements the schema-mediation role the paper assigns
+// to super-peers (§3.1): "a query expressed in terms of a global-known
+// schema needs to be reformulated in terms of the schemas employed by the
+// local bases of the simple-peers by using appropriate mapping rules",
+// with the mapping rules being articulations — class and property
+// correspondences between community RDF/S schemas (the mechanism behind
+// the multi-layered super-peer organization and the cross-SON backbone).
+package mediate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// Articulation maps the classes and properties of a source schema onto a
+// target schema. Articulations are directional; Invert derives the
+// reverse mapping when the correspondence is one-to-one.
+type Articulation struct {
+	// From and To name the source and target schemas.
+	From, To string
+	// Classes maps source class IRIs to target class IRIs.
+	Classes map[rdf.IRI]rdf.IRI
+	// Properties maps source property IRIs to target property IRIs.
+	Properties map[rdf.IRI]rdf.IRI
+}
+
+// NewArticulation returns an empty articulation between two schemas.
+func NewArticulation(from, to string) *Articulation {
+	return &Articulation{
+		From: from, To: to,
+		Classes:    map[rdf.IRI]rdf.IRI{},
+		Properties: map[rdf.IRI]rdf.IRI{},
+	}
+}
+
+// MapClass records a class correspondence.
+func (a *Articulation) MapClass(from, to rdf.IRI) *Articulation {
+	a.Classes[from] = to
+	return a
+}
+
+// MapProperty records a property correspondence.
+func (a *Articulation) MapProperty(from, to rdf.IRI) *Articulation {
+	a.Properties[from] = to
+	return a
+}
+
+// Validate checks the articulation against the two schemas: every mapped
+// name must be declared on both sides, and for each property mapping the
+// mapped domain/range must be subsumption-compatible in the target schema
+// (so reformulated patterns remain well-typed).
+func (a *Articulation) Validate(src, dst *rdf.Schema) error {
+	var problems []string
+	for from, to := range a.Classes {
+		if !src.HasClass(from) {
+			problems = append(problems, fmt.Sprintf("class %s not in source schema", from))
+		}
+		if !dst.HasClass(to) {
+			problems = append(problems, fmt.Sprintf("class %s not in target schema", to))
+		}
+	}
+	for from, to := range a.Properties {
+		srcDef, ok := src.PropertyByName(from)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("property %s not in source schema", from))
+			continue
+		}
+		dstDef, ok := dst.PropertyByName(to)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("property %s not in target schema", to))
+			continue
+		}
+		if mapped, ok := a.Classes[srcDef.Domain]; ok {
+			if !dst.IsSubClassOf(mapped, dstDef.Domain) && !dst.IsSubClassOf(dstDef.Domain, mapped) {
+				problems = append(problems, fmt.Sprintf(
+					"property %s→%s: mapped domain %s incompatible with %s", from, to, mapped, dstDef.Domain))
+			}
+		}
+		if mapped, ok := a.Classes[srcDef.Range]; ok {
+			if !dst.IsSubClassOf(mapped, dstDef.Range) && !dst.IsSubClassOf(dstDef.Range, mapped) {
+				problems = append(problems, fmt.Sprintf(
+					"property %s→%s: mapped range %s incompatible with %s", from, to, mapped, dstDef.Range))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("mediate: articulation %s→%s invalid:\n  %s",
+			a.From, a.To, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// Invert derives the reverse articulation. It fails when the mapping is
+// not one-to-one (two source names mapped to the same target name).
+func (a *Articulation) Invert() (*Articulation, error) {
+	inv := NewArticulation(a.To, a.From)
+	for from, to := range a.Classes {
+		if existing, dup := inv.Classes[to]; dup {
+			return nil, fmt.Errorf("mediate: cannot invert: classes %s and %s both map to %s",
+				existing, from, to)
+		}
+		inv.Classes[to] = from
+	}
+	for from, to := range a.Properties {
+		if existing, dup := inv.Properties[to]; dup {
+			return nil, fmt.Errorf("mediate: cannot invert: properties %s and %s both map to %s",
+				existing, from, to)
+		}
+		inv.Properties[to] = from
+	}
+	return inv, nil
+}
+
+// Reformulate rewrites a semantic query pattern from the source schema
+// into the target schema's vocabulary (paper §2.4/§3.1). Every property
+// must be mapped; end-point classes use the class mapping when present
+// and otherwise default to the target property's declared end-points
+// (mirroring how RQL analysis fills unrestricted ends).
+func (a *Articulation) Reformulate(q *pattern.QueryPattern, target *rdf.Schema) (*pattern.QueryPattern, error) {
+	if q.SchemaName != "" && a.From != "" && q.SchemaName != a.From {
+		return nil, fmt.Errorf("mediate: query is over schema %s, articulation maps %s", q.SchemaName, a.From)
+	}
+	out := &pattern.QueryPattern{
+		SchemaName:  a.To,
+		Projections: append([]string{}, q.Projections...),
+	}
+	for _, pp := range q.Patterns {
+		toProp, ok := a.Properties[pp.Property]
+		if !ok {
+			return nil, fmt.Errorf("mediate: no articulation for property %s (pattern %s)", pp.Property, pp.ID)
+		}
+		def, ok := target.PropertyByName(toProp)
+		if !ok {
+			return nil, fmt.Errorf("mediate: articulated property %s not declared in target schema", toProp)
+		}
+		domain := def.Domain
+		if mapped, ok := a.Classes[pp.Domain]; ok {
+			domain = mapped
+		}
+		rng := def.Range
+		if mapped, ok := a.Classes[pp.Range]; ok {
+			rng = mapped
+		}
+		out.Patterns = append(out.Patterns, pattern.PathPattern{
+			ID:         pp.ID,
+			SubjectVar: pp.SubjectVar,
+			ObjectVar:  pp.ObjectVar,
+			Property:   toProp,
+			Domain:     domain,
+			Range:      rng,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("mediate: reformulated pattern invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Mediator holds the articulations a super-peer knows and reformulates
+// queries between schemas.
+type Mediator struct {
+	arts map[string]map[string]*Articulation // from → to → articulation
+}
+
+// NewMediator returns an empty mediator.
+func NewMediator() *Mediator {
+	return &Mediator{arts: map[string]map[string]*Articulation{}}
+}
+
+// Add registers an articulation (replacing any previous one for the same
+// schema pair).
+func (m *Mediator) Add(a *Articulation) {
+	if m.arts[a.From] == nil {
+		m.arts[a.From] = map[string]*Articulation{}
+	}
+	m.arts[a.From][a.To] = a
+}
+
+// Between returns the articulation from one schema to another.
+func (m *Mediator) Between(from, to string) (*Articulation, bool) {
+	a, ok := m.arts[from][to]
+	return a, ok
+}
+
+// Targets returns the schemas reachable from a source schema, sorted.
+func (m *Mediator) Targets(from string) []string {
+	out := make([]string, 0, len(m.arts[from]))
+	for to := range m.arts[from] {
+		out = append(out, to)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reformulate rewrites the query pattern into the target schema using the
+// registered articulation.
+func (m *Mediator) Reformulate(q *pattern.QueryPattern, target *rdf.Schema) (*pattern.QueryPattern, error) {
+	a, ok := m.Between(q.SchemaName, target.Name)
+	if !ok {
+		return nil, fmt.Errorf("mediate: no articulation from %s to %s", q.SchemaName, target.Name)
+	}
+	return a.Reformulate(q, target)
+}

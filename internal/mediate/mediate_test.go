@@ -1,0 +1,205 @@
+package mediate_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/mediate"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/routing"
+)
+
+// foreignNS is a second community schema describing the same domain with
+// different vocabulary: D1 -rel1-> D2 -rel2-> D3.
+const foreignNS = "http://other-community.example/f#"
+
+func f(local string) rdf.IRI { return rdf.IRI(foreignNS + local) }
+
+func foreignSchema(t testing.TB) *rdf.Schema {
+	t.Helper()
+	s := rdf.NewSchema(foreignNS)
+	for _, c := range []string{"D1", "D2", "D3"} {
+		s.MustAddClass(f(c))
+	}
+	s.MustAddProperty(f("rel1"), f("D1"), f("D2"))
+	s.MustAddProperty(f("rel2"), f("D2"), f("D3"))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// foreignToPaper articulates the foreign schema onto the paper's n1.
+func foreignToPaper(t testing.TB) *mediate.Articulation {
+	t.Helper()
+	a := mediate.NewArticulation(foreignNS, gen.PaperNS).
+		MapClass(f("D1"), gen.N1("C1")).
+		MapClass(f("D2"), gen.N1("C2")).
+		MapClass(f("D3"), gen.N1("C3")).
+		MapProperty(f("rel1"), gen.N1("prop1")).
+		MapProperty(f("rel2"), gen.N1("prop2"))
+	if err := a.Validate(foreignSchema(t), gen.PaperSchema()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return a
+}
+
+// foreignQuery is the Figure-1 query expressed in the foreign vocabulary.
+func foreignQuery() *pattern.QueryPattern {
+	return &pattern.QueryPattern{
+		SchemaName: foreignNS,
+		Patterns: []pattern.PathPattern{
+			{ID: "Q1", SubjectVar: "X", ObjectVar: "Y", Property: f("rel1"), Domain: f("D1"), Range: f("D2")},
+			{ID: "Q2", SubjectVar: "Y", ObjectVar: "Z", Property: f("rel2"), Domain: f("D2"), Range: f("D3")},
+		},
+		Projections: []string{"X", "Y"},
+	}
+}
+
+func TestReformulateForeignQuery(t *testing.T) {
+	art := foreignToPaper(t)
+	got, err := art.Reformulate(foreignQuery(), gen.PaperSchema())
+	if err != nil {
+		t.Fatalf("Reformulate: %v", err)
+	}
+	if got.String() != gen.PaperQuery().String() {
+		t.Errorf("reformulated = %s\nwant          %s", got, gen.PaperQuery())
+	}
+	if got.SchemaName != gen.PaperNS {
+		t.Errorf("SchemaName = %q", got.SchemaName)
+	}
+}
+
+func TestReformulateErrors(t *testing.T) {
+	art := foreignToPaper(t)
+	// Unmapped property.
+	q := foreignQuery()
+	q.Patterns[0].Property = f("unmapped")
+	if _, err := art.Reformulate(q, gen.PaperSchema()); err == nil ||
+		!strings.Contains(err.Error(), "no articulation for property") {
+		t.Errorf("unmapped property: %v", err)
+	}
+	// Wrong source schema.
+	q2 := gen.PaperQuery()
+	if _, err := art.Reformulate(q2, gen.PaperSchema()); err == nil {
+		t.Error("query over wrong schema accepted")
+	}
+}
+
+func TestArticulationValidate(t *testing.T) {
+	src := foreignSchema(t)
+	dst := gen.PaperSchema()
+	bad := mediate.NewArticulation(foreignNS, gen.PaperNS).
+		MapClass(f("Dmissing"), gen.N1("C1")).
+		MapProperty(f("rel1"), gen.N1("propmissing"))
+	err := bad.Validate(src, dst)
+	if err == nil {
+		t.Fatal("invalid articulation accepted")
+	}
+	for _, want := range []string{"Dmissing", "propmissing"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error misses %q: %v", want, err)
+		}
+	}
+	// Incompatible domain mapping: rel1's domain D1 mapped to C3, but
+	// prop1's domain is C1.
+	incompatible := mediate.NewArticulation(foreignNS, gen.PaperNS).
+		MapClass(f("D1"), gen.N1("C3")).
+		MapProperty(f("rel1"), gen.N1("prop1"))
+	if err := incompatible.Validate(src, dst); err == nil {
+		t.Error("incompatible domain mapping accepted")
+	}
+}
+
+func TestInvert(t *testing.T) {
+	art := foreignToPaper(t)
+	inv, err := art.Invert()
+	if err != nil {
+		t.Fatalf("Invert: %v", err)
+	}
+	if inv.From != gen.PaperNS || inv.To != foreignNS {
+		t.Errorf("inverted direction = %s → %s", inv.From, inv.To)
+	}
+	if inv.Properties[gen.N1("prop1")] != f("rel1") {
+		t.Errorf("inverted property map = %v", inv.Properties)
+	}
+	// Non-injective mapping cannot invert.
+	dup := mediate.NewArticulation("a", "b").
+		MapProperty("http://a#p1", "http://b#q").
+		MapProperty("http://a#p2", "http://b#q")
+	if _, err := dup.Invert(); err == nil {
+		t.Error("non-injective articulation inverted")
+	}
+}
+
+func TestMediatorLookup(t *testing.T) {
+	m := mediate.NewMediator()
+	m.Add(foreignToPaper(t))
+	if _, ok := m.Between(foreignNS, gen.PaperNS); !ok {
+		t.Error("registered articulation not found")
+	}
+	if _, ok := m.Between("x", "y"); ok {
+		t.Error("ghost articulation found")
+	}
+	if got := m.Targets(foreignNS); len(got) != 1 || got[0] != gen.PaperNS {
+		t.Errorf("Targets = %v", got)
+	}
+	q, err := m.Reformulate(foreignQuery(), gen.PaperSchema())
+	if err != nil || q.SchemaName != gen.PaperNS {
+		t.Errorf("mediator reformulation: %v %v", q, err)
+	}
+	if _, err := m.Reformulate(gen.PaperQuery(), foreignSchema(t)); err == nil {
+		t.Error("reformulation without articulation accepted")
+	}
+}
+
+// TestMediatedQueryEndToEnd: a client thinking in the foreign vocabulary
+// is answered by the paper's n1 peers after super-peer-style mediation.
+func TestMediatedQueryEndToEnd(t *testing.T) {
+	schema := gen.PaperSchema()
+	bases := gen.PaperBases(3)
+	net := network.New()
+	peers := map[pattern.PeerID]*peer.Peer{}
+	for _, id := range []pattern.PeerID{"P1", "P2", "P3", "P4"} {
+		p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: bases[id]}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[id] = p
+	}
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				a.Learn(b.Advertisement())
+			}
+		}
+	}
+	// Mediate: reformulate the foreign query, route in n1, execute.
+	m := mediate.NewMediator()
+	m.Add(foreignToPaper(t))
+	reformulated, err := m.Reformulate(foreignQuery(), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := routing.NewRouter(schema, peers["P1"].Registry).Route(reformulated)
+	if !ann.Complete() {
+		t.Fatalf("mediated routing incomplete: %s", ann)
+	}
+	pl, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := peers["P1"].Engine.Execute(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answer as the native n1 query: 9 rows.
+	if rows.Len() != 9 {
+		t.Errorf("mediated answer = %d rows, want 9:\n%s", rows.Len(), rows)
+	}
+}

@@ -1,0 +1,287 @@
+// Package network provides the simulated P2P transport SQPeer runs on in
+// this reproduction: named nodes exchanging typed messages over links with
+// configurable latency and bandwidth, with full message/byte accounting,
+// node failures and link partitions. The paper's algorithms are
+// network-agnostic; this substrate exposes exactly the costs the paper
+// argues about (number of messages routed, bytes shipped, per-peer query
+// load) while keeping experiments deterministic and laptop-fast: latency
+// is accounted, not slept.
+package network
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/stats"
+)
+
+// NodeID names a network node; it coincides with the peer id.
+type NodeID = pattern.PeerID
+
+// Message is one application message.
+type Message struct {
+	// From and To are the endpoints.
+	From, To NodeID
+	// Kind is the application message type (e.g. "query.route",
+	// "chan.packet"); handlers are registered per kind.
+	Kind string
+	// Payload is the serialized body.
+	Payload []byte
+}
+
+// Size returns the accounted wire size of the message.
+func (m Message) Size() int { return len(m.Payload) + len(m.Kind) + 16 }
+
+// Handler processes an incoming message and returns a reply payload (for
+// Call) or nil (for one-way sends).
+type Handler func(Message) ([]byte, error)
+
+// Counters aggregates traffic accounting; obtained via Network.Counters.
+type Counters struct {
+	// Messages is the total number of messages delivered (a Call counts
+	// its request and its reply).
+	Messages int
+	// Bytes is the total accounted payload volume.
+	Bytes int
+	// SimulatedMS is the total accounted transfer time over link
+	// latencies and bandwidths (as if messages were sequential).
+	SimulatedMS float64
+	// PerKind counts messages by kind.
+	PerKind map[string]int
+	// PerNodeReceived counts messages received per node — the per-peer
+	// query-load metric of §2.2.
+	PerNodeReceived map[NodeID]int
+}
+
+// Network is the in-process message fabric. It is safe for concurrent
+// use; handlers run on the sender's goroutine (synchronous delivery), so
+// handlers must not hold locks that senders also hold.
+type Network struct {
+	mu       sync.RWMutex
+	handlers map[NodeID]map[string]Handler
+	links    map[linkKey]stats.Link
+	downed   map[NodeID]bool
+	cut      map[linkKey]bool
+
+	cmu      sync.Mutex
+	counters Counters
+}
+
+type linkKey struct{ a, b NodeID }
+
+func normKey(a, b NodeID) linkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		handlers: map[NodeID]map[string]Handler{},
+		links:    map[linkKey]stats.Link{},
+		downed:   map[NodeID]bool{},
+		cut:      map[linkKey]bool{},
+	}
+}
+
+// AddNode registers a node with no handlers yet. Adding an existing node
+// is a no-op.
+func (n *Network) AddNode(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; !ok {
+		n.handlers[id] = map[string]Handler{}
+	}
+}
+
+// Handle registers the handler for a message kind at a node.
+func (n *Network) Handle(id NodeID, kind string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; !ok {
+		n.handlers[id] = map[string]Handler{}
+	}
+	n.handlers[id][kind] = h
+}
+
+// RemoveNode unregisters a node entirely (it leaves the system).
+func (n *Network) RemoveNode(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+	delete(n.downed, id)
+}
+
+// Nodes returns the registered node ids, sorted.
+func (n *Network) Nodes() []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetLink configures the link between two nodes (symmetric).
+func (n *Network) SetLink(a, b NodeID, l stats.Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[normKey(a, b)] = l
+}
+
+// LinkBetween returns the configured link or the default.
+func (n *Network) LinkBetween(a, b NodeID) stats.Link {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if l, ok := n.links[normKey(a, b)]; ok {
+		return l
+	}
+	return stats.DefaultLink
+}
+
+// Fail marks a node down: every message to it errors until Recover.
+func (n *Network) Fail(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.downed[id] = true
+}
+
+// Recover brings a failed node back.
+func (n *Network) Recover(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downed, id)
+}
+
+// IsDown reports whether a node is failed.
+func (n *Network) IsDown(id NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.downed[id]
+}
+
+// Partition cuts the link between two nodes; messages across it error.
+func (n *Network) Partition(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[normKey(a, b)] = true
+}
+
+// Heal restores a cut link.
+func (n *Network) Heal(a, b NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, normKey(a, b))
+}
+
+// lookup resolves the handler for a delivery, or an error describing why
+// the message cannot be delivered.
+func (n *Network) lookup(m Message) (Handler, stats.Link, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.downed[m.To] {
+		return nil, stats.Link{}, fmt.Errorf("network: node %s is down", m.To)
+	}
+	if n.downed[m.From] {
+		return nil, stats.Link{}, fmt.Errorf("network: node %s is down", m.From)
+	}
+	if n.cut[normKey(m.From, m.To)] {
+		return nil, stats.Link{}, fmt.Errorf("network: link %s–%s is partitioned", m.From, m.To)
+	}
+	hs, ok := n.handlers[m.To]
+	if !ok {
+		return nil, stats.Link{}, fmt.Errorf("network: unknown node %s", m.To)
+	}
+	h, ok := hs[m.Kind]
+	if !ok {
+		return nil, stats.Link{}, fmt.Errorf("network: node %s has no handler for %q", m.To, m.Kind)
+	}
+	link, ok := n.links[normKey(m.From, m.To)]
+	if !ok {
+		link = stats.DefaultLink
+	}
+	if m.From == m.To {
+		link = stats.Link{LatencyMS: 0, BandwidthKBps: 1 << 30}
+	}
+	return h, link, nil
+}
+
+func (n *Network) account(m Message, link stats.Link) {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	c := &n.counters
+	c.Messages++
+	c.Bytes += m.Size()
+	if m.From != m.To {
+		c.SimulatedMS += link.TransferMS(m.Size())
+	}
+	if c.PerKind == nil {
+		c.PerKind = map[string]int{}
+	}
+	c.PerKind[m.Kind]++
+	if c.PerNodeReceived == nil {
+		c.PerNodeReceived = map[NodeID]int{}
+	}
+	c.PerNodeReceived[m.To]++
+}
+
+// Call delivers the message and returns the handler's reply, accounting
+// both directions. Handler errors are returned to the caller.
+func (n *Network) Call(from, to NodeID, kind string, payload []byte) ([]byte, error) {
+	m := Message{From: from, To: to, Kind: kind, Payload: payload}
+	h, link, err := n.lookup(m)
+	if err != nil {
+		return nil, err
+	}
+	n.account(m, link)
+	reply, err := h(m)
+	if err != nil {
+		return nil, fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
+	}
+	n.account(Message{From: to, To: from, Kind: kind + ".reply", Payload: reply}, link)
+	return reply, nil
+}
+
+// Send delivers a one-way message, accounting one direction. The
+// handler's reply payload is discarded.
+func (n *Network) Send(from, to NodeID, kind string, payload []byte) error {
+	m := Message{From: from, To: to, Kind: kind, Payload: payload}
+	h, link, err := n.lookup(m)
+	if err != nil {
+		return err
+	}
+	n.account(m, link)
+	if _, err := h(m); err != nil {
+		return fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
+	}
+	return nil
+}
+
+// Counters returns a snapshot of the traffic counters.
+func (n *Network) Counters() Counters {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	snap := n.counters
+	snap.PerKind = map[string]int{}
+	for k, v := range n.counters.PerKind {
+		snap.PerKind[k] = v
+	}
+	snap.PerNodeReceived = map[NodeID]int{}
+	for k, v := range n.counters.PerNodeReceived {
+		snap.PerNodeReceived[k] = v
+	}
+	return snap
+}
+
+// ResetCounters zeroes the traffic counters (between experiment runs).
+func (n *Network) ResetCounters() {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	n.counters = Counters{}
+}

@@ -1,0 +1,206 @@
+package network
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The in-process Network is the substrate every experiment runs on, but a
+// deployment can expose any node over a real socket: a Gateway serves one
+// node's message handlers over TCP with a length-prefixed JSON framing,
+// and a Client lets an out-of-process party call them. Traffic entering
+// through a gateway is accounted on the Network like any other message.
+
+// frame is the wire request: one message addressed to the gateway's node.
+type frame struct {
+	From    NodeID `json:"from"`
+	Kind    string `json:"kind"`
+	Payload []byte `json:"payload"`
+}
+
+// frameReply is the wire response.
+type frameReply struct {
+	Payload []byte `json:"payload,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Gateway serves one node's handlers over TCP.
+type Gateway struct {
+	node NodeID
+	net  *Network
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts a gateway for the node on addr (use "127.0.0.1:0" for
+// an ephemeral port; Addr reports the bound address). The gateway serves
+// until Close.
+func ServeTCP(n *Network, node NodeID, addr string) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: gateway for %s: %w", node, err)
+	}
+	g := &Gateway{node: node, net: n, ln: ln, conns: map[net.Conn]struct{}{}}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr returns the gateway's bound address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops accepting and tears down live connections.
+func (g *Gateway) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	err := g.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+	return err
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		g.conns[conn] = struct{}{}
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go g.serveConn(conn)
+	}
+}
+
+func (g *Gateway) serveConn(conn net.Conn) {
+	defer g.wg.Done()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req frame
+		if err := readFrame(r, &req); err != nil {
+			return // EOF or broken peer
+		}
+		var reply frameReply
+		payload, err := g.net.Call(req.From, g.node, req.Kind, req.Payload)
+		if err != nil {
+			reply.Err = err.Error()
+		} else {
+			reply.Payload = payload
+		}
+		if err := writeFrame(w, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a TCP connection to a remote node's gateway. It is safe for
+// sequential use; guard with a mutex (as Call does) for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialTCP connects to a gateway.
+func DialTCP(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: dial gateway %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Call sends one message to the gateway's node and returns the handler's
+// reply.
+func (c *Client) Call(from NodeID, kind string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, frame{From: from, Kind: kind, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("network: send frame: %w", err)
+	}
+	var reply frameReply
+	if err := readFrame(c.r, &reply); err != nil {
+		return nil, fmt.Errorf("network: read reply: %w", err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("network: remote: %s", reply.Err)
+	}
+	return reply.Payload, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// maxFrameSize bounds a single frame (16 MiB) to stop a corrupt length
+// prefix from allocating unbounded memory.
+const maxFrameSize = 16 << 20
+
+func writeFrame(w *bufio.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,150 @@
+package network_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/peer"
+)
+
+func TestGatewayCallRoundTrip(t *testing.T) {
+	n := echoNet(t, "A")
+	g, err := network.ServeTCP(n, "A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeTCP: %v", err)
+	}
+	defer g.Close()
+
+	c, err := network.DialTCP(g.Addr())
+	if err != nil {
+		t.Fatalf("DialTCP: %v", err)
+	}
+	defer c.Close()
+
+	reply, err := c.Call("remote-client", "echo", []byte("over tcp"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "from A: over tcp" {
+		t.Errorf("reply = %q", reply)
+	}
+	// Gateway traffic is accounted on the network.
+	if got := n.Counters().PerNodeReceived["A"]; got != 1 {
+		t.Errorf("accounted messages to A = %d", got)
+	}
+}
+
+func TestGatewayPropagatesHandlerErrors(t *testing.T) {
+	n := network.New()
+	n.AddNode("A")
+	n.Handle("A", "boom", func(network.Message) ([]byte, error) {
+		return nil, fmt.Errorf("exploded")
+	})
+	g, err := network.ServeTCP(n, "A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	c, err := network.DialTCP(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call("x", "boom", nil)
+	if err == nil || !strings.Contains(err.Error(), "exploded") {
+		t.Errorf("handler error lost: %v", err)
+	}
+	if _, err := c.Call("x", "nosuch", nil); err == nil {
+		t.Error("unknown kind accepted over tcp")
+	}
+}
+
+func TestGatewayConcurrentClients(t *testing.T) {
+	n := echoNet(t, "A")
+	g, err := network.ServeTCP(n, "A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := network.DialTCP(g.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for k := 0; k < 20; k++ {
+				msg := fmt.Sprintf("c%d-%d", i, k)
+				reply, err := c.Call("client", "echo", []byte(msg))
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if string(reply) != "from A: "+msg {
+					t.Errorf("reply = %q", reply)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestGatewayServesRealPeerProtocol exposes a full SQPeer node over TCP
+// and drives its advertisement-pull and routing handlers from a socket
+// client.
+func TestGatewayServesRealPeerProtocol(t *testing.T) {
+	n := network.New()
+	schema := gen.PaperSchema()
+	p, err := peer.New(peer.Config{ID: "P1", Kind: peer.SimplePeer, Schema: schema,
+		Base: gen.PaperBases(2)["P1"]}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	g, err := network.ServeTCP(n, "P1", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	c, err := network.DialTCP(g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// adv.pull over TCP returns the peer's advertisement JSON.
+	reply, err := c.Call("external", "adv.pull", nil)
+	if err != nil {
+		t.Fatalf("adv.pull over tcp: %v", err)
+	}
+	if !strings.Contains(string(reply), "prop1") {
+		t.Errorf("advertisement = %s", reply)
+	}
+}
+
+func TestGatewayCloseIdempotent(t *testing.T) {
+	n := echoNet(t, "A")
+	g, err := network.ServeTCP(n, "A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Errorf("first close: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := network.DialTCP(g.Addr()); err == nil {
+		t.Error("dial succeeded after close")
+	}
+}

@@ -1,0 +1,110 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/routing"
+)
+
+// Replan implements the run-time adaptation of §2.5: when peers become
+// obsolete (failed channel, departure, throughput collapse), the channel's
+// root node re-executes routing and processing "not taking into
+// consideration those peers that became obsolete". Concretely: scans at
+// obsolete peers revert to holes, the router (minus the obsolete peers)
+// re-annotates the affected path patterns, and the holes are refilled.
+// Following ubQL semantics, callers discard intermediate results of the
+// old plan and restart execution on the returned plan.
+//
+// Replan fails when a path pattern is left with no alternative peer — the
+// query cannot currently be answered and the caller must either propagate
+// the partial plan (ad-hoc mode) or report failure.
+func Replan(p *plan.Plan, obsolete map[pattern.PeerID]bool, router *routing.Router) (*plan.Plan, error) {
+	touched := false
+	for _, s := range plan.Scans(p.Root) {
+		if !s.IsHole() && obsolete[s.Peer] {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return p, nil // nothing to do
+	}
+	ann := router.Route(p.Query)
+	// Remove obsolete peers from the fresh annotation too: the registry
+	// may not have caught up with the failure yet.
+	cleaned := pattern.NewAnnotated(p.Query)
+	for _, pp := range p.Query.Patterns {
+		for _, peer := range ann.PeersFor(pp.ID) {
+			if !obsolete[peer] {
+				cleaned.Annotate(pp.ID, peer, ann.RewritesFor(pp.ID, peer))
+			}
+		}
+	}
+	replanned, err := plan.Generate(cleaned)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: replan: %w", err)
+	}
+	if !cleaned.Complete() {
+		return replanned, fmt.Errorf("optimizer: replan left unresolved holes for %v", cleaned.Holes())
+	}
+	return replanned, nil
+}
+
+// ThroughputMonitor tracks per-channel row throughput and flags channels
+// whose observed rate collapses below a floor — the paper's run-time
+// trigger ("the optimizer may alter a running query plan by observing the
+// throughput of a certain channel").
+type ThroughputMonitor struct {
+	// MinRowsPerTick is the floor below which a channel is flagged.
+	MinRowsPerTick int
+	counts         map[pattern.PeerID]int
+	flagged        map[pattern.PeerID]bool
+}
+
+// NewThroughputMonitor returns a monitor with the given per-tick floor.
+func NewThroughputMonitor(minRowsPerTick int) *ThroughputMonitor {
+	return &ThroughputMonitor{
+		MinRowsPerTick: minRowsPerTick,
+		counts:         map[pattern.PeerID]int{},
+		flagged:        map[pattern.PeerID]bool{},
+	}
+}
+
+// Observe records rows received from a peer since the last tick.
+func (m *ThroughputMonitor) Observe(peer pattern.PeerID, rows int) {
+	m.counts[peer] += rows
+}
+
+// Tick closes the current observation window: every peer whose count is
+// below the floor is flagged obsolete; counters reset. It returns the
+// peers newly flagged this tick.
+func (m *ThroughputMonitor) Tick() []pattern.PeerID {
+	var newly []pattern.PeerID
+	for peer, n := range m.counts {
+		if n < m.MinRowsPerTick && !m.flagged[peer] {
+			m.flagged[peer] = true
+			newly = append(newly, peer)
+		}
+		m.counts[peer] = 0
+	}
+	return newly
+}
+
+// Flagged returns the set of peers currently considered obsolete.
+func (m *ThroughputMonitor) Flagged() map[pattern.PeerID]bool {
+	out := make(map[pattern.PeerID]bool, len(m.flagged))
+	for p := range m.flagged {
+		out[p] = true
+	}
+	return out
+}
+
+// Track registers a peer so that total silence (no Observe calls at all)
+// still trips the monitor at the next Tick.
+func (m *ThroughputMonitor) Track(peer pattern.PeerID) {
+	if _, ok := m.counts[peer]; !ok {
+		m.counts[peer] = 0
+	}
+}

@@ -1,0 +1,194 @@
+package optimizer_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/optimizer"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/stats"
+)
+
+// figure5Plan builds the Figure-5 shape: root P1 must combine Q1 answered
+// by P2 with Q2 answered by P3 — ⋈(Q1@P2, Q2@P3).
+func figure5Plan() plan.Node {
+	q := gen.PaperQuery()
+	return plan.NewJoin(plan.NewScan(q.Patterns[0], "P2"), plan.NewScan(q.Patterns[1], "P3"))
+}
+
+func catalogWith(cards map[pattern.PeerID]int) *stats.Catalog {
+	cat := stats.NewCatalog()
+	for peer, n := range cards {
+		ps := &stats.PeerStats{
+			Peer: peer, Slots: 4,
+			PropertyCard:     map[rdf.IRI]int{gen.N1("prop1"): n, gen.N1("prop2"): n},
+			DistinctSubjects: map[rdf.IRI]int{gen.N1("prop1"): n, gen.N1("prop2"): n},
+			DistinctObjects:  map[rdf.IRI]int{gen.N1("prop1"): n, gen.N1("prop2"): n},
+		}
+		cat.PutPeer(ps)
+	}
+	return cat
+}
+
+// TestFigure5SlowLinkFavorsQueryShipping reproduces regime (a): "where the
+// communication cost between peers P1 and P3 is greater than the cost
+// between peers P2 and P3, query-shipping is preferable".
+func TestFigure5SlowLinkFavorsQueryShipping(t *testing.T) {
+	cat := catalogWith(map[pattern.PeerID]int{"P1": 100, "P2": 1000, "P3": 1000})
+	cat.PutLink("P1", "P3", stats.Link{LatencyMS: 500, BandwidthKBps: 10})  // slow
+	cat.PutLink("P2", "P3", stats.Link{LatencyMS: 5, BandwidthKBps: 10000}) // fast
+	cat.PutLink("P1", "P2", stats.Link{LatencyMS: 20, BandwidthKBps: 1000}) // normal
+	cm := optimizer.NewCostModel(cat)
+
+	root := figure5Plan()
+	data := cm.EstimateCost(root, "P1", optimizer.DataShipping)
+	query := cm.EstimateCost(root, "P1", optimizer.QueryShipping)
+	if query.TotalMS >= data.TotalMS {
+		t.Errorf("slow P1–P3 link: query=%0.1f data=%0.1f, query shipping must win",
+			query.TotalMS, data.TotalMS)
+	}
+	pol, _ := cm.ChoosePolicy(root, "P1")
+	if pol == optimizer.DataShipping {
+		t.Errorf("ChoosePolicy picked %s under a slow root link", pol)
+	}
+	// The query-shipping join site is an input peer, not the root.
+	if len(query.Decisions) != 1 || query.Decisions[0].Site == "P1" {
+		t.Errorf("query-shipping decisions = %+v", query.Decisions)
+	}
+}
+
+// TestFigure5LoadedPeerFavorsDataShipping reproduces regime (b): "in the
+// case where peer P2 has a heavy processing load, data-shipping should be
+// chosen".
+func TestFigure5LoadedPeerFavorsDataShipping(t *testing.T) {
+	cat := catalogWith(map[pattern.PeerID]int{"P1": 100, "P2": 1000, "P3": 1000})
+	// Same link speeds everywhere, but P2 is drowning in queued queries.
+	cat.SetLoad("P2", 4000)
+	cm := optimizer.NewCostModel(cat)
+
+	root := figure5Plan()
+	data := cm.EstimateCost(root, "P1", optimizer.DataShipping)
+	query := cm.EstimateCost(root, "P1", optimizer.QueryShipping) // pushes to P2 (largest input)
+	if data.TotalMS >= query.TotalMS {
+		t.Errorf("loaded P2: data=%0.1f query=%0.1f, data shipping must win",
+			data.TotalMS, query.TotalMS)
+	}
+	// Hybrid must agree with the cheaper side.
+	hybrid := cm.EstimateCost(root, "P1", optimizer.HybridShipping)
+	if hybrid.TotalMS > data.TotalMS+1e-9 {
+		t.Errorf("hybrid=%0.1f should never lose to data=%0.1f", hybrid.TotalMS, data.TotalMS)
+	}
+}
+
+// TestFigure5LargeIntermediateFavorsQueryShipping reproduces regime (c):
+// "if peer's P2 intermediate results of subquery Q2 are large,
+// query-shipping is the most beneficial" — joining at P2 avoids shipping
+// the large intermediate across the network.
+func TestFigure5LargeIntermediateFavorsQueryShipping(t *testing.T) {
+	cat := stats.NewCatalog()
+	cat.PutPeer(&stats.PeerStats{Peer: "P1", Slots: 4, PropertyCard: map[rdf.IRI]int{}})
+	cat.PutPeer(&stats.PeerStats{Peer: "P2", Slots: 4,
+		PropertyCard:     map[rdf.IRI]int{gen.N1("prop1"): 50000},
+		DistinctSubjects: map[rdf.IRI]int{gen.N1("prop1"): 50000},
+		DistinctObjects:  map[rdf.IRI]int{gen.N1("prop1"): 50000}})
+	cat.PutPeer(&stats.PeerStats{Peer: "P3", Slots: 4,
+		PropertyCard:     map[rdf.IRI]int{gen.N1("prop2"): 100},
+		DistinctSubjects: map[rdf.IRI]int{gen.N1("prop2"): 100},
+		DistinctObjects:  map[rdf.IRI]int{gen.N1("prop2"): 100}})
+	cm := optimizer.NewCostModel(cat)
+
+	root := figure5Plan()
+	data := cm.EstimateCost(root, "P1", optimizer.DataShipping)
+	query := cm.EstimateCost(root, "P1", optimizer.QueryShipping)
+	if query.TotalMS >= data.TotalMS {
+		t.Errorf("large intermediate at P2: query=%0.1f data=%0.1f, query shipping must win",
+			query.TotalMS, data.TotalMS)
+	}
+	if query.Decisions[0].Site != "P2" {
+		t.Errorf("join must be pushed to P2 (the data), got %s", query.Decisions[0].Site)
+	}
+}
+
+func TestHybridNeverWorseThanFixedPolicies(t *testing.T) {
+	for _, load := range []int{0, 100, 5000} {
+		cat := catalogWith(map[pattern.PeerID]int{"P1": 10, "P2": 2000, "P3": 300})
+		cat.SetLoad("P2", load)
+		cat.PutLink("P1", "P3", stats.Link{LatencyMS: 200, BandwidthKBps: 50})
+		cm := optimizer.NewCostModel(cat)
+		root := figure5Plan()
+		data := cm.EstimateCost(root, "P1", optimizer.DataShipping).TotalMS
+		query := cm.EstimateCost(root, "P1", optimizer.QueryShipping).TotalMS
+		hybrid := cm.EstimateCost(root, "P1", optimizer.HybridShipping).TotalMS
+		min := data
+		if query < min {
+			min = query
+		}
+		if hybrid > min+1e-9 {
+			t.Errorf("load=%d: hybrid=%0.2f exceeds best fixed=%0.2f", load, hybrid, min)
+		}
+	}
+}
+
+func TestCardinalityEstimates(t *testing.T) {
+	cat := catalogWith(map[pattern.PeerID]int{"P1": 100})
+	cm := optimizer.NewCostModel(cat)
+	q := gen.PaperQuery()
+	scan := plan.NewScan(q.Patterns[0], "P1")
+	if got := cm.CardOf(scan); got != 100 {
+		t.Errorf("scan card = %f", got)
+	}
+	hole := plan.NewHole(q.Patterns[0])
+	if got := cm.CardOf(hole); got != 0 {
+		t.Errorf("hole card = %f", got)
+	}
+	// Identical union branches deduplicate (union is idempotent)...
+	if got := cm.CardOf(plan.NewUnion(scan, plan.NewScan(q.Patterns[0], "P1"))); got != 100 {
+		t.Errorf("idempotent union card = %f", got)
+	}
+	// ...while distinct branches add up.
+	u := plan.NewUnion(scan, plan.NewScan(q.Patterns[1], "P1"))
+	if got := cm.CardOf(u); got != 200 {
+		t.Errorf("union card = %f", got)
+	}
+	merged := &plan.Scan{Patterns: q.Patterns, Peer: "P1"}
+	// 100 * 100 * (1/100 via distinct stats) = 100.
+	if got := cm.CardOf(merged); got != 100 {
+		t.Errorf("merged scan card = %f", got)
+	}
+	j := plan.NewJoin(scan, plan.NewScan(q.Patterns[1], "P1"))
+	if got := cm.CardOf(j); got <= 0 {
+		t.Errorf("join card = %f", got)
+	}
+	if cm.BytesOf(scan) != 100*128 {
+		t.Errorf("BytesOf = %f", cm.BytesOf(scan))
+	}
+	if got := cm.CardOf(nil); got != 0 {
+		t.Errorf("nil card = %f", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if optimizer.DataShipping.String() != "data-shipping" ||
+		optimizer.QueryShipping.String() != "query-shipping" ||
+		optimizer.HybridShipping.String() != "hybrid-shipping" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestExplainRendersEstimates(t *testing.T) {
+	cat := catalogWith(map[pattern.PeerID]int{"P1": 100, "P2": 1000, "P3": 1000})
+	cm := optimizer.NewCostModel(cat)
+	q := gen.PaperQuery()
+	root := plan.NewJoin(
+		plan.NewUnion(plan.NewScan(q.Patterns[0], "P2"), plan.NewScan(q.Patterns[0], "P1")),
+		plan.NewScan(q.Patterns[1], "P3"))
+	out := cm.Explain(root, "P1")
+	for _, want := range []string{"estimated cost:", "⋈", "∪", "Q1@P2", "rows≈", "hybrid-site="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}

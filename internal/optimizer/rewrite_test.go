@@ -1,0 +1,160 @@
+package optimizer_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/optimizer"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/routing"
+)
+
+func figure3Plan1(t testing.TB) *plan.Plan {
+	t.Helper()
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	ann := routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+	p, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return p
+}
+
+// TestFigure4Plan2 reproduces the first rewrite of Figure 4: distributing
+// the join over the two unions yields a union of 3×3 = 9 two-way joins.
+func TestFigure4Plan2(t *testing.T) {
+	p1 := figure3Plan1(t)
+	p2 := optimizer.DistributeJoinsOverUnions(p1.Root)
+	u, ok := p2.(*plan.Union)
+	if !ok {
+		t.Fatalf("Plan 2 root is %T, want union: %s", p2, p2)
+	}
+	if len(u.Inputs) != 9 {
+		t.Fatalf("Plan 2 has %d branches, want 9: %s", len(u.Inputs), p2)
+	}
+	for _, in := range u.Inputs {
+		j, ok := in.(*plan.Join)
+		if !ok || len(j.Inputs) != 2 {
+			t.Errorf("branch %s is not a binary join", in)
+		}
+	}
+	// First branch joins Q1@P1 with Q2@P1.
+	if u.Inputs[0].String() != "⋈(Q1@P1, Q2@P1)" {
+		t.Errorf("first branch = %s", u.Inputs[0])
+	}
+}
+
+// TestFigure4Plan3 reproduces the second rewrite: transformation rules
+// merge the same-peer branches, pushing the prop1⋈prop2 join down to P1
+// and P4 exactly as the paper describes.
+func TestFigure4Plan3(t *testing.T) {
+	p1 := figure3Plan1(t)
+	p3 := optimizer.Optimize(p1, optimizer.Options{})
+	out := p3.String()
+	if !strings.Contains(out, "[Q1⋈Q2]@P1") {
+		t.Errorf("Plan 3 does not push the join to P1: %s", out)
+	}
+	if !strings.Contains(out, "[Q1⋈Q2]@P4") {
+		t.Errorf("Plan 3 does not push the join to P4: %s", out)
+	}
+	// Mixed-peer branches stay distributed.
+	if !strings.Contains(out, "⋈(Q1@P2, Q2@P3)") {
+		t.Errorf("Plan 3 lost a mixed branch: %s", out)
+	}
+	// Plan 3 sends fewer subplans than Plan 2.
+	p2 := optimizer.DistributeJoinsOverUnions(p1.Root)
+	if got, was := plan.CountSubplans(p3.Root), plan.CountSubplans(p2); got >= was {
+		t.Errorf("subplans: plan3=%d plan2=%d, rules must reduce them", got, was)
+	}
+	// The original plan is untouched.
+	if p1.String() != "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))" {
+		t.Errorf("Optimize mutated its input: %s", p1)
+	}
+}
+
+func TestOptimizeAblations(t *testing.T) {
+	p1 := figure3Plan1(t)
+	noDist := optimizer.Optimize(p1, optimizer.Options{SkipDistribution: true})
+	// Without distribution the top join of unions has no same-peer scan
+	// pairs inside a single join node, so the plan shape is preserved.
+	if noDist.String() != p1.String() {
+		t.Errorf("merge-only changed plan unexpectedly: %s", noDist)
+	}
+	noMerge := optimizer.Optimize(p1, optimizer.Options{SkipMergeRules: true})
+	if strings.Contains(noMerge.String(), "[Q1⋈Q2]") {
+		t.Errorf("merge applied despite SkipMergeRules: %s", noMerge)
+	}
+	if u, ok := noMerge.Root.(*plan.Union); !ok || len(u.Inputs) != 9 {
+		t.Errorf("distribution-only plan shape wrong: %s", noMerge)
+	}
+}
+
+func TestDistributePreservesHoles(t *testing.T) {
+	reg := routing.NewRegistry()
+	reg.Register("P2", gen.PaperActiveSchemas()["P2"])
+	ann := routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+	p, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	opt := optimizer.Optimize(p, optimizer.Options{})
+	if !plan.HasHoles(opt.Root) {
+		t.Errorf("optimization dropped the hole: %s", opt)
+	}
+	if strings.Contains(opt.String(), "[Q1⋈Q2]") {
+		t.Errorf("hole merged into a scan: %s", opt)
+	}
+}
+
+func TestTransformationRulesRequireSharedVariables(t *testing.T) {
+	// Q1 {X}prop1{Y} and Q3 {Z}prop3{W} at the same peer share no
+	// variable: merging them would make the peer compute a cartesian
+	// product, so they must stay separate.
+	q1 := gen.PaperQuery().Patterns[0]
+	q3 := pattern.PathPattern{ID: "Q3", SubjectVar: "Z", ObjectVar: "W",
+		Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4")}
+	j := plan.NewJoin(plan.NewScan(q1, "P1"), plan.NewScan(q3, "P1"))
+	out := optimizer.ApplyTransformationRules(j)
+	if out.String() != "⋈(Q1@P1, Q3@P1)" {
+		t.Errorf("disconnected same-peer scans merged: %s", out)
+	}
+}
+
+func TestTransformationRuleTwoShape(t *testing.T) {
+	// The paper's Rule 2 shape: ⋈(⋈(QP, Q1@Pi), Q2@Pi) with QP at another
+	// peer. Flattening + grouping must yield ⋈(QP, [Q1⋈Q2]@Pi).
+	q := gen.PaperQuery()
+	q.Patterns = append(q.Patterns, pattern.PathPattern{
+		ID: "Q3", SubjectVar: "Z", ObjectVar: "W",
+		Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4")})
+	qp := plan.NewScan(q.Patterns[0], "P9")                      // Q1@P9
+	inner := plan.NewJoin(qp, plan.NewScan(q.Patterns[1], "P1")) // ⋈(Q1@P9, Q2@P1)
+	outer := plan.NewJoin(inner, plan.NewScan(q.Patterns[2], "P1"))
+	out := optimizer.ApplyTransformationRules(outer)
+	if out.String() != "⋈(Q1@P9, [Q2⋈Q3]@P1)" {
+		t.Errorf("Rule 2 result = %s", out)
+	}
+}
+
+func TestDistributionCapsExplosion(t *testing.T) {
+	// A join of many wide unions beyond MaxDistributionBranches is left
+	// in place rather than exploded.
+	q1 := gen.PaperQuery().Patterns[0]
+	q2 := gen.PaperQuery().Patterns[1]
+	var u1, u2 []plan.Node
+	for i := 0; i < 40; i++ {
+		u1 = append(u1, plan.NewScan(q1, pattern.PeerID(fmt.Sprintf("PA%d", i))))
+		u2 = append(u2, plan.NewScan(q2, pattern.PeerID(fmt.Sprintf("PB%d", i))))
+	}
+	j := plan.NewJoin(plan.NewUnion(u1...), plan.NewUnion(u2...))
+	out := optimizer.DistributeJoinsOverUnions(j)
+	if _, ok := out.(*plan.Join); !ok {
+		t.Errorf("40×40 distribution not capped: produced %T", out)
+	}
+}

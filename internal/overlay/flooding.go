@@ -1,0 +1,196 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+)
+
+// Flooding is the Gnutella-style baseline the paper's SON claims are
+// measured against: queries are broadcast TTL-hops deep through the
+// physical neighbor graph; every reached peer evaluates the whole query
+// against its local base and returns its local answer to the initiator.
+// There is no schema-based routing and no distributed join, so flooding
+// pays messages at every peer (relevant or not) and misses answers whose
+// path patterns span peers.
+type Flooding struct {
+	// Net is the shared transport.
+	Net *network.Network
+	// Schema is the community schema used for local evaluation.
+	Schema *rdf.Schema
+
+	mu    sync.Mutex
+	peers map[pattern.PeerID]*peer.Peer
+	seen  map[pattern.PeerID]map[string]bool // per-peer seen query ids
+}
+
+// NewFlooding returns an empty flooding network.
+func NewFlooding(net *network.Network, schema *rdf.Schema) *Flooding {
+	return &Flooding{
+		Net:    net,
+		Schema: schema,
+		peers:  map[pattern.PeerID]*peer.Peer{},
+		seen:   map[pattern.PeerID]map[string]bool{},
+	}
+}
+
+// AddPeer creates a peer with the given base and physical neighbors
+// (symmetric links). No advertisements are exchanged — flooding has no
+// routing knowledge.
+func (f *Flooding) AddPeer(id pattern.PeerID, base *rdf.Base, neighbors ...pattern.PeerID) (*peer.Peer, error) {
+	f.mu.Lock()
+	if _, dup := f.peers[id]; dup {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("overlay: peer %s already exists", id)
+	}
+	f.mu.Unlock()
+	p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: f.Schema, Base: base}, f.Net)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.peers[id] = p
+	f.seen[id] = map[string]bool{}
+	f.mu.Unlock()
+	f.Net.Handle(id, "flood.query", f.queryHandler(p))
+	for _, n := range neighbors {
+		f.mu.Lock()
+		pn, ok := f.peers[n]
+		f.mu.Unlock()
+		if ok {
+			p.AddNeighbor(n)
+			pn.AddNeighbor(id)
+		}
+	}
+	return p, nil
+}
+
+// Peer returns a peer by id.
+func (f *Flooding) Peer(id pattern.PeerID) (*peer.Peer, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.peers[id]
+	return p, ok
+}
+
+// PeerIDs returns all peer ids, sorted.
+func (f *Flooding) PeerIDs() []pattern.PeerID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]pattern.PeerID, 0, len(f.peers))
+	for id := range f.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// floodReq is the wire form of a flooded query.
+type floodReq struct {
+	QueryID string `json:"queryId"`
+	RQL     string `json:"rql"`
+	TTL     int    `json:"ttl"`
+}
+
+// floodReply aggregates the rows gathered below a peer.
+type floodReply struct {
+	Rows *rql.ResultSet `json:"rows"`
+	// PeersReached counts peers that processed the query in this subtree.
+	PeersReached int `json:"peersReached"`
+}
+
+// queryHandler evaluates the flooded query locally and recursively floods
+// unvisited neighbors, aggregating replies.
+func (f *Flooding) queryHandler(p *peer.Peer) network.Handler {
+	return func(msg network.Message) ([]byte, error) {
+		var req floodReq
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return nil, fmt.Errorf("overlay: %s: bad flood request: %w", p.ID, err)
+		}
+		f.mu.Lock()
+		if f.seen[p.ID][req.QueryID] {
+			f.mu.Unlock()
+			return json.Marshal(floodReply{Rows: rql.NewResultSet(), PeersReached: 0})
+		}
+		f.seen[p.ID][req.QueryID] = true
+		f.mu.Unlock()
+
+		reply := floodReply{Rows: rql.NewResultSet(), PeersReached: 1}
+		if c, err := p.Compile(req.RQL); err == nil {
+			if rows, err := rql.Eval(c, p.Base); err == nil {
+				reply.Rows = rows
+			}
+		}
+		if req.TTL > 0 {
+			fwd := floodReq{QueryID: req.QueryID, RQL: req.RQL, TTL: req.TTL - 1}
+			body, err := json.Marshal(fwd)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range p.Neighbors() {
+				resp, err := f.Net.Call(p.ID, n, "flood.query", body)
+				if err != nil {
+					continue // dead neighbor
+				}
+				var sub floodReply
+				if err := json.Unmarshal(resp, &sub); err != nil {
+					continue
+				}
+				if sub.Rows != nil {
+					reply.Rows = reply.Rows.Union(sub.Rows)
+				}
+				reply.PeersReached += sub.PeersReached
+			}
+		}
+		return json.Marshal(reply)
+	}
+}
+
+// FloodResult reports a flooded query's outcome.
+type FloodResult struct {
+	// Rows is the union of every reached peer's local answer.
+	Rows *rql.ResultSet
+	// PeersReached counts peers that processed the query.
+	PeersReached int
+}
+
+var floodSeq int
+var floodSeqMu sync.Mutex
+
+// Query floods an RQL query from a peer with the given TTL and returns
+// the unioned local answers.
+func (f *Flooding) Query(at pattern.PeerID, rqlText string, ttl int) (*FloodResult, error) {
+	f.mu.Lock()
+	p, ok := f.peers[at]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("overlay: unknown peer %s", at)
+	}
+	floodSeqMu.Lock()
+	floodSeq++
+	qid := fmt.Sprintf("flood-%d", floodSeq)
+	floodSeqMu.Unlock()
+
+	// The initiator processes the query like everyone else: mark seen,
+	// evaluate locally, flood neighbors.
+	body, err := json.Marshal(floodReq{QueryID: qid, RQL: rqlText, TTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.Net.Call(p.ID, p.ID, "flood.query", body)
+	if err != nil {
+		return nil, err
+	}
+	var reply floodReply
+	if err := json.Unmarshal(resp, &reply); err != nil {
+		return nil, err
+	}
+	return &FloodResult{Rows: reply.Rows, PeersReached: reply.PeersReached}, nil
+}

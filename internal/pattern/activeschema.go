@@ -1,0 +1,170 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sqpeer/internal/rdf"
+)
+
+// ActiveSchema advertises the populated subset of a community RDF/S schema
+// in a peer base (paper §2.2): the properties that hold (or, for virtual
+// bases, can hold) instance pairs, each with its end-point classes, plus
+// the populated classes. Active-schemas use the same PathPattern formalism
+// as query patterns, which is what makes query/view subsumption uniform.
+type ActiveSchema struct {
+	// SchemaName identifies the community schema this is a subset of.
+	SchemaName string `json:"schemaName"`
+	// Patterns are the populated properties with their end-point classes.
+	Patterns []PathPattern `json:"patterns"`
+	// Classes are the populated classes (covers class-only population,
+	// e.g. a base with typed resources but no property instances).
+	Classes []rdf.IRI `json:"classes"`
+}
+
+// NewActiveSchema builds an active-schema over the named community schema.
+func NewActiveSchema(schemaName string) *ActiveSchema {
+	return &ActiveSchema{SchemaName: schemaName}
+}
+
+// AddProperty records property prop as populated, taking its end-point
+// classes from the schema definition.
+func (a *ActiveSchema) AddProperty(schema *rdf.Schema, prop rdf.IRI) error {
+	def, ok := schema.PropertyByName(prop)
+	if !ok {
+		return fmt.Errorf("pattern: active-schema property %s not in schema %s", prop, schema.Name)
+	}
+	return a.AddPropertyPattern(prop, def.Domain, def.Range)
+}
+
+// AddPropertyPattern records property prop as populated with explicit
+// end-point classes (used when a view populates a property at a subclass
+// of its declared domain or range).
+func (a *ActiveSchema) AddPropertyPattern(prop, domain, rng rdf.IRI) error {
+	for _, p := range a.Patterns {
+		if p.Property == prop && p.Domain == domain && p.Range == rng {
+			return nil // idempotent
+		}
+	}
+	id := fmt.Sprintf("AS%d", len(a.Patterns)+1)
+	a.Patterns = append(a.Patterns, PathPattern{
+		ID: id, SubjectVar: "_s" + id, ObjectVar: "_o" + id,
+		Property: prop, Domain: domain, Range: rng,
+	})
+	return nil
+}
+
+// AddClass records class c as populated.
+func (a *ActiveSchema) AddClass(c rdf.IRI) {
+	for _, existing := range a.Classes {
+		if existing == c {
+			return
+		}
+	}
+	a.Classes = append(a.Classes, c)
+}
+
+// HasProperty reports whether the active-schema declares prop populated
+// (exact property name, no subsumption).
+func (a *ActiveSchema) HasProperty(prop rdf.IRI) bool {
+	for _, p := range a.Patterns {
+		if p.Property == prop {
+			return true
+		}
+	}
+	return false
+}
+
+// HasClass reports whether the active-schema declares c populated.
+func (a *ActiveSchema) HasClass(c rdf.IRI) bool {
+	for _, existing := range a.Classes {
+		if existing == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of populated properties — a proxy for the
+// advertisement's network footprint, which the paper contrasts with
+// whole-schema advertisements.
+func (a *ActiveSchema) Size() int { return len(a.Patterns) }
+
+// String renders the active-schema deterministically.
+func (a *ActiveSchema) String() string {
+	props := make([]string, len(a.Patterns))
+	for i, p := range a.Patterns {
+		props[i] = fmt.Sprintf("%s(%s→%s)", p.Property.Local(), p.Domain.Local(), p.Range.Local())
+	}
+	sort.Strings(props)
+	classes := make([]string, len(a.Classes))
+	for i, c := range a.Classes {
+		classes[i] = c.Local()
+	}
+	sort.Strings(classes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "active-schema of %s: props=[%s]", a.SchemaName, strings.Join(props, " "))
+	if len(classes) > 0 {
+		fmt.Fprintf(&b, " classes=[%s]", strings.Join(classes, " "))
+	}
+	return b.String()
+}
+
+// Clone returns an independent deep copy.
+func (a *ActiveSchema) Clone() *ActiveSchema {
+	c := &ActiveSchema{SchemaName: a.SchemaName}
+	c.Patterns = append(c.Patterns, a.Patterns...)
+	c.Classes = append(c.Classes, a.Classes...)
+	return c
+}
+
+// DeriveActiveSchema inspects a materialized base and derives its
+// active-schema: every schema property with at least one pair (counting
+// subproperty contributions at the subproperty itself, not the super) and
+// every class with at least one direct instance. This is the materialized
+// scenario of paper §2.2; the virtual scenario derives the active-schema
+// from RVL view definitions instead (package rvl).
+func DeriveActiveSchema(base *rdf.Base, schema *rdf.Schema) *ActiveSchema {
+	a := NewActiveSchema(schema.Name)
+	for _, used := range base.PropertiesUsed() {
+		if def, ok := schema.PropertyByName(used); ok {
+			// Record at the asserted property; routing's subsumption check
+			// makes it visible to superproperty queries.
+			if err := a.AddPropertyPattern(used, def.Domain, def.Range); err != nil {
+				// Unreachable: AddPropertyPattern only fails on schema
+				// lookups we already performed.
+				panic(err)
+			}
+		}
+	}
+	for _, c := range base.ClassesUsed() {
+		if schema.HasClass(c) {
+			a.AddClass(c)
+		}
+	}
+	// Deterministic order regardless of map iteration.
+	sort.Slice(a.Patterns, func(i, j int) bool { return a.Patterns[i].Property < a.Patterns[j].Property })
+	for i := range a.Patterns {
+		a.Patterns[i].ID = fmt.Sprintf("AS%d", i+1)
+	}
+	sort.Slice(a.Classes, func(i, j int) bool { return a.Classes[i] < a.Classes[j] })
+	return a
+}
+
+// WholeSchemaAdvertisement builds the coarse-grained alternative the paper
+// argues against (§2.2): an advertisement claiming every schema property
+// and class is populated. Used by the ablation benchmarks to measure the
+// irrelevant-query load that active-schemas avoid.
+func WholeSchemaAdvertisement(schema *rdf.Schema) *ActiveSchema {
+	a := NewActiveSchema(schema.Name)
+	for _, p := range schema.Properties() {
+		if err := a.AddPropertyPattern(p.Name, p.Domain, p.Range); err != nil {
+			panic(err)
+		}
+	}
+	for _, c := range schema.Classes() {
+		a.AddClass(c.Name)
+	}
+	return a
+}

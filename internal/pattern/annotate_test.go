@@ -1,0 +1,126 @@
+package pattern_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+)
+
+func TestAnnotatedBasics(t *testing.T) {
+	q := gen.PaperQuery()
+	a := pattern.NewAnnotated(q)
+	if a.Complete() {
+		t.Error("fresh annotation reported complete")
+	}
+	if holes := a.Holes(); len(holes) != 2 {
+		t.Errorf("Holes = %v, want [Q1 Q2]", holes)
+	}
+
+	a.Annotate("Q1", "P2", nil)
+	a.Annotate("Q1", "P1", nil)
+	a.Annotate("Q1", "P1", nil) // duplicate must be ignored
+	peers := a.PeersFor("Q1")
+	if len(peers) != 2 || peers[0] != "P1" || peers[1] != "P2" {
+		t.Errorf("PeersFor(Q1) = %v (must be sorted, deduplicated)", peers)
+	}
+	if a.Complete() {
+		t.Error("annotation with a hole reported complete")
+	}
+	a.Annotate("Q2", "P3", nil)
+	if !a.Complete() {
+		t.Error("fully annotated pattern reported incomplete")
+	}
+	if holes := a.Holes(); len(holes) != 0 {
+		t.Errorf("Holes = %v after full annotation", holes)
+	}
+	all := a.AllPeers()
+	if len(all) != 3 || all[0] != "P1" || all[1] != "P2" || all[2] != "P3" {
+		t.Errorf("AllPeers = %v", all)
+	}
+}
+
+func TestAnnotatedRewrites(t *testing.T) {
+	q := gen.PaperQuery()
+	a := pattern.NewAnnotated(q)
+	rw := pattern.PathPattern{ID: "Q1", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop4"), Domain: gen.N1("C5"), Range: gen.N1("C6")}
+	a.Annotate("Q1", "P4", []pattern.PathPattern{rw})
+	a.Annotate("Q1", "P4", []pattern.PathPattern{rw}) // same shape → deduped
+	got := a.RewritesFor("Q1", "P4")
+	if len(got) != 1 || got[0].Property != gen.N1("prop4") {
+		t.Errorf("RewritesFor = %v", got)
+	}
+	if rwNone := a.RewritesFor("Q1", "P1"); len(rwNone) != 0 {
+		t.Errorf("unexpected rewrites for P1: %v", rwNone)
+	}
+}
+
+func TestAnnotatedMerge(t *testing.T) {
+	q := gen.PaperQuery()
+	a := pattern.NewAnnotated(q)
+	a.Annotate("Q1", "P2", nil)
+
+	b := pattern.NewAnnotated(q)
+	b.Annotate("Q1", "P3", nil)
+	b.Annotate("Q2", "P5", []pattern.PathPattern{{
+		ID: "Q2", SubjectVar: "Y", ObjectVar: "Z",
+		Property: gen.N1("prop2"), Domain: gen.N1("C2"), Range: gen.N1("C3"),
+	}})
+
+	a.Merge(b)
+	if got := a.PeersFor("Q1"); len(got) != 2 {
+		t.Errorf("merged PeersFor(Q1) = %v", got)
+	}
+	if got := a.PeersFor("Q2"); len(got) != 1 || got[0] != "P5" {
+		t.Errorf("merged PeersFor(Q2) = %v", got)
+	}
+	if len(a.RewritesFor("Q2", "P5")) != 1 {
+		t.Error("merge dropped rewrites")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestAnnotatedString(t *testing.T) {
+	q := gen.PaperQuery()
+	a := pattern.NewAnnotated(q)
+	a.Annotate("Q1", "P1", nil)
+	a.Annotate("Q1", "P2", nil)
+	a.Annotate("Q2", "P3", nil)
+	out := a.String()
+	if !strings.Contains(out, "Q1 → [P1 P2]") || !strings.Contains(out, "Q2 → [P3]") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestAnnotatedSerializationRoundTrip(t *testing.T) {
+	q := gen.PaperQuery()
+	a := pattern.NewAnnotated(q)
+	a.Annotate("Q1", "P4", []pattern.PathPattern{{
+		ID: "Q1", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop4"), Domain: gen.N1("C5"), Range: gen.N1("C6"),
+	}})
+	a.Annotate("Q2", "P3", nil)
+
+	data, err := pattern.MarshalAnnotated(a)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := pattern.UnmarshalAnnotated(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Query.String() != a.Query.String() {
+		t.Errorf("query lost in round trip: %s vs %s", back.Query, a.Query)
+	}
+	if got := back.PeersFor("Q1"); len(got) != 1 || got[0] != "P4" {
+		t.Errorf("round-trip PeersFor(Q1) = %v", got)
+	}
+	if got := back.RewritesFor("Q1", "P4"); len(got) != 1 || got[0].Property != gen.N1("prop4") {
+		t.Errorf("round-trip rewrites = %v", got)
+	}
+	if _, err := pattern.UnmarshalAnnotated([]byte("{garbage")); err == nil {
+		t.Error("garbage accepted by UnmarshalAnnotated")
+	}
+}

@@ -1,0 +1,245 @@
+package pattern_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+func TestPathPatternString(t *testing.T) {
+	q := gen.PaperQuery()
+	if got := q.Patterns[0].String(); got != "{X;C1}prop1{Y;C2}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPathPatternSameShapeAndSharesVar(t *testing.T) {
+	q := gen.PaperQuery()
+	q1, q2 := q.Patterns[0], q.Patterns[1]
+	if q1.SameShape(q2) {
+		t.Error("distinct properties reported same shape")
+	}
+	clone := q1
+	clone.ID, clone.SubjectVar, clone.ObjectVar = "other", "A", "B"
+	if !q1.SameShape(clone) {
+		t.Error("SameShape must ignore ids and variable names")
+	}
+	if !q1.SharesVar(q2) {
+		t.Error("Q1 and Q2 share Y; SharesVar false")
+	}
+	q3 := pattern.PathPattern{ID: "Q3", SubjectVar: "A", ObjectVar: "B", Property: gen.N1("prop3")}
+	if q1.SharesVar(q3) {
+		t.Error("disjoint variables reported shared")
+	}
+}
+
+func TestQueryPatternValidate(t *testing.T) {
+	q := gen.PaperQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("paper query should validate: %v", err)
+	}
+
+	empty := &pattern.QueryPattern{SchemaName: gen.PaperNS}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty pattern accepted")
+	}
+
+	dup := gen.PaperQuery()
+	dup.Patterns[1].ID = "Q1"
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate pattern ids accepted")
+	}
+
+	badProj := gen.PaperQuery()
+	badProj.Projections = []string{"W"}
+	if err := badProj.Validate(); err == nil {
+		t.Error("projection of unknown variable accepted")
+	}
+
+	disconnected := gen.PaperQuery()
+	disconnected.Patterns = append(disconnected.Patterns, pattern.PathPattern{
+		ID: "Q3", SubjectVar: "A", ObjectVar: "B",
+		Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4"),
+	})
+	if err := disconnected.Validate(); err == nil {
+		t.Error("disconnected join graph accepted")
+	} else if !strings.Contains(err.Error(), "Q3") {
+		t.Errorf("error should name the unreachable pattern: %v", err)
+	}
+
+	noVar := gen.PaperQuery()
+	noVar.Patterns[0].SubjectVar = ""
+	if err := noVar.Validate(); err == nil {
+		t.Error("unnamed variable accepted")
+	}
+
+	noProp := gen.PaperQuery()
+	noProp.Patterns[0].Property = ""
+	if err := noProp.Validate(); err == nil {
+		t.Error("missing property accepted")
+	}
+}
+
+func TestQueryPatternVariablesAndLookup(t *testing.T) {
+	q := gen.PaperQuery()
+	vars := q.Variables()
+	if len(vars) != 3 || vars[0] != "X" || vars[1] != "Y" || vars[2] != "Z" {
+		t.Errorf("Variables() = %v", vars)
+	}
+	p, ok := q.Pattern("Q2")
+	if !ok || p.Property != gen.N1("prop2") {
+		t.Errorf("Pattern(Q2) = %+v, %v", p, ok)
+	}
+	if _, ok := q.Pattern("Q9"); ok {
+		t.Error("Pattern(Q9) found a ghost")
+	}
+}
+
+func TestJoinTreeStructure(t *testing.T) {
+	q := gen.PaperQuery()
+	tree, err := q.JoinTree()
+	if err != nil {
+		t.Fatalf("JoinTree: %v", err)
+	}
+	if tree.Root != "Q1" {
+		t.Errorf("root = %q, want Q1", tree.Root)
+	}
+	if kids := tree.Children("Q1"); len(kids) != 1 || kids[0] != "Q2" {
+		t.Errorf("Children(Q1) = %v", kids)
+	}
+	if kids := tree.Children("Q2"); len(kids) != 0 {
+		t.Errorf("Children(Q2) = %v", kids)
+	}
+	if tree.Pattern("Q2").Property != gen.N1("prop2") {
+		t.Error("Pattern lookup through tree failed")
+	}
+}
+
+func TestJoinTreeThreeHopChain(t *testing.T) {
+	q := gen.PaperQuery()
+	q.Patterns = append(q.Patterns, pattern.PathPattern{
+		ID: "Q3", SubjectVar: "Z", ObjectVar: "W",
+		Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4"),
+	})
+	tree, err := q.JoinTree()
+	if err != nil {
+		t.Fatalf("JoinTree: %v", err)
+	}
+	var order []string
+	var depths []int
+	tree.Walk(func(id string, depth int) {
+		order = append(order, id)
+		depths = append(depths, depth)
+	})
+	if len(order) != 3 || order[0] != "Q1" || order[1] != "Q2" || order[2] != "Q3" {
+		t.Errorf("Walk order = %v", order)
+	}
+	if depths[2] != 2 {
+		t.Errorf("Q3 depth = %d, want 2", depths[2])
+	}
+}
+
+func TestJoinTreeStarQuery(t *testing.T) {
+	// Star join: Q1 and Q2 both hang off X.
+	q := &pattern.QueryPattern{
+		SchemaName: gen.PaperNS,
+		Patterns: []pattern.PathPattern{
+			{ID: "Q1", SubjectVar: "X", ObjectVar: "Y", Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2")},
+			{ID: "Q2", SubjectVar: "X", ObjectVar: "W", Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2")},
+		},
+	}
+	tree, err := q.JoinTree()
+	if err != nil {
+		t.Fatalf("JoinTree: %v", err)
+	}
+	if kids := tree.Children("Q1"); len(kids) != 1 || kids[0] != "Q2" {
+		t.Errorf("Children(Q1) = %v", kids)
+	}
+}
+
+func TestQueryPatternString(t *testing.T) {
+	out := gen.PaperQuery().String()
+	for _, want := range []string{"Q1:{X;C1}prop1{Y;C2}", "⋈", "→ X,Y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestActiveSchemaBuildAndQuery(t *testing.T) {
+	schema := gen.PaperSchema()
+	a := pattern.NewActiveSchema(gen.PaperNS)
+	if err := a.AddProperty(schema, gen.N1("prop1")); err != nil {
+		t.Fatalf("AddProperty: %v", err)
+	}
+	if err := a.AddProperty(schema, gen.N1("prop1")); err != nil {
+		t.Fatalf("idempotent AddProperty: %v", err)
+	}
+	if a.Size() != 1 {
+		t.Errorf("Size = %d after duplicate add", a.Size())
+	}
+	if err := a.AddProperty(schema, gen.N1("nosuch")); err == nil {
+		t.Error("unknown property accepted")
+	}
+	a.AddClass(gen.N1("C1"))
+	a.AddClass(gen.N1("C1"))
+	if len(a.Classes) != 1 {
+		t.Errorf("duplicate class recorded: %v", a.Classes)
+	}
+	if !a.HasProperty(gen.N1("prop1")) || a.HasProperty(gen.N1("prop2")) {
+		t.Error("HasProperty wrong")
+	}
+	if !a.HasClass(gen.N1("C1")) || a.HasClass(gen.N1("C2")) {
+		t.Error("HasClass wrong")
+	}
+	if !strings.Contains(a.String(), "prop1(C1→C2)") {
+		t.Errorf("String() = %s", a)
+	}
+	c := a.Clone()
+	c.AddClass(gen.N1("C3"))
+	if a.HasClass(gen.N1("C3")) {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestDeriveActiveSchemaMaterialized(t *testing.T) {
+	schema := gen.PaperSchema()
+	bases := gen.PaperBases(3)
+	// P4 populates prop4 and prop2; its derived active-schema must record
+	// prop4 (not prop1) plus prop2, and classes C5, C6, C2, C3.
+	a := pattern.DeriveActiveSchema(bases["P4"], schema)
+	if a.Size() != 2 {
+		t.Fatalf("P4 active-schema size = %d: %s", a.Size(), a)
+	}
+	if !a.HasProperty(gen.N1("prop4")) || !a.HasProperty(gen.N1("prop2")) {
+		t.Errorf("P4 active-schema = %s", a)
+	}
+	if a.HasProperty(gen.N1("prop1")) {
+		t.Error("derivation must record the asserted subproperty, not its super")
+	}
+	for _, c := range []string{"C5", "C6", "C2", "C3"} {
+		if !a.HasClass(gen.N1(c)) {
+			t.Errorf("P4 active-schema missing class %s: %s", c, a)
+		}
+	}
+	// Properties outside the schema are ignored.
+	bases["P4"].Add(rdf.Statement("http://other#a", "http://other#weird", "http://other#b"))
+	a2 := pattern.DeriveActiveSchema(bases["P4"], schema)
+	if a2.Size() != 2 {
+		t.Errorf("foreign property leaked into active-schema: %s", a2)
+	}
+}
+
+func TestWholeSchemaAdvertisement(t *testing.T) {
+	schema := gen.PaperSchema()
+	a := pattern.WholeSchemaAdvertisement(schema)
+	if a.Size() != 4 {
+		t.Errorf("whole-schema advertisement has %d properties, want 4", a.Size())
+	}
+	if len(a.Classes) != 6 {
+		t.Errorf("whole-schema advertisement has %d classes, want 6", len(a.Classes))
+	}
+}

@@ -1,0 +1,106 @@
+package pattern
+
+import (
+	"sqpeer/internal/rdf"
+)
+
+// IsSubsumed reports whether active-schema path pattern as is subsumed by
+// query path pattern q under the schema's class and property hierarchies:
+//
+//	as ⊑ q  ⇔  as.Property ⊑ q.Property ∧ as.Domain ⊑ q.Domain ∧ as.Range ⊑ q.Range
+//
+// This is the isSubsumed(ASjk, AQi) test of the paper's Query-Routing
+// Algorithm (§2.3): a peer whose base populates `as` can contribute
+// answers to `q`, because every `as` instance pair is, by RDF/S semantics,
+// also a `q` instance pair. The check is sound and complete for the
+// conjunctive fragment (single-property path patterns with typed ends).
+func IsSubsumed(schema *rdf.Schema, as, q PathPattern) bool {
+	if !schema.IsSubPropertyOf(as.Property, q.Property) {
+		return false
+	}
+	if !schema.IsSubClassOf(as.Domain, q.Domain) {
+		return false
+	}
+	return schema.IsSubClassOf(as.Range, q.Range)
+}
+
+// SubsumptionMode selects how routing matches active-schemas to query
+// patterns. The paper's algorithm uses full RDF/S subsumption; ExactOnly
+// is the ablation (paper §4 criticizes systems that ignore subsumption).
+type SubsumptionMode int
+
+const (
+	// FullSubsumption matches through the class/property hierarchies.
+	FullSubsumption SubsumptionMode = iota
+	// ExactOnly matches only identical properties and end-point classes.
+	ExactOnly
+)
+
+// String names the mode.
+func (m SubsumptionMode) String() string {
+	if m == ExactOnly {
+		return "exact-only"
+	}
+	return "full-subsumption"
+}
+
+// Matches applies the chosen subsumption mode.
+func (m SubsumptionMode) Matches(schema *rdf.Schema, as, q PathPattern) bool {
+	if m == ExactOnly {
+		return as.SameShape(q)
+	}
+	return IsSubsumed(schema, as, q)
+}
+
+// CoveringPatterns returns the active-schema path patterns subsumed by the
+// query path pattern q — the specialized patterns a peer should actually
+// evaluate. Routing uses the non-emptiness of this set; the per-peer query
+// rewriting of §2.3 ("rewrite accordingly the query sent to a peer") sends
+// these patterns instead of q.
+func CoveringPatterns(schema *rdf.Schema, as *ActiveSchema, q PathPattern, mode SubsumptionMode) []PathPattern {
+	var out []PathPattern
+	for _, asp := range as.Patterns {
+		if mode.Matches(schema, asp, q) {
+			// The rewritten pattern keeps q's variable names and id so the
+			// join structure survives, but narrows the property and
+			// end-points to what the peer populates.
+			out = append(out, PathPattern{
+				ID:         q.ID,
+				SubjectVar: q.SubjectVar,
+				ObjectVar:  q.ObjectVar,
+				Property:   asp.Property,
+				Domain:     asp.Domain,
+				Range:      asp.Range,
+			})
+		}
+	}
+	return out
+}
+
+// Covers reports whether the active-schema can contribute to query path
+// pattern q at all.
+func Covers(schema *rdf.Schema, as *ActiveSchema, q PathPattern, mode SubsumptionMode) bool {
+	for _, asp := range as.Patterns {
+		if mode.Matches(schema, asp, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoverageFraction returns the fraction of the query's path patterns the
+// active-schema covers, in [0,1]. The hybrid overlay uses it to rank
+// candidate peers; the advertisement ablation uses it to quantify
+// irrelevant-query load.
+func CoverageFraction(schema *rdf.Schema, as *ActiveSchema, q *QueryPattern, mode SubsumptionMode) float64 {
+	if len(q.Patterns) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, qp := range q.Patterns {
+		if Covers(schema, as, qp, mode) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(q.Patterns))
+}

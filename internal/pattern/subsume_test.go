@@ -1,0 +1,182 @@
+package pattern_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// figure2Cases enumerates the subsumption facts Figure 2 depends on.
+func TestIsSubsumedFigure2(t *testing.T) {
+	schema := gen.PaperSchema()
+	q := gen.PaperQuery()
+	q1, q2 := q.Patterns[0], q.Patterns[1]
+	as := gen.PaperActiveSchemas()
+
+	// P1 (prop1, prop2): equal to both path patterns.
+	if !pattern.Covers(schema, as["P1"], q1, pattern.FullSubsumption) ||
+		!pattern.Covers(schema, as["P1"], q2, pattern.FullSubsumption) {
+		t.Error("P1 must cover Q1 and Q2")
+	}
+	// P2 (prop1): covers Q1 only.
+	if !pattern.Covers(schema, as["P2"], q1, pattern.FullSubsumption) ||
+		pattern.Covers(schema, as["P2"], q2, pattern.FullSubsumption) {
+		t.Error("P2 must cover exactly Q1")
+	}
+	// P3 (prop2): covers Q2 only.
+	if pattern.Covers(schema, as["P3"], q1, pattern.FullSubsumption) ||
+		!pattern.Covers(schema, as["P3"], q2, pattern.FullSubsumption) {
+		t.Error("P3 must cover exactly Q2")
+	}
+	// P4 (prop4 ⊑ prop1, prop2): covers both — the subsumption case.
+	if !pattern.Covers(schema, as["P4"], q1, pattern.FullSubsumption) ||
+		!pattern.Covers(schema, as["P4"], q2, pattern.FullSubsumption) {
+		t.Error("P4 must cover Q1 (via prop4 ⊑ prop1) and Q2")
+	}
+}
+
+func TestIsSubsumedDirectionality(t *testing.T) {
+	schema := gen.PaperSchema()
+	prop1 := pattern.PathPattern{ID: "a", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2")}
+	prop4 := pattern.PathPattern{ID: "b", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop4"), Domain: gen.N1("C5"), Range: gen.N1("C6")}
+	if !pattern.IsSubsumed(schema, prop4, prop1) {
+		t.Error("prop4 pattern ⊑ prop1 pattern must hold")
+	}
+	if pattern.IsSubsumed(schema, prop1, prop4) {
+		t.Error("prop1 pattern ⊑ prop4 pattern must NOT hold: a peer with only" +
+			" general prop1 pairs cannot answer a prop4 query")
+	}
+}
+
+func TestIsSubsumedChecksEndpointClasses(t *testing.T) {
+	schema := gen.PaperSchema()
+	// Same property, but the active-schema's domain (C1) is broader than a
+	// query restricted to C5 — not subsumed.
+	asPat := pattern.PathPattern{ID: "a", SubjectVar: "s", ObjectVar: "o",
+		Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2")}
+	qNarrow := pattern.PathPattern{ID: "q", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop1"), Domain: gen.N1("C5"), Range: gen.N1("C2")}
+	if pattern.IsSubsumed(schema, asPat, qNarrow) {
+		t.Error("broader domain must not be subsumed by narrower query domain")
+	}
+	// Narrow active-schema under broad query: subsumed.
+	asNarrow := pattern.PathPattern{ID: "a", SubjectVar: "s", ObjectVar: "o",
+		Property: gen.N1("prop1"), Domain: gen.N1("C5"), Range: gen.N1("C6")}
+	qBroad := pattern.PathPattern{ID: "q", SubjectVar: "X", ObjectVar: "Y",
+		Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2")}
+	if !pattern.IsSubsumed(schema, asNarrow, qBroad) {
+		t.Error("narrower end-points under same property must be subsumed")
+	}
+}
+
+func TestSubsumptionModes(t *testing.T) {
+	schema := gen.PaperSchema()
+	as := gen.PaperActiveSchemas()
+	q1 := gen.PaperQuery().Patterns[0]
+	// Under ExactOnly, P4's prop4 no longer matches Q1.
+	if pattern.Covers(schema, as["P4"], q1, pattern.ExactOnly) {
+		t.Error("exact-only mode must not match prop4 against prop1")
+	}
+	if !pattern.Covers(schema, as["P2"], q1, pattern.ExactOnly) {
+		t.Error("exact-only mode must still match identical patterns")
+	}
+	if pattern.FullSubsumption.String() == pattern.ExactOnly.String() {
+		t.Error("mode names must differ")
+	}
+}
+
+func TestCoveringPatternsRewrite(t *testing.T) {
+	schema := gen.PaperSchema()
+	as := gen.PaperActiveSchemas()
+	q1 := gen.PaperQuery().Patterns[0]
+	rw := pattern.CoveringPatterns(schema, as["P4"], q1, pattern.FullSubsumption)
+	if len(rw) != 1 {
+		t.Fatalf("CoveringPatterns = %v, want one rewrite", rw)
+	}
+	got := rw[0]
+	if got.Property != gen.N1("prop4") {
+		t.Errorf("rewrite property = %s, want prop4 (peer's populated property)", got.Property)
+	}
+	if got.SubjectVar != "X" || got.ObjectVar != "Y" || got.ID != "Q1" {
+		t.Errorf("rewrite must keep query variables and id: %+v", got)
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	schema := gen.PaperSchema()
+	as := gen.PaperActiveSchemas()
+	q := gen.PaperQuery()
+	cases := []struct {
+		peer pattern.PeerID
+		want float64
+	}{
+		{"P1", 1.0}, {"P2", 0.5}, {"P3", 0.5}, {"P4", 1.0},
+	}
+	for _, c := range cases {
+		if got := pattern.CoverageFraction(schema, as[c.peer], q, pattern.FullSubsumption); got != c.want {
+			t.Errorf("CoverageFraction(%s) = %f, want %f", c.peer, got, c.want)
+		}
+	}
+	if pattern.CoverageFraction(schema, as["P1"], &pattern.QueryPattern{}, pattern.FullSubsumption) != 0 {
+		t.Error("empty query coverage must be 0")
+	}
+}
+
+// TestSubsumptionSoundnessProperty: whenever IsSubsumed holds, every
+// instance pair produced under the active-schema pattern is an answer of
+// the query pattern — exercised extensionally over random bases.
+func TestSubsumptionSoundnessProperty(t *testing.T) {
+	schema := gen.PaperSchema()
+	props := []rdf.IRI{gen.N1("prop1"), gen.N1("prop2"), gen.N1("prop3"), gen.N1("prop4")}
+	prop := func(seed int64, n uint8) bool {
+		base := rdf.NewBase()
+		r := int64(seed)
+		next := func(mod int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(mod))
+			if v < 0 {
+				v += mod
+			}
+			return v
+		}
+		for i := 0; i < int(n)%40; i++ {
+			p := props[next(len(props))]
+			s := rdf.IRI(gen.PaperNS + "s" + string(rune('a'+next(8))))
+			o := rdf.IRI(gen.PaperNS + "o" + string(rune('a'+next(8))))
+			base.Add(rdf.Statement(s, p, o))
+		}
+		for _, asProp := range props {
+			for _, qProp := range props {
+				asDef, _ := schema.PropertyByName(asProp)
+				qDef, _ := schema.PropertyByName(qProp)
+				asPat := pattern.PathPattern{ID: "a", SubjectVar: "s", ObjectVar: "o",
+					Property: asProp, Domain: asDef.Domain, Range: asDef.Range}
+				qPat := pattern.PathPattern{ID: "q", SubjectVar: "X", ObjectVar: "Y",
+					Property: qProp, Domain: qDef.Domain, Range: qDef.Range}
+				if !pattern.IsSubsumed(schema, asPat, qPat) {
+					continue
+				}
+				// Every pair of asProp must appear among qProp's pairs
+				// under schema reasoning.
+				qPairs := map[rdf.Pair]bool{}
+				for _, pr := range base.Pairs(qProp, schema) {
+					qPairs[pr] = true
+				}
+				for _, pr := range base.Pairs(asProp, schema) {
+					if !qPairs[pr] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,398 @@
+// Package peer implements SQPeer's node runtime (paper §3): client-,
+// simple- and super-peers, each owning an RDF/S description base
+// (materialized, or virtual through RVL views), an active-schema
+// advertisement, a routing registry of known advertisements, a statistics
+// catalog, and a distributed execution engine wired into the network.
+package peer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/channel"
+	"sqpeer/internal/exec"
+	"sqpeer/internal/network"
+	"sqpeer/internal/optimizer"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/routing"
+	"sqpeer/internal/rql"
+	"sqpeer/internal/rvl"
+	"sqpeer/internal/stats"
+)
+
+// Kind is a peer's role in the P2P system.
+type Kind int
+
+const (
+	// ClientPeer only poses queries; it shares no base and does not
+	// participate in routing or processing.
+	ClientPeer Kind = iota
+	// SimplePeer shares its base, advertises, processes queries.
+	SimplePeer
+	// SuperPeer additionally collects cluster advertisements and routes
+	// queries for its simple-peers (hybrid architecture).
+	SuperPeer
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case ClientPeer:
+		return "client-peer"
+	case SimplePeer:
+		return "simple-peer"
+	case SuperPeer:
+		return "super-peer"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Config describes a peer at construction.
+type Config struct {
+	// ID names the peer on the network.
+	ID pattern.PeerID
+	// Kind is the peer's role.
+	Kind Kind
+	// Schema is the community RDF/S schema (SON) the peer commits to.
+	Schema *rdf.Schema
+	// Base is the peer's materialized description base (nil for pure
+	// clients; ignored when Views are given and VirtualOnly is set).
+	Base *rdf.Base
+	// Views optionally advertise through RVL views instead of base
+	// inspection (the virtual scenario of §2.2).
+	Views []*rvl.CompiledView
+	// Slots is the peer's concurrent-query processing capacity.
+	Slots int
+	// Policy is the peer's shipping policy for its own queries.
+	Policy optimizer.ShippingPolicy
+}
+
+// Advertisement is the wire form of a peer's self-description: its
+// active-schema plus the statistics the optimizer wants.
+type Advertisement struct {
+	// Peer is the advertising peer.
+	Peer pattern.PeerID `json:"peer"`
+	// ActiveSchema is the populated subset of the community schema.
+	ActiveSchema *pattern.ActiveSchema `json:"activeSchema"`
+	// Stats carries cardinalities and load for optimization.
+	Stats *stats.PeerStats `json:"stats"`
+}
+
+// Peer is one running node.
+type Peer struct {
+	// ID names the peer.
+	ID pattern.PeerID
+	// Kind is the peer's role.
+	Kind Kind
+	// Schema is the community schema.
+	Schema *rdf.Schema
+	// Base is the local description base (possibly empty).
+	Base *rdf.Base
+	// Active is the peer's own advertisement.
+	Active *pattern.ActiveSchema
+	// Registry holds known advertisements (its own included).
+	Registry *routing.Registry
+	// Router routes over the registry.
+	Router *routing.Router
+	// Catalog holds known statistics.
+	Catalog *stats.Catalog
+	// Channels is the peer's channel manager.
+	Channels *channel.Manager
+	// Engine executes distributed plans.
+	Engine *exec.Engine
+	// Net is the transport.
+	Net *network.Network
+	// Super is the super-peer this simple-peer is attached to (hybrid
+	// architecture); empty otherwise.
+	Super pattern.PeerID
+
+	mu        sync.Mutex
+	neighbors map[pattern.PeerID]bool
+	slots     int
+}
+
+// New builds and wires a peer into the network.
+func New(cfg Config, net *network.Network) (*Peer, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("peer: empty id")
+	}
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("peer %s: nil schema", cfg.ID)
+	}
+	base := cfg.Base
+	if base == nil {
+		base = rdf.NewBase()
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = 4
+	}
+	p := &Peer{
+		ID:        cfg.ID,
+		Kind:      cfg.Kind,
+		Schema:    cfg.Schema,
+		Base:      base,
+		Registry:  routing.NewRegistry(),
+		Catalog:   stats.NewCatalog(),
+		Net:       net,
+		neighbors: map[pattern.PeerID]bool{},
+		slots:     slots,
+	}
+	// Advertisement: RVL views (virtual scenario) or base inspection
+	// (materialized scenario).
+	if len(cfg.Views) > 0 {
+		p.Active = rvl.CombinedActiveSchema(cfg.Views)
+		p.Active.SchemaName = cfg.Schema.Name
+	} else {
+		p.Active = pattern.DeriveActiveSchema(base, cfg.Schema)
+	}
+	p.Router = routing.NewRouter(cfg.Schema, p.Registry)
+	p.Channels = channel.NewManager(cfg.ID, net)
+	p.Engine = exec.NewEngine(cfg.ID, net, p.Channels, localSource{p})
+	p.Engine.Policy = cfg.Policy
+	p.Engine.Cost = optimizer.NewCostModel(p.Catalog)
+	p.Engine.Router = p.Router
+	p.Engine.StatsProvider = p.selfStats
+	p.Engine.StatsSink = p.Catalog.PutPeer
+
+	// A sharing peer knows itself.
+	if cfg.Kind != ClientPeer && p.Active.Size() > 0 {
+		p.Registry.Register(p.ID, p.Active)
+	}
+	p.Catalog.PutPeer(p.selfStats())
+
+	net.Handle(p.ID, "adv.push", p.handleAdvPush)
+	net.Handle(p.ID, "adv.pull", p.handleAdvPull)
+	net.Handle(p.ID, "adv.leave", p.handleAdvLeave)
+	net.Handle(p.ID, "query.route", p.handleQueryRoute)
+	return p, nil
+}
+
+// localSource adapts the peer's base to the executor.
+type localSource struct{ p *Peer }
+
+// EvalScan evaluates and joins the patterns against the local base.
+func (ls localSource) EvalScan(patterns []pattern.PathPattern) *rql.ResultSet {
+	var acc *rql.ResultSet
+	for _, pp := range patterns {
+		rs := rql.EvalPathPattern(ls.p.Base, ls.p.Schema, pp)
+		if acc == nil {
+			acc = rs
+		} else {
+			acc = acc.Join(rs)
+		}
+	}
+	if acc == nil {
+		acc = rql.NewResultSet()
+	}
+	return acc
+}
+
+// selfStats collects the peer's own statistics.
+func (p *Peer) selfStats() *stats.PeerStats {
+	bs := rdf.CollectStats(p.Base, p.Schema)
+	return stats.FromBaseStats(p.ID, bs, p.slots)
+}
+
+// Advertisement returns the peer's current advertisement (active-schema
+// refreshed from views or base, statistics included).
+func (p *Peer) Advertisement() *Advertisement {
+	return &Advertisement{Peer: p.ID, ActiveSchema: p.Active, Stats: p.selfStats()}
+}
+
+// RefreshAdvertisement re-derives the active-schema after base mutations
+// (materialized scenario only).
+func (p *Peer) RefreshAdvertisement() {
+	p.Active = pattern.DeriveActiveSchema(p.Base, p.Schema)
+	if p.Kind != ClientPeer && p.Active.Size() > 0 {
+		p.Registry.Register(p.ID, p.Active)
+	}
+	p.Catalog.PutPeer(p.selfStats())
+}
+
+// Learn folds a remote advertisement into the peer's routing and
+// statistics knowledge.
+func (p *Peer) Learn(adv *Advertisement) {
+	if adv == nil || adv.Peer == "" {
+		return
+	}
+	if adv.ActiveSchema != nil {
+		p.Registry.Register(adv.Peer, adv.ActiveSchema)
+	}
+	if adv.Stats != nil {
+		p.Catalog.PutPeer(adv.Stats)
+	}
+}
+
+// Forget drops a peer from routing knowledge (departure or failure).
+func (p *Peer) Forget(id pattern.PeerID) {
+	p.Registry.Unregister(id)
+	p.mu.Lock()
+	delete(p.neighbors, id)
+	p.mu.Unlock()
+}
+
+// AddNeighbor records a physical neighbor (ad-hoc architecture).
+func (p *Peer) AddNeighbor(id pattern.PeerID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.neighbors[id] = true
+}
+
+// Neighbors returns the physical neighbors, sorted.
+func (p *Peer) Neighbors() []pattern.PeerID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]pattern.PeerID, 0, len(p.neighbors))
+	for id := range p.neighbors {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PushAdvertisement sends this peer's advertisement to another peer
+// (the push of §3.1: "when a peer connects to a super-peer, it forwards
+// its corresponding active-schema").
+func (p *Peer) PushAdvertisement(to pattern.PeerID) error {
+	body, err := json.Marshal(p.Advertisement())
+	if err != nil {
+		return fmt.Errorf("peer %s: marshal advertisement: %w", p.ID, err)
+	}
+	if _, err := p.Net.Call(p.ID, to, "adv.push", body); err != nil {
+		return fmt.Errorf("peer %s: push advertisement to %s: %w", p.ID, to, err)
+	}
+	return nil
+}
+
+// PullAdvertisement requests another peer's advertisement and learns it
+// (the pull of §3.2: "the peer explicitly requests the active-schemas of
+// its neighbor peers").
+func (p *Peer) PullAdvertisement(from pattern.PeerID) error {
+	reply, err := p.Net.Call(p.ID, from, "adv.pull", nil)
+	if err != nil {
+		return fmt.Errorf("peer %s: pull advertisement from %s: %w", p.ID, from, err)
+	}
+	var adv Advertisement
+	if err := json.Unmarshal(reply, &adv); err != nil {
+		return fmt.Errorf("peer %s: bad advertisement from %s: %w", p.ID, from, err)
+	}
+	p.Learn(&adv)
+	return nil
+}
+
+// AnnounceDeparture tells the given peers this peer is leaving the SON
+// (the graceful half of "join and leave the network at will"); recipients
+// drop it from their routing knowledge. Dead recipients are skipped.
+func (p *Peer) AnnounceDeparture(to ...pattern.PeerID) {
+	for _, id := range to {
+		_ = p.Net.Send(p.ID, id, "adv.leave", []byte(p.ID))
+	}
+}
+
+// handleAdvLeave processes a departure announcement.
+func (p *Peer) handleAdvLeave(msg network.Message) ([]byte, error) {
+	p.Forget(msg.From)
+	return []byte("ok"), nil
+}
+
+func (p *Peer) handleAdvPush(msg network.Message) ([]byte, error) {
+	var adv Advertisement
+	if err := json.Unmarshal(msg.Payload, &adv); err != nil {
+		return nil, fmt.Errorf("peer %s: bad advertisement push: %w", p.ID, err)
+	}
+	p.Learn(&adv)
+	return []byte("ok"), nil
+}
+
+func (p *Peer) handleAdvPull(network.Message) ([]byte, error) {
+	body, err := json.Marshal(p.Advertisement())
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: marshal advertisement: %w", p.ID, err)
+	}
+	return body, nil
+}
+
+// handleQueryRoute serves routing requests: a super-peer annotates the
+// query pattern with its cluster knowledge and replies (the first phase
+// of hybrid evaluation, §3.1).
+func (p *Peer) handleQueryRoute(msg network.Message) ([]byte, error) {
+	var q pattern.QueryPattern
+	if err := json.Unmarshal(msg.Payload, &q); err != nil {
+		return nil, fmt.Errorf("peer %s: bad routing request: %w", p.ID, err)
+	}
+	ann := p.Router.Route(&q)
+	return pattern.MarshalAnnotated(ann)
+}
+
+// RequestRouting asks a (super-)peer to annotate the query pattern.
+func (p *Peer) RequestRouting(from pattern.PeerID, q *pattern.QueryPattern) (*pattern.Annotated, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: marshal query pattern: %w", p.ID, err)
+	}
+	reply, err := p.Net.Call(p.ID, from, "query.route", body)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: routing request to %s: %w", p.ID, from, err)
+	}
+	return pattern.UnmarshalAnnotated(reply)
+}
+
+// Compile parses and analyzes RQL text against the peer's schema.
+func (p *Peer) Compile(rqlText string) (*rql.Compiled, error) {
+	return rql.ParseAndAnalyze(rqlText, p.Schema)
+}
+
+// PlanQuery routes a query pattern (locally, or through the super-peer
+// when attached to one) and compiles the annotation into an optimized
+// distributed plan.
+func (p *Peer) PlanQuery(q *pattern.QueryPattern) (*plan.PlanResult, error) {
+	return p.planWith(q, optimizer.Options{})
+}
+
+func (p *Peer) planWith(q *pattern.QueryPattern, opts optimizer.Options) (*plan.PlanResult, error) {
+	var ann *pattern.Annotated
+	var err error
+	if p.Super != "" {
+		ann, err = p.RequestRouting(p.Super, q)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ann = p.Router.Route(q)
+	}
+	pl, err := plan.Generate(ann)
+	if err != nil {
+		return nil, err
+	}
+	optimized := optimizer.Optimize(pl, opts)
+	return &plan.PlanResult{Annotated: ann, Raw: pl, Optimized: optimized}, nil
+}
+
+// Ask answers an RQL query end-to-end: compile, route (via the super-peer
+// in hybrid mode), generate and optimize the plan, execute it with this
+// peer as root, and apply WHERE filters and projections.
+func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
+	c, err := p.Compile(rqlText)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := p.PlanQuery(c.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := p.Engine.Execute(pr.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := rql.ApplyFilters(rows, c.Query.Where)
+	if err != nil {
+		return nil, err
+	}
+	return filtered.Project(c.Pattern.Projections).Limit(c.Query.Limit), nil
+}

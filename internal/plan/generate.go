@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+)
+
+// Generate runs the paper's Query-Processing Algorithm (§2.4): it compiles
+// an annotated query pattern into a distributed plan by recursing over the
+// query's join tree —
+//
+//	QP := ∅
+//	P  := peers annotated on the current path pattern PP
+//	if P = ∅:    QP := PP@?                      (hole)
+//	else:        QP := ∪_{Px∈P} PP@Px            (horizontal distribution)
+//	for each child PPi: TPi := recurse(PPi)
+//	QP := ⋈(QP, TP1, ..., TPn)                   (vertical distribution)
+//
+// For the Figure-2 annotation this yields Figure 3's Plan 1:
+// ⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4)).
+func Generate(ann *pattern.Annotated) (*Plan, error) {
+	tree, err := ann.Query.JoinTree()
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	root := generateFrom(ann, tree, tree.Root)
+	return &Plan{Root: root, Query: ann.Query}, nil
+}
+
+func generateFrom(ann *pattern.Annotated, tree *pattern.JoinTree, id string) Node {
+	pp := tree.Pattern(id)
+	peers := ann.PeersFor(id)
+
+	var qp Node
+	if len(peers) == 0 {
+		qp = NewHole(pp)
+	} else {
+		scans := make([]Node, len(peers))
+		for i, peer := range peers {
+			scans[i] = NewScan(pp, peer)
+		}
+		qp = NewUnion(scans...)
+	}
+	children := tree.Children(id)
+	if len(children) == 0 {
+		return qp
+	}
+	inputs := []Node{qp}
+	for _, child := range children {
+		inputs = append(inputs, generateFrom(ann, tree, child))
+	}
+	return NewJoin(inputs...)
+}
+
+// FillHoles merges new routing knowledge into a partial plan: every hole
+// whose path pattern now has annotated peers is replaced by the union of
+// peer scans (paper §3.2: peers receiving a partial plan "interleave query
+// processing and routing using their local knowledge"). It returns the
+// number of holes filled; the plan is modified via a returned copy.
+func FillHoles(p *Plan, ann *pattern.Annotated) (*Plan, int) {
+	filled := 0
+	var rewrite func(Node) Node
+	rewrite = func(n Node) Node {
+		switch v := n.(type) {
+		case *Scan:
+			if !v.IsHole() || len(v.Patterns) != 1 {
+				return v.clone()
+			}
+			peers := ann.PeersFor(v.Patterns[0].ID)
+			if len(peers) == 0 {
+				return v.clone()
+			}
+			filled++
+			scans := make([]Node, len(peers))
+			for i, peer := range peers {
+				scans[i] = NewScan(v.Patterns[0], peer)
+			}
+			return NewUnion(scans...)
+		case *Union:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return NewUnion(inputs...)
+		case *Join:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return NewJoin(inputs...)
+		default:
+			return n.clone()
+		}
+	}
+	out := &Plan{Root: rewrite(p.Root), Query: p.Query}
+	return out, filled
+}
+
+// ExcludePeers returns a copy of the plan with every scan at one of the
+// given peers turned back into a hole — the replanning primitive of §2.5:
+// after a peer failure the root node "re-executes the routing and
+// processing algorithm, not taking into consideration those peers that
+// became obsolete".
+func ExcludePeers(p *Plan, obsolete map[pattern.PeerID]bool) (*Plan, int) {
+	excluded := 0
+	var rewrite func(Node) Node
+	rewrite = func(n Node) Node {
+		switch v := n.(type) {
+		case *Scan:
+			if !v.IsHole() && obsolete[v.Peer] {
+				excluded++
+				cp := v.clone().(*Scan)
+				cp.Peer = HolePeer
+				return cp
+			}
+			return v.clone()
+		case *Union:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return dedupHoles(NewUnion(inputs...))
+		case *Join:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return NewJoin(inputs...)
+		default:
+			return n.clone()
+		}
+	}
+	out := &Plan{Root: rewrite(p.Root), Query: p.Query}
+	return out, excluded
+}
+
+// dedupHoles collapses duplicate identical holes inside a union (two scans
+// of the same pattern both excluded leave one hole).
+func dedupHoles(n Node) Node {
+	u, ok := n.(*Union)
+	if !ok {
+		return n
+	}
+	seen := map[string]bool{}
+	var inputs []Node
+	for _, in := range u.Inputs {
+		if s, isScan := in.(*Scan); isScan && s.IsHole() {
+			key := s.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		inputs = append(inputs, in)
+	}
+	return NewUnion(inputs...)
+}
+
+// PlanResult bundles the artifacts of planning one query: the annotation
+// routing produced, the raw plan the Query-Processing Algorithm generated
+// from it, and the optimized plan actually executed.
+type PlanResult struct {
+	// Annotated is the routed query pattern.
+	Annotated *pattern.Annotated
+	// Raw is the unoptimized plan (Figure 3's Plan 1 shape).
+	Raw *Plan
+	// Optimized is the plan after compile-time rewrites.
+	Optimized *Plan
+}

@@ -1,0 +1,262 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/routing"
+)
+
+func figure2Annotation(t testing.TB) *pattern.Annotated {
+	t.Helper()
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	return routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+}
+
+// TestGenerateFigure3Plan1 reproduces the paper's Figure 3: the annotated
+// pattern of Figure 2 compiles to
+// ⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4)).
+func TestGenerateFigure3Plan1(t *testing.T) {
+	p, err := plan.Generate(figure2Annotation(t))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	want := "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))"
+	if p.String() != want {
+		t.Errorf("Plan 1 = %s\nwant    %s", p, want)
+	}
+	if plan.HasHoles(p.Root) {
+		t.Error("complete annotation must produce a hole-free plan")
+	}
+	if got := plan.CountSubplans(p.Root); got != 6 {
+		t.Errorf("subplans = %d, want 6", got)
+	}
+	// One channel per distinct peer: P1..P4.
+	if peers := plan.Peers(p.Root); len(peers) != 4 {
+		t.Errorf("Peers = %v, want 4 distinct peers", peers)
+	}
+}
+
+func TestGenerateWithHole(t *testing.T) {
+	// Only P2 known (prop1): Q2 becomes a hole, as in Figure 7's Plan 1.
+	reg := routing.NewRegistry()
+	reg.Register("P2", gen.PaperActiveSchemas()["P2"])
+	ann := routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+	p, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if p.String() != "⋈(Q1@P2, Q2@?)" {
+		t.Errorf("partial plan = %s", p)
+	}
+	if !plan.HasHoles(p.Root) {
+		t.Error("HasHoles = false on a partial plan")
+	}
+	if holes := plan.Holes(p.Root); len(holes) != 1 || holes[0].Patterns[0].ID != "Q2" {
+		t.Errorf("Holes = %v", holes)
+	}
+}
+
+func TestGenerateSinglePattern(t *testing.T) {
+	q := &pattern.QueryPattern{
+		SchemaName: gen.PaperNS,
+		Patterns:   []pattern.PathPattern{gen.PaperQuery().Patterns[0]},
+	}
+	ann := pattern.NewAnnotated(q)
+	ann.Annotate("Q1", "P1", nil)
+	ann.Annotate("Q1", "P2", nil)
+	p, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if p.String() != "∪(Q1@P1, Q1@P2)" {
+		t.Errorf("plan = %s", p)
+	}
+	// Single peer: plan collapses to a bare scan.
+	ann2 := pattern.NewAnnotated(q)
+	ann2.Annotate("Q1", "P1", nil)
+	p2, err := plan.Generate(ann2)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if p2.String() != "Q1@P1" {
+		t.Errorf("single-peer plan = %s", p2)
+	}
+}
+
+func TestGenerateThreeHopChain(t *testing.T) {
+	q := gen.PaperQuery()
+	q.Patterns = append(q.Patterns, pattern.PathPattern{
+		ID: "Q3", SubjectVar: "Z", ObjectVar: "W",
+		Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4"),
+	})
+	ann := pattern.NewAnnotated(q)
+	ann.Annotate("Q1", "P1", nil)
+	ann.Annotate("Q2", "P1", nil)
+	ann.Annotate("Q3", "P9", nil)
+	p, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Chain joins flatten into one n-ary join.
+	if p.String() != "⋈(Q1@P1, Q2@P1, Q3@P9)" {
+		t.Errorf("chain plan = %s", p)
+	}
+}
+
+func TestFillHoles(t *testing.T) {
+	reg := routing.NewRegistry()
+	reg.Register("P2", gen.PaperActiveSchemas()["P2"])
+	ann := routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+	partial, err := plan.Generate(ann)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Later knowledge: P5 answers Q2 (Figure 7b).
+	later := pattern.NewAnnotated(gen.PaperQuery())
+	later.Annotate("Q2", "P5", nil)
+	full, n := plan.FillHoles(partial, later)
+	if n != 1 {
+		t.Errorf("filled %d holes, want 1", n)
+	}
+	if full.String() != "⋈(Q1@P2, Q2@P5)" {
+		t.Errorf("filled plan = %s", full)
+	}
+	if plan.HasHoles(full.Root) {
+		t.Error("plan still has holes after filling")
+	}
+	// Original partial plan untouched.
+	if !strings.Contains(partial.String(), "Q2@?") {
+		t.Errorf("FillHoles mutated its input: %s", partial)
+	}
+	// No new knowledge: nothing filled.
+	same, n2 := plan.FillHoles(partial, pattern.NewAnnotated(gen.PaperQuery()))
+	if n2 != 0 || !plan.Equal(same.Root, partial.Root) {
+		t.Errorf("no-op fill changed the plan: %s", same)
+	}
+}
+
+func TestExcludePeers(t *testing.T) {
+	p, err := plan.Generate(figure2Annotation(t))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	out, n := plan.ExcludePeers(p, map[pattern.PeerID]bool{"P4": true})
+	if n != 2 {
+		t.Errorf("excluded %d scans, want 2 (P4 answers both patterns)", n)
+	}
+	if strings.Contains(out.String(), "P4") {
+		t.Errorf("P4 still present: %s", out)
+	}
+	if !plan.HasHoles(out.Root) {
+		// P4's scans become holes but P1/P2 (and P1/P3) still answer the
+		// patterns, so after dedup the union keeps a hole entry.
+		t.Logf("plan after exclusion: %s", out)
+	}
+	// Excluding a peer that answers a pattern alone leaves a hole.
+	reg := routing.NewRegistry()
+	reg.Register("P2", gen.PaperActiveSchemas()["P2"])
+	reg.Register("P3", gen.PaperActiveSchemas()["P3"])
+	ann := routing.NewRouter(gen.PaperSchema(), reg).Route(gen.PaperQuery())
+	p2, _ := plan.Generate(ann)
+	out2, n2 := plan.ExcludePeers(p2, map[pattern.PeerID]bool{"P3": true})
+	if n2 != 1 || !plan.HasHoles(out2.Root) {
+		t.Errorf("exclusion of sole peer: n=%d plan=%s", n2, out2)
+	}
+}
+
+func TestExcludePeersDedupsHoles(t *testing.T) {
+	// Union of two peers both excluded → a single hole, not two.
+	q := &pattern.QueryPattern{
+		SchemaName: gen.PaperNS,
+		Patterns:   []pattern.PathPattern{gen.PaperQuery().Patterns[0]},
+	}
+	ann := pattern.NewAnnotated(q)
+	ann.Annotate("Q1", "P1", nil)
+	ann.Annotate("Q1", "P2", nil)
+	p, _ := plan.Generate(ann)
+	out, n := plan.ExcludePeers(p, map[pattern.PeerID]bool{"P1": true, "P2": true})
+	if n != 2 {
+		t.Errorf("excluded %d", n)
+	}
+	if out.String() != "Q1@?" {
+		t.Errorf("plan = %s, want single hole Q1@?", out)
+	}
+}
+
+func TestPlanSerializationRoundTrip(t *testing.T) {
+	p, err := plan.Generate(figure2Annotation(t))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	data, err := plan.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := plan.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !plan.Equal(p.Root, back.Root) {
+		t.Errorf("round trip changed plan:\n%s\n%s", p, back)
+	}
+	if back.Query.String() != p.Query.String() {
+		t.Errorf("round trip changed query")
+	}
+	if _, err := plan.Unmarshal([]byte("{bad")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := plan.Unmarshal([]byte(`{"root":{"kind":"mystery"}}`)); err == nil {
+		t.Error("unknown node kind accepted")
+	}
+	if _, err := plan.Marshal(&plan.Plan{}); err == nil {
+		t.Error("empty plan marshaled")
+	}
+}
+
+func TestNewUnionAndJoinFlatten(t *testing.T) {
+	q1 := gen.PaperQuery().Patterns[0]
+	a := plan.NewScan(q1, "P1")
+	b := plan.NewScan(q1, "P2")
+	c := plan.NewScan(q1, "P3")
+	u := plan.NewUnion(plan.NewUnion(a, b), c)
+	if u.String() != "∪(Q1@P1, Q1@P2, Q1@P3)" {
+		t.Errorf("flattened union = %s", u)
+	}
+	j := plan.NewJoin(plan.NewJoin(a, b), c)
+	if j.String() != "⋈(Q1@P1, Q1@P2, Q1@P3)" {
+		t.Errorf("flattened join = %s", j)
+	}
+	if plan.NewUnion(a).String() != "Q1@P1" {
+		t.Error("singleton union should collapse")
+	}
+}
+
+func TestIndentRendering(t *testing.T) {
+	p, _ := plan.Generate(figure2Annotation(t))
+	out := plan.Indent(p.Root)
+	if !strings.Contains(out, "⋈") || !strings.Contains(out, "  ∪") || !strings.Contains(out, "    Q1@P1") {
+		t.Errorf("Indent:\n%s", out)
+	}
+}
+
+func TestScanHelpers(t *testing.T) {
+	q := gen.PaperQuery()
+	s := &plan.Scan{Patterns: q.Patterns, Peer: "P1"}
+	if s.String() != "[Q1⋈Q2]@P1" {
+		t.Errorf("merged scan String = %s", s)
+	}
+	if got := s.PatternIDs(); len(got) != 2 || got[0] != "Q1" {
+		t.Errorf("PatternIDs = %v", got)
+	}
+	h := plan.NewHole(q.Patterns[0])
+	if !h.IsHole() || h.String() != "Q1@?" {
+		t.Errorf("hole = %s", h)
+	}
+}

@@ -1,0 +1,107 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sqpeer/internal/pattern"
+)
+
+// wireNode is the tagged JSON form of a plan node.
+type wireNode struct {
+	Kind     string                `json:"kind"` // "scan" | "union" | "join"
+	Patterns []pattern.PathPattern `json:"patterns,omitempty"`
+	Peer     pattern.PeerID        `json:"peer,omitempty"`
+	Inputs   []wireNode            `json:"inputs,omitempty"`
+}
+
+type wirePlan struct {
+	Root  wireNode              `json:"root"`
+	Query *pattern.QueryPattern `json:"query"`
+}
+
+func toWire(n Node) (wireNode, error) {
+	switch v := n.(type) {
+	case *Scan:
+		return wireNode{Kind: "scan", Patterns: v.Patterns, Peer: v.Peer}, nil
+	case *Union:
+		w := wireNode{Kind: "union"}
+		for _, in := range v.Inputs {
+			cw, err := toWire(in)
+			if err != nil {
+				return wireNode{}, err
+			}
+			w.Inputs = append(w.Inputs, cw)
+		}
+		return w, nil
+	case *Join:
+		w := wireNode{Kind: "join"}
+		for _, in := range v.Inputs {
+			cw, err := toWire(in)
+			if err != nil {
+				return wireNode{}, err
+			}
+			w.Inputs = append(w.Inputs, cw)
+		}
+		return w, nil
+	default:
+		return wireNode{}, fmt.Errorf("plan: cannot serialize node type %T", n)
+	}
+}
+
+func fromWire(w wireNode) (Node, error) {
+	switch w.Kind {
+	case "scan":
+		if len(w.Patterns) == 0 {
+			return nil, fmt.Errorf("plan: wire scan has no patterns")
+		}
+		return &Scan{Patterns: w.Patterns, Peer: w.Peer}, nil
+	case "union", "join":
+		inputs := make([]Node, 0, len(w.Inputs))
+		for _, cw := range w.Inputs {
+			c, err := fromWire(cw)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, c)
+		}
+		if len(inputs) == 0 {
+			return nil, fmt.Errorf("plan: wire %s has no inputs", w.Kind)
+		}
+		if w.Kind == "union" {
+			return NewUnion(inputs...), nil
+		}
+		return NewJoin(inputs...), nil
+	default:
+		return nil, fmt.Errorf("plan: unknown wire node kind %q", w.Kind)
+	}
+}
+
+// Marshal serializes a plan for shipment in channel packets.
+func Marshal(p *Plan) ([]byte, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("plan: cannot marshal empty plan")
+	}
+	root, err := toWire(p.Root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(wirePlan{Root: root, Query: p.Query})
+	if err != nil {
+		return nil, fmt.Errorf("plan: marshal: %w", err)
+	}
+	return data, nil
+}
+
+// Unmarshal parses a plan serialized by Marshal.
+func Unmarshal(data []byte) (*Plan, error) {
+	var w wirePlan
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("plan: unmarshal: %w", err)
+	}
+	root, err := fromWire(w.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Root: root, Query: w.Query}, nil
+}

@@ -1,0 +1,297 @@
+package rdf
+
+import (
+	"sync"
+)
+
+// Pair is a (subject, object) resource pair related through a property —
+// the unit of data SQPeer path patterns produce and channels ship.
+type Pair struct {
+	// X is the origin (subject) resource.
+	X Term
+	// Y is the target (object) resource or literal.
+	Y Term
+}
+
+// Base is an in-memory RDF description base: the extensional store behind
+// a peer. It maintains three hash indexes (SPO, POS, OSP) so any
+// triple-pattern with fixed terms resolves without scanning, which is what
+// the RQL evaluator and the executor's scans rely on.
+//
+// Base is safe for concurrent use.
+type Base struct {
+	mu  sync.RWMutex
+	spo map[Term]map[Term]map[Term]struct{}
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewBase returns an empty description base.
+func NewBase() *Base {
+	return &Base{
+		spo: map[Term]map[Term]map[Term]struct{}{},
+		pos: map[Term]map[Term]map[Term]struct{}{},
+		osp: map[Term]map[Term]map[Term]struct{}{},
+	}
+}
+
+// Add inserts a triple. Duplicate inserts are no-ops. Add reports whether
+// the triple was newly inserted.
+func (b *Base) Add(t Triple) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idxHas(b.spo, t.S, t.P, t.O) {
+		return false
+	}
+	idxAdd(b.spo, t.S, t.P, t.O)
+	idxAdd(b.pos, t.P, t.O, t.S)
+	idxAdd(b.osp, t.O, t.S, t.P)
+	b.n++
+	return true
+}
+
+// AddAll inserts all triples, returning how many were new.
+func (b *Base) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if b.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (b *Base) Remove(t Triple) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !idxHas(b.spo, t.S, t.P, t.O) {
+		return false
+	}
+	idxDel(b.spo, t.S, t.P, t.O)
+	idxDel(b.pos, t.P, t.O, t.S)
+	idxDel(b.osp, t.O, t.S, t.P)
+	b.n--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (b *Base) Has(t Triple) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return idxHas(b.spo, t.S, t.P, t.O)
+}
+
+// Len returns the number of stored triples.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// Match returns all triples matching the pattern; zero Terms are
+// wildcards. The most selective index for the bound positions is used.
+func (b *Base) Match(s, p, o Term) []Triple {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Triple
+	b.match(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// MatchFunc streams matching triples to fn; fn returning false stops the
+// scan early. The base lock is held while fn runs, so fn must not call
+// back into the Base's mutating methods.
+func (b *Base) MatchFunc(s, p, o Term, fn func(Triple) bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.match(s, p, o, fn)
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them; used by the statistics layer.
+func (b *Base) Count(s, p, o Term) int {
+	n := 0
+	b.MatchFunc(s, p, o, func(Triple) bool { n++; return true })
+	return n
+}
+
+func (b *Base) match(s, p, o Term, fn func(Triple) bool) {
+	switch {
+	case !s.Zero():
+		for pp, objs := range b.spo[s] {
+			if !p.Zero() && pp != p {
+				continue
+			}
+			for oo := range objs {
+				if !o.Zero() && oo != o {
+					continue
+				}
+				if !fn(Triple{S: s, P: pp, O: oo}) {
+					return
+				}
+			}
+		}
+	case !p.Zero():
+		for oo, subs := range b.pos[p] {
+			if !o.Zero() && oo != o {
+				continue
+			}
+			for ss := range subs {
+				if !fn(Triple{S: ss, P: p, O: oo}) {
+					return
+				}
+			}
+		}
+	case !o.Zero():
+		for ss, preds := range b.osp[o] {
+			for pp := range preds {
+				if !fn(Triple{S: ss, P: pp, O: o}) {
+					return
+				}
+			}
+		}
+	default:
+		for ss, props := range b.spo {
+			for pp, objs := range props {
+				for oo := range objs {
+					if !fn(Triple{S: ss, P: pp, O: oo}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Triples returns every stored triple (unordered).
+func (b *Base) Triples() []Triple {
+	return b.Match(Term{}, Term{}, Term{})
+}
+
+// InstancesOf returns the resources classified under class c or any of its
+// subclasses per the schema. With a nil schema only direct typing counts.
+func (b *Base) InstancesOf(c IRI, schema *Schema) []Term {
+	classes := []IRI{c}
+	if schema != nil {
+		classes = schema.SubClasses(c)
+	}
+	seen := map[Term]struct{}{}
+	var out []Term
+	for _, cls := range classes {
+		for _, t := range b.Match(Term{}, NewIRI(RDFType), NewIRI(cls)) {
+			if _, dup := seen[t.S]; !dup {
+				seen[t.S] = struct{}{}
+				out = append(out, t.S)
+			}
+		}
+	}
+	return out
+}
+
+// Pairs returns the (subject, object) pairs related through property p or
+// any of its subproperties per the schema — the extension of a path
+// pattern over this base. With a nil schema only p itself is consulted.
+func (b *Base) Pairs(p IRI, schema *Schema) []Pair {
+	props := []IRI{p}
+	if schema != nil {
+		props = schema.SubProperties(p)
+	}
+	seen := map[Pair]struct{}{}
+	var out []Pair
+	for _, prop := range props {
+		for _, t := range b.Match(Term{}, NewIRI(prop), Term{}) {
+			pr := Pair{X: t.S, Y: t.O}
+			if _, dup := seen[pr]; !dup {
+				seen[pr] = struct{}{}
+				out = append(out, pr)
+			}
+		}
+	}
+	return out
+}
+
+// PropertiesUsed returns the set of distinct predicate IRIs appearing in
+// the base, excluding rdf:type; this is what active-schema derivation
+// inspects in the materialized scenario.
+func (b *Base) PropertiesUsed() []IRI {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []IRI
+	for p := range b.pos {
+		if p.IsIRI() && p.IRI() != RDFType {
+			out = append(out, p.IRI())
+		}
+	}
+	return out
+}
+
+// ClassesUsed returns the distinct class IRIs appearing as objects of
+// rdf:type triples.
+func (b *Base) ClassesUsed() []IRI {
+	var out []IRI
+	seen := map[IRI]struct{}{}
+	for _, t := range b.Match(Term{}, NewIRI(RDFType), Term{}) {
+		if !t.O.IsIRI() {
+			continue
+		}
+		c := t.O.IRI()
+		if _, dup := seen[c]; !dup {
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the base.
+func (b *Base) Clone() *Base {
+	c := NewBase()
+	for _, t := range b.Triples() {
+		c.Add(t)
+	}
+	return c
+}
+
+func idxAdd(idx map[Term]map[Term]map[Term]struct{}, a, b2, c Term) {
+	m1, ok := idx[a]
+	if !ok {
+		m1 = map[Term]map[Term]struct{}{}
+		idx[a] = m1
+	}
+	m2, ok := m1[b2]
+	if !ok {
+		m2 = map[Term]struct{}{}
+		m1[b2] = m2
+	}
+	m2[c] = struct{}{}
+}
+
+func idxDel(idx map[Term]map[Term]map[Term]struct{}, a, b2, c Term) {
+	m1 := idx[a]
+	m2 := m1[b2]
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b2)
+	}
+	if len(m1) == 0 {
+		delete(idx, a)
+	}
+}
+
+func idxHas(idx map[Term]map[Term]map[Term]struct{}, a, b2, c Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b2]
+	if !ok {
+		return false
+	}
+	_, ok = m2[c]
+	return ok
+}

@@ -1,0 +1,64 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTripleLine hardens the N-Triples-like reader: valid parses
+// must round-trip through the writer.
+func FuzzParseTripleLine(f *testing.F) {
+	seeds := []string{
+		"<http://a#s> <http://a#p> <http://a#o> .",
+		`<http://a#s> <http://a#p> "lit" .`,
+		`<http://a#s> <http://a#p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"_:b0 <http://a#p> _:b1 .",
+		"<s <p> <o> .", "", "garbage",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTripleLine(line)
+		if err != nil {
+			return
+		}
+		back, err := ParseTripleLine(tr.String())
+		if err != nil {
+			t.Fatalf("rendered triple does not re-parse: %q → %q: %v", line, tr, err)
+		}
+		if back != tr {
+			t.Fatalf("round trip changed triple: %v vs %v", tr, back)
+		}
+	})
+}
+
+// FuzzParseSchemaText hardens the schema text reader: valid parses must
+// round-trip through the writer.
+func FuzzParseSchemaText(f *testing.F) {
+	seeds := []string{
+		"schema http://a#\nclass C1\nclass C2 < C1\nproperty p C1 -> C2\n",
+		"schema http://a#\nclass D\nproperty t D -> literal\n",
+		"class C1", "schema", "# only a comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSchemaText(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteSchemaText(&sb, s); err != nil {
+			t.Fatalf("write after parse: %v", err)
+		}
+		back, err := ParseSchemaText(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rendered schema does not re-parse:\n%s\n%v", sb.String(), err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("round trip diverged")
+		}
+	})
+}

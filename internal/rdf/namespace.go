@@ -1,0 +1,89 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespaces maps prefixes (e.g. "n1") to namespace IRIs (e.g.
+// "http://example.org/n1#"). It expands qualified names in queries and
+// compacts IRIs for display, mirroring the namespace mechanism RQL and RVL
+// use to address community schemas.
+type Namespaces struct {
+	byPrefix map[string]string
+	byIRI    map[string]string
+}
+
+// NewNamespaces returns an empty namespace table.
+func NewNamespaces() *Namespaces {
+	return &Namespaces{byPrefix: map[string]string{}, byIRI: map[string]string{}}
+}
+
+// Bind associates a prefix with a namespace IRI. Rebinding a prefix
+// replaces the old binding.
+func (n *Namespaces) Bind(prefix, iri string) {
+	if old, ok := n.byPrefix[prefix]; ok {
+		delete(n.byIRI, old)
+	}
+	n.byPrefix[prefix] = iri
+	n.byIRI[iri] = prefix
+}
+
+// Resolve returns the namespace IRI bound to prefix.
+func (n *Namespaces) Resolve(prefix string) (string, bool) {
+	iri, ok := n.byPrefix[prefix]
+	return iri, ok
+}
+
+// Expand turns a qualified name "prefix:local" into a full IRI. A name
+// without a colon is returned unchanged as an IRI only when a default ("")
+// prefix is bound; otherwise Expand fails.
+func (n *Namespaces) Expand(qname string) (IRI, error) {
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		if base, ok := n.byPrefix[""]; ok {
+			return IRI(base + qname), nil
+		}
+		return "", fmt.Errorf("rdf: unqualified name %q and no default namespace", qname)
+	}
+	prefix, local := qname[:i], qname[i+1:]
+	// Absolute IRIs (http://...) pass through untouched.
+	if strings.Contains(qname, "://") {
+		return IRI(qname), nil
+	}
+	base, ok := n.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown namespace prefix %q in %q", prefix, qname)
+	}
+	return IRI(base + local), nil
+}
+
+// Compact renders an IRI as "prefix:local" when its namespace is bound,
+// falling back to the full IRI text.
+func (n *Namespaces) Compact(iri IRI) string {
+	ns := iri.Namespace()
+	if prefix, ok := n.byIRI[ns]; ok {
+		return prefix + ":" + iri.Local()
+	}
+	return string(iri)
+}
+
+// Prefixes returns the bound prefixes in sorted order.
+func (n *Namespaces) Prefixes() []string {
+	out := make([]string, 0, len(n.byPrefix))
+	for p := range n.byPrefix {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the table.
+func (n *Namespaces) Clone() *Namespaces {
+	c := NewNamespaces()
+	for p, iri := range n.byPrefix {
+		c.Bind(p, iri)
+	}
+	return c
+}

@@ -1,0 +1,63 @@
+package rdf
+
+import "testing"
+
+func TestNamespacesBindExpandCompact(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("n1", "http://example.org/n1#")
+	ns.Bind("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+
+	iri, err := ns.Expand("n1:C1")
+	if err != nil || iri != "http://example.org/n1#C1" {
+		t.Fatalf("Expand(n1:C1) = %q, %v", iri, err)
+	}
+	if got := ns.Compact("http://example.org/n1#C1"); got != "n1:C1" {
+		t.Errorf("Compact = %q", got)
+	}
+	if got := ns.Compact("http://unbound.org/x#y"); got != "http://unbound.org/x#y" {
+		t.Errorf("Compact of unbound namespace = %q", got)
+	}
+}
+
+func TestNamespacesExpandErrors(t *testing.T) {
+	ns := NewNamespaces()
+	if _, err := ns.Expand("n1:C1"); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+	if _, err := ns.Expand("bare"); err == nil {
+		t.Error("unqualified name without default namespace accepted")
+	}
+	ns.Bind("", "http://default.org/#")
+	iri, err := ns.Expand("bare")
+	if err != nil || iri != "http://default.org/#bare" {
+		t.Errorf("default-namespace expansion = %q, %v", iri, err)
+	}
+}
+
+func TestNamespacesAbsoluteIRIPassThrough(t *testing.T) {
+	ns := NewNamespaces()
+	iri, err := ns.Expand("http://example.org/n1#C1")
+	if err != nil || iri != "http://example.org/n1#C1" {
+		t.Errorf("absolute IRI pass-through = %q, %v", iri, err)
+	}
+}
+
+func TestNamespacesRebindAndClone(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("n1", "http://a#")
+	ns.Bind("n1", "http://b#")
+	if got, _ := ns.Resolve("n1"); got != "http://b#" {
+		t.Errorf("rebind not applied: %q", got)
+	}
+	if got := ns.Compact("http://a#x"); got != "http://a#x" {
+		t.Errorf("old binding should be dropped from reverse map: %q", got)
+	}
+	c := ns.Clone()
+	c.Bind("n2", "http://c#")
+	if _, ok := ns.Resolve("n2"); ok {
+		t.Error("Clone not independent")
+	}
+	if p := ns.Prefixes(); len(p) != 1 || p[0] != "n1" {
+		t.Errorf("Prefixes = %v", p)
+	}
+}

@@ -1,0 +1,191 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The text schema format is a line-oriented notation for community RDF/S
+// schemas, used by the CLI and fixtures:
+//
+//	schema http://example.org/ns#
+//	class C1
+//	class C5 < C1
+//	property prop1 C1 -> C2
+//	property prop4 C5 -> C6 < prop1
+//	property title C1 -> literal
+//
+// Names without a scheme are resolved against the schema namespace;
+// absolute IRIs are accepted anywhere. "literal" denotes rdfs:Literal.
+// Blank lines and '#' comments are ignored. The format round-trips
+// through WriteSchemaText/ParseSchemaText.
+
+// ParseSchemaText reads the text schema format.
+func ParseSchemaText(r io.Reader) (*Schema, error) {
+	sc := bufio.NewScanner(r)
+	var s *Schema
+	lineNo := 0
+	resolve := func(name string) (IRI, error) {
+		if name == "literal" {
+			return RDFSLiteral, nil
+		}
+		if strings.Contains(name, "://") {
+			return IRI(name), nil
+		}
+		if s == nil {
+			return "", fmt.Errorf("name %q before schema declaration", name)
+		}
+		return IRI(s.Name + name), nil
+	}
+	// Subclass/subproperty edges are applied after all declarations so
+	// forward references work.
+	type edge struct {
+		sub, super string
+		isProp     bool
+		line       int
+	}
+	var edges []edge
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "schema":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rdf: line %d: schema wants one namespace", lineNo)
+			}
+			if s != nil {
+				return nil, fmt.Errorf("rdf: line %d: duplicate schema declaration", lineNo)
+			}
+			s = NewSchema(fields[1])
+		case "class":
+			if s == nil {
+				return nil, fmt.Errorf("rdf: line %d: class before schema declaration", lineNo)
+			}
+			// class NAME [< SUPER]
+			if len(fields) != 2 && (len(fields) != 4 || fields[2] != "<") {
+				return nil, fmt.Errorf("rdf: line %d: want 'class NAME [< SUPER]'", lineNo)
+			}
+			name, err := resolve(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			if err := s.AddClass(name); err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			if len(fields) == 4 {
+				edges = append(edges, edge{sub: fields[1], super: fields[3], line: lineNo})
+			}
+		case "property":
+			if s == nil {
+				return nil, fmt.Errorf("rdf: line %d: property before schema declaration", lineNo)
+			}
+			// property NAME DOMAIN -> RANGE [< SUPER]
+			ok := len(fields) == 5 && fields[3] == "->" ||
+				len(fields) == 7 && fields[3] == "->" && fields[5] == "<"
+			// fields: property NAME DOMAIN -> RANGE [< SUPER]
+			if len(fields) >= 5 && fields[3] != "->" {
+				ok = false
+			}
+			if !ok {
+				// Retry the common layout: property NAME DOM -> RNG < SUPER
+				return nil, fmt.Errorf("rdf: line %d: want 'property NAME DOMAIN -> RANGE [< SUPER]'", lineNo)
+			}
+			name, err := resolve(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			domain, err := resolve(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			rng, err := resolve(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			if err := s.AddProperty(name, domain, rng); err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			if len(fields) == 7 {
+				edges = append(edges, edge{sub: fields[1], super: fields[6], isProp: true, line: lineNo})
+			}
+		default:
+			return nil, fmt.Errorf("rdf: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading schema: %w", err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("rdf: no schema declaration found")
+	}
+	for _, e := range edges {
+		sub, err := resolve(e.sub)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", e.line, err)
+		}
+		super, err := resolve(e.super)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", e.line, err)
+		}
+		if e.isProp {
+			err = s.SetSubPropertyOf(sub, super)
+		} else {
+			err = s.SetSubClassOf(sub, super)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", e.line, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteSchemaText renders the schema in the text format (local names when
+// they live in the schema namespace, absolute IRIs otherwise).
+func WriteSchemaText(w io.Writer, s *Schema) error {
+	shorten := func(iri IRI) string {
+		if iri == RDFSLiteral {
+			return "literal"
+		}
+		if strings.HasPrefix(string(iri), s.Name) {
+			return string(iri[len(s.Name):])
+		}
+		return string(iri)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s\n", s.Name)
+	for _, c := range s.Classes() {
+		fmt.Fprintf(&b, "class %s", shorten(c.Name))
+		supers := directSupers(s.superClass[c.Name])
+		if len(supers) > 0 {
+			fmt.Fprintf(&b, " < %s", shorten(supers[0]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, p := range s.Properties() {
+		fmt.Fprintf(&b, "property %s %s -> %s", shorten(p.Name), shorten(p.Domain), shorten(p.Range))
+		supers := directSupers(s.superProp[p.Name])
+		if len(supers) > 0 {
+			fmt.Fprintf(&b, " < %s", shorten(supers[0]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func directSupers(edges []IRI) []IRI {
+	out := append([]IRI{}, edges...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

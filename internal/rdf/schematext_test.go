@@ -1,0 +1,121 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperSchemaText = `# the paper's Figure-1 schema
+schema http://example.org/n1#
+class C1
+class C2
+class C3
+class C4
+class C5 < C1
+class C6 < C2
+property prop1 C1 -> C2
+property prop2 C2 -> C3
+property prop3 C3 -> C4
+property prop4 C5 -> C6 < prop1
+`
+
+func TestParseSchemaText(t *testing.T) {
+	s, err := ParseSchemaText(strings.NewReader(paperSchemaText))
+	if err != nil {
+		t.Fatalf("ParseSchemaText: %v", err)
+	}
+	if s.Name != "http://example.org/n1#" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if len(s.Classes()) != 6 || len(s.Properties()) != 4 {
+		t.Fatalf("classes=%d properties=%d", len(s.Classes()), len(s.Properties()))
+	}
+	if !s.IsSubPropertyOf(n1("prop4"), n1("prop1")) {
+		t.Error("prop4 ⊑ prop1 missing")
+	}
+	if !s.IsSubClassOf(n1("C5"), n1("C1")) {
+		t.Error("C5 ⊑ C1 missing")
+	}
+}
+
+func TestParseSchemaTextLiteralRange(t *testing.T) {
+	s, err := ParseSchemaText(strings.NewReader(`schema http://s#
+class Doc
+property title Doc -> literal
+`))
+	if err != nil {
+		t.Fatalf("ParseSchemaText: %v", err)
+	}
+	p, _ := s.PropertyByName("http://s#title")
+	if p.Range != RDFSLiteral {
+		t.Errorf("Range = %s", p.Range)
+	}
+}
+
+func TestParseSchemaTextAbsoluteIRIs(t *testing.T) {
+	s, err := ParseSchemaText(strings.NewReader(`schema http://a#
+class http://b#Foreign
+class Local
+property link Local -> http://b#Foreign
+`))
+	if err != nil {
+		t.Fatalf("ParseSchemaText: %v", err)
+	}
+	if !s.HasClass("http://b#Foreign") {
+		t.Error("absolute class IRI not honoured")
+	}
+}
+
+func TestParseSchemaTextErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`class C1`,                                     // before schema
+		"schema http://a#\nschema http://b#",           // duplicate
+		"schema http://a#\nclass",                      // malformed class
+		"schema http://a#\nclass C1 C2",                // malformed class
+		"schema http://a#\nproperty p C1 C2",           // missing arrow
+		"schema http://a#\nproperty p C1 -> C2",        // undeclared classes
+		"schema http://a#\nwidget X",                   // unknown directive
+		"schema http://a#\nclass C1\nclass C1",         // duplicate class
+		"schema http://a#\nclass C1\nclass C2 < Ghost", // undeclared super
+		"schema http://a#\nclass C1\nclass C2\nproperty p C1 -> C2 < q", // undeclared superprop
+	}
+	for _, src := range bad {
+		if _, err := ParseSchemaText(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseSchemaText(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestSchemaTextRoundTrip(t *testing.T) {
+	s, err := ParseSchemaText(strings.NewReader(paperSchemaText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteSchemaText(&sb, s); err != nil {
+		t.Fatalf("WriteSchemaText: %v", err)
+	}
+	back, err := ParseSchemaText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+	}
+	if back.String() != s.String() {
+		t.Errorf("round trip diverged:\n%s\nvs\n%s", back, s)
+	}
+}
+
+func TestParseSchemaTextForwardReference(t *testing.T) {
+	// Subclass edge referring to a class declared later must work.
+	src := `schema http://a#
+class C2 < C1
+class C1
+`
+	s, err := ParseSchemaText(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("forward reference rejected: %v", err)
+	}
+	if !s.IsSubClassOf("http://a#C2", "http://a#C1") {
+		t.Error("forward subclass edge missing")
+	}
+}

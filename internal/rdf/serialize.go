@@ -1,0 +1,127 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteBase dumps the base to w, one N-Triples-like statement per line, in
+// deterministic order. The format round-trips through ReadBase.
+func WriteBase(w io.Writer, b *Base) error {
+	_, err := io.WriteString(w, FormatTriples(b.Triples()))
+	return err
+}
+
+// ReadBase parses the line-oriented format produced by WriteBase into a
+// new Base. Blank lines and lines starting with '#' are ignored.
+func ReadBase(r io.Reader) (*Base, error) {
+	b := NewBase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		b.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading base: %w", err)
+	}
+	return b, nil
+}
+
+// ParseTripleLine parses a single statement of the WriteBase format:
+//
+//	<s-iri> <p-iri> (<o-iri> | "literal" | "literal"^^<dt> | _:id) .
+func ParseTripleLine(line string) (Triple, error) {
+	line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), "."))
+	s, rest, err := parseTerm(line)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	p, rest, err := parseTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, rest, err := parseTerm(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Triple{}, fmt.Errorf("trailing content %q", rest)
+	}
+	t := Triple{S: s, P: p, O: o}
+	if !t.Valid() {
+		return Triple{}, fmt.Errorf("malformed triple %s", t)
+	}
+	return t, nil
+}
+
+func parseTerm(s string) (Term, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, "", fmt.Errorf("unexpected end of statement")
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return Term{}, "", fmt.Errorf("unterminated IRI in %q", s)
+		}
+		return NewIRI(IRI(s[1:end])), s[end+1:], nil
+	case '"':
+		// Use strconv to honour escapes produced by %q.
+		q, rest, err := scanQuoted(s)
+		if err != nil {
+			return Term{}, "", err
+		}
+		if strings.HasPrefix(rest, "^^<") {
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				return Term{}, "", fmt.Errorf("unterminated datatype in %q", rest)
+			}
+			return NewTypedLiteral(q, IRI(rest[3:end])), rest[end+1:], nil
+		}
+		return NewLiteral(q), rest, nil
+	case '_':
+		if !strings.HasPrefix(s, "_:") {
+			return Term{}, "", fmt.Errorf("malformed blank node in %q", s)
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		return NewBlank(s[2:end]), s[end:], nil
+	default:
+		return Term{}, "", fmt.Errorf("unrecognized term start %q", s)
+	}
+}
+
+// scanQuoted consumes a Go-quoted string literal from the front of s.
+func scanQuoted(s string) (string, string, error) {
+	// Find the closing quote, skipping escaped quotes.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			val, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad literal %q: %w", s[:i+1], err)
+			}
+			return val, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated literal in %q", s)
+}

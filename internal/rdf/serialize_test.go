@@ -1,0 +1,125 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	b := NewBase()
+	b.Add(Statement(res(1), n1("prop1"), res(2)))
+	b.Add(Typing(res(1), n1("C1")))
+	b.Add(Triple{S: NewIRI(res(1)), P: NewIRI(n1("title")), O: NewLiteral(`with "quotes" and \slash`)})
+	b.Add(Triple{S: NewIRI(res(1)), P: NewIRI(n1("year")), O: NewTypedLiteral("2004", XSDInteger)})
+	b.Add(Triple{S: NewBlank("b0"), P: NewIRI(n1("prop2")), O: NewIRI(res(3))})
+
+	var sb strings.Builder
+	if err := WriteBase(&sb, b); err != nil {
+		t.Fatalf("WriteBase: %v", err)
+	}
+	got, err := ReadBase(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadBase: %v", err)
+	}
+	if got.Len() != b.Len() {
+		t.Fatalf("round trip lost triples: %d vs %d\n%s", got.Len(), b.Len(), sb.String())
+	}
+	for _, tr := range b.Triples() {
+		if !got.Has(tr) {
+			t.Errorf("round trip lost %s", tr)
+		}
+	}
+}
+
+func TestReadBaseSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+<http://x#s> <http://x#p> <http://x#o> .
+
+<http://x#s> <http://x#p> "lit" .
+`
+	b, err := ReadBase(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadBase: %v", err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestParseTripleLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<http://x#s>",
+		"<http://x#s> <http://x#p>",
+		"<http://x#s> <http://x#p> <http://x#o> extra .",
+		"<http://x#s <http://x#p> <http://x#o> .",
+		`<http://x#s> <http://x#p> "unterminated .`,
+		`"lit" <http://x#p> <http://x#o> .`,
+		"~garbage .",
+		"_bad <http://x#p> <http://x#o> .",
+	}
+	for _, line := range bad {
+		if _, err := ParseTripleLine(line); err == nil {
+			t.Errorf("ParseTripleLine(%q) accepted malformed input", line)
+		}
+	}
+}
+
+func TestParseTripleLineTypedLiteral(t *testing.T) {
+	tr, err := ParseTripleLine(`<http://x#s> <http://x#p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .`)
+	if err != nil {
+		t.Fatalf("ParseTripleLine: %v", err)
+	}
+	if tr.O.Datatype != XSDInteger || tr.O.Value != "5" {
+		t.Errorf("typed literal parsed wrong: %+v", tr.O)
+	}
+}
+
+func TestStatsCollect(t *testing.T) {
+	s := figure1Schema(t)
+	b := NewBase()
+	// 3 prop1 pairs, 2 via prop4 (⊑ prop1), 1 prop2 pair.
+	b.Add(Statement(res(1), n1("prop1"), res(10)))
+	b.Add(Statement(res(2), n1("prop1"), res(10)))
+	b.Add(Statement(res(3), n1("prop1"), res(11)))
+	b.Add(Statement(res(4), n1("prop4"), res(12)))
+	b.Add(Statement(res(5), n1("prop4"), res(13)))
+	b.Add(Statement(res(10), n1("prop2"), res(20)))
+	b.Add(Typing(res(1), n1("C1")))
+	b.Add(Typing(res(4), n1("C5")))
+
+	st := CollectStats(b, s)
+	if st.Triples != 8 {
+		t.Errorf("Triples = %d", st.Triples)
+	}
+	if st.Card(n1("prop1")) != 5 {
+		t.Errorf("prop1 card = %d, want 5 (3 direct + 2 via prop4)", st.Card(n1("prop1")))
+	}
+	if st.Card(n1("prop4")) != 2 {
+		t.Errorf("prop4 card = %d, want 2", st.Card(n1("prop4")))
+	}
+	if st.ClassCard[n1("C1")] != 2 {
+		t.Errorf("C1 instances = %d, want 2 (r1 + r4 via C5)", st.ClassCard[n1("C1")])
+	}
+	if st.DistinctObjects[n1("prop1")] != 4 {
+		t.Errorf("prop1 distinct objects = %d, want 4", st.DistinctObjects[n1("prop1")])
+	}
+	sel := st.JoinSelectivity(n1("prop1"), n1("prop2"))
+	if sel <= 0 || sel > 1 {
+		t.Errorf("JoinSelectivity out of range: %f", sel)
+	}
+	if out := st.String(); !strings.Contains(out, "property prop1") {
+		t.Errorf("String() missing property line:\n%s", out)
+	}
+}
+
+func TestStatsNilReceiver(t *testing.T) {
+	var st *BaseStats
+	if st.Card(n1("prop1")) != 0 {
+		t.Error("nil Card should be 0")
+	}
+	if sel := st.JoinSelectivity(n1("a"), n1("b")); sel != 0.1 {
+		t.Errorf("nil JoinSelectivity = %f, want default 0.1", sel)
+	}
+}

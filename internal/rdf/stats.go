@@ -1,0 +1,136 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BaseStats summarizes a description base's extension: per-property pair
+// counts and per-class instance counts. The optimizer's cost model uses
+// these as cardinality estimates, and peers piggyback them on channel
+// statistics packets.
+type BaseStats struct {
+	// Triples is the total number of stored triples.
+	Triples int
+	// PropertyCard maps each property to the number of (subject, object)
+	// pairs it relates, including pairs contributed by subproperties.
+	PropertyCard map[IRI]int
+	// ClassCard maps each class to its number of instances, including
+	// instances of subclasses.
+	ClassCard map[IRI]int
+	// DistinctSubjects maps each property to its number of distinct
+	// subjects, enabling join-selectivity estimates.
+	DistinctSubjects map[IRI]int
+	// DistinctObjects maps each property to its number of distinct
+	// objects.
+	DistinctObjects map[IRI]int
+}
+
+// CollectStats computes BaseStats for the base against the schema. The
+// schema supplies the subsumption hierarchies; it may be nil, in which
+// case only directly asserted properties and classes are counted.
+func CollectStats(b *Base, schema *Schema) *BaseStats {
+	st := &BaseStats{
+		Triples:          b.Len(),
+		PropertyCard:     map[IRI]int{},
+		ClassCard:        map[IRI]int{},
+		DistinctSubjects: map[IRI]int{},
+		DistinctObjects:  map[IRI]int{},
+	}
+	props := b.PropertiesUsed()
+	if schema != nil {
+		// Count every schema property so subsumption-contributed
+		// cardinalities appear even when the superproperty itself has no
+		// direct triples.
+		for _, p := range schema.Properties() {
+			props = append(props, p.Name)
+		}
+	}
+	seenProp := map[IRI]bool{}
+	for _, p := range props {
+		if seenProp[p] {
+			continue
+		}
+		seenProp[p] = true
+		pairs := b.Pairs(p, schema)
+		if len(pairs) == 0 {
+			continue
+		}
+		st.PropertyCard[p] = len(pairs)
+		subs := map[Term]struct{}{}
+		objs := map[Term]struct{}{}
+		for _, pr := range pairs {
+			subs[pr.X] = struct{}{}
+			objs[pr.Y] = struct{}{}
+		}
+		st.DistinctSubjects[p] = len(subs)
+		st.DistinctObjects[p] = len(objs)
+	}
+	classes := b.ClassesUsed()
+	if schema != nil {
+		for _, c := range schema.Classes() {
+			classes = append(classes, c.Name)
+		}
+	}
+	seenClass := map[IRI]bool{}
+	for _, c := range classes {
+		if seenClass[c] {
+			continue
+		}
+		seenClass[c] = true
+		if n := len(b.InstancesOf(c, schema)); n > 0 {
+			st.ClassCard[c] = n
+		}
+	}
+	return st
+}
+
+// Card returns the pair cardinality recorded for property p, or 0.
+func (st *BaseStats) Card(p IRI) int {
+	if st == nil {
+		return 0
+	}
+	return st.PropertyCard[p]
+}
+
+// JoinSelectivity estimates the fraction of the cross product surviving a
+// join between the objects of p1 and the subjects of p2, using the
+// containment-of-values assumption standard in System-R style estimators.
+func (st *BaseStats) JoinSelectivity(p1, p2 IRI) float64 {
+	if st == nil {
+		return 0.1
+	}
+	d1, d2 := st.DistinctObjects[p1], st.DistinctSubjects[p2]
+	m := d1
+	if d2 > m {
+		m = d2
+	}
+	if m == 0 {
+		return 0.1
+	}
+	return 1.0 / float64(m)
+}
+
+// String renders the stats deterministically for logs and tests.
+func (st *BaseStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "triples=%d\n", st.Triples)
+	for _, p := range sortedStatKeys(st.PropertyCard) {
+		fmt.Fprintf(&b, "property %s: pairs=%d subjects=%d objects=%d\n",
+			p.Local(), st.PropertyCard[p], st.DistinctSubjects[p], st.DistinctObjects[p])
+	}
+	for _, c := range sortedStatKeys(st.ClassCard) {
+		fmt.Fprintf(&b, "class %s: instances=%d\n", c.Local(), st.ClassCard[c])
+	}
+	return b.String()
+}
+
+func sortedStatKeys(m map[IRI]int) []IRI {
+	out := make([]IRI, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,155 @@
+// Package rdf implements the RDF/S data model SQPeer builds on: terms,
+// triples, namespaces, schema graphs with class/property subsumption, and
+// in-memory description bases with wildcard matching.
+//
+// The package is self-contained (stdlib only) and deliberately covers the
+// fragment of RDF/S the SQPeer paper relies on: classes and properties with
+// domain/range typing, rdfs:subClassOf / rdfs:subPropertyOf reasoning, and
+// resource descriptions (triples) stored in indexed bases.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IRI identifies a resource, class or property. IRIs compare by string
+// equality; the package never resolves them over the network.
+type IRI string
+
+// String returns the IRI's textual form.
+func (i IRI) String() string { return string(i) }
+
+// Local returns the fragment or final path segment of the IRI, which is the
+// human-readable local name (e.g. "C1" for "http://example.org/n1#C1").
+func (i IRI) Local() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 && idx+1 < len(s) {
+		return s[idx+1:]
+	}
+	return s
+}
+
+// Namespace returns the IRI up to and including the last '#' or '/', i.e.
+// the namespace part of a qualified name.
+func (i IRI) Namespace() string {
+	s := string(i)
+	if idx := strings.LastIndexAny(s, "#/"); idx >= 0 {
+		return s[:idx+1]
+	}
+	return ""
+}
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The three RDF term kinds.
+const (
+	// KindIRI is a resource identified by an IRI.
+	KindIRI TermKind = iota
+	// KindLiteral is a (possibly typed) literal value.
+	KindLiteral
+	// KindBlank is an anonymous (blank) node with a base-scoped id.
+	KindBlank
+)
+
+// String names the kind for diagnostics.
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindLiteral:
+		return "literal"
+	case KindBlank:
+		return "blank"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term: an IRI, a literal or a blank node. Term is a small
+// comparable value type so it can key maps and appear in Triple values.
+type Term struct {
+	// Kind discriminates the interpretation of Value.
+	Kind TermKind
+	// Value holds the IRI text, the literal lexical form, or the blank id.
+	Value string
+	// Datatype is the literal's datatype IRI, empty for plain literals and
+	// for non-literal terms.
+	Datatype IRI
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri IRI) Term { return Term{Kind: KindIRI, Value: string(iri)} }
+
+// NewLiteral returns a plain (untyped) literal term.
+func NewLiteral(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// NewTypedLiteral returns a literal term with an explicit datatype.
+func NewTypedLiteral(lex string, dt IRI) Term {
+	return Term{Kind: KindLiteral, Value: lex, Datatype: dt}
+}
+
+// NewBlank returns a blank-node term with the given base-scoped id.
+func NewBlank(id string) Term { return Term{Kind: KindBlank, Value: id} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// IRI returns the term's IRI. It panics if the term is not an IRI; callers
+// should check IsIRI first when the kind is not statically known.
+func (t Term) IRI() IRI {
+	if t.Kind != KindIRI {
+		panic(fmt.Sprintf("rdf: IRI() on %s term %q", t.Kind, t.Value))
+	}
+	return IRI(t.Value)
+}
+
+// Zero reports whether the term is the zero Term, used as a wildcard in
+// Base.Match.
+func (t Term) Zero() bool { return t == Term{} }
+
+// String renders the term in an N-Triples-like form.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindIRI:
+		return "<" + t.Value + ">"
+	case KindLiteral:
+		if t.Datatype != "" {
+			return fmt.Sprintf("%q^^<%s>", t.Value, t.Datatype)
+		}
+		return fmt.Sprintf("%q", t.Value)
+	case KindBlank:
+		return "_:" + t.Value
+	default:
+		return fmt.Sprintf("?term(%q)", t.Value)
+	}
+}
+
+// Well-known RDF and RDFS vocabulary IRIs used by the schema layer.
+const (
+	// RDFType is rdf:type, relating a resource to a class.
+	RDFType IRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	// RDFSSubClassOf is rdfs:subClassOf.
+	RDFSSubClassOf IRI = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	// RDFSSubPropertyOf is rdfs:subPropertyOf.
+	RDFSSubPropertyOf IRI = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+	// RDFSClass is rdfs:Class.
+	RDFSClass IRI = "http://www.w3.org/2000/01/rdf-schema#Class"
+	// RDFProperty is rdf:Property.
+	RDFProperty IRI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property"
+	// RDFSResource is rdfs:Resource, the top class.
+	RDFSResource IRI = "http://www.w3.org/2000/01/rdf-schema#Resource"
+	// RDFSLiteral is rdfs:Literal, the class of literal values.
+	RDFSLiteral IRI = "http://www.w3.org/2000/01/rdf-schema#Literal"
+	// XSDString is xsd:string.
+	XSDString IRI = "http://www.w3.org/2001/XMLSchema#string"
+	// XSDInteger is xsd:integer.
+	XSDInteger IRI = "http://www.w3.org/2001/XMLSchema#integer"
+)

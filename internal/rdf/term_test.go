@@ -1,0 +1,122 @@
+package rdf
+
+import "testing"
+
+func TestIRILocalAndNamespace(t *testing.T) {
+	cases := []struct {
+		iri   IRI
+		local string
+		ns    string
+	}{
+		{"http://example.org/n1#C1", "C1", "http://example.org/n1#"},
+		{"http://example.org/n1/prop1", "prop1", "http://example.org/n1/"},
+		{"plain", "plain", ""},
+		{"http://example.org/n1#", "http://example.org/n1#", "http://example.org/n1#"},
+	}
+	for _, c := range cases {
+		if got := c.iri.Local(); got != c.local {
+			t.Errorf("Local(%q) = %q, want %q", c.iri, got, c.local)
+		}
+		if got := c.iri.Namespace(); got != c.ns {
+			t.Errorf("Namespace(%q) = %q, want %q", c.iri, got, c.ns)
+		}
+	}
+}
+
+func TestTermConstructorsAndKinds(t *testing.T) {
+	iri := NewIRI("http://x#a")
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Errorf("IRI term kind flags wrong: %+v", iri)
+	}
+	if iri.IRI() != "http://x#a" {
+		t.Errorf("IRI() = %q", iri.IRI())
+	}
+	lit := NewLiteral("hello")
+	if !lit.IsLiteral() {
+		t.Errorf("literal kind wrong: %+v", lit)
+	}
+	typed := NewTypedLiteral("42", XSDInteger)
+	if typed.Datatype != XSDInteger {
+		t.Errorf("typed literal datatype = %q", typed.Datatype)
+	}
+	blank := NewBlank("b0")
+	if !blank.IsBlank() {
+		t.Errorf("blank kind wrong: %+v", blank)
+	}
+	if (Term{}).Zero() != true || iri.Zero() {
+		t.Error("Zero() misbehaves")
+	}
+}
+
+func TestTermIRIPanicsOnNonIRI(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IRI() on literal did not panic")
+		}
+	}()
+	_ = NewLiteral("x").IRI()
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x#a"), "<http://x#a>"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewTypedLiteral("1", XSDInteger), `"1"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewBlank("b1"), "_:b1"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "iri" || KindLiteral.String() != "literal" || KindBlank.String() != "blank" {
+		t.Error("TermKind.String names wrong")
+	}
+	if TermKind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestTripleValidity(t *testing.T) {
+	good := Statement("http://x#s", "http://x#p", "http://x#o")
+	if !good.Valid() {
+		t.Errorf("statement should be valid: %s", good)
+	}
+	typ := Typing("http://x#s", "http://x#C")
+	if !typ.Valid() || typ.P.IRI() != RDFType {
+		t.Errorf("typing triple wrong: %s", typ)
+	}
+	bad := Triple{S: NewLiteral("x"), P: NewIRI("http://x#p"), O: NewIRI("http://x#o")}
+	if bad.Valid() {
+		t.Error("literal subject should be invalid")
+	}
+	bad2 := Triple{S: NewIRI("http://x#s"), P: NewLiteral("p"), O: NewIRI("http://x#o")}
+	if bad2.Valid() {
+		t.Error("literal predicate should be invalid")
+	}
+}
+
+func TestSortAndFormatTriples(t *testing.T) {
+	ts := []Triple{
+		Statement("http://x#b", "http://x#p", "http://x#2"),
+		Statement("http://x#a", "http://x#p", "http://x#1"),
+		Statement("http://x#a", "http://x#p", "http://x#0"),
+	}
+	out := FormatTriples(ts)
+	want := "<http://x#a> <http://x#p> <http://x#0> .\n" +
+		"<http://x#a> <http://x#p> <http://x#1> .\n" +
+		"<http://x#b> <http://x#p> <http://x#2> .\n"
+	if out != want {
+		t.Errorf("FormatTriples:\n%s\nwant:\n%s", out, want)
+	}
+	// FormatTriples must not mutate its input.
+	if ts[0].S.Value != "http://x#b" {
+		t.Error("FormatTriples mutated input slice")
+	}
+}

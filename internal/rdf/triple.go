@@ -1,0 +1,76 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Triple is an RDF statement (subject, predicate, object). Triples are
+// comparable value types, so they key maps and deduplicate naturally.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from the three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Statement builds a triple relating two resources through a property,
+// the common case in SQPeer bases.
+func Statement(subject IRI, property IRI, object IRI) Triple {
+	return Triple{S: NewIRI(subject), P: NewIRI(property), O: NewIRI(object)}
+}
+
+// Typing builds the rdf:type triple classifying a resource under a class.
+func Typing(resource IRI, class IRI) Triple {
+	return Triple{S: NewIRI(resource), P: NewIRI(RDFType), O: NewIRI(class)}
+}
+
+// Valid reports whether the triple is structurally well-formed per RDF:
+// the subject must not be a literal and the predicate must be an IRI.
+func (t Triple) Valid() bool {
+	return !t.S.IsLiteral() && t.P.IsIRI() && !t.S.Zero() && !t.O.Zero()
+}
+
+// String renders the triple in N-Triples-like form.
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// SortTriples orders triples deterministically (by subject, predicate,
+// object text), used to make dumps and test expectations stable.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return termLess(a.S, b.S)
+		}
+		if a.P != b.P {
+			return termLess(a.P, b.P)
+		}
+		return termLess(a.O, b.O)
+	})
+}
+
+func termLess(a, b Term) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.Datatype < b.Datatype
+}
+
+// FormatTriples renders triples one per line in deterministic order.
+func FormatTriples(ts []Triple) string {
+	cp := make([]Triple, len(ts))
+	copy(cp, ts)
+	SortTriples(cp)
+	var b strings.Builder
+	for _, t := range cp {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package routing implements SQPeer's semantic query routing (paper §2.3):
+// matching a semantic query pattern against the active-schemas a node
+// knows about, producing an annotated query pattern that records, per path
+// pattern, the peers able to answer it and the rewritten patterns each
+// peer should evaluate.
+package routing
+
+import (
+	"sort"
+	"sync"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// Registry is the routing knowledge a node holds: the active-schemas of
+// the peers it has learned about (its own, its cluster's for a super-peer,
+// its semantic neighborhood's for an ad-hoc peer). Registry is safe for
+// concurrent use — advertisements arrive from the network while queries
+// route.
+type Registry struct {
+	mu      sync.RWMutex
+	schemas map[pattern.PeerID]*pattern.ActiveSchema
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{schemas: map[pattern.PeerID]*pattern.ActiveSchema{}}
+}
+
+// Register records (or replaces) a peer's active-schema advertisement.
+func (r *Registry) Register(peer pattern.PeerID, as *pattern.ActiveSchema) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.schemas[peer] = as
+}
+
+// Unregister forgets a peer, e.g. when it leaves the SON or a channel to
+// it fails.
+func (r *Registry) Unregister(peer pattern.PeerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.schemas, peer)
+}
+
+// Get returns the peer's advertisement.
+func (r *Registry) Get(peer pattern.PeerID) (*pattern.ActiveSchema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	as, ok := r.schemas[peer]
+	return as, ok
+}
+
+// Peers returns all known peers, sorted.
+func (r *Registry) Peers() []pattern.PeerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]pattern.PeerID, 0, len(r.schemas))
+	for p := range r.schemas {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of known peers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.schemas)
+}
+
+// Snapshot returns a copy of the registry's contents, for merging one
+// node's knowledge into another's (active-schema pull).
+func (r *Registry) Snapshot() map[pattern.PeerID]*pattern.ActiveSchema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[pattern.PeerID]*pattern.ActiveSchema, len(r.schemas))
+	for p, as := range r.schemas {
+		out[p] = as
+	}
+	return out
+}
+
+// Stats reports the work one routing invocation performed, used by the
+// routing-throughput benchmarks (FIG-2).
+type Stats struct {
+	// Comparisons counts isSubsumed tests executed — the inner-loop cost
+	// of the paper's O(n·m·l) pseudocode.
+	Comparisons int
+	// PeersConsidered counts registered peers examined.
+	PeersConsidered int
+	// Annotations counts (pattern, peer) annotations produced.
+	Annotations int
+}
+
+// Router runs the Query-Routing Algorithm over a registry.
+type Router struct {
+	// Schema is the community schema supplying subsumption.
+	Schema *rdf.Schema
+	// Registry holds the known peer advertisements.
+	Registry *Registry
+	// Mode selects full RDF/S subsumption (the paper's algorithm) or the
+	// exact-match ablation.
+	Mode pattern.SubsumptionMode
+	// MaxPeersPerPattern, when positive, caps how many peers each path
+	// pattern is annotated with — the paper's future-work constraint on
+	// "the number of peer nodes that each query is broadcasted and
+	// further processed" (§5), trading answer completeness for
+	// processing load. Peers covering more of the whole query are kept
+	// first (they answer locally with fewer channels), ties broken by id.
+	MaxPeersPerPattern int
+}
+
+// NewRouter returns a router with full subsumption over the registry.
+func NewRouter(schema *rdf.Schema, reg *Registry) *Router {
+	return &Router{Schema: schema, Registry: reg, Mode: pattern.FullSubsumption}
+}
+
+// Route runs the paper's Query-Routing Algorithm:
+//
+//	AQ' := empty annotations for AQ
+//	for each query path pattern AQi ∈ AQ:
+//	  for each active-schema ASj:
+//	    for each path pattern ASjk ∈ ASj:
+//	      if isSubsumed(ASjk, AQi): annotate AQ'i with peer Pj
+//	return AQ'
+//
+// The annotation also records the rewritten patterns (ASjk with AQi's
+// variables), implementing the per-peer query rewriting of §2.3.
+func (r *Router) Route(q *pattern.QueryPattern) *pattern.Annotated {
+	ann, _ := r.RouteWithStats(q)
+	return ann
+}
+
+// RouteWithStats is Route plus work counters.
+func (r *Router) RouteWithStats(q *pattern.QueryPattern) (*pattern.Annotated, Stats) {
+	ann := pattern.NewAnnotated(q)
+	var st Stats
+	snapshot := r.Registry.Snapshot()
+	// Deterministic peer order.
+	peers := make([]pattern.PeerID, 0, len(snapshot))
+	for p := range snapshot {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+
+	for _, qp := range q.Patterns {
+		for _, peer := range peers {
+			st.PeersConsidered++
+			as := snapshot[peer]
+			if as.SchemaName != "" && q.SchemaName != "" && as.SchemaName != q.SchemaName {
+				continue // different SON
+			}
+			var rewrites []pattern.PathPattern
+			for _, asp := range as.Patterns {
+				st.Comparisons++
+				if r.Mode.Matches(r.Schema, asp, qp) {
+					rewrites = append(rewrites, pattern.PathPattern{
+						ID:         qp.ID,
+						SubjectVar: qp.SubjectVar,
+						ObjectVar:  qp.ObjectVar,
+						Property:   asp.Property,
+						Domain:     asp.Domain,
+						Range:      asp.Range,
+					})
+				}
+			}
+			if len(rewrites) > 0 {
+				ann.Annotate(qp.ID, peer, rewrites)
+				st.Annotations++
+			}
+		}
+	}
+	if r.MaxPeersPerPattern > 0 {
+		r.truncateAnnotation(ann, snapshot)
+	}
+	return ann, st
+}
+
+// truncateAnnotation keeps at most MaxPeersPerPattern peers per path
+// pattern, preferring peers whose advertisement covers more of the whole
+// query.
+func (r *Router) truncateAnnotation(ann *pattern.Annotated, snapshot map[pattern.PeerID]*pattern.ActiveSchema) {
+	coverage := map[pattern.PeerID]float64{}
+	for peer, as := range snapshot {
+		coverage[peer] = pattern.CoverageFraction(r.Schema, as, ann.Query, r.Mode)
+	}
+	truncated := pattern.NewAnnotated(ann.Query)
+	for _, qp := range ann.Query.Patterns {
+		peers := append([]pattern.PeerID{}, ann.PeersFor(qp.ID)...)
+		sort.Slice(peers, func(i, j int) bool {
+			ci, cj := coverage[peers[i]], coverage[peers[j]]
+			if ci != cj {
+				return ci > cj
+			}
+			return peers[i] < peers[j]
+		})
+		if len(peers) > r.MaxPeersPerPattern {
+			peers = peers[:r.MaxPeersPerPattern]
+		}
+		for _, peer := range peers {
+			truncated.Annotate(qp.ID, peer, ann.RewritesFor(qp.ID, peer))
+		}
+	}
+	ann.Peers = truncated.Peers
+	ann.Rewrites = truncated.Rewrites
+}
+
+// RelevantPeers returns the peers whose advertisement covers at least one
+// path pattern of the query — the set a SON delivers the query to, versus
+// flooding's everyone.
+func (r *Router) RelevantPeers(q *pattern.QueryPattern) []pattern.PeerID {
+	return r.Route(q).AllPeers()
+}

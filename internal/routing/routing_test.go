@@ -1,0 +1,212 @@
+package routing_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/routing"
+)
+
+func paperRouter(t testing.TB) *routing.Router {
+	t.Helper()
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	return routing.NewRouter(gen.PaperSchema(), reg)
+}
+
+// TestRouteFigure2 reproduces the paper's Figure 2 exactly: Q1 annotated
+// with P1, P2, P4 (P4 via prop4 ⊑ prop1) and Q2 with P1, P3, P4.
+func TestRouteFigure2(t *testing.T) {
+	r := paperRouter(t)
+	ann := r.Route(gen.PaperQuery())
+
+	q1 := ann.PeersFor("Q1")
+	if fmt.Sprint(q1) != "[P1 P2 P4]" {
+		t.Errorf("Q1 peers = %v, want [P1 P2 P4]", q1)
+	}
+	q2 := ann.PeersFor("Q2")
+	if fmt.Sprint(q2) != "[P1 P3 P4]" {
+		t.Errorf("Q2 peers = %v, want [P1 P3 P4]", q2)
+	}
+	if !ann.Complete() {
+		t.Error("Figure-2 annotation must be complete")
+	}
+}
+
+func TestRouteRewritesP4ToProp4(t *testing.T) {
+	r := paperRouter(t)
+	ann := r.Route(gen.PaperQuery())
+	rw := ann.RewritesFor("Q1", "P4")
+	if len(rw) != 1 || rw[0].Property != gen.N1("prop4") {
+		t.Fatalf("P4's Q1 rewrite = %v, want prop4", rw)
+	}
+	if rw[0].SubjectVar != "X" || rw[0].ObjectVar != "Y" {
+		t.Errorf("rewrite lost query variables: %+v", rw[0])
+	}
+	// P2's rewrite for Q1 is the exact prop1 pattern.
+	rw2 := ann.RewritesFor("Q1", "P2")
+	if len(rw2) != 1 || rw2[0].Property != gen.N1("prop1") {
+		t.Errorf("P2's Q1 rewrite = %v", rw2)
+	}
+}
+
+func TestRouteExactOnlyAblation(t *testing.T) {
+	r := paperRouter(t)
+	r.Mode = pattern.ExactOnly
+	ann := r.Route(gen.PaperQuery())
+	if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P1 P2]" {
+		t.Errorf("exact-only Q1 peers = %s, want [P1 P2] (no P4)", got)
+	}
+	if got := fmt.Sprint(ann.PeersFor("Q2")); got != "[P1 P3 P4]" {
+		t.Errorf("exact-only Q2 peers = %s", got)
+	}
+}
+
+func TestRouteEmptyRegistryYieldsHoles(t *testing.T) {
+	r := routing.NewRouter(gen.PaperSchema(), routing.NewRegistry())
+	ann := r.Route(gen.PaperQuery())
+	if ann.Complete() {
+		t.Error("routing with no knowledge must be incomplete")
+	}
+	if holes := ann.Holes(); len(holes) != 2 {
+		t.Errorf("Holes = %v", holes)
+	}
+}
+
+func TestRoutePartialKnowledge(t *testing.T) {
+	reg := routing.NewRegistry()
+	as := gen.PaperActiveSchemas()
+	reg.Register("P2", as["P2"]) // only prop1
+	r := routing.NewRouter(gen.PaperSchema(), reg)
+	ann := r.Route(gen.PaperQuery())
+	if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P2]" {
+		t.Errorf("Q1 peers = %s", got)
+	}
+	if len(ann.PeersFor("Q2")) != 0 {
+		t.Errorf("Q2 should be a hole, got %v", ann.PeersFor("Q2"))
+	}
+	if holes := ann.Holes(); len(holes) != 1 || holes[0] != "Q2" {
+		t.Errorf("Holes = %v", holes)
+	}
+}
+
+func TestRouteIgnoresOtherSONs(t *testing.T) {
+	reg := routing.NewRegistry()
+	foreign := pattern.NewActiveSchema("http://other-SON#")
+	foreign.Patterns = append(foreign.Patterns, pattern.PathPattern{
+		ID: "AS1", SubjectVar: "s", ObjectVar: "o",
+		Property: gen.N1("prop1"), Domain: gen.N1("C1"), Range: gen.N1("C2"),
+	})
+	reg.Register("PX", foreign)
+	r := routing.NewRouter(gen.PaperSchema(), reg)
+	ann := r.Route(gen.PaperQuery())
+	if len(ann.PeersFor("Q1")) != 0 {
+		t.Errorf("peer from a different SON was annotated: %v", ann.PeersFor("Q1"))
+	}
+}
+
+func TestRouteStats(t *testing.T) {
+	r := paperRouter(t)
+	_, st := r.RouteWithStats(gen.PaperQuery())
+	// 2 query patterns × (P1:2 + P2:1 + P3:1 + P4:2) = 12 comparisons.
+	if st.Comparisons != 12 {
+		t.Errorf("Comparisons = %d, want 12", st.Comparisons)
+	}
+	if st.PeersConsidered != 8 {
+		t.Errorf("PeersConsidered = %d, want 8 (4 peers × 2 patterns)", st.PeersConsidered)
+	}
+	if st.Annotations != 6 {
+		t.Errorf("Annotations = %d, want 6", st.Annotations)
+	}
+}
+
+func TestRelevantPeers(t *testing.T) {
+	r := paperRouter(t)
+	got := r.RelevantPeers(gen.PaperQuery())
+	if fmt.Sprint(got) != "[P1 P2 P3 P4]" {
+		t.Errorf("RelevantPeers = %v", got)
+	}
+	// A prop3 query is relevant to nobody.
+	q3 := &pattern.QueryPattern{
+		SchemaName: gen.PaperNS,
+		Patterns: []pattern.PathPattern{{
+			ID: "Q1", SubjectVar: "A", ObjectVar: "B",
+			Property: gen.N1("prop3"), Domain: gen.N1("C3"), Range: gen.N1("C4"),
+		}},
+	}
+	if got := r.RelevantPeers(q3); len(got) != 0 {
+		t.Errorf("prop3 RelevantPeers = %v, want none", got)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := routing.NewRegistry()
+	as := gen.PaperActiveSchemas()
+	reg.Register("P1", as["P1"])
+	reg.Register("P2", as["P2"])
+	if reg.Len() != 2 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+	if got, ok := reg.Get("P1"); !ok || got != as["P1"] {
+		t.Error("Get(P1) failed")
+	}
+	if _, ok := reg.Get("P9"); ok {
+		t.Error("Get(P9) found a ghost")
+	}
+	if peers := reg.Peers(); fmt.Sprint(peers) != "[P1 P2]" {
+		t.Errorf("Peers = %v", peers)
+	}
+	reg.Unregister("P1")
+	if reg.Len() != 1 {
+		t.Errorf("Len after Unregister = %d", reg.Len())
+	}
+	snap := reg.Snapshot()
+	reg.Register("P3", as["P3"])
+	if len(snap) != 1 {
+		t.Errorf("Snapshot not independent: %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := routing.NewRegistry()
+	as := gen.PaperActiveSchemas()
+	r := routing.NewRouter(gen.PaperSchema(), reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				peer := pattern.PeerID(fmt.Sprintf("P%d-%d", g, i))
+				reg.Register(peer, as["P1"])
+				r.Route(gen.PaperQuery())
+				reg.Unregister(peer)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if reg.Len() != 0 {
+		t.Errorf("registry leaked %d peers", reg.Len())
+	}
+}
+
+func TestRouteReplacedAdvertisement(t *testing.T) {
+	// A peer re-advertising (e.g. after its base changed) replaces its
+	// previous active-schema.
+	reg := routing.NewRegistry()
+	as := gen.PaperActiveSchemas()
+	reg.Register("P1", as["P2"]) // initially only prop1
+	r := routing.NewRouter(gen.PaperSchema(), reg)
+	if got := fmt.Sprint(r.Route(gen.PaperQuery()).PeersFor("Q2")); got != "[]" {
+		t.Errorf("Q2 peers before re-advertisement = %s", got)
+	}
+	reg.Register("P1", as["P1"]) // now prop1 + prop2
+	if got := fmt.Sprint(r.Route(gen.PaperQuery()).PeersFor("Q2")); got != "[P1]" {
+		t.Errorf("Q2 peers after re-advertisement = %s", got)
+	}
+}

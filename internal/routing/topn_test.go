@@ -1,0 +1,50 @@
+package routing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/routing"
+)
+
+// TestMaxPeersPerPattern exercises the paper's §5 future-work constraint:
+// capping how many peers each path pattern is broadcast to.
+func TestMaxPeersPerPattern(t *testing.T) {
+	reg := routing.NewRegistry()
+	for id, as := range gen.PaperActiveSchemas() {
+		reg.Register(id, as)
+	}
+	r := routing.NewRouter(gen.PaperSchema(), reg)
+
+	r.MaxPeersPerPattern = 2
+	ann := r.Route(gen.PaperQuery())
+	// P1 and P4 cover 100% of the query and must be preferred over the
+	// half-coverage P2 and P3.
+	if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P1 P4]" {
+		t.Errorf("capped Q1 peers = %s, want [P1 P4] (full-coverage first)", got)
+	}
+	if got := fmt.Sprint(ann.PeersFor("Q2")); got != "[P1 P4]" {
+		t.Errorf("capped Q2 peers = %s, want [P1 P4]", got)
+	}
+	if !ann.Complete() {
+		t.Error("capped annotation must stay complete when enough peers exist")
+	}
+
+	r.MaxPeersPerPattern = 1
+	ann1 := r.Route(gen.PaperQuery())
+	if len(ann1.PeersFor("Q1")) != 1 || len(ann1.PeersFor("Q2")) != 1 {
+		t.Errorf("cap=1 annotation = %s", ann1)
+	}
+
+	// Rewrites survive truncation.
+	if len(ann.RewritesFor("Q1", "P4")) != 1 {
+		t.Error("truncation dropped P4's rewrite")
+	}
+
+	r.MaxPeersPerPattern = 0
+	full := r.Route(gen.PaperQuery())
+	if got := fmt.Sprint(full.PeersFor("Q1")); got != "[P1 P2 P4]" {
+		t.Errorf("uncapped Q1 peers = %s", got)
+	}
+}

@@ -1,0 +1,117 @@
+package rql
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// Compiled is a semantically analyzed RQL query: the AST plus the semantic
+// query pattern extracted from its FROM clause (paper §2.1). The pattern
+// is what the routing layer works on; the Where filters stay local to
+// evaluation, as the paper ignores filtering conditions during routing.
+type Compiled struct {
+	// Query is the parsed AST.
+	Query *Query
+	// Pattern is the extracted semantic query pattern.
+	Pattern *pattern.QueryPattern
+	// Schema is the community schema the query was analyzed against.
+	Schema *rdf.Schema
+}
+
+// Analyze checks the parsed query against the community schema and
+// extracts its semantic query pattern: every property is resolved in the
+// schema, end-point classes default to the property's declared domain and
+// range (as in Figure 1, where C1/C2/C3 are "obtained from their
+// corresponding definitions in the namespace n1"), and explicit class
+// restrictions must refine the declared end-points.
+func Analyze(q *Query, schema *rdf.Schema) (*Compiled, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("rql: query has no FROM clause")
+	}
+	qp := &pattern.QueryPattern{SchemaName: schema.Name}
+	for i, pe := range q.From {
+		propIRI, err := q.Namespaces.Expand(pe.Property)
+		if err != nil {
+			return nil, fmt.Errorf("rql: path expression %d: %w", i+1, err)
+		}
+		def, ok := schema.PropertyByName(propIRI)
+		if !ok {
+			return nil, fmt.Errorf("rql: property %s not declared in schema %s", propIRI, schema.Name)
+		}
+		domain, err := resolveRestriction(q, schema, pe.Subject, def.Domain, "subject")
+		if err != nil {
+			return nil, fmt.Errorf("rql: path expression %d (%s): %w", i+1, pe, err)
+		}
+		rng, err := resolveRestriction(q, schema, pe.Object, def.Range, "object")
+		if err != nil {
+			return nil, fmt.Errorf("rql: path expression %d (%s): %w", i+1, pe, err)
+		}
+		qp.Patterns = append(qp.Patterns, pattern.PathPattern{
+			ID:         fmt.Sprintf("Q%d", i+1),
+			SubjectVar: pe.Subject.Var,
+			ObjectVar:  pe.Object.Var,
+			Property:   propIRI,
+			Domain:     domain,
+			Range:      rng,
+		})
+	}
+	// Projections: SELECT * projects every variable.
+	if len(q.Select) == 0 {
+		qp.Projections = q.Variables()
+	} else {
+		qp.Projections = append(qp.Projections, q.Select...)
+	}
+	if err := qp.Validate(); err != nil {
+		return nil, fmt.Errorf("rql: %w", err)
+	}
+	// WHERE conditions must reference FROM variables.
+	vars := map[string]bool{}
+	for _, v := range q.Variables() {
+		vars[v] = true
+	}
+	for _, c := range q.Where {
+		for _, op := range []Operand{c.Left, c.Right} {
+			if op.IsVar() && !vars[op.Var] {
+				return nil, fmt.Errorf("rql: WHERE references unknown variable %q", op.Var)
+			}
+		}
+	}
+	return &Compiled{Query: q, Pattern: qp, Schema: schema}, nil
+}
+
+// resolveRestriction returns the effective end-point class of a path end:
+// the declared class absent a restriction, otherwise the restriction class
+// after validating it refines the declaration.
+func resolveRestriction(q *Query, schema *rdf.Schema, vc VarClass, declared rdf.IRI, end string) (rdf.IRI, error) {
+	if vc.Class == "" {
+		return declared, nil
+	}
+	cls, err := q.Namespaces.Expand(vc.Class)
+	if err != nil {
+		return "", err
+	}
+	if !schema.HasClass(cls) && !isLiteralClass(cls) {
+		return "", fmt.Errorf("%s restriction: class %s not declared in schema", end, cls)
+	}
+	if !schema.IsSubClassOf(cls, declared) {
+		return "", fmt.Errorf("%s restriction %s is not a subclass of the property's declared %s class %s",
+			end, cls, end, declared)
+	}
+	return cls, nil
+}
+
+func isLiteralClass(c rdf.IRI) bool {
+	return c == rdf.RDFSLiteral || c == rdf.XSDString || c == rdf.XSDInteger
+}
+
+// ParseAndAnalyze is the one-call front door: parse the RQL text and
+// analyze it against the schema.
+func ParseAndAnalyze(src string, schema *rdf.Schema) (*Compiled, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(q, schema)
+}

@@ -1,0 +1,106 @@
+package rql_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/rql"
+)
+
+func TestAnalyzePaperQueryExtractsPattern(t *testing.T) {
+	schema := gen.PaperSchema()
+	c, err := rql.ParseAndAnalyze(gen.PaperRQL, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	qp := c.Pattern
+	if qp.SchemaName != gen.PaperNS {
+		t.Errorf("SchemaName = %q", qp.SchemaName)
+	}
+	if len(qp.Patterns) != 2 {
+		t.Fatalf("pattern count = %d", len(qp.Patterns))
+	}
+	q1 := qp.Patterns[0]
+	if q1.ID != "Q1" || q1.Property != gen.N1("prop1") || q1.Domain != gen.N1("C1") || q1.Range != gen.N1("C2") {
+		t.Errorf("Q1 = %+v", q1)
+	}
+	// The paper: end-point classes are obtained from the property
+	// definitions in namespace n1 when not explicitly restricted.
+	q2 := qp.Patterns[1]
+	if q2.Property != gen.N1("prop2") || q2.Domain != gen.N1("C2") || q2.Range != gen.N1("C3") {
+		t.Errorf("Q2 end-points not taken from schema definitions: %+v", q2)
+	}
+	if len(qp.Projections) != 2 || qp.Projections[0] != "X" || qp.Projections[1] != "Y" {
+		t.Errorf("Projections = %v", qp.Projections)
+	}
+}
+
+func TestAnalyzeExplicitRestrictionNarrows(t *testing.T) {
+	schema := gen.PaperSchema()
+	src := `SELECT X FROM {X;n1:C5}n1:prop1{Y} USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	c, err := rql.ParseAndAnalyze(src, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	if c.Pattern.Patterns[0].Domain != gen.N1("C5") {
+		t.Errorf("restriction not applied: %+v", c.Pattern.Patterns[0])
+	}
+	if c.Pattern.Patterns[0].Range != gen.N1("C2") {
+		t.Errorf("unrestricted range should default to declaration: %+v", c.Pattern.Patterns[0])
+	}
+}
+
+func TestAnalyzeRejectsBadQueries(t *testing.T) {
+	schema := gen.PaperSchema()
+	ns := `USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown property", `SELECT X FROM {X}n1:nosuch{Y} ` + ns, "not declared"},
+		{"unknown prefix", `SELECT X FROM {X}zz:prop1{Y} ` + ns, "unknown namespace prefix"},
+		{"unknown restriction class", `SELECT X FROM {X;n1:Cnone}n1:prop1{Y} ` + ns, "not declared in schema"},
+		{"incompatible restriction", `SELECT X FROM {X;n1:C3}n1:prop1{Y} ` + ns, "not a subclass"},
+		{"projection not in FROM", `SELECT W FROM {X}n1:prop1{Y} ` + ns, "not a query variable"},
+		{"where unknown var", `SELECT X FROM {X}n1:prop1{Y} WHERE W = "v" ` + ns, "unknown variable"},
+		{"cartesian product", `SELECT X FROM {X}n1:prop1{Y}, {A}n1:prop3{B} ` + ns, "disconnected"},
+	}
+	for _, c := range cases {
+		_, err := rql.ParseAndAnalyze(c.src, schema)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAnalyzeSelectStarProjectsAllVariables(t *testing.T) {
+	schema := gen.PaperSchema()
+	src := `SELECT * FROM {X}n1:prop1{Y}, {Y}n1:prop2{Z} USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	c, err := rql.ParseAndAnalyze(src, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	if len(c.Pattern.Projections) != 3 {
+		t.Errorf("Projections = %v, want X,Y,Z", c.Pattern.Projections)
+	}
+}
+
+func TestAnalyzeSubpropertyQuery(t *testing.T) {
+	// A query over prop4 directly: end-points default to C5, C6.
+	schema := gen.PaperSchema()
+	src := `SELECT X FROM {X}n1:prop4{Y} USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	c, err := rql.ParseAndAnalyze(src, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	p := c.Pattern.Patterns[0]
+	if p.Domain != gen.N1("C5") || p.Range != gen.N1("C6") {
+		t.Errorf("prop4 end-points = %+v", p)
+	}
+}

@@ -1,0 +1,206 @@
+package rql
+
+import (
+	"fmt"
+	"strings"
+
+	"sqpeer/internal/rdf"
+)
+
+// VarClass is one end of a path expression: a variable with an optional
+// class restriction, written {X} or {X;n1:C1}.
+type VarClass struct {
+	// Var is the variable name.
+	Var string
+	// Class is the qualified name of the class restriction, empty when
+	// the end is unrestricted.
+	Class string
+}
+
+// String renders the end in RQL syntax.
+func (v VarClass) String() string {
+	if v.Class != "" {
+		return "{" + v.Var + ";" + v.Class + "}"
+	}
+	return "{" + v.Var + "}"
+}
+
+// PathExpr is one path expression of a FROM clause: {X;C}prop{Y;C}.
+type PathExpr struct {
+	Subject  VarClass
+	Property string // qualified name
+	Object   VarClass
+}
+
+// String renders the path expression in RQL syntax.
+func (p PathExpr) String() string {
+	return p.Subject.String() + p.Property + p.Object.String()
+}
+
+// CompOp is a comparison operator in a WHERE condition.
+type CompOp int
+
+// Comparison operators.
+const (
+	OpEq CompOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+)
+
+// String renders the operator.
+func (o CompOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "like"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Operand is a WHERE-condition operand: a variable or a literal.
+type Operand struct {
+	// Var is the variable name; empty when the operand is a literal.
+	Var string
+	// Lit is the literal term; meaningful only when Var is empty.
+	Lit rdf.Term
+}
+
+// IsVar reports whether the operand is a variable reference.
+func (o Operand) IsVar() bool { return o.Var != "" }
+
+// String renders the operand in RQL concrete syntax: integer literals as
+// bare numbers, other literals as RQL strings (so Query.String output
+// re-parses).
+func (o Operand) String() string {
+	if o.IsVar() {
+		return o.Var
+	}
+	if o.Lit.Datatype == rdf.XSDInteger && isAllDigits(o.Lit.Value) {
+		return o.Lit.Value
+	}
+	return quoteRQL(o.Lit.Value)
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// quoteRQL renders a string literal the RQL lexer reads back verbatim:
+// '"' and '\' are backslash-escaped, everything else stays raw.
+func quoteRQL(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Condition is one WHERE filter: left op right.
+type Condition struct {
+	Left  Operand
+	Op    CompOp
+	Right Operand
+}
+
+// String renders the condition.
+func (c Condition) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// Query is a parsed RQL query of the conjunctive fragment.
+type Query struct {
+	// Select lists the projected variables; nil means SELECT * (all).
+	Select []string
+	// From is the conjunction of path expressions.
+	From []PathExpr
+	// Where is the conjunction of filter conditions.
+	Where []Condition
+	// Limit caps the number of returned rows; 0 means unlimited (the
+	// Top-N construct of the paper's future work, §5).
+	Limit int
+	// Namespaces carries the USING NAMESPACE bindings.
+	Namespaces *rdf.Namespaces
+}
+
+// String renders the query in RQL concrete syntax (single line, canonical
+// form; namespaces rendered in declaration-independent sorted order).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.Select, ", "))
+	}
+	b.WriteString(" FROM ")
+	parts := make([]string, len(q.From))
+	for i, p := range q.From {
+		parts[i] = p.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		conds := make([]string, len(q.Where))
+		for i, c := range q.Where {
+			conds[i] = c.String()
+		}
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Namespaces != nil {
+		for _, prefix := range q.Namespaces.Prefixes() {
+			iri, _ := q.Namespaces.Resolve(prefix)
+			fmt.Fprintf(&b, " USING NAMESPACE %s = &%s&", prefix, iri)
+		}
+	}
+	return b.String()
+}
+
+// Variables returns the distinct variables of the FROM clause in first-
+// appearance order.
+func (q *Query) Variables() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, p := range q.From {
+		add(p.Subject.Var)
+		add(p.Object.Var)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package rql
+
+import "testing"
+
+// FuzzParse hardens the RQL front end: any input must either parse into a
+// query whose canonical rendering re-parses to the same form, or fail
+// cleanly — never panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT X, Y FROM {X;n1:C1}n1:prop1{Y}, {Y}n1:prop2{Z} USING NAMESPACE n1 = &http://a#&",
+		`SELECT * FROM {X}p{Y} WHERE X like "a*b" AND Y < 10 LIMIT 3`,
+		"SELECT X FROM {X}p{Y} -- comment\n",
+		"select x from {x}p{y}",
+		"{X}p{Y}", "&&&", `"`, "", "SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %q → %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("canonical form is not a fixpoint: %q vs %q", rendered, q2.String())
+		}
+	})
+}
+
+// FuzzTokenize checks the lexer never panics and always terminates.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range []string{"{X;a:b}c:d{Y}", "= != <= >= < >", "&x&", `"\"esc"`, "--\n*"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream not EOF-terminated for %q", src)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package rql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes RQL and RVL source text.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+var keywords = map[string]TokKind{
+	"SELECT": TokSelect, "FROM": TokFrom, "WHERE": TokWhere,
+	"USING": TokUsing, "NAMESPACE": TokNamespace, "AND": TokAnd,
+	"LIKE": TokLike, "VIEW": TokView, "CREATE": TokCreate,
+	"LIMIT": TokLimit,
+}
+
+// Next returns the next token, or an error for unlexable input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	startLine, startCol := l.line, l.col
+	mk := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: startLine, Col: startCol}
+	}
+	if l.pos >= len(l.src) {
+		return mk(TokEOF, ""), nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{':
+		l.advance(1)
+		return mk(TokLBrace, "{"), nil
+	case '}':
+		l.advance(1)
+		return mk(TokRBrace, "}"), nil
+	case '(':
+		l.advance(1)
+		return mk(TokLParen, "("), nil
+	case ')':
+		l.advance(1)
+		return mk(TokRParen, ")"), nil
+	case ',':
+		l.advance(1)
+		return mk(TokComma, ","), nil
+	case ';':
+		l.advance(1)
+		return mk(TokSemicolon, ";"), nil
+	case '*':
+		l.advance(1)
+		return mk(TokStar, "*"), nil
+	case '=':
+		l.advance(1)
+		return mk(TokEq, "="), nil
+	case '!':
+		if l.peekAt(1) == '=' {
+			l.advance(2)
+			return mk(TokNeq, "!="), nil
+		}
+		return Token{}, fmt.Errorf("rql: %d:%d: unexpected '!'", startLine, startCol)
+	case '<':
+		if l.peekAt(1) == '=' {
+			l.advance(2)
+			return mk(TokLe, "<="), nil
+		}
+		l.advance(1)
+		return mk(TokLt, "<"), nil
+	case '>':
+		if l.peekAt(1) == '=' {
+			l.advance(2)
+			return mk(TokGe, ">="), nil
+		}
+		l.advance(1)
+		return mk(TokGt, ">"), nil
+	case '&':
+		// &http://...& namespace IRI reference.
+		end := strings.IndexByte(l.src[l.pos+1:], '&')
+		if end < 0 {
+			return Token{}, fmt.Errorf("rql: %d:%d: unterminated &IRI&", startLine, startCol)
+		}
+		iri := l.src[l.pos+1 : l.pos+1+end]
+		l.advance(end + 2)
+		return mk(TokIRIRef, iri), nil
+	case '"':
+		i := l.pos + 1
+		var sb strings.Builder
+		for i < len(l.src) {
+			if l.src[i] == '\\' && i+1 < len(l.src) {
+				sb.WriteByte(l.src[i+1])
+				i += 2
+				continue
+			}
+			if l.src[i] == '"' {
+				text := sb.String()
+				l.advance(i + 1 - l.pos)
+				return mk(TokString, text), nil
+			}
+			sb.WriteByte(l.src[i])
+			i++
+		}
+		return Token{}, fmt.Errorf("rql: %d:%d: unterminated string literal", startLine, startCol)
+	}
+	if c >= '0' && c <= '9' {
+		i := l.pos
+		for i < len(l.src) && l.src[i] >= '0' && l.src[i] <= '9' {
+			i++
+		}
+		text := l.src[l.pos:i]
+		l.advance(i - l.pos)
+		return mk(TokNumber, text), nil
+	}
+	if isIdentStart(rune(c)) {
+		i := l.pos
+		for i < len(l.src) && isIdentPart(rune(l.src[i])) {
+			i++
+		}
+		word := l.src[l.pos:i]
+		// QName: prefix ':' local (no space). "http://" is not a qname
+		// here because identifiers never contain '/'.
+		if i < len(l.src) && l.src[i] == ':' && i+1 < len(l.src) && isIdentStart(rune(l.src[i+1])) {
+			j := i + 1
+			for j < len(l.src) && isIdentPart(rune(l.src[j])) {
+				j++
+			}
+			text := l.src[l.pos:j]
+			l.advance(j - l.pos)
+			return mk(TokQName, text), nil
+		}
+		l.advance(i - l.pos)
+		if kind, ok := keywords[strings.ToUpper(word)]; ok {
+			return mk(kind, word), nil
+		}
+		return mk(TokIdent, word), nil
+	}
+	return Token{}, fmt.Errorf("rql: %d:%d: unexpected character %q", startLine, startCol, string(c))
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance(1)
+		} else if c == '\n' {
+			l.pos++
+			l.line++
+			l.col = 1
+		} else if c == '-' && l.peekAt(1) == '-' {
+			// RQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		} else {
+			return
+		}
+	}
+}
+
+func (l *Lexer) advance(n int) {
+	l.pos += n
+	l.col += n
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,118 @@
+package rql
+
+import "testing"
+
+func kinds(ts []Token) []TokKind {
+	out := make([]TokKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	ts, err := Tokenize(`SELECT X, Y FROM {X;n1:C1}n1:prop1{Y} WHERE Z = "v" USING NAMESPACE n1 = &http://x#&`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokKind{
+		TokSelect, TokIdent, TokComma, TokIdent, TokFrom,
+		TokLBrace, TokIdent, TokSemicolon, TokQName, TokRBrace,
+		TokQName, TokLBrace, TokIdent, TokRBrace,
+		TokWhere, TokIdent, TokEq, TokString,
+		TokUsing, TokNamespace, TokIdent, TokEq, TokIRIRef, TokEOF,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), ts)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s (%v)", i, got[i], want[i], ts[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	ts, err := Tokenize(`= != < <= > >= *`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokKind{TokEq, TokNeq, TokLt, TokLe, TokGt, TokGe, TokStar, TokEOF}
+	got := kinds(ts)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	ts, err := Tokenize(`"a\"b"`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if ts[0].Kind != TokString || ts[0].Text != `a"b` {
+		t.Errorf("escaped string = %+v", ts[0])
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	ts, err := Tokenize("SELECT -- a comment\nX FROM {X}p{Y}")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if ts[1].Kind != TokIdent || ts[1].Text != "X" || ts[1].Line != 2 {
+		t.Errorf("comment handling wrong: %+v", ts[1])
+	}
+}
+
+func TestTokenizeNumbersAndQNames(t *testing.T) {
+	ts, err := Tokenize(`42 n1:prop1 bare`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if ts[0].Kind != TokNumber || ts[0].Text != "42" {
+		t.Errorf("number = %+v", ts[0])
+	}
+	if ts[1].Kind != TokQName || ts[1].Text != "n1:prop1" {
+		t.Errorf("qname = %+v", ts[1])
+	}
+	if ts[2].Kind != TokIdent || ts[2].Text != "bare" {
+		t.Errorf("ident = %+v", ts[2])
+	}
+}
+
+func TestTokenizeKeywordsCaseInsensitive(t *testing.T) {
+	ts, err := Tokenize("select From WHERE")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokKind{TokSelect, TokFrom, TokWhere}
+	for i, k := range want {
+		if ts[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, ts[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `&unterminated`, `!x`, "\x01"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) accepted bad input", src)
+		}
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	ts, err := Tokenize("SELECT\n  X")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if ts[0].Line != 1 || ts[0].Col != 1 {
+		t.Errorf("SELECT at %d:%d", ts[0].Line, ts[0].Col)
+	}
+	if ts[1].Line != 2 || ts[1].Col != 3 {
+		t.Errorf("X at %d:%d, want 2:3", ts[1].Line, ts[1].Col)
+	}
+}

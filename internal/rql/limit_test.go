@@ -1,0 +1,82 @@
+package rql_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+)
+
+func TestParseLimit(t *testing.T) {
+	src := `SELECT X FROM {X}n1:prop1{Y} LIMIT 5 USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	q, err := rql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Limit != 5 {
+		t.Errorf("Limit = %d", q.Limit)
+	}
+	if !strings.Contains(q.String(), "LIMIT 5") {
+		t.Errorf("String() lost LIMIT: %s", q)
+	}
+	// String() round trip keeps the limit.
+	q2, err := rql.Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if q2.Limit != 5 {
+		t.Errorf("round-trip Limit = %d", q2.Limit)
+	}
+}
+
+func TestParseLimitErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT X FROM {X}p{Y} LIMIT`,
+		`SELECT X FROM {X}p{Y} LIMIT x`,
+		`SELECT X FROM {X}p{Y} LIMIT 0`,
+	} {
+		if _, err := rql.Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted bad LIMIT", src)
+		}
+	}
+}
+
+func TestEvalHonorsLimit(t *testing.T) {
+	schema := gen.PaperSchema()
+	base := gen.PaperBases(10)["P1"]
+	src := `SELECT X, Y FROM {X}n1:prop1{Y} LIMIT 3 USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	c, err := rql.ParseAndAnalyze(src, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	rows, err := rql.Eval(c, base)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if rows.Len() != 3 {
+		t.Errorf("limited eval = %d rows, want 3", rows.Len())
+	}
+}
+
+func TestResultSetLimit(t *testing.T) {
+	rs := rql.NewResultSet("X")
+	for i := 0; i < 5; i++ {
+		rs.Add(rql.Row{"X": termFor(i)})
+	}
+	if got := rs.Limit(2); got.Len() != 2 {
+		t.Errorf("Limit(2) = %d rows", got.Len())
+	}
+	if got := rs.Limit(0); got.Len() != 5 {
+		t.Errorf("Limit(0) must be a no-op, got %d", got.Len())
+	}
+	if got := rs.Limit(10); got.Len() != 5 {
+		t.Errorf("oversized limit changed the set: %d", got.Len())
+	}
+}
+
+func termFor(i int) rdf.Term {
+	return rdf.NewIRI(rdf.IRI(fmt.Sprintf("http://d#r%d", i)))
+}

@@ -1,0 +1,271 @@
+package rql
+
+import (
+	"fmt"
+	"strconv"
+
+	"sqpeer/internal/rdf"
+)
+
+// Parser is a recursive-descent parser for the RQL conjunctive fragment
+// and (in package rvl) the RVL view statements, which share this token
+// stream machinery.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser returns a parser over pre-lexed tokens.
+func NewParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// Parse parses an RQL query:
+//
+//	SELECT X, Y | *
+//	FROM pathExpr (, pathExpr)*
+//	[WHERE cond (AND cond)*]
+//	[USING NAMESPACE p = &iri& (, p = &iri&)*]
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser(toks)
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, fmt.Errorf("rql: trailing input after query: %s", t)
+	}
+	return q, nil
+}
+
+func (p *Parser) parseQuery() (*Query, error) {
+	q := &Query{Namespaces: rdf.NewNamespaces()}
+	if _, err := p.expect(TokSelect); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokStar {
+		p.next()
+	} else {
+		for {
+			t, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, fmt.Errorf("rql: in SELECT list: %w", err)
+			}
+			q.Select = append(q.Select, t.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(TokFrom); err != nil {
+		return nil, err
+	}
+	for {
+		pe, err := p.parsePathExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, pe)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	if p.peek().Kind == TokWhere {
+		p.next()
+		for {
+			c, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, c)
+			if p.peek().Kind == TokAnd || p.peek().Kind == TokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().Kind == TokLimit {
+		p.next()
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, fmt.Errorf("rql: in LIMIT: %w", err)
+		}
+		limit, err := strconv.Atoi(n.Text)
+		if err != nil || limit <= 0 {
+			return nil, fmt.Errorf("rql: LIMIT %q must be a positive integer", n.Text)
+		}
+		q.Limit = limit
+	}
+	if err := p.parseUsingNamespace(q.Namespaces); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parsePathExpr parses {X[;class]}property{Y[;class]}.
+func (p *Parser) parsePathExpr() (PathExpr, error) {
+	subj, err := p.parseVarClass()
+	if err != nil {
+		return PathExpr{}, err
+	}
+	propTok := p.peek()
+	if propTok.Kind != TokQName && propTok.Kind != TokIdent {
+		return PathExpr{}, fmt.Errorf("rql: expected property name, got %s", propTok)
+	}
+	p.next()
+	obj, err := p.parseVarClass()
+	if err != nil {
+		return PathExpr{}, err
+	}
+	return PathExpr{Subject: subj, Property: propTok.Text, Object: obj}, nil
+}
+
+// parseVarClass parses {X} or {X;n1:C}.
+func (p *Parser) parseVarClass() (VarClass, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return VarClass{}, err
+	}
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return VarClass{}, fmt.Errorf("rql: expected variable in path end: %w", err)
+	}
+	vc := VarClass{Var: v.Text}
+	if p.peek().Kind == TokSemicolon {
+		p.next()
+		cls := p.peek()
+		if cls.Kind != TokQName && cls.Kind != TokIdent {
+			return VarClass{}, fmt.Errorf("rql: expected class name after ';', got %s", cls)
+		}
+		p.next()
+		vc.Class = cls.Text
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return VarClass{}, err
+	}
+	return vc, nil
+}
+
+func (p *Parser) parseCondition() (Condition, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return Condition{}, err
+	}
+	var op CompOp
+	switch t := p.next(); t.Kind {
+	case TokEq:
+		op = OpEq
+	case TokNeq:
+		op = OpNeq
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	case TokLike:
+		op = OpLike
+	default:
+		return Condition{}, fmt.Errorf("rql: expected comparison operator, got %s", t)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return Condition{}, err
+	}
+	return Condition{Left: left, Op: op, Right: right}, nil
+}
+
+func (p *Parser) parseOperand() (Operand, error) {
+	switch t := p.next(); t.Kind {
+	case TokIdent:
+		return Operand{Var: t.Text}, nil
+	case TokString:
+		return Operand{Lit: rdf.NewLiteral(t.Text)}, nil
+	case TokNumber:
+		return Operand{Lit: rdf.NewTypedLiteral(t.Text, rdf.XSDInteger)}, nil
+	default:
+		return Operand{}, fmt.Errorf("rql: expected operand, got %s", t)
+	}
+}
+
+// parseUsingNamespace parses zero or more USING NAMESPACE declarations
+// into ns.
+func (p *Parser) parseUsingNamespace(ns *rdf.Namespaces) error {
+	for p.peek().Kind == TokUsing {
+		p.next()
+		if _, err := p.expect(TokNamespace); err != nil {
+			return err
+		}
+		for {
+			prefix, err := p.expect(TokIdent)
+			if err != nil {
+				return fmt.Errorf("rql: in USING NAMESPACE: %w", err)
+			}
+			if _, err := p.expect(TokEq); err != nil {
+				return err
+			}
+			iri, err := p.expect(TokIRIRef)
+			if err != nil {
+				return fmt.Errorf("rql: in USING NAMESPACE: %w", err)
+			}
+			ns.Bind(prefix.Text, iri.Text)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	return nil
+}
+
+// peek returns the current token without consuming it.
+func (p *Parser) peek() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return Token{Kind: TokEOF}
+}
+
+// next consumes and returns the current token.
+func (p *Parser) next() Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *Parser) expect(k TokKind) (Token, error) {
+	t := p.next()
+	if t.Kind != k {
+		return t, fmt.Errorf("rql: expected %s, got %s", k, t)
+	}
+	return t, nil
+}
+
+// The exported wrappers below let package rvl reuse this parser for the
+// shared sublanguage (path expressions, namespace clauses) of RVL view
+// statements.
+
+// PathExpr parses one {X;C}prop{Y;C} path expression at the current
+// position.
+func (p *Parser) PathExpr() (PathExpr, error) { return p.parsePathExpr() }
+
+// UsingNamespace parses zero or more USING NAMESPACE clauses into ns.
+func (p *Parser) UsingNamespace(ns *rdf.Namespaces) error { return p.parseUsingNamespace(ns) }
+
+// PeekTok returns the current token without consuming it.
+func (p *Parser) PeekTok() Token { return p.peek() }
+
+// NextTok consumes and returns the current token.
+func (p *Parser) NextTok() Token { return p.next() }
+
+// ExpectTok consumes a token of kind k or fails.
+func (p *Parser) ExpectTok(k TokKind) (Token, error) { return p.expect(k) }

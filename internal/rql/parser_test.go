@@ -1,0 +1,140 @@
+package rql
+
+import (
+	"strings"
+	"testing"
+)
+
+const paperNS = "http://ics.forth.gr/SON/n1#"
+
+const paperQuerySrc = `SELECT X, Y
+FROM {X;n1:C1}n1:prop1{Y}, {Y}n1:prop2{Z}
+USING NAMESPACE n1 = &` + paperNS + `&`
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := Parse(paperQuerySrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "X" || q.Select[1] != "Y" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.From) != 2 {
+		t.Fatalf("From has %d path expressions", len(q.From))
+	}
+	p1 := q.From[0]
+	if p1.Subject.Var != "X" || p1.Subject.Class != "n1:C1" || p1.Property != "n1:prop1" || p1.Object.Var != "Y" {
+		t.Errorf("first path expression = %+v", p1)
+	}
+	p2 := q.From[1]
+	if p2.Subject.Var != "Y" || p2.Property != "n1:prop2" || p2.Object.Var != "Z" {
+		t.Errorf("second path expression = %+v", p2)
+	}
+	if iri, ok := q.Namespaces.Resolve("n1"); !ok || iri != paperNS {
+		t.Errorf("namespace n1 = %q, %v", iri, ok)
+	}
+	if vars := q.Variables(); len(vars) != 3 || vars[0] != "X" || vars[1] != "Y" || vars[2] != "Z" {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := Parse(`SELECT * FROM {X}n1:prop1{Y} USING NAMESPACE n1 = &http://x#&`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Select != nil {
+		t.Errorf("SELECT * should leave Select nil, got %v", q.Select)
+	}
+}
+
+func TestParseWhereConditions(t *testing.T) {
+	q, err := Parse(`SELECT X FROM {X}n1:p{Z} WHERE Z = "v" AND X != Z AND Z like "pre*" AND Z < 10
+USING NAMESPACE n1 = &http://x#&`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Where) != 4 {
+		t.Fatalf("Where has %d conditions", len(q.Where))
+	}
+	if q.Where[0].Op != OpEq || !q.Where[0].Left.IsVar() || q.Where[0].Right.Lit.Value != "v" {
+		t.Errorf("cond 0 = %+v", q.Where[0])
+	}
+	if q.Where[1].Op != OpNeq || q.Where[1].Right.Var != "Z" {
+		t.Errorf("cond 1 = %+v", q.Where[1])
+	}
+	if q.Where[2].Op != OpLike {
+		t.Errorf("cond 2 = %+v", q.Where[2])
+	}
+	if q.Where[3].Op != OpLt || q.Where[3].Right.Lit.Value != "10" {
+		t.Errorf("cond 3 = %+v", q.Where[3])
+	}
+}
+
+func TestParseMultipleNamespaces(t *testing.T) {
+	q, err := Parse(`SELECT X FROM {X}n1:p{Y} USING NAMESPACE n1 = &http://a#&, n2 = &http://b#&`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if iri, _ := q.Namespaces.Resolve("n2"); iri != "http://b#" {
+		t.Errorf("n2 = %q", iri)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`FROM {X}p{Y}`,                          // missing SELECT
+		`SELECT FROM {X}p{Y}`,                   // missing select list
+		`SELECT X`,                              // missing FROM
+		`SELECT X FROM`,                         // empty FROM
+		`SELECT X FROM {X}p`,                    // missing object
+		`SELECT X FROM {X p{Y}`,                 // unclosed brace
+		`SELECT X FROM {X;}p{Y}`,                // empty class restriction
+		`SELECT X FROM {X}p{Y} WHERE`,           // empty WHERE
+		`SELECT X FROM {X}p{Y} WHERE X`,         // dangling operand
+		`SELECT X FROM {X}p{Y} WHERE X ~ Y`,     // bad operator
+		`SELECT X FROM {X}p{Y} USING X`,         // bad USING
+		`SELECT X FROM {X}p{Y} USING NAMESPACE`, // empty namespace clause
+		`SELECT X FROM {X}p{Y} USING NAMESPACE n1 = "notiri"`,
+		`SELECT X FROM {X}p{Y} trailing`,
+		`SELECT X FROM {"lit"}p{Y}`, // literal as variable
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed query", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrips(t *testing.T) {
+	q, err := Parse(paperQuerySrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rendered := q.String()
+	for _, want := range []string{"SELECT X, Y", "{X;n1:C1}n1:prop1{Y}", "{Y}n1:prop2{Z}", "USING NAMESPACE n1"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("String() missing %q:\n%s", want, rendered)
+		}
+	}
+	// The rendered form must itself parse to the same canonical form.
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse of String(): %v", err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("String not a fixpoint:\n%s\n%s", rendered, q2.String())
+	}
+}
+
+func TestParseWhereCommaSeparator(t *testing.T) {
+	// RQL also allows comma-separated conditions.
+	q, err := Parse(`SELECT X FROM {X}n1:p{Z} WHERE Z = "a", X != Z USING NAMESPACE n1 = &http://x#&`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Where) != 2 {
+		t.Errorf("Where = %v", q.Where)
+	}
+}

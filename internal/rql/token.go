@@ -1,0 +1,90 @@
+// Package rql implements the conjunctive fragment of RQL that SQPeer
+// routes and processes (paper §2.1): SELECT/FROM queries whose FROM clause
+// is a conjunction of path expressions ({X;n1:C}n1:prop{Y}), with optional
+// WHERE filters and USING NAMESPACE declarations. The package provides a
+// lexer, a recursive-descent parser, semantic analysis against a community
+// RDF/S schema (producing a pattern.QueryPattern), and a local evaluator
+// over an rdf.Base.
+package rql
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds. Keywords are case-insensitive in RQL.
+const (
+	TokEOF TokKind = iota
+	// TokIdent is an identifier: a variable or an unprefixed name.
+	TokIdent
+	// TokQName is a qualified name "prefix:local".
+	TokQName
+	// TokString is a double-quoted string literal.
+	TokString
+	// TokNumber is an integer literal.
+	TokNumber
+	// TokIRIRef is an &...& namespace IRI reference.
+	TokIRIRef
+	// Keywords.
+	TokSelect
+	TokFrom
+	TokWhere
+	TokUsing
+	TokNamespace
+	TokAnd
+	TokLike
+	TokView // RVL
+	TokLimit
+	TokCreate // RVL
+	// Punctuation and operators.
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokComma
+	TokSemicolon
+	TokStar
+	TokEq  // =
+	TokNeq // !=
+	TokLt  // <
+	TokLe  // <=
+	TokGt  // >
+	TokGe  // >=
+	TokAssign
+)
+
+// String names the token kind for diagnostics.
+func (k TokKind) String() string {
+	names := map[TokKind]string{
+		TokEOF: "end of input", TokIdent: "identifier", TokQName: "qualified name",
+		TokString: "string", TokNumber: "number", TokIRIRef: "&IRI&",
+		TokSelect: "SELECT", TokFrom: "FROM", TokWhere: "WHERE",
+		TokUsing: "USING", TokNamespace: "NAMESPACE", TokAnd: "AND",
+		TokLike: "LIKE", TokView: "VIEW", TokCreate: "CREATE", TokLimit: "LIMIT",
+		TokLBrace: "{", TokRBrace: "}", TokLParen: "(", TokRParen: ")",
+		TokComma: ",", TokSemicolon: ";", TokStar: "*",
+		TokEq: "=", TokNeq: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+		TokAssign: "=",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (1-based line and
+// column) for error messages.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q at %d:%d", t.Kind, t.Text, t.Line, t.Col)
+	}
+	return fmt.Sprintf("%s at %d:%d", t.Kind, t.Line, t.Col)
+}

@@ -1,0 +1,188 @@
+package rvl
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+)
+
+// CompiledView is a semantically analyzed view: head atoms resolved to
+// schema classes/properties and the body compiled like an RQL query.
+type CompiledView struct {
+	// View is the parsed definition.
+	View *ViewDef
+	// Schema is the community schema the view advertises against.
+	Schema *rdf.Schema
+	// ClassAtoms maps head class IRIs to the variable they bind.
+	ClassAtoms map[rdf.IRI]string
+	// PropAtoms maps head property IRIs to their two variables.
+	PropAtoms map[rdf.IRI][2]string
+	// Body is the body compiled against the schema (pattern + filters).
+	Body *rql.Compiled
+}
+
+// Analyze resolves the view against the community schema: head names must
+// be declared classes/properties, head variables must be bound by the
+// body, and for property atoms the variables' body-inferred classes must
+// refine the property's declared domain and range.
+func Analyze(v *ViewDef, schema *rdf.Schema) (*CompiledView, error) {
+	// Compile the body by borrowing RQL analysis: SELECT * FROM body.
+	bodyQuery := &rql.Query{From: v.From, Where: v.Where, Namespaces: v.Namespaces}
+	body, err := rql.Analyze(bodyQuery, schema)
+	if err != nil {
+		return nil, fmt.Errorf("rvl: view body: %w", err)
+	}
+	cv := &CompiledView{
+		View:       v,
+		Schema:     schema,
+		ClassAtoms: map[rdf.IRI]string{},
+		PropAtoms:  map[rdf.IRI][2]string{},
+		Body:       body,
+	}
+	bound := map[string]rdf.IRI{} // var -> most specific class seen in body
+	for _, p := range body.Pattern.Patterns {
+		noteVarClass(schema, bound, p.SubjectVar, p.Domain)
+		noteVarClass(schema, bound, p.ObjectVar, p.Range)
+	}
+	for _, atom := range v.Head {
+		name, err := v.Namespaces.Expand(atom.Name)
+		if err != nil {
+			return nil, fmt.Errorf("rvl: VIEW atom %s: %w", atom, err)
+		}
+		for _, av := range atom.Vars {
+			if _, ok := bound[av]; !ok {
+				return nil, fmt.Errorf("rvl: VIEW atom %s: variable %s not bound by the FROM clause", atom, av)
+			}
+		}
+		if atom.IsClassAtom() {
+			if !schema.HasClass(name) {
+				return nil, fmt.Errorf("rvl: VIEW atom %s: class %s not declared in schema %s", atom, name, schema.Name)
+			}
+			cv.ClassAtoms[name] = atom.Vars[0]
+			continue
+		}
+		def, ok := schema.PropertyByName(name)
+		if !ok {
+			return nil, fmt.Errorf("rvl: VIEW atom %s: property %s not declared in schema %s", atom, name, schema.Name)
+		}
+		subjClass, objClass := bound[atom.Vars[0]], bound[atom.Vars[1]]
+		if !schema.IsSubClassOf(subjClass, def.Domain) {
+			return nil, fmt.Errorf("rvl: VIEW atom %s: subject class %s is not subsumed by the property's domain %s",
+				atom, subjClass, def.Domain)
+		}
+		if !isLiteralType(def.Range) && !schema.IsSubClassOf(objClass, def.Range) {
+			return nil, fmt.Errorf("rvl: VIEW atom %s: object class %s is not subsumed by the property's range %s",
+				atom, objClass, def.Range)
+		}
+		cv.PropAtoms[name] = [2]string{atom.Vars[0], atom.Vars[1]}
+	}
+	if len(cv.ClassAtoms) == 0 && len(cv.PropAtoms) == 0 {
+		return nil, fmt.Errorf("rvl: view has an empty head")
+	}
+	return cv, nil
+}
+
+func isLiteralType(c rdf.IRI) bool {
+	return c == rdf.RDFSLiteral || c == rdf.XSDString || c == rdf.XSDInteger
+}
+
+// noteVarClass keeps the most specific class observed for a variable.
+func noteVarClass(schema *rdf.Schema, bound map[string]rdf.IRI, v string, class rdf.IRI) {
+	cur, ok := bound[v]
+	if !ok || schema.IsSubClassOf(class, cur) {
+		bound[v] = class
+	}
+}
+
+// Materialize evaluates the view body over the base and emits the head's
+// instances into a fresh base: typing triples for class atoms and
+// statement triples for property atoms. This is the "populated on demand"
+// path of the paper's virtual scenario, and also how a peer refreshes a
+// materialized view.
+func (cv *CompiledView) Materialize(base *rdf.Base) (*rdf.Base, error) {
+	rows, err := rql.Eval(cv.Body, base)
+	if err != nil {
+		return nil, fmt.Errorf("rvl: materialize: %w", err)
+	}
+	out := rdf.NewBase()
+	for _, row := range rows.Rows {
+		for class, v := range cv.ClassAtoms {
+			if t, ok := row[v]; ok && t.IsIRI() {
+				out.Add(rdf.Typing(t.IRI(), class))
+			}
+		}
+		for prop, vars := range cv.PropAtoms {
+			s, sok := row[vars[0]]
+			o, ook := row[vars[1]]
+			if sok && ook && s.IsIRI() {
+				out.Add(rdf.Triple{S: s, P: rdf.NewIRI(prop), O: o})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ActiveSchema derives the advertisement the view induces: every head
+// class and property is declared populated (or populatable), with property
+// end-points narrowed to the classes the body binds the head variables to.
+// This is the intensional reading of §2.2 — no data is touched.
+func (cv *CompiledView) ActiveSchema() *pattern.ActiveSchema {
+	a := pattern.NewActiveSchema(cv.Schema.Name)
+	bound := map[string]rdf.IRI{}
+	for _, p := range cv.Body.Pattern.Patterns {
+		noteVarClass(cv.Schema, bound, p.SubjectVar, p.Domain)
+		noteVarClass(cv.Schema, bound, p.ObjectVar, p.Range)
+	}
+	for prop, vars := range cv.PropAtoms {
+		domain, rng := bound[vars[0]], bound[vars[1]]
+		if err := a.AddPropertyPattern(prop, domain, rng); err != nil {
+			// Unreachable: Analyze validated the schema memberships.
+			panic(err)
+		}
+	}
+	for class := range cv.ClassAtoms {
+		a.AddClass(class)
+	}
+	return a
+}
+
+// ParseAndAnalyze parses RVL source and analyzes every view against the
+// schema.
+func ParseAndAnalyze(src string, schema *rdf.Schema) ([]*CompiledView, error) {
+	views, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*CompiledView, 0, len(views))
+	for i, v := range views {
+		cv, err := Analyze(v, schema)
+		if err != nil {
+			return nil, fmt.Errorf("rvl: view %d: %w", i+1, err)
+		}
+		out = append(out, cv)
+	}
+	return out, nil
+}
+
+// CombinedActiveSchema merges the active-schemas of several compiled
+// views — a peer advertising through multiple views publishes their union.
+func CombinedActiveSchema(views []*CompiledView) *pattern.ActiveSchema {
+	if len(views) == 0 {
+		return pattern.NewActiveSchema("")
+	}
+	acc := views[0].ActiveSchema()
+	for _, v := range views[1:] {
+		next := v.ActiveSchema()
+		for _, p := range next.Patterns {
+			if err := acc.AddPropertyPattern(p.Property, p.Domain, p.Range); err != nil {
+				panic(err)
+			}
+		}
+		for _, c := range next.Classes {
+			acc.AddClass(c)
+		}
+	}
+	return acc
+}

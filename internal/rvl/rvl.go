@@ -1,0 +1,182 @@
+// Package rvl implements the fragment of the RDF View Language SQPeer
+// uses to advertise peer bases (paper §2.2): VIEW statements that populate
+// classes and properties of a community RDF/S schema from a peer's base.
+// A view's head declares what is (or can be) populated — which is exactly
+// the peer's active-schema — and its body says how to compute the
+// instances, either from a materialized RDF base or, through the swim
+// package, from a virtual relational/XML base.
+package rvl
+
+import (
+	"fmt"
+	"strings"
+
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+)
+
+// HeadAtom is one element of a VIEW clause: a class atom C(X) or a
+// property atom prop(X, Y).
+type HeadAtom struct {
+	// Name is the qualified name of the class or property.
+	Name string
+	// Vars holds one variable for class atoms, two for property atoms.
+	Vars []string
+}
+
+// IsClassAtom reports whether the atom populates a class.
+func (h HeadAtom) IsClassAtom() bool { return len(h.Vars) == 1 }
+
+// String renders the atom in RVL syntax.
+func (h HeadAtom) String() string {
+	return h.Name + "(" + strings.Join(h.Vars, ", ") + ")"
+}
+
+// ViewDef is a parsed RVL view statement:
+//
+//	[CREATE NAMESPACE p = &iri&]
+//	VIEW head (, head)*
+//	FROM pathExpr (, pathExpr)*
+//	[WHERE cond (AND cond)*]
+//	[USING NAMESPACE p = &iri&]
+type ViewDef struct {
+	// Head is the VIEW clause: the populated classes and properties.
+	Head []HeadAtom
+	// From is the body: path expressions over the peer's base.
+	From []rql.PathExpr
+	// Where filters body bindings.
+	Where []rql.Condition
+	// Namespaces holds CREATE NAMESPACE and USING NAMESPACE bindings.
+	Namespaces *rdf.Namespaces
+}
+
+// String renders the view in RVL concrete syntax.
+func (v *ViewDef) String() string {
+	var b strings.Builder
+	b.WriteString("VIEW ")
+	heads := make([]string, len(v.Head))
+	for i, h := range v.Head {
+		heads[i] = h.String()
+	}
+	b.WriteString(strings.Join(heads, ", "))
+	b.WriteString(" FROM ")
+	froms := make([]string, len(v.From))
+	for i, f := range v.From {
+		froms[i] = f.String()
+	}
+	b.WriteString(strings.Join(froms, ", "))
+	if v.Namespaces != nil {
+		for _, prefix := range v.Namespaces.Prefixes() {
+			iri, _ := v.Namespaces.Resolve(prefix)
+			fmt.Fprintf(&b, " USING NAMESPACE %s = &%s&", prefix, iri)
+		}
+	}
+	return b.String()
+}
+
+// Parse parses one or more RVL view statements from src.
+func Parse(src string) ([]*ViewDef, error) {
+	toks, err := rql.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := rql.NewParser(toks)
+	var views []*ViewDef
+	for p.PeekTok().Kind != rql.TokEOF {
+		v, err := parseView(p)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	if len(views) == 0 {
+		return nil, fmt.Errorf("rvl: no view statements in input")
+	}
+	return views, nil
+}
+
+func parseView(p *rql.Parser) (*ViewDef, error) {
+	v := &ViewDef{Namespaces: rdf.NewNamespaces()}
+	// Optional CREATE NAMESPACE prefix declarations.
+	for p.PeekTok().Kind == rql.TokCreate {
+		p.NextTok()
+		if _, err := p.ExpectTok(rql.TokNamespace); err != nil {
+			return nil, fmt.Errorf("rvl: in CREATE NAMESPACE: %w", err)
+		}
+		prefix, err := p.ExpectTok(rql.TokIdent)
+		if err != nil {
+			return nil, fmt.Errorf("rvl: in CREATE NAMESPACE: %w", err)
+		}
+		if _, err := p.ExpectTok(rql.TokEq); err != nil {
+			return nil, err
+		}
+		iri, err := p.ExpectTok(rql.TokIRIRef)
+		if err != nil {
+			return nil, fmt.Errorf("rvl: in CREATE NAMESPACE: %w", err)
+		}
+		v.Namespaces.Bind(prefix.Text, iri.Text)
+	}
+	if _, err := p.ExpectTok(rql.TokView); err != nil {
+		return nil, fmt.Errorf("rvl: %w", err)
+	}
+	for {
+		atom, err := parseHeadAtom(p)
+		if err != nil {
+			return nil, err
+		}
+		v.Head = append(v.Head, atom)
+		if p.PeekTok().Kind != rql.TokComma {
+			break
+		}
+		p.NextTok()
+	}
+	if _, err := p.ExpectTok(rql.TokFrom); err != nil {
+		return nil, fmt.Errorf("rvl: %w", err)
+	}
+	for {
+		pe, err := p.PathExpr()
+		if err != nil {
+			return nil, fmt.Errorf("rvl: in FROM clause: %w", err)
+		}
+		v.From = append(v.From, pe)
+		if p.PeekTok().Kind != rql.TokComma {
+			break
+		}
+		p.NextTok()
+	}
+	if err := p.UsingNamespace(v.Namespaces); err != nil {
+		return nil, fmt.Errorf("rvl: %w", err)
+	}
+	return v, nil
+}
+
+func parseHeadAtom(p *rql.Parser) (HeadAtom, error) {
+	name := p.PeekTok()
+	if name.Kind != rql.TokQName && name.Kind != rql.TokIdent {
+		return HeadAtom{}, fmt.Errorf("rvl: expected class or property name in VIEW clause, got %s", name)
+	}
+	p.NextTok()
+	if _, err := p.ExpectTok(rql.TokLParen); err != nil {
+		return HeadAtom{}, err
+	}
+	atom := HeadAtom{Name: name.Text}
+	for {
+		v, err := p.ExpectTok(rql.TokIdent)
+		if err != nil {
+			return HeadAtom{}, fmt.Errorf("rvl: in VIEW atom %s: %w", name.Text, err)
+		}
+		atom.Vars = append(atom.Vars, v.Text)
+		if p.PeekTok().Kind != rql.TokComma {
+			break
+		}
+		p.NextTok()
+	}
+	if _, err := p.ExpectTok(rql.TokRParen); err != nil {
+		return HeadAtom{}, err
+	}
+	if len(atom.Vars) < 1 || len(atom.Vars) > 2 {
+		return HeadAtom{}, fmt.Errorf("rvl: VIEW atom %s has %d variables, want 1 (class) or 2 (property)",
+			atom.Name, len(atom.Vars))
+	}
+	return atom, nil
+}

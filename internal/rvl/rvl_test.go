@@ -1,0 +1,200 @@
+package rvl_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rvl"
+)
+
+func TestParsePaperView(t *testing.T) {
+	views, err := rvl.Parse(gen.PaperRVL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("got %d views", len(views))
+	}
+	v := views[0]
+	if len(v.Head) != 3 {
+		t.Fatalf("head atoms = %v", v.Head)
+	}
+	if !v.Head[0].IsClassAtom() || v.Head[0].Name != "n1:C5" || v.Head[0].Vars[0] != "X" {
+		t.Errorf("head[0] = %+v", v.Head[0])
+	}
+	if v.Head[2].IsClassAtom() || v.Head[2].Name != "n1:prop4" || len(v.Head[2].Vars) != 2 {
+		t.Errorf("head[2] = %+v", v.Head[2])
+	}
+	if len(v.From) != 1 || v.From[0].Property != "n1:prop4" {
+		t.Errorf("from = %+v", v.From)
+	}
+	if iri, ok := v.Namespaces.Resolve("mv"); !ok || iri != "http://ics.forth.gr/views/v1#" {
+		t.Errorf("CREATE NAMESPACE mv = %q, %v", iri, ok)
+	}
+	if iri, ok := v.Namespaces.Resolve("n1"); !ok || iri != gen.PaperNS {
+		t.Errorf("USING NAMESPACE n1 = %q, %v", iri, ok)
+	}
+	if out := v.String(); !strings.Contains(out, "VIEW n1:C5(X), n1:C6(Y), n1:prop4(X, Y)") {
+		t.Errorf("String() = %s", out)
+	}
+}
+
+func TestParseViewErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`VIEW`,
+		`VIEW n1:C5 FROM {X}n1:p{Y}`,         // missing parens
+		`VIEW n1:C5() FROM {X}n1:p{Y}`,       // no vars
+		`VIEW n1:p(X, Y, Z) FROM {X}n1:p{Y}`, // 3 vars
+		`VIEW n1:C5(X)`,                      // missing FROM
+		`VIEW n1:C5(X) FROM`,                 // empty FROM
+		`CREATE NAMESPACE VIEW n1:C5(X) FROM {X}p{Y}`,          // bad CREATE
+		`CREATE NAMESPACE mv = "x" VIEW n1:C5(X) FROM {X}p{Y}`, // IRI not &..&
+	}
+	for _, src := range bad {
+		if _, err := rvl.Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed view", src)
+		}
+	}
+}
+
+func TestAnalyzePaperView(t *testing.T) {
+	schema := gen.PaperSchema()
+	cvs, err := rvl.ParseAndAnalyze(gen.PaperRVL, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	cv := cvs[0]
+	if v, ok := cv.ClassAtoms[gen.N1("C5")]; !ok || v != "X" {
+		t.Errorf("ClassAtoms = %v", cv.ClassAtoms)
+	}
+	if vars, ok := cv.PropAtoms[gen.N1("prop4")]; !ok || vars != [2]string{"X", "Y"} {
+		t.Errorf("PropAtoms = %v", cv.PropAtoms)
+	}
+}
+
+func TestAnalyzeViewErrors(t *testing.T) {
+	schema := gen.PaperSchema()
+	ns := ` USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown head class", `VIEW n1:Cnone(X) FROM {X}n1:prop1{Y}` + ns, "not declared"},
+		{"unknown head property", `VIEW n1:propnone(X, Y) FROM {X}n1:prop1{Y}` + ns, "not declared"},
+		{"unbound head var", `VIEW n1:C1(W) FROM {X}n1:prop1{Y}` + ns, "not bound"},
+		{"domain violation", `VIEW n1:prop4(X, Y) FROM {X}n1:prop1{Y}` + ns, "not subsumed"},
+		{"bad body property", `VIEW n1:C1(X) FROM {X}n1:ghost{Y}` + ns, "not declared"},
+	}
+	for _, c := range cases {
+		if _, err := rvl.ParseAndAnalyze(c.src, schema); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMaterializePaperView(t *testing.T) {
+	schema := gen.PaperSchema()
+	cvs, err := rvl.ParseAndAnalyze(gen.PaperRVL, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	base := rdf.NewBase()
+	base.Add(rdf.Statement("http://d#a", gen.N1("prop4"), "http://d#b"))
+	base.Add(rdf.Statement("http://d#c", gen.N1("prop4"), "http://d#d"))
+	base.Add(rdf.Statement("http://d#e", gen.N1("prop1"), "http://d#f")) // not prop4: excluded
+
+	view, err := cvs[0].Materialize(base)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// 2 rows × (C5 typing + C6 typing + prop4 triple) = 6 triples.
+	if view.Len() != 6 {
+		t.Fatalf("materialized view has %d triples, want 6:\n%s", view.Len(), rdf.FormatTriples(view.Triples()))
+	}
+	if !view.Has(rdf.Typing("http://d#a", gen.N1("C5"))) {
+		t.Error("missing C5 typing for subject")
+	}
+	if !view.Has(rdf.Typing("http://d#b", gen.N1("C6"))) {
+		t.Error("missing C6 typing for object")
+	}
+	if !view.Has(rdf.Statement("http://d#a", gen.N1("prop4"), "http://d#b")) {
+		t.Error("missing prop4 statement")
+	}
+	if view.Has(rdf.Statement("http://d#e", gen.N1("prop4"), "http://d#f")) {
+		t.Error("prop1 pair leaked into prop4 view")
+	}
+}
+
+func TestViewActiveSchemaMatchesFigure1(t *testing.T) {
+	schema := gen.PaperSchema()
+	cvs, err := rvl.ParseAndAnalyze(gen.PaperRVL, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	a := cvs[0].ActiveSchema()
+	if !a.HasProperty(gen.N1("prop4")) {
+		t.Errorf("active-schema missing prop4: %s", a)
+	}
+	if a.HasProperty(gen.N1("prop1")) {
+		t.Errorf("active-schema must not claim prop1: %s", a)
+	}
+	if !a.HasClass(gen.N1("C5")) || !a.HasClass(gen.N1("C6")) {
+		t.Errorf("active-schema missing classes: %s", a)
+	}
+	// End-points of the advertised prop4 pattern are C5 → C6.
+	if p := a.Patterns[0]; p.Domain != gen.N1("C5") || p.Range != gen.N1("C6") {
+		t.Errorf("prop4 advertisement end-points = %+v", p)
+	}
+}
+
+func TestCombinedActiveSchema(t *testing.T) {
+	schema := gen.PaperSchema()
+	src := `VIEW n1:prop1(X, Y) FROM {X}n1:prop1{Y} USING NAMESPACE n1 = &` + gen.PaperNS + `&
+VIEW n1:prop2(Y, Z) FROM {Y}n1:prop2{Z} USING NAMESPACE n1 = &` + gen.PaperNS + `&`
+	cvs, err := rvl.ParseAndAnalyze(src, schema)
+	if err != nil {
+		t.Fatalf("ParseAndAnalyze: %v", err)
+	}
+	if len(cvs) != 2 {
+		t.Fatalf("got %d views", len(cvs))
+	}
+	a := rvl.CombinedActiveSchema(cvs)
+	if !a.HasProperty(gen.N1("prop1")) || !a.HasProperty(gen.N1("prop2")) {
+		t.Errorf("combined = %s", a)
+	}
+	if got := rvl.CombinedActiveSchema(nil); got.Size() != 0 {
+		t.Error("empty combination should be empty")
+	}
+}
+
+func TestMaterializeWithWhereFilter(t *testing.T) {
+	schema := rdf.NewSchema("http://s#")
+	schema.MustAddClass("http://s#Doc")
+	schema.MustAddProperty("http://s#year", "http://s#Doc", rdf.XSDInteger)
+
+	base := rdf.NewBase()
+	base.Add(rdf.Triple{S: rdf.NewIRI("http://d#1"), P: rdf.NewIRI("http://s#year"), O: rdf.NewTypedLiteral("2004", rdf.XSDInteger)})
+	base.Add(rdf.Triple{S: rdf.NewIRI("http://d#2"), P: rdf.NewIRI("http://s#year"), O: rdf.NewTypedLiteral("1990", rdf.XSDInteger)})
+
+	// WHERE in view bodies narrows what is populated.
+	views, err := rvl.Parse(`VIEW s:Doc(X) FROM {X}s:year{Y} USING NAMESPACE s = &http://s#&`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	views[0].Where = nil // no filter: both docs
+	cv, err := rvl.Analyze(views[0], schema)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	all, err := cv.Materialize(base)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if all.Len() != 2 {
+		t.Errorf("unfiltered view = %d triples", all.Len())
+	}
+}

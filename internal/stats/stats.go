@@ -1,0 +1,209 @@
+// Package stats maintains the statistics SQPeer's optimizer consumes
+// (paper §2.5): per-peer cardinalities piggybacked on advertisements and
+// channel statistics packets, per-link communication costs, and per-peer
+// processing load expressed as slots. A Catalog is one node's view of
+// these; it is safe for concurrent use since statistics arrive from the
+// network while plans are optimized.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// PeerStats summarizes one peer for the optimizer.
+type PeerStats struct {
+	// Peer identifies the peer.
+	Peer pattern.PeerID `json:"peer"`
+	// PropertyCard maps property IRIs to pair counts in the peer's base.
+	PropertyCard map[rdf.IRI]int `json:"propertyCard"`
+	// DistinctSubjects and DistinctObjects feed join-selectivity
+	// estimates.
+	DistinctSubjects map[rdf.IRI]int `json:"distinctSubjects"`
+	DistinctObjects  map[rdf.IRI]int `json:"distinctObjects"`
+	// Slots is how many queries the peer can process simultaneously
+	// (the paper's processing-load slots).
+	Slots int `json:"slots"`
+	// Load is the number of queries currently queued or running.
+	Load int `json:"load"`
+}
+
+// FromBaseStats converts the rdf layer's base statistics into peer stats.
+func FromBaseStats(peer pattern.PeerID, bs *rdf.BaseStats, slots int) *PeerStats {
+	ps := &PeerStats{
+		Peer:             peer,
+		PropertyCard:     map[rdf.IRI]int{},
+		DistinctSubjects: map[rdf.IRI]int{},
+		DistinctObjects:  map[rdf.IRI]int{},
+		Slots:            slots,
+	}
+	if bs != nil {
+		for k, v := range bs.PropertyCard {
+			ps.PropertyCard[k] = v
+		}
+		for k, v := range bs.DistinctSubjects {
+			ps.DistinctSubjects[k] = v
+		}
+		for k, v := range bs.DistinctObjects {
+			ps.DistinctObjects[k] = v
+		}
+	}
+	return ps
+}
+
+// Card returns the pair count recorded for the property, 0 if unknown.
+func (ps *PeerStats) Card(prop rdf.IRI) int {
+	if ps == nil {
+		return 0
+	}
+	return ps.PropertyCard[prop]
+}
+
+// LoadFactor returns the processing slowdown implied by the peer's load:
+// 1.0 when idle, growing linearly as queued queries exceed free slots.
+func (ps *PeerStats) LoadFactor() float64 {
+	if ps == nil || ps.Slots <= 0 {
+		return 1.0
+	}
+	return 1.0 + float64(ps.Load)/float64(ps.Slots)
+}
+
+// Link describes the connection between two peers.
+type Link struct {
+	// LatencyMS is the per-message latency in milliseconds.
+	LatencyMS float64 `json:"latencyMs"`
+	// BandwidthKBps is the sustained transfer rate in kilobytes/second.
+	BandwidthKBps float64 `json:"bandwidthKBps"`
+}
+
+// DefaultLink is assumed for pairs with no measurement.
+var DefaultLink = Link{LatencyMS: 20, BandwidthKBps: 1000}
+
+// TransferMS returns the estimated time to move the given payload across
+// the link, in milliseconds.
+func (l Link) TransferMS(bytes int) float64 {
+	bw := l.BandwidthKBps
+	if bw <= 0 {
+		bw = DefaultLink.BandwidthKBps
+	}
+	return l.LatencyMS + float64(bytes)/bw // bytes/(KB/s) = ms
+}
+
+// Catalog is one node's statistics knowledge.
+type Catalog struct {
+	mu    sync.RWMutex
+	peers map[pattern.PeerID]*PeerStats
+	links map[linkKey]Link
+}
+
+type linkKey struct{ a, b pattern.PeerID }
+
+func normKey(a, b pattern.PeerID) linkKey {
+	if b < a {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{peers: map[pattern.PeerID]*PeerStats{}, links: map[linkKey]Link{}}
+}
+
+// PutPeer records (or replaces) a peer's statistics.
+func (c *Catalog) PutPeer(ps *PeerStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peers[ps.Peer] = ps
+}
+
+// Peer returns the stats for a peer, nil if unknown (all accessors on a
+// nil *PeerStats degrade to defaults).
+func (c *Catalog) Peer(p pattern.PeerID) *PeerStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.peers[p]
+}
+
+// SetLoad updates a peer's current load if the peer is known.
+func (c *Catalog) SetLoad(p pattern.PeerID, load int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ps, ok := c.peers[p]; ok {
+		ps.Load = load
+	}
+}
+
+// PutLink records the measured link between two peers (symmetric).
+func (c *Catalog) PutLink(a, b pattern.PeerID, l Link) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links[normKey(a, b)] = l
+}
+
+// LinkBetween returns the link between two peers, or DefaultLink. The
+// link from a peer to itself is free.
+func (c *Catalog) LinkBetween(a, b pattern.PeerID) Link {
+	if a == b {
+		return Link{LatencyMS: 0, BandwidthKBps: 1 << 30}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if l, ok := c.links[normKey(a, b)]; ok {
+		return l
+	}
+	return DefaultLink
+}
+
+// TransferMS estimates the time to ship a payload between two peers.
+func (c *Catalog) TransferMS(a, b pattern.PeerID, bytes int) float64 {
+	if a == b {
+		return 0
+	}
+	return c.LinkBetween(a, b).TransferMS(bytes)
+}
+
+// Card estimates the number of pairs a peer holds for a property.
+func (c *Catalog) Card(p pattern.PeerID, prop rdf.IRI) int {
+	return c.Peer(p).Card(prop)
+}
+
+// JoinSelectivity estimates join selectivity between two properties at a
+// peer using the containment assumption; falls back to 0.1.
+func (c *Catalog) JoinSelectivity(p pattern.PeerID, p1, p2 rdf.IRI) float64 {
+	ps := c.Peer(p)
+	if ps == nil {
+		return 0.1
+	}
+	d1, d2 := ps.DistinctObjects[p1], ps.DistinctSubjects[p2]
+	m := d1
+	if d2 > m {
+		m = d2
+	}
+	if m == 0 {
+		return 0.1
+	}
+	return 1.0 / float64(m)
+}
+
+// String renders the catalog deterministically.
+func (c *Catalog) String() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var peers []pattern.PeerID
+	for p := range c.peers {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	var b strings.Builder
+	for _, p := range peers {
+		ps := c.peers[p]
+		fmt.Fprintf(&b, "peer %s: slots=%d load=%d props=%d\n", p, ps.Slots, ps.Load, len(ps.PropertyCard))
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package stats_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/stats"
+)
+
+func TestFromBaseStats(t *testing.T) {
+	base := gen.PaperBases(3)["P1"]
+	bs := rdf.CollectStats(base, gen.PaperSchema())
+	ps := stats.FromBaseStats("P1", bs, 8)
+	if ps.Peer != "P1" || ps.Slots != 8 {
+		t.Errorf("header = %+v", ps)
+	}
+	if ps.Card(gen.N1("prop1")) != 3 || ps.Card(gen.N1("prop2")) != 3 {
+		t.Errorf("cards = %d, %d", ps.Card(gen.N1("prop1")), ps.Card(gen.N1("prop2")))
+	}
+	if ps.Card(gen.N1("prop3")) != 0 {
+		t.Error("unpopulated property should be 0")
+	}
+	empty := stats.FromBaseStats("PX", nil, 2)
+	if empty.Card(gen.N1("prop1")) != 0 {
+		t.Error("nil BaseStats should give zero cards")
+	}
+}
+
+func TestLoadFactor(t *testing.T) {
+	ps := &stats.PeerStats{Peer: "P1", Slots: 4}
+	if ps.LoadFactor() != 1.0 {
+		t.Errorf("idle LoadFactor = %f", ps.LoadFactor())
+	}
+	ps.Load = 8
+	if ps.LoadFactor() != 3.0 {
+		t.Errorf("loaded LoadFactor = %f, want 3.0", ps.LoadFactor())
+	}
+	var nilPS *stats.PeerStats
+	if nilPS.LoadFactor() != 1.0 {
+		t.Error("nil LoadFactor should be 1.0")
+	}
+	noSlots := &stats.PeerStats{Peer: "P2"}
+	if noSlots.LoadFactor() != 1.0 {
+		t.Error("zero-slot LoadFactor should be 1.0")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := stats.Link{LatencyMS: 10, BandwidthKBps: 100}
+	if got := l.TransferMS(1000); got != 20 {
+		t.Errorf("TransferMS = %f, want 20 (10 latency + 1000B/100KBps)", got)
+	}
+	zero := stats.Link{LatencyMS: 5}
+	if got := zero.TransferMS(1000); got <= 5 {
+		t.Errorf("zero-bandwidth link should fall back to default: %f", got)
+	}
+}
+
+func TestCatalogLinksAndLoad(t *testing.T) {
+	cat := stats.NewCatalog()
+	cat.PutPeer(&stats.PeerStats{Peer: "P1", Slots: 2})
+	cat.PutLink("P1", "P2", stats.Link{LatencyMS: 99, BandwidthKBps: 10})
+
+	if got := cat.LinkBetween("P2", "P1").LatencyMS; got != 99 {
+		t.Errorf("link not symmetric: %f", got)
+	}
+	if got := cat.LinkBetween("P1", "P9"); got != stats.DefaultLink {
+		t.Errorf("unknown link = %+v", got)
+	}
+	if cat.TransferMS("P1", "P1", 1000) != 0 {
+		t.Error("self transfer should be free")
+	}
+	if cat.TransferMS("P1", "P2", 0) != 99 {
+		t.Errorf("latency-only transfer = %f", cat.TransferMS("P1", "P2", 0))
+	}
+	cat.SetLoad("P1", 4)
+	if cat.Peer("P1").LoadFactor() != 3.0 {
+		t.Errorf("SetLoad not applied: %f", cat.Peer("P1").LoadFactor())
+	}
+	cat.SetLoad("ghost", 4) // must not panic
+	if cat.Peer("ghost") != nil {
+		t.Error("ghost peer materialized")
+	}
+	if !strings.Contains(cat.String(), "peer P1: slots=2 load=4") {
+		t.Errorf("String() = %q", cat.String())
+	}
+}
+
+func TestCatalogJoinSelectivity(t *testing.T) {
+	cat := stats.NewCatalog()
+	if got := cat.JoinSelectivity("P1", gen.N1("prop1"), gen.N1("prop2")); got != 0.1 {
+		t.Errorf("unknown-peer selectivity = %f", got)
+	}
+	cat.PutPeer(&stats.PeerStats{
+		Peer:             "P1",
+		DistinctObjects:  map[rdf.IRI]int{gen.N1("prop1"): 100},
+		DistinctSubjects: map[rdf.IRI]int{gen.N1("prop2"): 50},
+	})
+	if got := cat.JoinSelectivity("P1", gen.N1("prop1"), gen.N1("prop2")); got != 0.01 {
+		t.Errorf("selectivity = %f, want 1/100", got)
+	}
+	cat.PutPeer(&stats.PeerStats{Peer: "P2",
+		DistinctObjects: map[rdf.IRI]int{}, DistinctSubjects: map[rdf.IRI]int{}})
+	if got := cat.JoinSelectivity("P2", gen.N1("prop1"), gen.N1("prop2")); got != 0.1 {
+		t.Errorf("no-stats selectivity = %f", got)
+	}
+}
+
+func TestCatalogCard(t *testing.T) {
+	cat := stats.NewCatalog()
+	cat.PutPeer(&stats.PeerStats{Peer: "P1",
+		PropertyCard: map[rdf.IRI]int{gen.N1("prop1"): 7}})
+	if cat.Card("P1", gen.N1("prop1")) != 7 {
+		t.Error("Card lookup failed")
+	}
+	if cat.Card("P9", gen.N1("prop1")) != 0 {
+		t.Error("unknown peer Card should be 0")
+	}
+}

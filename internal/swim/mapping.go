@@ -1,0 +1,160 @@
+package swim
+
+import (
+	"fmt"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+)
+
+// RelationalMapping maps one table onto one schema property: each row
+// produces a (subject, object) pair with class typings, the SWIM-style
+// "mapping rule to RDF/S of structured relational bases".
+type RelationalMapping struct {
+	// Table names the source table.
+	Table string
+	// SubjectColumn and ObjectColumn select the two cells of each row.
+	SubjectColumn, ObjectColumn string
+	// SubjectPrefix and ObjectPrefix turn cell values into resource IRIs
+	// (e.g. "http://peer1.example/emp#").
+	SubjectPrefix, ObjectPrefix string
+	// Property is the schema property each row instantiates.
+	Property rdf.IRI
+	// SubjectClass and ObjectClass type the generated resources; empty
+	// skips the typing triple (or, for ObjectClass, emits a literal
+	// object instead of a resource).
+	SubjectClass, ObjectClass rdf.IRI
+	// ObjectLiteral, when true, emits the object cell as a literal.
+	ObjectLiteral bool
+}
+
+// XMLMapping maps XML elements onto one schema property: each element on
+// Path produces a pair from two field selectors (attributes or child
+// elements).
+type XMLMapping struct {
+	// Path locates the mapped elements below the document root.
+	Path string
+	// SubjectField and ObjectField are selectors per XMLElement.Value.
+	SubjectField, ObjectField string
+	// SubjectPrefix and ObjectPrefix turn field values into IRIs.
+	SubjectPrefix, ObjectPrefix string
+	// Property is the schema property each element instantiates.
+	Property rdf.IRI
+	// SubjectClass and ObjectClass type the generated resources.
+	SubjectClass, ObjectClass rdf.IRI
+	// ObjectLiteral, when true, emits the object field as a literal.
+	ObjectLiteral bool
+}
+
+// VirtualBase is a legacy peer base (relational and/or XML) with mapping
+// rules onto a community RDF/S schema. It supports the paper's virtual
+// scenario: the active-schema is derived from the rules alone, while the
+// RDF/S instances are materialized on demand.
+type VirtualBase struct {
+	// Schema is the community schema the mappings target.
+	Schema *rdf.Schema
+	// DB is the relational side (may be nil).
+	DB *RelationalDB
+	// XML is the semistructured side (may be nil).
+	XML *XMLStore
+	// RelMappings and XMLMappings are the rules.
+	RelMappings []RelationalMapping
+	XMLMappings []XMLMapping
+}
+
+// ActiveSchema derives the advertisement from the mapping rules without
+// touching data: every mapped property is declared populatable, with
+// end-points from the rules' classes (falling back to the property's
+// declaration).
+func (v *VirtualBase) ActiveSchema() (*pattern.ActiveSchema, error) {
+	a := pattern.NewActiveSchema(v.Schema.Name)
+	addProp := func(prop rdf.IRI, subjClass, objClass rdf.IRI) error {
+		def, ok := v.Schema.PropertyByName(prop)
+		if !ok {
+			return fmt.Errorf("swim: mapped property %s not declared in schema %s", prop, v.Schema.Name)
+		}
+		domain := def.Domain
+		if subjClass != "" {
+			domain = subjClass
+		}
+		rng := def.Range
+		if objClass != "" {
+			rng = objClass
+		}
+		if err := a.AddPropertyPattern(prop, domain, rng); err != nil {
+			return err
+		}
+		if subjClass != "" {
+			a.AddClass(subjClass)
+		}
+		if objClass != "" {
+			a.AddClass(objClass)
+		}
+		return nil
+	}
+	for _, m := range v.RelMappings {
+		if err := addProp(m.Property, m.SubjectClass, m.ObjectClass); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range v.XMLMappings {
+		if err := addProp(m.Property, m.SubjectClass, m.ObjectClass); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Materialize runs every mapping rule and produces the RDF/S base the
+// rules describe — the populate-on-demand step of the virtual scenario.
+func (v *VirtualBase) Materialize() (*rdf.Base, error) {
+	out := rdf.NewBase()
+	for _, m := range v.RelMappings {
+		if v.DB == nil {
+			return nil, fmt.Errorf("swim: relational mapping on %s but no relational DB", m.Table)
+		}
+		t, ok := v.DB.Table(m.Table)
+		if !ok {
+			return nil, fmt.Errorf("swim: mapped table %s not in DB", m.Table)
+		}
+		rows, err := t.Select([]string{m.SubjectColumn, m.ObjectColumn}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("swim: mapping over %s: %w", m.Table, err)
+		}
+		for _, row := range rows {
+			emitPair(out, m.SubjectPrefix+row[0], row[1], m.ObjectPrefix,
+				m.Property, m.SubjectClass, m.ObjectClass, m.ObjectLiteral)
+		}
+	}
+	for _, m := range v.XMLMappings {
+		if v.XML == nil {
+			return nil, fmt.Errorf("swim: XML mapping on %s but no XML store", m.Path)
+		}
+		for _, el := range v.XML.Elements(m.Path) {
+			subj, ok1 := el.Value(m.SubjectField)
+			obj, ok2 := el.Value(m.ObjectField)
+			if !ok1 || !ok2 {
+				continue // partial descriptions are fine in RDF
+			}
+			emitPair(out, m.SubjectPrefix+subj, obj, m.ObjectPrefix,
+				m.Property, m.SubjectClass, m.ObjectClass, m.ObjectLiteral)
+		}
+	}
+	return out, nil
+}
+
+func emitPair(out *rdf.Base, subjIRI, objVal, objPrefix string, prop rdf.IRI, subjClass, objClass rdf.IRI, objLiteral bool) {
+	s := rdf.IRI(subjIRI)
+	if objLiteral {
+		out.Add(rdf.Triple{S: rdf.NewIRI(s), P: rdf.NewIRI(prop), O: rdf.NewLiteral(objVal)})
+	} else {
+		o := rdf.IRI(objPrefix + objVal)
+		out.Add(rdf.Statement(s, prop, o))
+		if objClass != "" {
+			out.Add(rdf.Typing(o, objClass))
+		}
+	}
+	if subjClass != "" {
+		out.Add(rdf.Typing(s, subjClass))
+	}
+}

@@ -1,0 +1,151 @@
+// Package swim simulates the SWIM mediation layer the paper relies on
+// (reference [9]): legacy relational and XML peer bases exposed as virtual
+// RDF/S views. A peer backed by swim advertises the schema subset its
+// mapping rules can populate (the virtual scenario of §2.2) and
+// materializes instances on demand when queried.
+package swim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is a minimal relational table: named columns over string cells.
+type Table struct {
+	// Name is the table name.
+	Name string
+	// Columns are the column names, in order.
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable declares a table with the given columns.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// Insert appends a row; the cell count must match the column count.
+func (t *Table) Insert(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("swim: table %s: %d cells for %d columns", t.Name, len(cells), len(t.Columns))
+	}
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustInsert is Insert that panics on arity errors (fixtures).
+func (t *Table) MustInsert(cells ...string) {
+	if err := t.Insert(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// colIndex resolves a column name.
+func (t *Table) colIndex(col string) (int, error) {
+	for i, c := range t.Columns {
+		if c == col {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("swim: table %s has no column %q", t.Name, col)
+}
+
+// Select returns the values of the named columns for every row matching
+// the equality predicates in where (nil for a full scan).
+func (t *Table) Select(cols []string, where map[string]string) ([][]string, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j, err := t.colIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	whereIdx := map[int]string{}
+	for col, val := range where {
+		j, err := t.colIndex(col)
+		if err != nil {
+			return nil, err
+		}
+		whereIdx[j] = val
+	}
+	var out [][]string
+	for _, row := range t.rows {
+		match := true
+		for j, val := range whereIdx {
+			if row[j] != val {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		proj := make([]string, len(idx))
+		for i, j := range idx {
+			proj[i] = row[j]
+		}
+		out = append(out, proj)
+	}
+	return out, nil
+}
+
+// RelationalDB is a named collection of tables. It is safe for concurrent
+// reads after loading.
+type RelationalDB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewRelationalDB returns an empty database.
+func NewRelationalDB() *RelationalDB {
+	return &RelationalDB{tables: map[string]*Table{}}
+}
+
+// AddTable registers a table; duplicate names error.
+func (db *RelationalDB) AddTable(t *Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[t.Name]; dup {
+		return fmt.Errorf("swim: table %s already exists", t.Name)
+	}
+	db.tables[t.Name] = t
+	return nil
+}
+
+// Table returns a table by name.
+func (db *RelationalDB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames returns the table names, sorted.
+func (db *RelationalDB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the database.
+func (db *RelationalDB) String() string {
+	var b strings.Builder
+	for _, name := range db.TableNames() {
+		t, _ := db.Table(name)
+		fmt.Fprintf(&b, "table %s(%s): %d rows\n", name, strings.Join(t.Columns, ","), t.Len())
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package swim_test
+
+import (
+	"strings"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/rql"
+	"sqpeer/internal/swim"
+)
+
+func TestTableInsertSelect(t *testing.T) {
+	tab := swim.NewTable("works_on", "emp", "proj")
+	tab.MustInsert("e1", "p1")
+	tab.MustInsert("e2", "p1")
+	tab.MustInsert("e1", "p2")
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if err := tab.Insert("only-one"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	rows, err := tab.Select([]string{"emp"}, map[string]string{"proj": "p1"})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("filtered select = %v", rows)
+	}
+	if _, err := tab.Select([]string{"ghost"}, nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := tab.Select([]string{"emp"}, map[string]string{"ghost": "x"}); err == nil {
+		t.Error("unknown where column accepted")
+	}
+}
+
+func TestRelationalDB(t *testing.T) {
+	db := swim.NewRelationalDB()
+	if err := db.AddTable(swim.NewTable("a", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddTable(swim.NewTable("a", "x")); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, ok := db.Table("a"); !ok {
+		t.Error("table lookup failed")
+	}
+	if _, ok := db.Table("zz"); ok {
+		t.Error("ghost table found")
+	}
+	if !strings.Contains(db.String(), "table a(x): 0 rows") {
+		t.Errorf("String() = %q", db.String())
+	}
+}
+
+func TestParseXMLAndNavigate(t *testing.T) {
+	doc := `<library>
+  <book id="b1"><author>a1</author><title>T1</title></book>
+  <book id="b2"><author>a2</author></book>
+  <journal id="j1"/>
+</library>`
+	store, err := swim.ParseXML(doc)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	books := store.Elements("book")
+	if len(books) != 2 {
+		t.Fatalf("books = %d", len(books))
+	}
+	if v, ok := books[0].Value("@id"); !ok || v != "b1" {
+		t.Errorf("@id = %q, %v", v, ok)
+	}
+	if v, ok := books[0].Value("author"); !ok || v != "a1" {
+		t.Errorf("author = %q, %v", v, ok)
+	}
+	if v, ok := books[0].Value("title"); !ok || v != "T1" {
+		t.Errorf("title = %q, %v", v, ok)
+	}
+	if _, ok := books[1].Value("title"); ok {
+		t.Error("missing child reported present")
+	}
+	if got := store.Elements("ghost"); len(got) != 0 {
+		t.Errorf("ghost path = %v", got)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	for _, doc := range []string{"", "<a><b></a>", "<a/><b/>"} {
+		if _, err := swim.ParseXML(doc); err == nil {
+			t.Errorf("ParseXML(%q) accepted bad document", doc)
+		}
+	}
+}
+
+// virtualFixture maps a relational works-with table and an XML contact
+// list onto the paper's n1 schema: rows become prop1 pairs, elements
+// become prop2 pairs.
+func virtualFixture(t *testing.T) *swim.VirtualBase {
+	t.Helper()
+	db := swim.NewRelationalDB()
+	rel := swim.NewTable("related", "src", "dst")
+	rel.MustInsert("x0", "y0")
+	rel.MustInsert("x1", "y1")
+	if err := db.AddTable(rel); err != nil {
+		t.Fatal(err)
+	}
+	xmlStore, err := swim.ParseXML(`<links>
+  <link from="y0" to="z0"/>
+  <link from="y1" to="z1"/>
+  <link from="y9"/>
+</links>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := "http://legacy.example/data#"
+	return &swim.VirtualBase{
+		Schema: gen.PaperSchema(),
+		DB:     db,
+		XML:    xmlStore,
+		RelMappings: []swim.RelationalMapping{{
+			Table: "related", SubjectColumn: "src", ObjectColumn: "dst",
+			SubjectPrefix: data, ObjectPrefix: data,
+			Property: gen.N1("prop1"), SubjectClass: gen.N1("C1"), ObjectClass: gen.N1("C2"),
+		}},
+		XMLMappings: []swim.XMLMapping{{
+			Path: "link", SubjectField: "@from", ObjectField: "@to",
+			SubjectPrefix: data, ObjectPrefix: data,
+			Property: gen.N1("prop2"), SubjectClass: gen.N1("C2"), ObjectClass: gen.N1("C3"),
+		}},
+	}
+}
+
+func TestVirtualBaseActiveSchema(t *testing.T) {
+	v := virtualFixture(t)
+	a, err := v.ActiveSchema()
+	if err != nil {
+		t.Fatalf("ActiveSchema: %v", err)
+	}
+	if !a.HasProperty(gen.N1("prop1")) || !a.HasProperty(gen.N1("prop2")) {
+		t.Errorf("active-schema = %s", a)
+	}
+	if !a.HasClass(gen.N1("C1")) || !a.HasClass(gen.N1("C3")) {
+		t.Errorf("active-schema classes = %s", a)
+	}
+	// Unknown mapped property is rejected.
+	v.RelMappings[0].Property = "http://zz#ghost"
+	if _, err := v.ActiveSchema(); err == nil {
+		t.Error("mapping onto unknown property accepted")
+	}
+}
+
+func TestVirtualBaseMaterializeAndQuery(t *testing.T) {
+	v := virtualFixture(t)
+	base, err := v.Materialize()
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	// 2 prop1 rows ×3 triples + 2 complete links ×3 triples, minus the 2
+	// C2 typings of y0/y1 emitted by both mappings (deduplicated); the
+	// partial link (no @to) is skipped.
+	if base.Len() != 10 {
+		t.Fatalf("materialized %d triples, want 12:\n%s", base.Len(), rdf.FormatTriples(base.Triples()))
+	}
+	// The Figure-1 query over the virtual base finds the two chains.
+	c, err := rql.ParseAndAnalyze(gen.PaperRQL, gen.PaperSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rql.Eval(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Errorf("virtual query = %d rows, want 2:\n%s", rows.Len(), rows)
+	}
+}
+
+func TestVirtualBaseLiteralObjects(t *testing.T) {
+	schema := rdf.NewSchema("http://s#")
+	schema.MustAddClass("http://s#Doc")
+	schema.MustAddProperty("http://s#title", "http://s#Doc", rdf.RDFSLiteral)
+	db := swim.NewRelationalDB()
+	tab := swim.NewTable("docs", "id", "title")
+	tab.MustInsert("d1", "Semantic Overlay Networks")
+	if err := db.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	v := &swim.VirtualBase{
+		Schema: schema, DB: db,
+		RelMappings: []swim.RelationalMapping{{
+			Table: "docs", SubjectColumn: "id", ObjectColumn: "title",
+			SubjectPrefix: "http://d#", Property: "http://s#title",
+			SubjectClass: "http://s#Doc", ObjectLiteral: true,
+		}},
+	}
+	base, err := v.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := base.Match(rdf.Term{}, rdf.NewIRI("http://s#title"), rdf.Term{})
+	if len(found) != 1 || !found[0].O.IsLiteral() {
+		t.Errorf("literal mapping = %v", found)
+	}
+}
+
+func TestVirtualBaseErrors(t *testing.T) {
+	v := &swim.VirtualBase{
+		Schema:      gen.PaperSchema(),
+		RelMappings: []swim.RelationalMapping{{Table: "nope", Property: gen.N1("prop1")}},
+	}
+	if _, err := v.Materialize(); err == nil {
+		t.Error("mapping without DB accepted")
+	}
+	v.DB = swim.NewRelationalDB()
+	if _, err := v.Materialize(); err == nil {
+		t.Error("mapping onto missing table accepted")
+	}
+	v2 := &swim.VirtualBase{
+		Schema:      gen.PaperSchema(),
+		XMLMappings: []swim.XMLMapping{{Path: "x", Property: gen.N1("prop1")}},
+	}
+	if _, err := v2.Materialize(); err == nil {
+		t.Error("XML mapping without store accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package swim
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// XMLElement is one node of a parsed XML document.
+type XMLElement struct {
+	// Name is the element's local name.
+	Name string
+	// Attrs maps attribute names to values.
+	Attrs map[string]string
+	// Text is the element's trimmed character data.
+	Text string
+	// Children are the child elements in document order.
+	Children []*XMLElement
+}
+
+// XMLStore holds one parsed XML document — the minimal semistructured
+// peer base the SWIM mappings draw from.
+type XMLStore struct {
+	// Root is the document element.
+	Root *XMLElement
+}
+
+// ParseXML parses a document into a store.
+func ParseXML(doc string) (*XMLStore, error) {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	var stack []*XMLElement
+	var root *XMLElement
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			return nil, fmt.Errorf("swim: parse xml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &XMLElement{Name: t.Name.Local, Attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				el.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("swim: multiple root elements")
+				}
+				root = el
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("swim: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += strings.TrimSpace(string(t))
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("swim: empty document")
+	}
+	return &XMLStore{Root: root}, nil
+}
+
+// Elements returns every element reachable by the slash-separated child
+// path from the root, e.g. "library/book". The path starts below the
+// root element.
+func (s *XMLStore) Elements(path string) []*XMLElement {
+	if s == nil || s.Root == nil {
+		return nil
+	}
+	cur := []*XMLElement{s.Root}
+	if path == "" {
+		return cur
+	}
+	for _, seg := range strings.Split(path, "/") {
+		var next []*XMLElement
+		for _, el := range cur {
+			for _, c := range el.Children {
+				if c.Name == seg {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Value resolves a field selector against an element: "@attr" reads an
+// attribute, "child" reads the text of the first child with that name,
+// and "." reads the element's own text.
+func (el *XMLElement) Value(selector string) (string, bool) {
+	switch {
+	case selector == ".":
+		return el.Text, el.Text != ""
+	case strings.HasPrefix(selector, "@"):
+		v, ok := el.Attrs[selector[1:]]
+		return v, ok
+	default:
+		for _, c := range el.Children {
+			if c.Name == selector {
+				return c.Text, true
+			}
+		}
+		return "", false
+	}
+}

@@ -1,0 +1,36 @@
+package sqpeer
+
+import (
+	"sqpeer/internal/network"
+	"sqpeer/internal/overlay"
+	"sqpeer/internal/rdf"
+)
+
+// SON architectures (paper §3).
+type (
+	// HybridSON is the super-peer architecture: routing at super-peers,
+	// processing at simple-peers, complete plans guaranteed.
+	HybridSON = overlay.Hybrid
+	// AdhocSON is the self-adaptive architecture: neighbor knowledge
+	// only, partial plans forwarded with interleaved routing/processing.
+	AdhocSON = overlay.Adhoc
+	// FloodingNetwork is the Gnutella-style baseline.
+	FloodingNetwork = overlay.Flooding
+	// FloodResult is a flooded query's outcome.
+	FloodResult = overlay.FloodResult
+)
+
+// NewHybridSON returns an empty hybrid SON over the community schema.
+func NewHybridSON(net *network.Network, schema *rdf.Schema) *HybridSON {
+	return overlay.NewHybrid(net, schema)
+}
+
+// NewAdhocSON returns an empty ad-hoc SON over the community schema.
+func NewAdhocSON(net *network.Network, schema *rdf.Schema) *AdhocSON {
+	return overlay.NewAdhoc(net, schema)
+}
+
+// NewFloodingNetwork returns an empty flooding baseline network.
+func NewFloodingNetwork(net *network.Network, schema *rdf.Schema) *FloodingNetwork {
+	return overlay.NewFlooding(net, schema)
+}
