@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the gate the CI (and every PR)
+# must pass: vet plus the full suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test check bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Machine-readable before/after numbers for the routing index and the
+# parallel executor (see cmd/sqpeer-bench/benchjson.go).
+bench-json:
+	$(GO) run ./cmd/sqpeer-bench -bench-json BENCH_PR1.json
+
+clean:
+	$(GO) clean ./...

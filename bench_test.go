@@ -76,31 +76,61 @@ func BenchmarkFig1ViewDerivation(b *testing.B) {
 	}
 }
 
+// benchRoutingSetup builds the FIG-2 routing workload at SON size n:
+// the paper's fixture for n=4, the synthetic chain SON otherwise. With
+// indexed set, the registry maintains the inverted property index.
+func benchRoutingSetup(n int, indexed bool) (*routing.Router, *pattern.QueryPattern) {
+	var reg *routing.Registry
+	var schema *rdf.Schema
+	var q *pattern.QueryPattern
+	newReg := func(s *rdf.Schema) *routing.Registry {
+		if indexed {
+			return routing.NewIndexedRegistry(s)
+		}
+		return routing.NewRegistry()
+	}
+	if n == 4 {
+		schema = gen.PaperSchema()
+		reg = newReg(schema)
+		for id, as := range gen.PaperActiveSchemas() {
+			reg.Register(id, as)
+		}
+		q = gen.PaperQuery()
+	} else {
+		syn := gen.NewSynthetic(8, true)
+		schema = syn.Schema
+		reg = newReg(schema)
+		for id, as := range gen.ActiveSchemas(syn.Schema, syn.Bases(n, n, gen.Vertical)) {
+			reg.Register(id, as)
+		}
+		q = syn.Query(1, 3)
+	}
+	return routing.NewRouter(schema, reg), q
+}
+
 // BenchmarkFig2Routing measures the Query-Routing Algorithm across SON
-// sizes (the FIG-2 sweep): per-route latency with n registered peers.
+// sizes (the FIG-2 sweep): per-route latency with n registered peers,
+// using the paper's literal brute-force triple loop.
 func BenchmarkFig2Routing(b *testing.B) {
-	for _, n := range []int{4, 10, 100, 1000} {
+	for _, n := range []int{4, 10, 100, 500, 1000} {
 		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
-			var reg *routing.Registry
-			var schema *rdf.Schema
-			var q *pattern.QueryPattern
-			if n == 4 {
-				schema = gen.PaperSchema()
-				reg = routing.NewRegistry()
-				for id, as := range gen.PaperActiveSchemas() {
-					reg.Register(id, as)
-				}
-				q = gen.PaperQuery()
-			} else {
-				syn := gen.NewSynthetic(8, true)
-				schema = syn.Schema
-				reg = routing.NewRegistry()
-				for id, as := range gen.ActiveSchemas(syn.Schema, syn.Bases(n, n, gen.Vertical)) {
-					reg.Register(id, as)
-				}
-				q = syn.Query(1, 3)
+			router, q := benchRoutingSetup(n, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				router.Route(q)
 			}
-			router := routing.NewRouter(schema, reg)
+		})
+	}
+}
+
+// BenchmarkFig2RoutingIndexed is the same sweep over the inverted-index
+// routing path (large-SON sizes included); compare against
+// BenchmarkFig2Routing for the index's speedup.
+func BenchmarkFig2RoutingIndexed(b *testing.B) {
+	for _, n := range []int{4, 10, 100, 500, 1000} {
+		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
+			router, q := benchRoutingSetup(n, true)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -127,20 +157,32 @@ func BenchmarkFig3PlanGeneration(b *testing.B) {
 }
 
 // BenchmarkFig3Execution measures end-to-end distributed execution of
-// Figure 3's plan (channel deployment, subplan shipping, union+join).
+// Figure 3's plan (channel deployment, subplan shipping, union+join)
+// across branch-parallelism levels: parallelism=1 is the sequential
+// baseline, higher levels fan the independent union branches (§2.4
+// horizontal distribution) across the worker pool. Links sleep a
+// compressed version of their accounted transfer time, so overlapping the
+// independent remote scans shows up as wall-clock savings — the whole
+// point of horizontal distribution.
 func BenchmarkFig3Execution(b *testing.B) {
-	peers, _ := benchPaperSystem(b, 10)
-	p1 := peers["P1"]
-	pr, err := p1.PlanQuery(gen.PaperQuery())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := p1.Engine.Execute(pr.Raw); err != nil {
-			b.Fatal(err)
-		}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			peers, net := benchPaperSystem(b, 20)
+			net.SetRealLatency(0.2) // 20ms default link latency → ~4ms slept
+			p1 := peers["P1"]
+			p1.Engine.Parallelism = par
+			pr, err := p1.PlanQuery(gen.PaperQuery())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p1.Engine.Execute(pr.Raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

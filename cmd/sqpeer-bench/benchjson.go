@@ -1,0 +1,161 @@
+// Machine-readable micro-benchmarks for the performance-tracking
+// artifact (-bench-json): the two headline numbers of the parallel
+// horizontal-distribution work, measured with testing.Benchmark so the
+// file reports real ns/op rather than one-shot timings.
+//
+//   - Fig2Routing at a 500-peer SON, brute-force triple loop vs the
+//     inverted property index (before/after of the routing change);
+//   - Fig3Execution of the paper's Figure-3 plan at Parallelism 1 vs 4
+//     over links sleeping compressed transfer times (before/after of the
+//     concurrent executor).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+	"sqpeer/internal/plan"
+	"sqpeer/internal/routing"
+)
+
+// benchReport is the schema of the emitted JSON file.
+type benchReport struct {
+	Fig2Routing struct {
+		Peers          int     `json:"peers"`
+		BruteNsPerOp   float64 `json:"brute_ns_per_op"`
+		IndexedNsPerOp float64 `json:"indexed_ns_per_op"`
+		Speedup        float64 `json:"speedup"`
+	} `json:"fig2_routing"`
+	Fig3Execution struct {
+		Pairs             int     `json:"pairs"`
+		LatencyScale      float64 `json:"latency_scale"`
+		SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
+		ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
+		Parallelism       int     `json:"parallelism"`
+		Speedup           float64 `json:"speedup"`
+	} `json:"fig3_execution"`
+}
+
+// routingWorkload mirrors the bench_test.go FIG-2 sweep setup at SON
+// size n over the synthetic chain schema.
+func routingWorkload(n int, indexed bool) (*routing.Router, *pattern.QueryPattern) {
+	syn := gen.NewSynthetic(8, true)
+	var reg *routing.Registry
+	if indexed {
+		reg = routing.NewIndexedRegistry(syn.Schema)
+	} else {
+		reg = routing.NewRegistry()
+	}
+	for id, as := range gen.ActiveSchemas(syn.Schema, syn.Bases(n, n, gen.Vertical)) {
+		reg.Register(id, as)
+	}
+	return routing.NewRouter(syn.Schema, reg), syn.Query(1, 3)
+}
+
+// executionWorkload mirrors the bench_test.go Figure-3 setup: the four
+// paper peers with full mutual knowledge and compressed real latency.
+func executionWorkload(pairs int, latencyScale float64, parallelism int) (*peer.Peer, *plan.PlanResult, error) {
+	schema := gen.PaperSchema()
+	bases := gen.PaperBases(pairs)
+	net := network.New()
+	peers := map[pattern.PeerID]*peer.Peer{}
+	for _, id := range []pattern.PeerID{"P1", "P2", "P3", "P4"} {
+		p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: bases[id]}, net)
+		if err != nil {
+			return nil, nil, err
+		}
+		peers[id] = p
+	}
+	for _, x := range peers {
+		for _, y := range peers {
+			if x != y {
+				x.Learn(y.Advertisement())
+			}
+		}
+	}
+	net.SetRealLatency(latencyScale)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = parallelism
+	pr, err := p1.PlanQuery(gen.PaperQuery())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p1, pr, nil
+}
+
+// runBenchJSON measures the before/after pairs and writes the report.
+func runBenchJSON(path string) error {
+	const (
+		sonSize      = 500
+		pairs        = 20
+		latencyScale = 0.2
+		parallelism  = 4
+	)
+	var rep benchReport
+
+	fmt.Fprintf(os.Stderr, "bench-json: Fig2Routing peers=%d (brute vs indexed)\n", sonSize)
+	rep.Fig2Routing.Peers = sonSize
+	for _, indexed := range []bool{false, true} {
+		router, q := routingWorkload(sonSize, indexed)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				router.Route(q)
+			}
+		})
+		ns := float64(res.NsPerOp())
+		if indexed {
+			rep.Fig2Routing.IndexedNsPerOp = ns
+		} else {
+			rep.Fig2Routing.BruteNsPerOp = ns
+		}
+	}
+	rep.Fig2Routing.Speedup = rep.Fig2Routing.BruteNsPerOp / rep.Fig2Routing.IndexedNsPerOp
+
+	fmt.Fprintf(os.Stderr, "bench-json: Fig3Execution parallelism 1 vs %d\n", parallelism)
+	rep.Fig3Execution.Pairs = pairs
+	rep.Fig3Execution.LatencyScale = latencyScale
+	rep.Fig3Execution.Parallelism = parallelism
+	for _, par := range []int{1, parallelism} {
+		p1, pr, err := executionWorkload(pairs, latencyScale, par)
+		if err != nil {
+			return fmt.Errorf("bench-json: build system: %w", err)
+		}
+		var execErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p1.Engine.Execute(pr.Raw); err != nil {
+					execErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if execErr != nil {
+			return fmt.Errorf("bench-json: execute: %w", execErr)
+		}
+		ns := float64(res.NsPerOp())
+		if par == 1 {
+			rep.Fig3Execution.SequentialNsPerOp = ns
+		} else {
+			rep.Fig3Execution.ParallelNsPerOp = ns
+		}
+	}
+	rep.Fig3Execution.Speedup = rep.Fig3Execution.SequentialNsPerOp / rep.Fig3Execution.ParallelNsPerOp
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-json: routing ×%.2f, execution ×%.2f → %s\n",
+		rep.Fig2Routing.Speedup, rep.Fig3Execution.Speedup, path)
+	return nil
+}

@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	sqpeer-bench              # run everything
-//	sqpeer-bench -exp fig4    # run one experiment
-//	sqpeer-bench -list        # list experiment ids
+//	sqpeer-bench                            # run everything
+//	sqpeer-bench -exp fig4                  # run one experiment
+//	sqpeer-bench -list                      # list experiment ids
+//	sqpeer-bench -bench-json BENCH_PR1.json # machine-readable perf numbers
 package main
 
 import (
@@ -22,8 +23,16 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	benchJSON := flag.String("bench-json", "", "write routing/execution before-after ns/op to this JSON file and exit")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *list {
 		for _, id := range harness.IDs() {
 			fmt.Println(id)

@@ -9,7 +9,9 @@ package exec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"sqpeer/internal/channel"
@@ -95,9 +97,24 @@ type Engine struct {
 	// StatsSink, when set, receives statistics arriving on channels this
 	// engine roots, keeping the local catalog fresh.
 	StatsSink func(*stats.PeerStats)
+	// Parallelism bounds how many plan branches one Execute evaluates
+	// concurrently (horizontal distribution, §2.4: per-path-pattern unions
+	// over peers are independent). 0 or negative means GOMAXPROCS; 1
+	// recovers strictly sequential evaluation. Results are deterministic
+	// regardless of the setting: branches are collected per input and
+	// merged in input order.
+	Parallelism int
 
 	mu      sync.Mutex
 	metrics Metrics
+}
+
+// parallelism resolves the engine's effective branch parallelism.
+func (e *Engine) parallelism() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Metrics counts executor activity for the experiment harness.
@@ -202,16 +219,56 @@ func failureOf(err error) (*PeerFailure, bool) {
 	return nil, false
 }
 
-// execution is the per-Execute state: one channel per contacted peer.
+// execution is the per-Execute state: one channel per contacted peer, a
+// single-flight dispatch cache, and the bounded branch pool. One execution
+// may run many goroutines, but each Execute call owns its execution
+// exclusively, so concurrent Execute calls on one engine never share
+// per-execution state.
 type execution struct {
-	engine   *Engine
-	mu       sync.Mutex
-	channels map[pattern.PeerID]*channel.Channel
-	inbox    map[string]*remoteResult // channelID -> collector
-	// cache memoizes remote dispatches within this execution: optimized
-	// plans repeat the same scan under several union branches, and a
-	// subplan already answered by a peer need not be shipped again.
-	cache map[string]*rql.ResultSet
+	engine *Engine
+	mu     sync.Mutex
+	sites  map[pattern.PeerID]*siteChan
+	inbox  map[string]*remoteResult // channelID -> collector
+	// cache single-flights remote dispatches within this execution:
+	// optimized plans repeat the same scan under several union branches,
+	// and with branches racing, the first to ask ships the subplan while
+	// the rest wait on its entry.
+	cache map[string]*cacheEntry
+
+	// sem is the worker pool, holding Parallelism tokens. Union/join
+	// fan-out spawns one goroutine per branch (tree structure is cheap
+	// and plan-bounded), but the actual leaf work — local scans and
+	// remote dispatches — blocks acquiring a token, so at most
+	// Parallelism leaves execute at once. Token holders never acquire a
+	// second token (leaves don't recurse into this pool), which is what
+	// makes the blocking acquire deadlock-free. nil when Parallelism is
+	// 1: then fan-out is skipped entirely and evaluation is the classic
+	// sequential walk.
+	sem chan struct{}
+	// cancel is closed when any branch fails, making sibling branches
+	// finish early instead of shipping work whose result will be
+	// discarded (ubQL semantics: first failure aborts the round).
+	cancel     chan struct{}
+	cancelOnce sync.Once
+}
+
+// siteChan is the per-peer channel slot: single-flight open, then a mutex
+// serializing dispatches so concurrent branches targeting the same peer
+// share one channel (the paper deploys exactly one channel per
+// contributing peer) without interleaving their request/collect cycles.
+type siteChan struct {
+	opened chan struct{}
+	ch     *channel.Channel
+	err    error
+	mu     sync.Mutex
+}
+
+// cacheEntry is a single-flight memo: done closes when the owning branch
+// has filled rows/err.
+type cacheEntry struct {
+	done chan struct{}
+	rows *rql.ResultSet
+	err  error
 }
 
 type remoteResult struct {
@@ -220,19 +277,121 @@ type remoteResult struct {
 	done bool
 }
 
-func (e *Engine) executeOnce(p *plan.Plan) (*rql.ResultSet, error) {
+// errCancelled aborts sibling branches after another branch failed; the
+// failing branch's own error is what surfaces.
+var errCancelled = errors.New("exec: execution cancelled")
+
+func newExecution(e *Engine) *execution {
 	ex := &execution{
-		engine:   e,
-		channels: map[pattern.PeerID]*channel.Channel{},
-		inbox:    map[string]*remoteResult{},
-		cache:    map[string]*rql.ResultSet{},
+		engine: e,
+		sites:  map[pattern.PeerID]*siteChan{},
+		inbox:  map[string]*remoteResult{},
+		cache:  map[string]*cacheEntry{},
+		cancel: make(chan struct{}),
 	}
+	if par := e.parallelism(); par > 1 {
+		ex.sem = make(chan struct{}, par)
+	}
+	return ex
+}
+
+// acquire takes a worker token (no-op when sequential); release returns
+// it. Leaf work — the expensive part of a branch — runs between them.
+func (ex *execution) acquire() {
+	if ex.sem != nil {
+		ex.sem <- struct{}{}
+	}
+}
+
+func (ex *execution) release() {
+	if ex.sem != nil {
+		<-ex.sem
+	}
+}
+
+func (e *Engine) executeOnce(p *plan.Plan) (*rql.ResultSet, error) {
+	ex := newExecution(e)
 	defer ex.closeAll()
 	return ex.run(p.Root)
 }
 
+// abort makes every in-flight branch of this execution finish early.
+func (ex *execution) abort() {
+	ex.cancelOnce.Do(func() { close(ex.cancel) })
+}
+
+// cancelled reports whether the execution has been aborted.
+func (ex *execution) cancelled() bool {
+	select {
+	case <-ex.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// runAll evaluates the inputs of a union or join, fanning out across the
+// branch pool. Results are collected per input index and returned in input
+// order, so the caller's merge is deterministic no matter how the branches
+// interleave. On failure the lowest-index real error wins (matching what
+// sequential evaluation would have surfaced) and siblings are cancelled.
+func (ex *execution) runAll(inputs []plan.Node) ([]*rql.ResultSet, error) {
+	if len(inputs) == 1 || ex.sem == nil {
+		// Sequential fast path: no goroutines, stop at the first error.
+		out := make([]*rql.ResultSet, len(inputs))
+		for i, in := range inputs {
+			rs, err := ex.run(in)
+			if err != nil {
+				ex.abort()
+				return nil, err
+			}
+			out[i] = rs
+		}
+		return out, nil
+	}
+	// One goroutine per branch: goroutines only carry the tree structure
+	// (cheap, bounded by plan size); the worker pool caps the expensive
+	// leaf work, which each branch acquires a token for when it reaches a
+	// scan or dispatch. Keeping structural nodes out of the pool matters:
+	// a union parent that held a token while waiting on its children would
+	// starve its own siblings' leaves.
+	results := make([]*rql.ResultSet, len(inputs))
+	errs := make([]error, len(inputs))
+	var wg sync.WaitGroup
+	for i, in := range inputs {
+		wg.Add(1)
+		go func(i int, in plan.Node) {
+			defer wg.Done()
+			results[i], errs[i] = ex.run(in)
+			if errs[i] != nil {
+				ex.abort()
+			}
+		}(i, in)
+	}
+	wg.Wait()
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errCancelled) {
+			return nil, err
+		}
+		if fallback == nil {
+			fallback = err
+		}
+	}
+	if fallback != nil {
+		return nil, fallback
+	}
+	return results, nil
+}
+
 // run evaluates a plan node, producing its rows at e.Self.
 func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
+	if ex.cancelled() {
+		return nil, errCancelled
+	}
 	e := ex.engine
 	switch v := n.(type) {
 	case *plan.Scan:
@@ -240,6 +399,11 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 			return nil, &HoleError{PatternIDs: v.PatternIDs()}
 		}
 		if v.Peer == e.Self {
+			ex.acquire()
+			defer ex.release()
+			if ex.cancelled() {
+				return nil, errCancelled
+			}
 			e.mu.Lock()
 			e.metrics.LocalScans++
 			e.mu.Unlock()
@@ -247,12 +411,12 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 		}
 		return ex.runRemote(v.Peer, v)
 	case *plan.Union:
+		rss, err := ex.runAll(v.Inputs)
+		if err != nil {
+			return nil, err
+		}
 		acc := rql.NewResultSet()
-		for _, in := range v.Inputs {
-			rs, err := ex.run(in)
-			if err != nil {
-				return nil, err
-			}
+		for _, rs := range rss {
 			acc = acc.Union(rs)
 		}
 		return acc, nil
@@ -261,12 +425,12 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 		if site != e.Self {
 			return ex.runRemote(site, v)
 		}
+		rss, err := ex.runAll(v.Inputs)
+		if err != nil {
+			return nil, err
+		}
 		var acc *rql.ResultSet
-		for _, in := range v.Inputs {
-			rs, err := ex.run(in)
-			if err != nil {
-				return nil, err
-			}
+		for _, rs := range rss {
 			if acc == nil {
 				acc = rs
 			} else {
@@ -339,17 +503,37 @@ type subplanReq struct {
 }
 
 // runRemote ships the node to the site peer and gathers its rows through
-// the channel.
+// the channel. Identical dispatches from concurrent branches are
+// single-flighted: the first branch ships, the rest wait on its cache
+// entry.
 func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
-	e := ex.engine
 	cacheKey := string(site) + "\x00" + n.String()
 	ex.mu.Lock()
-	if cached, ok := ex.cache[cacheKey]; ok {
+	if ent, ok := ex.cache[cacheKey]; ok {
 		ex.mu.Unlock()
-		return cached, nil
+		// Waiters hold no pool token, so the owner can always acquire one
+		// and fill the entry — waiting here cannot deadlock.
+		<-ent.done
+		return ent.rows, ent.err
 	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	ex.cache[cacheKey] = ent
 	ex.mu.Unlock()
-	ch, err := ex.channelTo(site)
+	ex.acquire()
+	if ex.cancelled() {
+		ent.err = errCancelled
+	} else {
+		ent.rows, ent.err = ex.dispatch(site, n)
+	}
+	ex.release()
+	close(ent.done)
+	return ent.rows, ent.err
+}
+
+// dispatch performs one subplan shipment and collects the streamed reply.
+func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+	e := ex.engine
+	sc, err := ex.channelTo(site)
 	if err != nil {
 		return nil, &PeerFailure{Peer: site, Err: err}
 	}
@@ -358,64 +542,71 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan: %w", err)
 	}
-	body, err := json.Marshal(subplanReq{ChannelID: ch.ID, Plan: data})
+	body, err := json.Marshal(subplanReq{ChannelID: sc.ch.ID, Plan: data})
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan request: %w", err)
 	}
+	// One request/collect cycle at a time per channel: the inbox collector
+	// is keyed by channel id, so concurrent branches targeting the same
+	// peer take turns on its channel.
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	ex.mu.Lock()
-	ex.inbox[ch.ID] = &remoteResult{}
+	ex.inbox[sc.ch.ID] = &remoteResult{}
 	ex.mu.Unlock()
 	e.mu.Lock()
 	e.metrics.SubplansShipped++
 	e.mu.Unlock()
 	if err := e.Net.Send(e.Self, site, "exec.subplan", body); err != nil {
-		e.Channels.MarkFailed(ch)
+		e.Channels.MarkFailed(sc.ch)
 		return nil, &PeerFailure{Peer: site, Err: err}
 	}
 	// Delivery is synchronous: by the time Send returns, the remote has
 	// executed and its packets have been dispatched to our collector.
 	ex.mu.Lock()
-	res := ex.inbox[ch.ID]
-	delete(ex.inbox, ch.ID)
+	res := ex.inbox[sc.ch.ID]
+	delete(ex.inbox, sc.ch.ID)
 	ex.mu.Unlock()
 	if res.err != nil {
-		e.Channels.MarkFailed(ch)
+		e.Channels.MarkFailed(sc.ch)
 		return nil, &PeerFailure{Peer: site, Err: res.err}
 	}
 	if !res.done {
-		e.Channels.MarkFailed(ch)
+		e.Channels.MarkFailed(sc.ch)
 		return nil, &PeerFailure{Peer: site, Err: fmt.Errorf("result stream ended without done packet")}
 	}
 	if res.rows == nil {
 		res.rows = rql.NewResultSet()
 	}
-	ex.mu.Lock()
-	ex.cache[cacheKey] = res.rows
-	ex.mu.Unlock()
 	return res.rows, nil
 }
 
-// channelTo returns (opening if necessary) the execution's channel to a
-// peer — one channel per peer, as in the paper.
-func (ex *execution) channelTo(site pattern.PeerID) (*channel.Channel, error) {
+// channelTo returns (opening if necessary) the execution's channel slot
+// for a peer — one channel per peer, as in the paper. The open itself is
+// single-flighted so racing branches share the one channel.
+func (ex *execution) channelTo(site pattern.PeerID) (*siteChan, error) {
 	ex.mu.Lock()
-	if ch, ok := ex.channels[site]; ok {
+	sc, ok := ex.sites[site]
+	if !ok {
+		sc = &siteChan{opened: make(chan struct{})}
+		ex.sites[site] = sc
 		ex.mu.Unlock()
-		return ch, nil
+		e := ex.engine
+		sc.ch, sc.err = e.Channels.Open(site, func(pkt channel.Packet) { ex.onPacket(pkt) })
+		if sc.err == nil {
+			e.mu.Lock()
+			e.metrics.ChannelsOpened++
+			e.mu.Unlock()
+		}
+		close(sc.opened)
+	} else {
+		ex.mu.Unlock()
+		<-sc.opened
 	}
-	ex.mu.Unlock()
-	e := ex.engine
-	ch, err := e.Channels.Open(site, func(pkt channel.Packet) { ex.onPacket(pkt) })
-	if err != nil {
-		return nil, err
+	if sc.err != nil {
+		return nil, sc.err
 	}
-	ex.mu.Lock()
-	ex.channels[site] = ch
-	ex.mu.Unlock()
-	e.mu.Lock()
-	e.metrics.ChannelsOpened++
-	e.mu.Unlock()
-	return ch, nil
+	return sc, nil
 }
 
 func (ex *execution) onPacket(pkt channel.Packet) {
@@ -458,14 +649,17 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 
 func (ex *execution) closeAll() {
 	ex.mu.Lock()
-	chans := make([]*channel.Channel, 0, len(ex.channels))
-	for _, ch := range ex.channels {
-		chans = append(chans, ch)
+	sites := make([]*siteChan, 0, len(ex.sites))
+	for _, sc := range ex.sites {
+		sites = append(sites, sc)
 	}
-	ex.channels = map[pattern.PeerID]*channel.Channel{}
+	ex.sites = map[pattern.PeerID]*siteChan{}
 	ex.mu.Unlock()
-	for _, ch := range chans {
-		ex.engine.Channels.Close(ch)
+	for _, sc := range sites {
+		<-sc.opened
+		if sc.err == nil {
+			ex.engine.Channels.Close(sc.ch)
+		}
 	}
 }
 
@@ -488,13 +682,9 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		Policy:        optimizer.DataShipping,
 		StatsProvider: e.StatsProvider,
 		StatsSink:     e.StatsSink,
+		Parallelism:   e.Parallelism,
 	}
-	ex := &execution{
-		engine:   local,
-		channels: map[pattern.PeerID]*channel.Channel{},
-		inbox:    map[string]*remoteResult{},
-		cache:    map[string]*rql.ResultSet{},
-	}
+	ex := newExecution(local)
 	defer ex.closeAll()
 	rows, err := ex.run(sub.Root)
 	// Fold the nested execution's metrics into the serving engine's.

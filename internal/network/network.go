@@ -5,13 +5,17 @@
 // network-agnostic; this substrate exposes exactly the costs the paper
 // argues about (number of messages routed, bytes shipped, per-peer query
 // load) while keeping experiments deterministic and laptop-fast: latency
-// is accounted, not slept.
+// is accounted, not slept — unless SetRealLatency opts a network into
+// sleeping a scaled-down version of each transfer, which wall-clock
+// benchmarks use to make overlap between concurrent remote scans
+// observable.
 package network
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sqpeer/internal/pattern"
 	"sqpeer/internal/stats"
@@ -64,6 +68,9 @@ type Network struct {
 	links    map[linkKey]stats.Link
 	downed   map[NodeID]bool
 	cut      map[linkKey]bool
+	// realLatency > 0 makes every inter-node delivery sleep
+	// link.TransferMS × realLatency milliseconds (see SetRealLatency).
+	realLatency float64
 
 	cmu      sync.Mutex
 	counters Counters
@@ -143,6 +150,30 @@ func (n *Network) LinkBetween(a, b NodeID) stats.Link {
 		return l
 	}
 	return stats.DefaultLink
+}
+
+// SetRealLatency makes deliveries between distinct nodes sleep their
+// accounted transfer time scaled by the given factor (1.0 = real time,
+// 0.1 = 10× compressed, 0 = never sleep — the default). Deterministic
+// experiments keep it off; wall-clock benchmarks turn it on so that the
+// executor's overlap of independent remote scans shows up as elapsed-time
+// savings rather than only as accounting.
+func (n *Network) SetRealLatency(scale float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.realLatency = scale
+}
+
+// delay sleeps the scaled transfer time of a delivery when real latency
+// is enabled. Self-deliveries are always free.
+func (n *Network) delay(m Message, link stats.Link) {
+	n.mu.RLock()
+	scale := n.realLatency
+	n.mu.RUnlock()
+	if scale <= 0 || m.From == m.To {
+		return
+	}
+	time.Sleep(time.Duration(link.TransferMS(m.Size()) * scale * float64(time.Millisecond)))
 }
 
 // Fail marks a node down: every message to it errors until Recover.
@@ -240,11 +271,14 @@ func (n *Network) Call(from, to NodeID, kind string, payload []byte) ([]byte, er
 		return nil, err
 	}
 	n.account(m, link)
+	n.delay(m, link)
 	reply, err := h(m)
 	if err != nil {
 		return nil, fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
 	}
-	n.account(Message{From: to, To: from, Kind: kind + ".reply", Payload: reply}, link)
+	replyMsg := Message{From: to, To: from, Kind: kind + ".reply", Payload: reply}
+	n.account(replyMsg, link)
+	n.delay(replyMsg, link)
 	return reply, nil
 }
 
@@ -257,6 +291,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload []byte) error {
 		return err
 	}
 	n.account(m, link)
+	n.delay(m, link)
 	if _, err := h(m); err != nil {
 		return fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
 	}

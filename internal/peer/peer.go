@@ -70,6 +70,9 @@ type Config struct {
 	Slots int
 	// Policy is the peer's shipping policy for its own queries.
 	Policy optimizer.ShippingPolicy
+	// Parallelism bounds concurrent plan-branch evaluation in the peer's
+	// engine; 0 means GOMAXPROCS (see exec.Engine.Parallelism).
+	Parallelism int
 }
 
 // Advertisement is the wire form of a peer's self-description: its
@@ -137,7 +140,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 		Kind:      cfg.Kind,
 		Schema:    cfg.Schema,
 		Base:      base,
-		Registry:  routing.NewRegistry(),
+		Registry:  routing.NewIndexedRegistry(cfg.Schema),
 		Catalog:   stats.NewCatalog(),
 		Net:       net,
 		neighbors: map[pattern.PeerID]bool{},
@@ -159,6 +162,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	p.Engine.Router = p.Router
 	p.Engine.StatsProvider = p.selfStats
 	p.Engine.StatsSink = p.Catalog.PutPeer
+	p.Engine.Parallelism = cfg.Parallelism
 
 	// A sharing peer knows itself.
 	if cfg.Kind != ClientPeer && p.Active.Size() > 0 {

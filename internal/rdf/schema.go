@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Class is an RDF/S class declaration in a community schema.
@@ -35,8 +37,9 @@ type Property struct {
 // Schema, and the routing algorithm's subsumption checks delegate to it.
 //
 // Schema methods are not safe for concurrent mutation; concurrent reads
-// are safe once the schema is Frozen (or after any read method has been
-// called following the last mutation, which computes the closures).
+// are safe at any time (the lazy closure rebuild is internally
+// synchronized, so many goroutines may query subsumption while the first
+// read after a mutation recomputes the closures).
 type Schema struct {
 	// Name identifies the schema, conventionally its primary namespace IRI.
 	Name string
@@ -48,22 +51,32 @@ type Schema struct {
 	superClass map[IRI][]IRI
 	superProp  map[IRI][]IRI
 
-	// transitive-reflexive closures, rebuilt lazily
+	// closed holds the transitive-reflexive closures, rebuilt lazily: a
+	// whole immutable snapshot swapped atomically so concurrent readers
+	// never observe a half-built closure. dirty flags that a mutation
+	// invalidated it; rebuildMu serializes the (rare) rebuilds.
+	closed    atomic.Pointer[closures]
+	dirty     atomic.Bool
+	rebuildMu sync.Mutex
+}
+
+// closures is an immutable snapshot of the schema's hierarchies.
+type closures struct {
 	classUp map[IRI]map[IRI]bool // class -> all superclasses incl. itself
 	propUp  map[IRI]map[IRI]bool // prop  -> all superproperties incl. itself
-	dirty   bool
 }
 
 // NewSchema returns an empty schema with the given name.
 func NewSchema(name string) *Schema {
-	return &Schema{
+	s := &Schema{
 		Name:       name,
 		classes:    map[IRI]*Class{},
 		properties: map[IRI]*Property{},
 		superClass: map[IRI][]IRI{},
 		superProp:  map[IRI][]IRI{},
-		dirty:      true,
 	}
+	s.dirty.Store(true)
+	return s
 }
 
 // AddClass declares a class. Re-declaring an existing class is an error so
@@ -73,7 +86,7 @@ func (s *Schema) AddClass(name IRI) error {
 		return fmt.Errorf("rdf: class %s already declared in schema %s", name, s.Name)
 	}
 	s.classes[name] = &Class{Name: name}
-	s.dirty = true
+	s.dirty.Store(true)
 	return nil
 }
 
@@ -100,7 +113,7 @@ func (s *Schema) AddProperty(name, domain, rng IRI) error {
 		}
 	}
 	s.properties[name] = &Property{Name: name, Domain: domain, Range: rng}
-	s.dirty = true
+	s.dirty.Store(true)
 	return nil
 }
 
@@ -130,7 +143,7 @@ func (s *Schema) SetSubClassOf(sub, super IRI) error {
 		}
 	}
 	s.superClass[sub] = append(s.superClass[sub], super)
-	s.dirty = true
+	s.dirty.Store(true)
 	return nil
 }
 
@@ -160,13 +173,13 @@ func (s *Schema) SetSubPropertyOf(sub, super IRI) error {
 		}
 	}
 	s.superProp[sub] = append(s.superProp[sub], super)
-	s.dirty = true
+	s.dirty.Store(true)
 	// Validate domain/range compatibility with the new edge in place.
 	if !s.IsSubClassOf(ps.Domain, pp.Domain) || !s.isSubRange(ps.Range, pp.Range) {
 		// roll back
 		edges := s.superProp[sub]
 		s.superProp[sub] = edges[:len(edges)-1]
-		s.dirty = true
+		s.dirty.Store(true)
 		return fmt.Errorf("rdf: subPropertyOf %s ⊑ %s: domain/range of %s not subsumed by %s",
 			sub, super, sub, super)
 	}
@@ -222,16 +235,29 @@ func (s *Schema) Properties() []*Property {
 	return out
 }
 
-// rebuild recomputes the transitive-reflexive closures of the class and
-// property hierarchies. Cycles (legal in RDFS, implying equivalence) are
-// handled naturally by the fixpoint.
-func (s *Schema) rebuild() {
-	if !s.dirty {
-		return
+// rebuild returns the current closure snapshot, recomputing the
+// transitive-reflexive closures of the class and property hierarchies if a
+// mutation invalidated them. Cycles (legal in RDFS, implying equivalence)
+// are handled naturally by the fixpoint. Safe for concurrent callers: the
+// rebuild is serialized and the snapshot swapped atomically, so racing
+// readers either see the old complete snapshot or the new one.
+func (s *Schema) rebuild() *closures {
+	if !s.dirty.Load() {
+		if c := s.closed.Load(); c != nil {
+			return c
+		}
 	}
-	s.classUp = closure(keysOfClasses(s.classes), s.superClass)
-	s.propUp = closure(keysOfProps(s.properties), s.superProp)
-	s.dirty = false
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	if s.dirty.Load() || s.closed.Load() == nil {
+		c := &closures{
+			classUp: closure(keysOfClasses(s.classes), s.superClass),
+			propUp:  closure(keysOfProps(s.properties), s.superProp),
+		}
+		s.closed.Store(c)
+		s.dirty.Store(false)
+	}
+	return s.closed.Load()
 }
 
 func keysOfClasses(m map[IRI]*Class) []IRI {
@@ -279,8 +305,7 @@ func (s *Schema) IsSubClassOf(sub, super IRI) bool {
 	if sub == super || super == RDFSResource {
 		return true
 	}
-	s.rebuild()
-	ups, ok := s.classUp[sub]
+	ups, ok := s.rebuild().classUp[sub]
 	return ok && ups[super]
 }
 
@@ -290,23 +315,20 @@ func (s *Schema) IsSubPropertyOf(sub, super IRI) bool {
 	if sub == super {
 		return true
 	}
-	s.rebuild()
-	ups, ok := s.propUp[sub]
+	ups, ok := s.rebuild().propUp[sub]
 	return ok && ups[super]
 }
 
 // SuperClasses returns every superclass of c including c, sorted.
 func (s *Schema) SuperClasses(c IRI) []IRI {
-	s.rebuild()
-	return sortedKeys(s.classUp[c])
+	return sortedKeys(s.rebuild().classUp[c])
 }
 
 // SubClasses returns every subclass of c including c, sorted. It inverts
 // the closure, so cost is linear in schema size.
 func (s *Schema) SubClasses(c IRI) []IRI {
-	s.rebuild()
 	var out []IRI
-	for sub, ups := range s.classUp {
+	for sub, ups := range s.rebuild().classUp {
 		if ups[c] {
 			out = append(out, sub)
 		}
@@ -317,15 +339,13 @@ func (s *Schema) SubClasses(c IRI) []IRI {
 
 // SuperProperties returns every superproperty of p including p, sorted.
 func (s *Schema) SuperProperties(p IRI) []IRI {
-	s.rebuild()
-	return sortedKeys(s.propUp[p])
+	return sortedKeys(s.rebuild().propUp[p])
 }
 
 // SubProperties returns every subproperty of p including p, sorted.
 func (s *Schema) SubProperties(p IRI) []IRI {
-	s.rebuild()
 	var out []IRI
-	for sub, ups := range s.propUp {
+	for sub, ups := range s.rebuild().propUp {
 		if ups[p] {
 			out = append(out, sub)
 		}
@@ -345,7 +365,7 @@ func sortedKeys(m map[IRI]bool) []IRI {
 
 // Freeze computes the closures so subsequent reads are safe for concurrent
 // use. Mutating a frozen schema is allowed but re-dirties it.
-func (s *Schema) Freeze() { s.rebuild() }
+func (s *Schema) Freeze() { _ = s.rebuild() }
 
 // Validate checks global schema consistency: every property's end-points
 // are declared, and the subproperty hierarchy respects domain/range

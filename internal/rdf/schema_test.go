@@ -170,7 +170,7 @@ func TestSchemaValidateDetectsLateBreakage(t *testing.T) {
 	// Manually corrupt: redeclare prop4's domain so it no longer ⊑ C1.
 	p, _ := s.PropertyByName(n1("prop4"))
 	p.Domain = n1("C3")
-	s.dirty = true
+	s.dirty.Store(true)
 	if err := s.Validate(); err == nil {
 		t.Fatal("Validate missed broken subproperty domain")
 	}

@@ -167,8 +167,11 @@ func TestRegistryLifecycle(t *testing.T) {
 	}
 	snap := reg.Snapshot()
 	reg.Register("P3", as["P3"])
-	if len(snap) != 1 {
-		t.Errorf("Snapshot not independent: %v", snap)
+	if snap.Len() != 1 {
+		t.Errorf("Snapshot not independent: %d peers", snap.Len())
+	}
+	if next := reg.Snapshot(); next.Epoch <= snap.Epoch {
+		t.Errorf("Register did not advance the epoch: %d -> %d", snap.Epoch, next.Epoch)
 	}
 }
 

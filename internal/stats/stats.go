@@ -130,12 +130,16 @@ func (c *Catalog) Peer(p pattern.PeerID) *PeerStats {
 	return c.peers[p]
 }
 
-// SetLoad updates a peer's current load if the peer is known.
+// SetLoad updates a peer's current load if the peer is known. The update
+// is copy-on-write: Peer hands out the stored *PeerStats without a lock,
+// so mutating it in place would race with readers.
 func (c *Catalog) SetLoad(p pattern.PeerID, load int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if ps, ok := c.peers[p]; ok {
-		ps.Load = load
+		cp := *ps
+		cp.Load = load
+		c.peers[p] = &cp
 	}
 }
 

@@ -201,6 +201,11 @@ func NewPeer(cfg PeerConfig, net *Network) (*Peer, error) { return peer.New(cfg,
 // NewRegistry returns an empty advertisement registry.
 func NewRegistry() *Registry { return routing.NewRegistry() }
 
+// NewIndexedRegistry returns an empty advertisement registry that
+// maintains the inverted property index against the community schema, so
+// routing over it runs sub-linear in SON size.
+func NewIndexedRegistry(schema *Schema) *Registry { return routing.NewIndexedRegistry(schema) }
+
 // NewRouter returns a full-subsumption router over the registry.
 func NewRouter(schema *Schema, reg *Registry) *Router { return routing.NewRouter(schema, reg) }
 
