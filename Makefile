@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json clean
+.PHONY: build test check bench bench-json fault clean
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ bench:
 # parallel executor (see cmd/sqpeer-bench/benchjson.go).
 bench-json:
 	$(GO) run ./cmd/sqpeer-bench -bench-json BENCH_PR1.json
+
+# Fault suite: the chaos soak test under the race detector plus the
+# seeded CLAIM-FAULT sweep, which rewrites BENCH_PR2.json. Both are
+# fully deterministic (fixed seeds baked into the code).
+fault:
+	$(GO) test -race -run TestChaosSoak ./internal/exec/
+	$(GO) run ./cmd/sqpeer-bench -exp fault
 
 clean:
 	$(GO) clean ./...

@@ -53,6 +53,13 @@ func main() {
 	failed := 0
 	for _, r := range reports {
 		fmt.Println(r)
+		if r.ArtifactName != "" {
+			if err := os.WriteFile(r.ArtifactName, r.ArtifactJSON, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("wrote %s\n", r.ArtifactName)
+		}
 		if !r.Pass {
 			failed++
 		}

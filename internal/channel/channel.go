@@ -118,11 +118,18 @@ type Manager struct {
 	self pattern.PeerID
 	net  *network.Network
 
+	// DeadlineMS, when positive, bounds every channel delivery (opens and
+	// packets) on the simulated clock: a leg slower than this fails with a
+	// transient error instead of blocking the sender (see
+	// network.SendWithin).
+	DeadlineMS float64
+
 	mu       sync.Mutex
 	nextID   int
 	channels map[string]*Channel                  // channels rooted here
 	onPacket map[string]func(Packet)              // root-side packet callbacks
 	inbound  map[string]pattern.PeerID            // channelID -> root (dest side)
+	outSeq   map[string]int                       // channelID -> last sent seq (dest side)
 	onOpen   func(id string, root pattern.PeerID) // dest-side accept hook
 }
 
@@ -135,6 +142,7 @@ func NewManager(self pattern.PeerID, net *network.Network) *Manager {
 		channels: map[string]*Channel{},
 		onPacket: map[string]func(Packet){},
 		inbound:  map[string]pattern.PeerID{},
+		outSeq:   map[string]int{},
 	}
 	net.AddNode(self)
 	net.Handle(self, "chan.open", m.handleOpen)
@@ -166,7 +174,7 @@ func (m *Manager) Open(dest pattern.PeerID, onPacket func(Packet)) (*Channel, er
 	if err != nil {
 		return nil, fmt.Errorf("channel: marshal open: %w", err)
 	}
-	if _, err := m.net.Call(m.self, dest, "chan.open", body); err != nil {
+	if _, err := m.net.CallWithin(m.self, dest, "chan.open", body, m.DeadlineMS); err != nil {
 		return nil, fmt.Errorf("channel: open to %s: %w", dest, err)
 	}
 	ch := &Channel{ID: id, Root: m.self, Dest: dest}
@@ -222,20 +230,27 @@ func (m *Manager) OpenChannels() []string {
 }
 
 // SendToRoot ships a packet upstream on an inbound channel (this peer is
-// the destination). The packet's sequence number is assigned here.
+// the destination). The packet's sequence number is assigned here, before
+// the wire, so a duplicated delivery carries the same Seq and the root
+// can suppress it (at-least-once transport, exactly-once packets).
 func (m *Manager) SendToRoot(channelID string, typ PacketType, rows int, payload []byte) error {
 	m.mu.Lock()
 	root, ok := m.inbound[channelID]
+	var seq int
+	if ok {
+		m.outSeq[channelID]++
+		seq = m.outSeq[channelID]
+	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("channel: %s: unknown inbound channel %q", m.self, channelID)
 	}
-	pkt := Packet{ChannelID: channelID, Type: typ, Rows: rows, Payload: payload}
+	pkt := Packet{ChannelID: channelID, Type: typ, Seq: seq, Rows: rows, Payload: payload}
 	body, err := json.Marshal(pkt)
 	if err != nil {
 		return fmt.Errorf("channel: marshal packet: %w", err)
 	}
-	if err := m.net.Send(m.self, root, "chan.packet", body); err != nil {
+	if err := m.net.SendWithin(m.self, root, "chan.packet", body, m.DeadlineMS); err != nil {
 		return fmt.Errorf("channel: send to root %s: %w", root, err)
 	}
 	return nil
@@ -269,8 +284,13 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 		return nil, fmt.Errorf("channel: %s: packet for unknown channel %q", m.self, pkt.ChannelID)
 	}
 	ch.mu.Lock()
-	ch.seq++
-	pkt.Seq = ch.seq
+	if pkt.Seq <= ch.seq {
+		// Duplicate delivery (at-least-once transport): the destination
+		// stamped this sequence number once; drop the replay.
+		ch.mu.Unlock()
+		return nil, nil
+	}
+	ch.seq = pkt.Seq
 	if pkt.Type == Results {
 		ch.rowsReceived += pkt.Rows
 	}
@@ -291,6 +311,7 @@ func (m *Manager) handleClose(msg network.Message) ([]byte, error) {
 	}
 	m.mu.Lock()
 	delete(m.inbound, req.ChannelID)
+	delete(m.outSeq, req.ChannelID)
 	m.mu.Unlock()
 	return nil, nil
 }

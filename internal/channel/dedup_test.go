@@ -1,0 +1,56 @@
+package channel_test
+
+import (
+	"sync"
+	"testing"
+
+	"sqpeer/internal/channel"
+	"sqpeer/internal/network"
+)
+
+// dupInjector duplicates every chan.packet delivery.
+type dupInjector struct{}
+
+func (dupInjector) Intercept(m network.Message) network.Fault {
+	if m.Kind == "chan.packet" {
+		return network.Fault{Duplicate: true}
+	}
+	return network.Fault{}
+}
+
+// Packets carry destination-assigned sequence numbers, so a duplicated
+// delivery (at-least-once transport) reaches the root-side callback
+// exactly once and row accounting stays exact.
+func TestDuplicateDeliverySuppressed(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+	net.SetInjector(dupInjector{})
+
+	var mu sync.Mutex
+	var got []channel.Packet
+	ch, err := ms["P1"].Open("P2", func(p channel.Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Results, 3, []byte("rows")); err != nil {
+		t.Fatalf("SendToRoot: %v", err)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Done, 0, nil); err != nil {
+		t.Fatalf("SendToRoot done: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("callback saw %d packets, want 2 (duplicates suppressed)", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if ch.RowsReceived() != 3 {
+		t.Errorf("RowsReceived = %d, want 3 (duplicate not double-counted)", ch.RowsReceived())
+	}
+}

@@ -83,8 +83,37 @@ type Engine struct {
 	// engine replans around the obsolete peer and restarts (ubQL
 	// discard).
 	Router *routing.Router
-	// MaxReplans bounds adaptation retries (default 3 when Router set).
+	// MaxReplans bounds adaptation retries. The zero value keeps the
+	// historical default of 3; NoReplans (any negative value) disables
+	// adaptation entirely, which the zero value cannot express.
 	MaxReplans int
+	// DeadlineMS, when positive, bounds each dispatch leg on the simulated
+	// clock: a delivery slower than this (hung or gray-failed peer) fails
+	// with a transient error instead of wedging a pool token. Channel
+	// opens are bounded separately via Channels.DeadlineMS.
+	DeadlineMS float64
+	// MaxRetries is how many times a transiently-failed dispatch is
+	// retried (with exponential backoff) before the peer is declared
+	// obsolete and replanned around. 0 — the historical behaviour —
+	// disables retries.
+	MaxRetries int
+	// RetryBackoffMS is the initial retry backoff, doubling per retry
+	// (default 10). Backoff is charged to the metrics' logical clock, not
+	// slept: the simulated network keeps experiments deterministic.
+	RetryBackoffMS float64
+	// Health, when set, receives per-peer dispatch outcomes and replaces
+	// Unregister-on-failure with circuit-breaker quarantine: failed peers
+	// leave routing for a cool-down instead of being forgotten.
+	Health *routing.Health
+	// Throughput, when set, is the paper's run-time adaptation trigger:
+	// the engine tracks per-peer row rates during collection and, after a
+	// completed round, replans around peers the monitor flags.
+	Throughput *optimizer.ThroughputMonitor
+	// AllowPartial opts into graceful degradation: when replanning leaves
+	// unresolved holes, the engine prunes them, executes the answerable
+	// remainder, and returns the rows with a Completeness annotation
+	// naming the unanswered patterns — instead of failing the query.
+	AllowPartial bool
 	// BatchSize caps rows per Results packet when this engine answers
 	// shipped subplans (default 256). Smaller batches mean more packets —
 	// the ubQL streaming the throughput monitor observes.
@@ -109,6 +138,10 @@ type Engine struct {
 	metrics Metrics
 }
 
+// NoReplans disables run-time adaptation when assigned to
+// Engine.MaxReplans (the zero value means "default", i.e. 3).
+const NoReplans = -1
+
 // parallelism resolves the engine's effective branch parallelism.
 func (e *Engine) parallelism() int {
 	if e.Parallelism > 0 {
@@ -131,6 +164,13 @@ type Metrics struct {
 	Replans int
 	// LocalScans counts scans evaluated against the local base.
 	LocalScans int
+	// Retries counts transiently-failed dispatches that were retried.
+	Retries int
+	// BackoffMS is the total retry backoff charged to the logical clock.
+	BackoffMS float64
+	// PartialAnswers counts executions that returned an incomplete result
+	// under AllowPartial.
+	PartialAnswers int
 }
 
 // NewEngine wires an engine for a peer into the network, registering the
@@ -161,31 +201,137 @@ func (e *Engine) ResetMetrics() {
 	e.metrics = Metrics{}
 }
 
+// Unanswered names one path pattern a partial answer is missing and why.
+type Unanswered struct {
+	// PatternID is the path pattern left without a responsible peer.
+	PatternID string `json:"patternId"`
+	// Reason describes what removed the pattern's peers.
+	Reason string `json:"reason"`
+}
+
+// Completeness annotates a result with what it covers: Complete results
+// answered every path pattern; partial results list the patterns that
+// went unanswered (graceful degradation, the paper's partial-plan
+// semantics in ad-hoc SONs).
+type Completeness struct {
+	// Complete reports whether every path pattern was answered.
+	Complete bool `json:"complete"`
+	// Unanswered lists the dropped patterns, sorted by id; empty when
+	// Complete.
+	Unanswered []Unanswered `json:"unanswered,omitempty"`
+}
+
+// Result is an executed query's rows plus their completeness annotation.
+type Result struct {
+	// Rows is the (possibly partial) result set.
+	Rows *rql.ResultSet
+	// Completeness records what the rows cover.
+	Completeness Completeness
+}
+
 // Execute runs a distributed plan rooted at this peer and returns the
 // final result set, applying the query pattern's projections. Plans with
-// holes are rejected with *HoleError. With a Router configured, peer
-// failures trigger replanning (up to MaxReplans) before surfacing as
-// *PeerFailure.
+// holes are rejected with *HoleError (unless AllowPartial). With a Router
+// configured, peer failures trigger replanning (up to MaxReplans) before
+// surfacing as *PeerFailure. Callers that opted into AllowPartial and
+// need the completeness annotation use ExecuteAnnotated; this wrapper
+// returns the rows alone.
 func (e *Engine) Execute(p *plan.Plan) (*rql.ResultSet, error) {
-	maxReplans := e.MaxReplans
-	if maxReplans == 0 {
-		maxReplans = 3
+	res, err := e.ExecuteAnnotated(p)
+	if err != nil {
+		return nil, err
 	}
+	return res.Rows, nil
+}
+
+// maxReplans resolves the adaptation budget: zero keeps the historical
+// default, NoReplans (negative) disables adaptation.
+func (e *Engine) maxReplans() int {
+	switch {
+	case e.MaxReplans > 0:
+		return e.MaxReplans
+	case e.MaxReplans < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+// ExecuteAnnotated is Execute returning the completeness annotation: the
+// adaptation loop of §2.5 with retry/backoff underneath it (transient
+// dispatch failures retry before a peer is declared obsolete), the
+// throughput monitor as a replan trigger, and — under AllowPartial —
+// hole pruning instead of failure when replanning cannot cover every
+// pattern.
+func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
+	maxReplans := e.maxReplans()
 	current := p
+	var unanswered []Unanswered
+	var lastFailure error
 	for attempt := 0; ; attempt++ {
 		if holes := plan.Holes(current.Root); len(holes) > 0 {
 			ids := make([]string, len(holes))
 			for i, h := range holes {
 				ids[i] = h.Patterns[0].ID
 			}
-			return nil, &HoleError{PatternIDs: ids}
+			if !e.AllowPartial {
+				return nil, &HoleError{PatternIDs: ids}
+			}
+			// Graceful degradation: cut the unanswerable patterns, record
+			// why, and execute what remains.
+			pruned, removed := plan.PruneHoles(current.Root)
+			reason := "no peer advertises this pattern"
+			if lastFailure != nil {
+				reason = lastFailure.Error()
+			}
+			for _, id := range removed {
+				unanswered = append(unanswered, Unanswered{PatternID: id, Reason: reason})
+			}
+			if pruned == nil {
+				// Nothing answerable at all: an empty, fully-annotated
+				// partial result.
+				e.mu.Lock()
+				e.metrics.PartialAnswers++
+				e.mu.Unlock()
+				return &Result{
+					Rows:         rql.NewResultSet(),
+					Completeness: Completeness{Complete: false, Unanswered: unanswered},
+				}, nil
+			}
+			current = &plan.Plan{Root: pruned, Query: current.Query}
 		}
 		rs, err := e.executeOnce(current)
 		if err == nil {
+			// The paper's literal run-time trigger: peers whose channels
+			// streamed too few rows this round are replanned around, same
+			// path as a hard failure.
+			if slow := e.slowPeers(); len(slow) > 0 && e.Router != nil && attempt < maxReplans {
+				obsolete := map[pattern.PeerID]bool{}
+				for _, peer := range slow {
+					obsolete[peer] = true
+					e.dropFromRouting(peer)
+				}
+				replanned, rerr := optimizer.Replan(current, obsolete, e.Router)
+				if rerr == nil && !plan.Equal(replanned.Root, current.Root) {
+					e.mu.Lock()
+					e.metrics.Replans++
+					e.mu.Unlock()
+					current = replanned
+					continue // ubQL discard: drop rs, re-execute
+				}
+				// Replanning can't improve on this round (no alternative or
+				// same plan): keep the rows we already collected.
+			}
 			if current.Query != nil && len(current.Query.Projections) > 0 {
 				rs = rs.Project(current.Query.Projections)
 			}
-			return rs, nil
+			res := &Result{Rows: rs, Completeness: Completeness{Complete: len(unanswered) == 0, Unanswered: unanswered}}
+			if len(unanswered) > 0 {
+				e.mu.Lock()
+				e.metrics.PartialAnswers++
+				e.mu.Unlock()
+			}
+			return res, nil
 		}
 		pf, ok := failureOf(err)
 		if !ok || e.Router == nil || attempt >= maxReplans {
@@ -193,9 +339,19 @@ func (e *Engine) Execute(p *plan.Plan) (*rql.ResultSet, error) {
 		}
 		// ubQL adaptation: discard intermediates, drop the obsolete peer
 		// from our routing knowledge, replan, restart.
-		e.Router.Registry.Unregister(pf.Peer)
+		e.dropFromRouting(pf.Peer)
 		replanned, rerr := optimizer.Replan(current, map[pattern.PeerID]bool{pf.Peer: true}, e.Router)
 		if rerr != nil {
+			if replanned != nil && e.AllowPartial {
+				// The replan left holes; the loop top prunes them into the
+				// completeness annotation and runs the rest.
+				lastFailure = err
+				e.mu.Lock()
+				e.metrics.Replans++
+				e.mu.Unlock()
+				current = replanned
+				continue
+			}
 			return nil, fmt.Errorf("exec: adaptation after %v: %w", err, rerr)
 		}
 		e.mu.Lock()
@@ -203,6 +359,32 @@ func (e *Engine) Execute(p *plan.Plan) (*rql.ResultSet, error) {
 		e.mu.Unlock()
 		current = replanned
 	}
+}
+
+// dropFromRouting removes a failed peer from routing's working set: via
+// the circuit breaker when health tracking is on (quarantine — the peer
+// may come back), else by forgetting the advertisement entirely (the
+// historical behaviour).
+func (e *Engine) dropFromRouting(peer pattern.PeerID) {
+	if e.Health != nil {
+		e.Health.QuarantineNow(peer)
+		return
+	}
+	e.Router.Registry.Unregister(peer)
+}
+
+// slowPeers closes a throughput observation window and returns the peers
+// it newly flagged (nil without a monitor). Flags are consumed: the
+// engine quarantines and replans, so the monitor forgets them.
+func (e *Engine) slowPeers() []pattern.PeerID {
+	if e.Throughput == nil {
+		return nil
+	}
+	flagged := e.Throughput.Tick()
+	for _, peer := range flagged {
+		e.Throughput.Unflag(peer)
+	}
+	return flagged
 }
 
 func failureOf(err error) (*PeerFailure, bool) {
@@ -272,6 +454,7 @@ type cacheEntry struct {
 }
 
 type remoteResult struct {
+	site pattern.PeerID
 	rows *rql.ResultSet
 	err  error
 	done bool
@@ -523,11 +706,67 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	if ex.cancelled() {
 		ent.err = errCancelled
 	} else {
-		ent.rows, ent.err = ex.dispatch(site, n)
+		ent.rows, ent.err = ex.dispatchRetry(site, n)
 	}
 	ex.release()
 	close(ent.done)
 	return ent.rows, ent.err
+}
+
+// dispatchRetry wraps dispatch with the transient-failure retry loop:
+// a dispatch that failed for a reason that may heal (drop, deadline,
+// partition, crash) is retried up to MaxRetries times with doubling
+// backoff charged to the logical clock, resetting the site's failed
+// channel so each attempt opens fresh. Outcomes feed the health tracker.
+func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+	e := ex.engine
+	backoff := e.RetryBackoffMS
+	if backoff <= 0 {
+		backoff = 10
+	}
+	var rows *rql.ResultSet
+	var err error
+	for try := 0; ; try++ {
+		rows, err = ex.dispatch(site, n)
+		if err == nil {
+			if e.Health != nil {
+				e.Health.ReportSuccess(site)
+			}
+			return rows, nil
+		}
+		if try >= e.MaxRetries || !network.Transient(err) || ex.cancelled() {
+			break
+		}
+		e.mu.Lock()
+		e.metrics.Retries++
+		e.metrics.BackoffMS += backoff
+		e.mu.Unlock()
+		backoff *= 2
+		ex.resetSite(site)
+	}
+	if e.Health != nil {
+		e.Health.ReportFailure(site)
+	}
+	return nil, err
+}
+
+// resetSite drops a site's channel slot — every dispatch failure either
+// recorded an open error or marked the channel failed, so the retry must
+// open a fresh channel rather than reuse the slot.
+func (ex *execution) resetSite(site pattern.PeerID) {
+	ex.mu.Lock()
+	sc, ok := ex.sites[site]
+	if ok {
+		delete(ex.sites, site)
+	}
+	ex.mu.Unlock()
+	if !ok {
+		return
+	}
+	<-sc.opened
+	if sc.err == nil {
+		ex.engine.Channels.Close(sc.ch)
+	}
 }
 
 // dispatch performs one subplan shipment and collects the streamed reply.
@@ -552,12 +791,15 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet,
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	ex.mu.Lock()
-	ex.inbox[sc.ch.ID] = &remoteResult{}
+	ex.inbox[sc.ch.ID] = &remoteResult{site: site}
 	ex.mu.Unlock()
 	e.mu.Lock()
 	e.metrics.SubplansShipped++
 	e.mu.Unlock()
-	if err := e.Net.Send(e.Self, site, "exec.subplan", body); err != nil {
+	if tm := e.Throughput; tm != nil {
+		tm.Track(site)
+	}
+	if err := e.Net.SendWithin(e.Self, site, "exec.subplan", body, e.DeadlineMS); err != nil {
 		e.Channels.MarkFailed(sc.ch)
 		return nil, &PeerFailure{Peer: site, Err: err}
 	}
@@ -633,6 +875,9 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 		e.metrics.RowsShipped += pkt.Rows
 		e.metrics.BytesShipped += len(pkt.Payload)
 		e.mu.Unlock()
+		if tm := e.Throughput; tm != nil {
+			tm.Observe(res.site, pkt.Rows)
+		}
 	case channel.Stats:
 		if sink := ex.engine.StatsSink; sink != nil {
 			var ps stats.PeerStats

@@ -1,0 +1,319 @@
+// Package faults is the deterministic fault-injection layer wrapping
+// internal/network: seeded, schedulable faults that reproduce the failure
+// modes the paper's run-time adaptation (§2.5) and churn assumptions
+// (§1/§3.2) are about — message drop, duplication, delay spikes, gray
+// failure (a peer answers, but slower than any deadline tolerates),
+// crash/restart, flapping links and partitions.
+//
+// Two layers compose:
+//
+//   - Injector implements network.Injector with per-message stochastic
+//     faults. Decisions are a pure hash of (seed, edge, per-edge sequence
+//     number), so a run that issues the same deliveries in the same order
+//     — e.g. a sequential executor — draws the same faults, making whole
+//     experiments byte-identical across reruns of one seed.
+//   - Schedule is a precomputed, seeded timetable of node- and
+//     link-level fault events (crash/restart, gray on/off, cut/heal)
+//     applied between query rounds by the experiment harness.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+)
+
+// Rates configures the per-delivery stochastic faults of an Injector.
+// All probabilities are in [0, 1] and evaluated independently.
+type Rates struct {
+	// Drop is the probability a delivery is lost in transit.
+	Drop float64
+	// Duplicate is the probability a delivery arrives twice.
+	Duplicate float64
+	// DelaySpike is the probability a delivery suffers SpikeMS of extra
+	// simulated latency.
+	DelaySpike float64
+	// SpikeMS is the magnitude of a delay spike.
+	SpikeMS float64
+}
+
+// Scaled returns the rates with every probability multiplied by f
+// (capped at 1), for sweeping a fault-intensity axis.
+func (r Rates) Scaled(f float64) Rates {
+	clamp := func(p float64) float64 {
+		p *= f
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return Rates{Drop: clamp(r.Drop), Duplicate: clamp(r.Duplicate),
+		DelaySpike: clamp(r.DelaySpike), SpikeMS: r.SpikeMS}
+}
+
+// Injector is the seeded network.Injector. Per-message decisions depend
+// only on (seed, from, to, kind, edge sequence number), never on wall
+// time, so deliveries issued in a deterministic order draw deterministic
+// faults. Gray-failed nodes are tracked explicitly (usually driven by a
+// Schedule): every leg touching a gray node gets GrayDelayMS of extra
+// simulated latency, which a deadline-bearing sender experiences as a
+// hang.
+type Injector struct {
+	seed  int64
+	rates Rates
+
+	mu      sync.Mutex
+	edgeSeq map[string]uint64
+	gray    map[pattern.PeerID]float64 // node -> extra delay per leg
+	immune  map[string]bool            // message kinds never faulted
+	stats   InjectorStats
+}
+
+// InjectorStats counts injected faults.
+type InjectorStats struct {
+	// Intercepted counts deliveries inspected.
+	Intercepted int
+	// Dropped, Duplicated, Delayed, Grayed count faults applied (one
+	// delivery can be both delayed and grayed).
+	Dropped, Duplicated, Delayed, Grayed int
+}
+
+// NewInjector returns a seeded injector with the given base rates.
+func NewInjector(seed int64, rates Rates) *Injector {
+	return &Injector{
+		seed:    seed,
+		rates:   rates,
+		edgeSeq: map[string]uint64{},
+		gray:    map[pattern.PeerID]float64{},
+		immune:  map[string]bool{},
+	}
+}
+
+// Exempt marks message kinds the injector must never fault (e.g. control
+// traffic an experiment wants reliable).
+func (in *Injector) Exempt(kinds ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, k := range kinds {
+		in.immune[k] = true
+	}
+}
+
+// SetGray marks a node gray-failed: every delivery touching it gains
+// extraDelayMS of simulated latency until ClearGray.
+func (in *Injector) SetGray(node pattern.PeerID, extraDelayMS float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.gray[node] = extraDelayMS
+}
+
+// ClearGray restores a gray-failed node.
+func (in *Injector) ClearGray(node pattern.PeerID) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.gray, node)
+}
+
+// Gray reports whether the node is currently gray-failed.
+func (in *Injector) Gray(node pattern.PeerID) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	_, ok := in.gray[node]
+	return ok
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() InjectorStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// draw maps (seed, edge, seq, salt) to a uniform float in [0, 1).
+func (in *Injector) draw(edge string, seq uint64, salt string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%s\x00%d\x00%s", in.seed, edge, seq, salt)
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// Intercept implements network.Injector.
+func (in *Injector) Intercept(m network.Message) network.Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Intercepted++
+	var f network.Fault
+	if g, ok := in.gray[m.From]; ok {
+		f.ExtraDelayMS += g
+		in.stats.Grayed++
+	} else if g, ok := in.gray[m.To]; ok {
+		f.ExtraDelayMS += g
+		in.stats.Grayed++
+	}
+	if in.immune[m.Kind] {
+		return f
+	}
+	edge := string(m.From) + "→" + string(m.To) + "/" + m.Kind
+	seq := in.edgeSeq[edge]
+	in.edgeSeq[edge] = seq + 1
+	if in.rates.Drop > 0 && in.draw(edge, seq, "drop") < in.rates.Drop {
+		f.Drop = true
+		in.stats.Dropped++
+		return f
+	}
+	if in.rates.Duplicate > 0 && in.draw(edge, seq, "dup") < in.rates.Duplicate {
+		f.Duplicate = true
+		in.stats.Duplicated++
+	}
+	if in.rates.DelaySpike > 0 && in.draw(edge, seq, "delay") < in.rates.DelaySpike {
+		f.ExtraDelayMS += in.rates.SpikeMS
+		in.stats.Delayed++
+	}
+	return f
+}
+
+// ScheduleRates configures the per-round node/link fault events a
+// Schedule generates.
+type ScheduleRates struct {
+	// Crash is the per-node per-round probability of a crash; the node
+	// restarts CrashLen rounds later.
+	Crash float64
+	// CrashLen is how many rounds a crashed node stays down (≥1).
+	CrashLen int
+	// Gray is the per-node per-round probability of entering gray
+	// failure for GrayLen rounds, adding GrayDelayMS per delivery leg.
+	Gray        float64
+	GrayLen     int
+	GrayDelayMS float64
+	// Flap is the per-node per-round probability that the node's link to
+	// the root is cut for one round (a flapping link).
+	Flap float64
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	// Round the event fires at (0-based).
+	Round int
+	// Kind is "crash", "restart", "gray-on", "gray-off", "cut" or "heal".
+	Kind string
+	// Node is the affected node.
+	Node pattern.PeerID
+	// Peer is the other endpoint for link events.
+	Peer pattern.PeerID
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if e.Kind == "cut" || e.Kind == "heal" {
+		return fmt.Sprintf("r%d %s %s–%s", e.Round, e.Kind, e.Node, e.Peer)
+	}
+	return fmt.Sprintf("r%d %s %s", e.Round, e.Kind, e.Node)
+}
+
+// Effects reports what one round's Apply changed.
+type Effects struct {
+	Crashed, Restarted, GrayOn, GrayOff []pattern.PeerID
+	Cut, Healed                         [][2]pattern.PeerID
+}
+
+// Schedule is a precomputed seeded timetable of fault events over a
+// fixed set of volatile nodes. The root node is never faulted (it is the
+// observer whose queries the experiment measures).
+type Schedule struct {
+	// Events in round order; ties ordered crash/restart before gray
+	// before link events, then by node id.
+	Events []Event
+
+	rates  ScheduleRates
+	root   pattern.PeerID
+	byTurn map[int][]Event
+}
+
+// NewSchedule precomputes rounds of fault events for the volatile nodes
+// using a seeded PRNG. The root is the query-issuing node flapping links
+// are cut against; it never crashes or grays.
+func NewSchedule(seed int64, root pattern.PeerID, volatile []pattern.PeerID, rounds int, rates ScheduleRates) *Schedule {
+	if rates.CrashLen < 1 {
+		rates.CrashLen = 2
+	}
+	if rates.GrayLen < 1 {
+		rates.GrayLen = 2
+	}
+	if rates.GrayDelayMS <= 0 {
+		rates.GrayDelayMS = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := append([]pattern.PeerID{}, volatile...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	s := &Schedule{rates: rates, root: root, byTurn: map[int][]Event{}}
+	// busyUntil prevents overlapping crash/gray episodes on one node, so
+	// restarts and gray-offs pair cleanly with their onsets.
+	busyUntil := map[pattern.PeerID]int{}
+	add := func(e Event) {
+		s.Events = append(s.Events, e)
+		s.byTurn[e.Round] = append(s.byTurn[e.Round], e)
+	}
+	for round := 0; round < rounds; round++ {
+		for _, node := range nodes {
+			if busyUntil[node] > round {
+				continue
+			}
+			switch {
+			case rng.Float64() < rates.Crash:
+				end := round + rates.CrashLen
+				add(Event{Round: round, Kind: "crash", Node: node})
+				add(Event{Round: end, Kind: "restart", Node: node})
+				busyUntil[node] = end + 1
+			case rng.Float64() < rates.Gray:
+				end := round + rates.GrayLen
+				add(Event{Round: round, Kind: "gray-on", Node: node})
+				add(Event{Round: end, Kind: "gray-off", Node: node})
+				busyUntil[node] = end + 1
+			case rng.Float64() < rates.Flap:
+				add(Event{Round: round, Kind: "cut", Node: node, Peer: root})
+				add(Event{Round: round + 1, Kind: "heal", Node: node, Peer: root})
+				busyUntil[node] = round + 2
+			}
+		}
+	}
+	return s
+}
+
+// Apply fires the round's events against the network and injector and
+// returns what changed, so the harness can e.g. re-advertise restarted
+// peers. Both arguments may be shared across rounds; Apply is not safe
+// for concurrent use with itself.
+func (s *Schedule) Apply(round int, net *network.Network, inj *Injector) Effects {
+	var eff Effects
+	for _, e := range s.byTurn[round] {
+		switch e.Kind {
+		case "crash":
+			net.Fail(e.Node)
+			eff.Crashed = append(eff.Crashed, e.Node)
+		case "restart":
+			net.Recover(e.Node)
+			eff.Restarted = append(eff.Restarted, e.Node)
+		case "gray-on":
+			if inj != nil {
+				inj.SetGray(e.Node, s.rates.GrayDelayMS)
+			}
+			eff.GrayOn = append(eff.GrayOn, e.Node)
+		case "gray-off":
+			if inj != nil {
+				inj.ClearGray(e.Node)
+			}
+			eff.GrayOff = append(eff.GrayOff, e.Node)
+		case "cut":
+			net.Partition(e.Node, e.Peer)
+			eff.Cut = append(eff.Cut, [2]pattern.PeerID{e.Node, e.Peer})
+		case "heal":
+			net.Heal(e.Node, e.Peer)
+			eff.Healed = append(eff.Healed, [2]pattern.PeerID{e.Node, e.Peer})
+		}
+	}
+	return eff
+}

@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+)
+
+func twoNodeNet(t *testing.T) (*network.Network, *int) {
+	t.Helper()
+	net := network.New()
+	delivered := 0
+	net.Handle("A", "ping", func(network.Message) ([]byte, error) { return nil, nil })
+	net.Handle("B", "ping", func(network.Message) ([]byte, error) {
+		delivered++
+		return []byte("pong"), nil
+	})
+	return net, &delivered
+}
+
+// Same seed, same delivery order → identical per-message fault decisions
+// and identical stats.
+func TestInjectorDeterministicAcrossRuns(t *testing.T) {
+	run := func() ([]bool, InjectorStats) {
+		net, _ := twoNodeNet(t)
+		inj := NewInjector(42, Rates{Drop: 0.3, Duplicate: 0.2, DelaySpike: 0.2, SpikeMS: 100})
+		net.SetInjector(inj)
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			err := net.Send("A", "B", "ping", []byte("x"))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes, inj.Stats()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same seed produced different per-message outcomes")
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", s1, s2)
+	}
+	if s1.Dropped == 0 || s1.Duplicated == 0 || s1.Delayed == 0 {
+		t.Fatalf("expected all fault kinds at these rates, got %+v", s1)
+	}
+}
+
+func TestInjectorSeedChangesOutcomes(t *testing.T) {
+	stats := func(seed int64) InjectorStats {
+		net, _ := twoNodeNet(t)
+		inj := NewInjector(seed, Rates{Drop: 0.3})
+		net.SetInjector(inj)
+		for i := 0; i < 100; i++ {
+			_ = net.Send("A", "B", "ping", []byte("x"))
+		}
+		return inj.Stats()
+	}
+	if stats(1) == stats(2) {
+		t.Fatal("different seeds produced identical stats (suspicious)")
+	}
+}
+
+func TestInjectorDropSurfacesTransientError(t *testing.T) {
+	net, delivered := twoNodeNet(t)
+	inj := NewInjector(7, Rates{Drop: 1})
+	net.SetInjector(inj)
+	err := net.Send("A", "B", "ping", []byte("x"))
+	if err == nil {
+		t.Fatal("expected drop error")
+	}
+	if !network.Transient(err) {
+		t.Fatalf("drop should be transient, got %v", err)
+	}
+	if *delivered != 0 {
+		t.Fatal("dropped message must not reach the handler")
+	}
+}
+
+func TestInjectorDuplicateDeliversTwice(t *testing.T) {
+	net, delivered := twoNodeNet(t)
+	inj := NewInjector(7, Rates{Duplicate: 1})
+	net.SetInjector(inj)
+	if err := net.Send("A", "B", "ping", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if *delivered != 2 {
+		t.Fatalf("duplicate fault should invoke the handler twice, got %d", *delivered)
+	}
+}
+
+func TestGrayNodeMissesDeadline(t *testing.T) {
+	net, delivered := twoNodeNet(t)
+	inj := NewInjector(7, Rates{})
+	net.SetInjector(inj)
+	inj.SetGray("B", 500)
+	err := net.SendWithin("A", "B", "ping", []byte("x"), 100)
+	if err == nil {
+		t.Fatal("gray peer should miss a 100ms deadline")
+	}
+	var de *network.DeliveryError
+	if !network.Transient(err) {
+		t.Fatalf("deadline miss should be transient, got %v (%v)", err, de)
+	}
+	if *delivered != 0 {
+		t.Fatal("deadline-missed message must not reach the handler")
+	}
+	inj.ClearGray("B")
+	if err := net.SendWithin("A", "B", "ping", []byte("x"), 100); err != nil {
+		t.Fatalf("cleared gray node should deliver: %v", err)
+	}
+	if *delivered != 1 {
+		t.Fatal("recovered delivery should reach the handler once")
+	}
+}
+
+func TestExemptKindsNeverFaulted(t *testing.T) {
+	net, delivered := twoNodeNet(t)
+	inj := NewInjector(7, Rates{Drop: 1})
+	inj.Exempt("ping")
+	net.SetInjector(inj)
+	for i := 0; i < 20; i++ {
+		if err := net.Send("A", "B", "ping", []byte("x")); err != nil {
+			t.Fatalf("exempt kind faulted: %v", err)
+		}
+	}
+	if *delivered != 20 {
+		t.Fatalf("want 20 deliveries, got %d", *delivered)
+	}
+}
+
+func TestScheduleDeterministicAndPaired(t *testing.T) {
+	vol := []pattern.PeerID{"P2", "P3", "P4"}
+	rates := ScheduleRates{Crash: 0.2, CrashLen: 2, Gray: 0.2, GrayLen: 1, Flap: 0.2}
+	s1 := NewSchedule(99, "P1", vol, 30, rates)
+	s2 := NewSchedule(99, "P1", vol, 30, rates)
+	if !reflect.DeepEqual(s1.Events, s2.Events) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(s1.Events) == 0 {
+		t.Fatal("expected some events at 20% rates over 30 rounds")
+	}
+	// Every onset has exactly one matching offset per node, so a full
+	// replay returns the system to health.
+	balance := map[string]int{}
+	for _, e := range s1.Events {
+		switch e.Kind {
+		case "crash":
+			balance["down/"+string(e.Node)]++
+		case "restart":
+			balance["down/"+string(e.Node)]--
+		case "gray-on":
+			balance["gray/"+string(e.Node)]++
+		case "gray-off":
+			balance["gray/"+string(e.Node)]--
+		case "cut":
+			balance["cut/"+string(e.Node)]++
+		case "heal":
+			balance["cut/"+string(e.Node)]--
+		}
+		if e.Node == "P1" {
+			t.Fatalf("root must never be faulted: %v", e)
+		}
+	}
+	for k, v := range balance {
+		if v != 0 {
+			t.Fatalf("unbalanced fault episodes for %s: %d", k, v)
+		}
+	}
+}
+
+func TestScheduleApplyDrivesNetworkAndInjector(t *testing.T) {
+	net := network.New()
+	for _, id := range []pattern.PeerID{"P1", "P2"} {
+		net.AddNode(id)
+	}
+	inj := NewInjector(1, Rates{})
+	s := &Schedule{rates: ScheduleRates{GrayDelayMS: 400}, root: "P1", byTurn: map[int][]Event{
+		0: {
+			{Round: 0, Kind: "crash", Node: "P2"},
+			{Round: 0, Kind: "gray-on", Node: "P2"},
+			{Round: 0, Kind: "cut", Node: "P2", Peer: "P1"},
+		},
+		1: {
+			{Round: 1, Kind: "restart", Node: "P2"},
+			{Round: 1, Kind: "gray-off", Node: "P2"},
+			{Round: 1, Kind: "heal", Node: "P2", Peer: "P1"},
+		},
+	}}
+	eff := s.Apply(0, net, inj)
+	if len(eff.Crashed) != 1 || len(eff.GrayOn) != 1 || len(eff.Cut) != 1 {
+		t.Fatalf("round 0 effects wrong: %+v", eff)
+	}
+	if !net.IsDown("P2") || !inj.Gray("P2") {
+		t.Fatal("round 0 should crash and gray P2")
+	}
+	eff = s.Apply(1, net, inj)
+	if len(eff.Restarted) != 1 || len(eff.GrayOff) != 1 || len(eff.Healed) != 1 {
+		t.Fatalf("round 1 effects wrong: %+v", eff)
+	}
+	if net.IsDown("P2") || inj.Gray("P2") {
+		t.Fatal("round 1 should restore P2")
+	}
+}

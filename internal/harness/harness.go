@@ -24,6 +24,11 @@ type Report struct {
 	// Pass aggregates the experiment's self-checks: true when every
 	// reproduced figure/claim matched the paper's statement.
 	Pass bool
+	// ArtifactName/ArtifactJSON optionally carry a machine-readable
+	// result file (e.g. BENCH_PR2.json) that cmd/sqpeer-bench writes next
+	// to its stdout report.
+	ArtifactName string
+	ArtifactJSON []byte
 }
 
 func (r *Report) linef(format string, args ...any) {

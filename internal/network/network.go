@@ -12,6 +12,7 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,6 +43,67 @@ func (m Message) Size() int { return len(m.Payload) + len(m.Kind) + 16 }
 // Call) or nil (for one-way sends).
 type Handler func(Message) ([]byte, error)
 
+// Delivery failure reasons carried by DeliveryError.
+const (
+	// ReasonNodeDown: an endpoint is failed (crash; may restart).
+	ReasonNodeDown = "node-down"
+	// ReasonPartition: the link between the endpoints is cut.
+	ReasonPartition = "partition"
+	// ReasonDropped: the message was lost in transit (injected fault).
+	ReasonDropped = "dropped"
+	// ReasonDeadline: the delivery's simulated latency exceeded the
+	// sender's deadline — how hung or gray-failed peers surface without
+	// wedging the sender forever.
+	ReasonDeadline = "deadline"
+	// ReasonUnknownNode: the destination was never registered.
+	ReasonUnknownNode = "unknown-node"
+	// ReasonNoHandler: the destination has no handler for the kind.
+	ReasonNoHandler = "no-handler"
+)
+
+// DeliveryError reports a failed delivery with a failure class, letting
+// callers distinguish transient conditions (worth retrying: crashes that
+// may heal, partitions, drops, deadline misses) from permanent ones
+// (unknown node, missing handler).
+type DeliveryError struct {
+	// Reason is one of the Reason* constants.
+	Reason string
+	// Transient reports whether retrying the delivery could succeed.
+	Transient bool
+	// Detail is the human-readable description.
+	Detail string
+}
+
+// Error renders the failure.
+func (e *DeliveryError) Error() string { return e.Detail }
+
+// Transient reports whether err (or anything it wraps) is a transient
+// delivery failure — the retry/backoff gate used by the executor.
+func Transient(err error) bool {
+	var de *DeliveryError
+	return errors.As(err, &de) && de.Transient
+}
+
+// Fault is an injector's verdict on one delivery attempt.
+type Fault struct {
+	// Drop loses the message: the sender sees a transient DeliveryError.
+	Drop bool
+	// Duplicate delivers the message twice (at-least-once semantics);
+	// the second delivery's reply and error are discarded.
+	Duplicate bool
+	// ExtraDelayMS is added to the delivery's simulated latency (delay
+	// spike, gray-failed endpoint responding slowly).
+	ExtraDelayMS float64
+	// Reason optionally labels a drop (defaults to ReasonDropped).
+	Reason string
+}
+
+// Injector intercepts deliveries for fault injection. Implementations
+// must be safe for concurrent use; self-deliveries are never intercepted.
+type Injector interface {
+	Intercept(Message) Fault
+}
+
 // Counters aggregates traffic accounting; obtained via Network.Counters.
 type Counters struct {
 	// Messages is the total number of messages delivered (a Call counts
@@ -71,6 +133,8 @@ type Network struct {
 	// realLatency > 0 makes every inter-node delivery sleep
 	// link.TransferMS × realLatency milliseconds (see SetRealLatency).
 	realLatency float64
+	// injector, when set, is consulted on every inter-node delivery.
+	injector Injector
 
 	cmu      sync.Mutex
 	counters Counters
@@ -164,16 +228,25 @@ func (n *Network) SetRealLatency(scale float64) {
 	n.realLatency = scale
 }
 
-// delay sleeps the scaled transfer time of a delivery when real latency
-// is enabled. Self-deliveries are always free.
-func (n *Network) delay(m Message, link stats.Link) {
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted on every inter-node delivery. See internal/faults for the
+// seeded implementation.
+func (n *Network) SetInjector(inj Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injector = inj
+}
+
+// delay sleeps the scaled simulated latency of a delivery when real
+// latency is enabled. Self-deliveries are always free.
+func (n *Network) delay(m Message, latencyMS float64) {
 	n.mu.RLock()
 	scale := n.realLatency
 	n.mu.RUnlock()
 	if scale <= 0 || m.From == m.To {
 		return
 	}
-	time.Sleep(time.Duration(link.TransferMS(m.Size()) * scale * float64(time.Millisecond)))
+	time.Sleep(time.Duration(latencyMS * scale * float64(time.Millisecond)))
 }
 
 // Fail marks a node down: every message to it errors until Recover.
@@ -217,21 +290,26 @@ func (n *Network) lookup(m Message) (Handler, stats.Link, error) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	if n.downed[m.To] {
-		return nil, stats.Link{}, fmt.Errorf("network: node %s is down", m.To)
+		return nil, stats.Link{}, &DeliveryError{Reason: ReasonNodeDown, Transient: true,
+			Detail: fmt.Sprintf("network: node %s is down", m.To)}
 	}
 	if n.downed[m.From] {
-		return nil, stats.Link{}, fmt.Errorf("network: node %s is down", m.From)
+		return nil, stats.Link{}, &DeliveryError{Reason: ReasonNodeDown, Transient: true,
+			Detail: fmt.Sprintf("network: node %s is down", m.From)}
 	}
 	if n.cut[normKey(m.From, m.To)] {
-		return nil, stats.Link{}, fmt.Errorf("network: link %s–%s is partitioned", m.From, m.To)
+		return nil, stats.Link{}, &DeliveryError{Reason: ReasonPartition, Transient: true,
+			Detail: fmt.Sprintf("network: link %s–%s is partitioned", m.From, m.To)}
 	}
 	hs, ok := n.handlers[m.To]
 	if !ok {
-		return nil, stats.Link{}, fmt.Errorf("network: unknown node %s", m.To)
+		return nil, stats.Link{}, &DeliveryError{Reason: ReasonUnknownNode,
+			Detail: fmt.Sprintf("network: unknown node %s", m.To)}
 	}
 	h, ok := hs[m.Kind]
 	if !ok {
-		return nil, stats.Link{}, fmt.Errorf("network: node %s has no handler for %q", m.To, m.Kind)
+		return nil, stats.Link{}, &DeliveryError{Reason: ReasonNoHandler,
+			Detail: fmt.Sprintf("network: node %s has no handler for %q", m.To, m.Kind)}
 	}
 	link, ok := n.links[normKey(m.From, m.To)]
 	if !ok {
@@ -243,15 +321,13 @@ func (n *Network) lookup(m Message) (Handler, stats.Link, error) {
 	return h, link, nil
 }
 
-func (n *Network) account(m Message, link stats.Link) {
+func (n *Network) account(m Message, latencyMS float64) {
 	n.cmu.Lock()
 	defer n.cmu.Unlock()
 	c := &n.counters
 	c.Messages++
 	c.Bytes += m.Size()
-	if m.From != m.To {
-		c.SimulatedMS += link.TransferMS(m.Size())
-	}
+	c.SimulatedMS += latencyMS
 	if c.PerKind == nil {
 		c.PerKind = map[string]int{}
 	}
@@ -262,40 +338,133 @@ func (n *Network) account(m Message, link stats.Link) {
 	c.PerNodeReceived[m.To]++
 }
 
-// Call delivers the message and returns the handler's reply, accounting
-// both directions. Handler errors are returned to the caller.
-func (n *Network) Call(from, to NodeID, kind string, payload []byte) ([]byte, error) {
-	m := Message{From: from, To: to, Kind: kind, Payload: payload}
+// deliver is the one-leg delivery core shared by Send and Call: resolve
+// the route, consult the injector, enforce the sender's deadline against
+// the simulated latency, account, optionally sleep, and invoke the
+// handler (twice under a duplication fault). It returns the handler's
+// reply.
+func (n *Network) deliver(m Message, deadlineMS float64) ([]byte, error) {
 	h, link, err := n.lookup(m)
 	if err != nil {
 		return nil, err
 	}
-	n.account(m, link)
-	n.delay(m, link)
+	var f Fault
+	if m.From != m.To {
+		n.mu.RLock()
+		inj := n.injector
+		n.mu.RUnlock()
+		if inj != nil {
+			f = inj.Intercept(m)
+		}
+	}
+	latency := 0.0
+	if m.From != m.To {
+		latency = link.TransferMS(m.Size()) + f.ExtraDelayMS
+	}
+	if deadlineMS > 0 && latency > deadlineMS {
+		// The sender waited out its deadline on the simulated clock; the
+		// message is considered lost to it even if it would eventually
+		// arrive. The handler is not invoked.
+		n.account(m, deadlineMS)
+		return nil, &DeliveryError{Reason: ReasonDeadline, Transient: true,
+			Detail: fmt.Sprintf("network: %s(%s→%s) exceeded deadline (%.1fms > %.1fms)",
+				m.Kind, m.From, m.To, latency, deadlineMS)}
+	}
+	if f.Drop {
+		// The message went out and vanished; the wire time is spent.
+		n.account(m, latency)
+		reason := f.Reason
+		if reason == "" {
+			reason = ReasonDropped
+		}
+		return nil, &DeliveryError{Reason: reason, Transient: true,
+			Detail: fmt.Sprintf("network: %s(%s→%s) lost in transit (%s)", m.Kind, m.From, m.To, reason)}
+	}
+	n.account(m, latency)
+	n.delay(m, latency)
 	reply, err := h(m)
 	if err != nil {
-		return nil, fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
+		return nil, fmt.Errorf("network: %s(%s→%s): %w", m.Kind, m.From, m.To, err)
 	}
-	replyMsg := Message{From: to, To: from, Kind: kind + ".reply", Payload: reply}
-	n.account(replyMsg, link)
-	n.delay(replyMsg, link)
+	if f.Duplicate {
+		// At-least-once delivery: the handler runs again on the same
+		// message; the duplicate's reply and error are discarded.
+		n.account(m, latency)
+		_, _ = h(m)
+	}
 	return reply, nil
+}
+
+// Call delivers the message and returns the handler's reply, accounting
+// both directions. Handler errors are returned to the caller.
+func (n *Network) Call(from, to NodeID, kind string, payload []byte) ([]byte, error) {
+	return n.CallWithin(from, to, kind, payload, 0)
+}
+
+// CallWithin is Call with a per-leg deadline on the simulated clock
+// (0 = none): a leg whose simulated latency exceeds the deadline fails
+// with a transient DeliveryError instead of delivering.
+func (n *Network) CallWithin(from, to NodeID, kind string, payload []byte, deadlineMS float64) ([]byte, error) {
+	reply, err := n.deliver(Message{From: from, To: to, Kind: kind, Payload: payload}, deadlineMS)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.replyLeg(Message{From: to, To: from, Kind: kind + ".reply", Payload: reply}, deadlineMS); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// replyLeg accounts (and possibly faults) the reply half of a Call. No
+// handler runs — the caller already holds the reply — but the wire time
+// is spent, the injector may lose or delay it, and the caller's deadline
+// applies.
+func (n *Network) replyLeg(m Message, deadlineMS float64) error {
+	if m.From == m.To {
+		n.account(m, 0)
+		return nil
+	}
+	n.mu.RLock()
+	inj := n.injector
+	link, ok := n.links[normKey(m.From, m.To)]
+	n.mu.RUnlock()
+	if !ok {
+		link = stats.DefaultLink
+	}
+	var f Fault
+	if inj != nil {
+		f = inj.Intercept(m)
+	}
+	latency := link.TransferMS(m.Size()) + f.ExtraDelayMS
+	if deadlineMS > 0 && latency > deadlineMS {
+		n.account(m, deadlineMS)
+		return &DeliveryError{Reason: ReasonDeadline, Transient: true,
+			Detail: fmt.Sprintf("network: %s(%s→%s) exceeded deadline (%.1fms > %.1fms)",
+				m.Kind, m.From, m.To, latency, deadlineMS)}
+	}
+	n.account(m, latency)
+	if f.Drop {
+		reason := f.Reason
+		if reason == "" {
+			reason = ReasonDropped
+		}
+		return &DeliveryError{Reason: reason, Transient: true,
+			Detail: fmt.Sprintf("network: %s(%s→%s) lost in transit (%s)", m.Kind, m.From, m.To, reason)}
+	}
+	n.delay(m, latency)
+	return nil
 }
 
 // Send delivers a one-way message, accounting one direction. The
 // handler's reply payload is discarded.
 func (n *Network) Send(from, to NodeID, kind string, payload []byte) error {
-	m := Message{From: from, To: to, Kind: kind, Payload: payload}
-	h, link, err := n.lookup(m)
-	if err != nil {
-		return err
-	}
-	n.account(m, link)
-	n.delay(m, link)
-	if _, err := h(m); err != nil {
-		return fmt.Errorf("network: %s(%s→%s): %w", kind, from, to, err)
-	}
-	return nil
+	return n.SendWithin(from, to, kind, payload, 0)
+}
+
+// SendWithin is Send with a deadline on the simulated clock (0 = none).
+func (n *Network) SendWithin(from, to NodeID, kind string, payload []byte, deadlineMS float64) error {
+	_, err := n.deliver(Message{From: from, To: to, Kind: kind, Payload: payload}, deadlineMS)
+	return err
 }
 
 // Counters returns a snapshot of the traffic counters.

@@ -73,6 +73,18 @@ type Config struct {
 	// Parallelism bounds concurrent plan-branch evaluation in the peer's
 	// engine; 0 means GOMAXPROCS (see exec.Engine.Parallelism).
 	Parallelism int
+	// DeadlineMS, when positive, bounds every dispatch and channel
+	// delivery on the simulated clock (see exec.Engine.DeadlineMS).
+	DeadlineMS float64
+	// MaxRetries retries transiently-failed dispatches before replanning
+	// (see exec.Engine.MaxRetries).
+	MaxRetries int
+	// AllowPartial opts the peer's queries into partial answers with
+	// completeness annotations (see exec.Engine.AllowPartial).
+	AllowPartial bool
+	// Quarantine enables the circuit-breaker health tracker: failed peers
+	// are quarantined from routing for a cool-down instead of forgotten.
+	Quarantine bool
 }
 
 // Advertisement is the wire form of a peer's self-description: its
@@ -108,6 +120,9 @@ type Peer struct {
 	Channels *channel.Manager
 	// Engine executes distributed plans.
 	Engine *exec.Engine
+	// Health is the circuit-breaker quarantine tracker (nil unless
+	// Config.Quarantine was set).
+	Health *routing.Health
 	// Net is the transport.
 	Net *network.Network
 	// Super is the super-peer this simple-peer is attached to (hybrid
@@ -163,6 +178,14 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	p.Engine.StatsProvider = p.selfStats
 	p.Engine.StatsSink = p.Catalog.PutPeer
 	p.Engine.Parallelism = cfg.Parallelism
+	p.Engine.DeadlineMS = cfg.DeadlineMS
+	p.Engine.MaxRetries = cfg.MaxRetries
+	p.Engine.AllowPartial = cfg.AllowPartial
+	p.Channels.DeadlineMS = cfg.DeadlineMS
+	if cfg.Quarantine {
+		p.Health = routing.NewHealth(p.Registry)
+		p.Engine.Health = p.Health
+	}
 
 	// A sharing peer knows itself.
 	if cfg.Kind != ClientPeer && p.Active.Size() > 0 {
@@ -399,4 +422,29 @@ func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
 		return nil, err
 	}
 	return filtered.Project(c.Pattern.Projections).Limit(c.Query.Limit), nil
+}
+
+// AskAnnotated is Ask returning the completeness annotation alongside the
+// rows: with AllowPartial configured, a query some patterns of which
+// became unanswerable mid-flight yields its answerable rows plus the list
+// of unanswered patterns, instead of an error.
+func (p *Peer) AskAnnotated(rqlText string) (*exec.Result, error) {
+	c, err := p.Compile(rqlText)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := p.PlanQuery(c.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Engine.ExecuteAnnotated(pr.Optimized)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := rql.ApplyFilters(res.Rows, c.Query.Where)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = filtered.Project(c.Pattern.Projections).Limit(c.Query.Limit)
+	return res, nil
 }

@@ -1,0 +1,191 @@
+// Peer health tracking: a circuit breaker over the Registry's
+// quarantine. The executor reports delivery successes and failures per
+// peer; repeated failures trip the breaker (the peer's advertisements
+// are quarantined from routing for a cool-down), and after the cool-down
+// the peer re-enters on probation — the next query is its probe, and one
+// more failure re-quarantines it with a doubled cool-down. Time is
+// logical: Tick is called once per query round (or replan), so cool-downs
+// are measured in rounds, keeping experiments deterministic.
+package routing
+
+import (
+	"sort"
+	"sync"
+
+	"sqpeer/internal/pattern"
+)
+
+// Health state per peer.
+const (
+	healthy     = iota
+	quarantined // breaker open: excluded from routing until cool-down ends
+	probation   // breaker half-open: routable; one failure re-quarantines
+)
+
+type peerHealth struct {
+	state int
+	// consecutive counts failures since the last success.
+	consecutive int
+	// until is the tick at which a quarantine lifts.
+	until int
+	// cooldown is the length of the peer's next quarantine (doubles on
+	// probation failure, up to MaxCooldownTicks).
+	cooldown int
+}
+
+// HealthStats counts breaker transitions.
+type HealthStats struct {
+	// Quarantines counts breaker-open transitions (including forced ones
+	// and probation re-trips).
+	Quarantines int
+	// Reinstates counts cool-down expiries moving a peer to probation.
+	Reinstates int
+	// Recoveries counts probation successes closing the breaker.
+	Recoveries int
+}
+
+// Health is the circuit-breaker quarantine tracker feeding a Registry.
+// It is safe for concurrent use; all Registry mutations go through
+// Quarantine/Reinstate, so every state change bumps the registry epoch
+// and subsequent Route calls see it without per-call filtering.
+type Health struct {
+	// Registry is the routing registry the breaker gates.
+	Registry *Registry
+	// FailureThreshold is how many consecutive failures open the breaker
+	// (default 1: in a simulated network a delivery failure is already
+	// the end of a retry loop).
+	FailureThreshold int
+	// CooldownTicks is the initial quarantine length in ticks (default 2).
+	CooldownTicks int
+	// MaxCooldownTicks caps the doubling (default 16).
+	MaxCooldownTicks int
+
+	mu    sync.Mutex
+	now   int
+	peers map[pattern.PeerID]*peerHealth
+	stats HealthStats
+}
+
+// NewHealth returns a tracker over the registry with default thresholds.
+func NewHealth(reg *Registry) *Health {
+	return &Health{
+		Registry:         reg,
+		FailureThreshold: 1,
+		CooldownTicks:    2,
+		MaxCooldownTicks: 16,
+		peers:            map[pattern.PeerID]*peerHealth{},
+	}
+}
+
+func (h *Health) get(peer pattern.PeerID) *peerHealth {
+	ph, ok := h.peers[peer]
+	if !ok {
+		ph = &peerHealth{cooldown: h.CooldownTicks}
+		h.peers[peer] = ph
+	}
+	return ph
+}
+
+// quarantineLocked opens the breaker for the peer. Callers hold h.mu.
+func (h *Health) quarantineLocked(peer pattern.PeerID, ph *peerHealth) {
+	ph.state = quarantined
+	ph.until = h.now + ph.cooldown
+	next := ph.cooldown * 2
+	if next > h.MaxCooldownTicks {
+		next = h.MaxCooldownTicks
+	}
+	ph.cooldown = next
+	ph.consecutive = 0
+	h.stats.Quarantines++
+	h.Registry.Quarantine(peer)
+}
+
+// ReportFailure records a delivery failure against the peer. At
+// FailureThreshold consecutive failures — or any failure while on
+// probation — the breaker opens and the peer is quarantined.
+func (h *Health) ReportFailure(peer pattern.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.get(peer)
+	if ph.state == quarantined {
+		return
+	}
+	ph.consecutive++
+	if ph.state == probation || ph.consecutive >= h.FailureThreshold {
+		h.quarantineLocked(peer, ph)
+	}
+}
+
+// ReportSuccess records a successful delivery: a peer on probation
+// recovers fully (breaker closed, cool-down reset), any peer's failure
+// streak resets.
+func (h *Health) ReportSuccess(peer pattern.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.get(peer)
+	if ph.state == quarantined {
+		return // stale success from an in-flight dispatch; breaker stays open
+	}
+	if ph.state == probation {
+		ph.state = healthy
+		ph.cooldown = h.CooldownTicks
+		h.stats.Recoveries++
+	}
+	ph.consecutive = 0
+}
+
+// QuarantineNow opens the breaker immediately regardless of the failure
+// streak — used when the executor has already classified a failure as
+// permanent-for-this-peer (e.g. a replan-triggering *PeerFailure*).
+func (h *Health) QuarantineNow(peer pattern.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.get(peer)
+	if ph.state == quarantined {
+		return
+	}
+	h.quarantineLocked(peer, ph)
+}
+
+// Tick advances logical time one step (one query round). Quarantines
+// whose cool-down has expired lift into probation — the peer becomes
+// routable again, and its next reported outcome decides whether the
+// breaker closes or re-opens for twice as long. Returns the peers
+// reinstated this tick, sorted.
+func (h *Health) Tick() []pattern.PeerID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.now++
+	var lifted []pattern.PeerID
+	for peer, ph := range h.peers {
+		if ph.state == quarantined && h.now >= ph.until {
+			ph.state = probation
+			h.stats.Reinstates++
+			h.Registry.Reinstate(peer)
+			lifted = append(lifted, peer)
+		}
+	}
+	sort.Slice(lifted, func(i, j int) bool { return lifted[i] < lifted[j] })
+	return lifted
+}
+
+// Quarantined returns the peers the breaker currently holds open, sorted.
+func (h *Health) Quarantined() []pattern.PeerID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []pattern.PeerID
+	for peer, ph := range h.peers {
+		if ph.state == quarantined {
+			out = append(out, peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns a snapshot of the transition counters.
+func (h *Health) Stats() HealthStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}

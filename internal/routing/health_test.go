@@ -1,0 +1,173 @@
+package routing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/routing"
+)
+
+// Quarantine must exclude a peer from routing views (both strategies)
+// without forgetting its advertisement, and Reinstate must restore it —
+// each bumping the epoch so cached snapshots refresh.
+func TestQuarantineExcludesFromRouting(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("indexed=%v", indexed), func(t *testing.T) {
+			var reg *routing.Registry
+			if indexed {
+				reg = routing.NewIndexedRegistry(gen.PaperSchema())
+			} else {
+				reg = routing.NewRegistry()
+			}
+			for peer, as := range gen.PaperActiveSchemas() {
+				reg.Register(peer, as)
+			}
+			r := routing.NewRouter(gen.PaperSchema(), reg)
+
+			before := reg.Epoch()
+			if !reg.Quarantine("P4") {
+				t.Fatal("Quarantine(P4) should report a change")
+			}
+			if reg.Epoch() == before {
+				t.Fatal("quarantine must bump the epoch")
+			}
+			ann := r.Route(gen.PaperQuery())
+			if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P1 P2]" {
+				t.Errorf("Q1 peers with P4 quarantined = %s, want [P1 P2]", got)
+			}
+			if got := fmt.Sprint(ann.PeersFor("Q2")); got != "[P1 P3]" {
+				t.Errorf("Q2 peers with P4 quarantined = %s, want [P1 P3]", got)
+			}
+			if _, ok := reg.Get("P4"); !ok {
+				t.Error("quarantine must not forget the advertisement")
+			}
+			if !reg.IsQuarantined("P4") || fmt.Sprint(reg.QuarantinedPeers()) != "[P4]" {
+				t.Error("P4 should be listed as quarantined")
+			}
+
+			if !reg.Reinstate("P4") {
+				t.Fatal("Reinstate(P4) should report a change")
+			}
+			ann = r.Route(gen.PaperQuery())
+			if got := fmt.Sprint(ann.PeersFor("Q1")); got != "[P1 P2 P4]" {
+				t.Errorf("Q1 peers after reinstate = %s, want [P1 P2 P4]", got)
+			}
+		})
+	}
+}
+
+func TestQuarantineEdgeCases(t *testing.T) {
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	if reg.Quarantine("P99") {
+		t.Error("quarantining an unknown peer should be a no-op")
+	}
+	if !reg.Quarantine("P2") || reg.Quarantine("P2") {
+		t.Error("second quarantine of the same peer should report no change")
+	}
+	// Register does not lift an existing quarantine.
+	reg.Register("P2", gen.PaperActiveSchemas()["P2"])
+	if !reg.IsQuarantined("P2") {
+		t.Error("re-registering must not lift the quarantine")
+	}
+	// Unregister does.
+	reg.Unregister("P2")
+	if reg.IsQuarantined("P2") {
+		t.Error("unregister must clear the quarantine")
+	}
+	if reg.Reinstate("P2") {
+		t.Error("reinstating a non-quarantined peer should report no change")
+	}
+}
+
+// The breaker: threshold failures quarantine, Tick-driven cool-down
+// lifts into probation, probation failure re-quarantines with doubled
+// cool-down, probation success closes the breaker.
+func TestHealthCircuitBreaker(t *testing.T) {
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	h := routing.NewHealth(reg)
+	h.FailureThreshold = 2
+	h.CooldownTicks = 2
+
+	h.ReportFailure("P3")
+	if reg.IsQuarantined("P3") {
+		t.Fatal("one failure below threshold must not quarantine")
+	}
+	h.ReportFailure("P3")
+	if !reg.IsQuarantined("P3") {
+		t.Fatal("threshold failures must quarantine")
+	}
+	if fmt.Sprint(h.Quarantined()) != "[P3]" {
+		t.Fatalf("Quarantined() = %v", h.Quarantined())
+	}
+
+	if lifted := h.Tick(); len(lifted) != 0 {
+		t.Fatalf("cool-down of 2 must survive one tick, lifted %v", lifted)
+	}
+	if lifted := fmt.Sprint(h.Tick()); lifted != "[P3]" {
+		t.Fatalf("second tick should lift P3 into probation, got %v", lifted)
+	}
+	if reg.IsQuarantined("P3") {
+		t.Fatal("probation peer must be routable")
+	}
+
+	// Probation failure: immediate re-quarantine, doubled cool-down (4).
+	h.ReportFailure("P3")
+	if !reg.IsQuarantined("P3") {
+		t.Fatal("probation failure must re-quarantine immediately")
+	}
+	for i := 0; i < 3; i++ {
+		if lifted := h.Tick(); len(lifted) != 0 {
+			t.Fatalf("doubled cool-down lifted early at tick %d: %v", i, lifted)
+		}
+	}
+	if lifted := fmt.Sprint(h.Tick()); lifted != "[P3]" {
+		t.Fatalf("doubled cool-down should lift on 4th tick, got %v", lifted)
+	}
+
+	// Probation success closes the breaker and resets the cool-down.
+	h.ReportSuccess("P3")
+	if reg.IsQuarantined("P3") {
+		t.Fatal("probation success must close the breaker")
+	}
+	st := h.Stats()
+	if st.Quarantines != 2 || st.Reinstates != 2 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHealthQuarantineNowAndSuccessReset(t *testing.T) {
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	h := routing.NewHealth(reg)
+	h.FailureThreshold = 3
+
+	// Successes reset the failure streak.
+	h.ReportFailure("P2")
+	h.ReportFailure("P2")
+	h.ReportSuccess("P2")
+	h.ReportFailure("P2")
+	h.ReportFailure("P2")
+	if reg.IsQuarantined("P2") {
+		t.Fatal("streak should have been reset by the success")
+	}
+
+	// Forced quarantine ignores the threshold; a stale success while the
+	// breaker is open does not close it.
+	h.QuarantineNow("P2")
+	if !reg.IsQuarantined("P2") {
+		t.Fatal("QuarantineNow must quarantine immediately")
+	}
+	h.ReportSuccess("P2")
+	if !reg.IsQuarantined("P2") {
+		t.Fatal("a success while quarantined must not close the breaker")
+	}
+}

@@ -56,6 +56,10 @@ type Registry struct {
 	// peerProps records which index keys each peer posted under, for O(1)
 	// unregistration.
 	peerProps map[pattern.PeerID][]rdf.IRI
+	// quarantined marks peers whose advertisements are suppressed from
+	// views (and hence from routing) without being forgotten: the schema
+	// stays registered so reinstatement is a flag flip, not a re-learn.
+	quarantined map[pattern.PeerID]bool
 	// epoch counts mutations; the cached view is valid only for the epoch
 	// it was built at.
 	epoch uint64
@@ -65,7 +69,10 @@ type Registry struct {
 // NewRegistry returns an empty registry without an inverted index; routing
 // over it always uses the brute-force path.
 func NewRegistry() *Registry {
-	return &Registry{schemas: map[pattern.PeerID]*pattern.ActiveSchema{}}
+	return &Registry{
+		schemas:     map[pattern.PeerID]*pattern.ActiveSchema{},
+		quarantined: map[pattern.PeerID]bool{},
+	}
 }
 
 // NewIndexedRegistry returns an empty registry that maintains the inverted
@@ -163,16 +170,73 @@ func (r *Registry) Register(peer pattern.PeerID, as *pattern.ActiveSchema) {
 }
 
 // Unregister forgets a peer, e.g. when it leaves the SON or a channel to
-// it fails.
+// it fails. Forgetting also lifts any quarantine: a peer that later
+// re-registers starts with a clean slate.
 func (r *Registry) Unregister(peer pattern.PeerID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	wasQuarantined := r.quarantined[peer]
+	delete(r.quarantined, peer)
 	if _, ok := r.schemas[peer]; !ok {
+		if wasQuarantined {
+			r.bump()
+		}
 		return
 	}
 	delete(r.schemas, peer)
 	r.unindexLocked(peer)
 	r.bump()
+}
+
+// Quarantine suppresses a peer's advertisements from routing views
+// without forgetting its schema (circuit-breaker open: the peer is
+// suspected, not departed). The epoch bumps, so every Route call after
+// the quarantine excludes the peer with no per-call filtering. Returns
+// whether the call changed anything (false for unknown or
+// already-quarantined peers). Note that Register does NOT lift an
+// existing quarantine — a misbehaving peer re-advertising stays dark
+// until Reinstate or Unregister.
+func (r *Registry) Quarantine(peer pattern.PeerID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.schemas[peer]; !ok || r.quarantined[peer] {
+		return false
+	}
+	r.quarantined[peer] = true
+	r.bump()
+	return true
+}
+
+// Reinstate lifts a peer's quarantine, making its stored advertisement
+// routable again. Returns whether the peer was quarantined.
+func (r *Registry) Reinstate(peer pattern.PeerID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.quarantined[peer] {
+		return false
+	}
+	delete(r.quarantined, peer)
+	r.bump()
+	return true
+}
+
+// IsQuarantined reports whether the peer is quarantined.
+func (r *Registry) IsQuarantined(peer pattern.PeerID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.quarantined[peer]
+}
+
+// QuarantinedPeers returns the quarantined peers, sorted.
+func (r *Registry) QuarantinedPeers() []pattern.PeerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]pattern.PeerID, 0, len(r.quarantined))
+	for p := range r.quarantined {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Get returns the peer's advertisement.
@@ -267,8 +331,10 @@ func (r *Registry) Snapshot() *View {
 	return r.view
 }
 
-// buildViewLocked flattens the registry into an immutable view. Callers
-// hold r.mu.
+// buildViewLocked flattens the registry into an immutable view,
+// excluding quarantined peers — the one place the quarantine takes
+// effect, so both routing strategies skip suspected peers for free.
+// Callers hold r.mu.
 func (r *Registry) buildViewLocked() *View {
 	v := &View{
 		Epoch:   r.epoch,
@@ -276,6 +342,9 @@ func (r *Registry) buildViewLocked() *View {
 		peers:   make([]pattern.PeerID, 0, len(r.schemas)),
 	}
 	for p, as := range r.schemas {
+		if r.quarantined[p] {
+			continue
+		}
 		v.schemas[p] = as
 		v.peers = append(v.peers, p)
 	}
@@ -286,6 +355,9 @@ func (r *Registry) buildViewLocked() *View {
 			flat := make([]Posting, 0, len(bucket))
 			peers := make([]pattern.PeerID, 0, len(bucket))
 			for p := range bucket {
+				if r.quarantined[p] {
+					continue
+				}
 				peers = append(peers, p)
 			}
 			sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
@@ -294,7 +366,9 @@ func (r *Registry) buildViewLocked() *View {
 					flat = append(flat, Posting{Peer: p, Pattern: pp})
 				}
 			}
-			v.postings[prop] = flat
+			if len(flat) > 0 {
+				v.postings[prop] = flat
+			}
 		}
 	}
 	return v
