@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench bench-json fault clean
+.PHONY: build test lint check bench bench-json fault clean
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,15 @@ build:
 test:
 	$(GO) test ./...
 
-check:
+# Static analysis: the toolchain's standard passes (go vet: copylocks,
+# printf, ...) plus the five SQPeer invariant analyzers (walltime,
+# seededrand, maporder, errclass, locksafe) — see DESIGN.md §9. Zero
+# un-allowlisted diagnostics is a merge gate.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sqpeer-lint ./...
+
+check: lint
 	$(GO) test -race ./...
 
 bench:

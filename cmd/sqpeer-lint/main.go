@@ -1,0 +1,99 @@
+// Command sqpeer-lint is the repo's static-analysis gate: five
+// SQPeer-specific analyzers enforcing the determinism, logical-clock and
+// failure-domain invariants of DESIGN.md §9 over the packages matched by
+// its arguments (default ./...).
+//
+//	walltime    no wall-clock reads/sleeps in internal packages
+//	seededrand  no global math/rand source; explicit seeds only
+//	maporder    map iteration order must not leak into output
+//	errclass    errors compared with errors.Is, never ==/!= or strings
+//	locksafe    no blocking ops while a sync (RW)Mutex is held
+//
+// A diagnostic is suppressed only by `//lint:allow <analyzer> <reason>`
+// on the offending or preceding line; reasons are mandatory and stale
+// directives are errors. Standard passes (copylocks and friends) run via
+// `go vet` in the Makefile's lint target; this binary adds only the
+// checks the toolchain does not ship. Exit status: 0 clean, 1 findings,
+// 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/analyzers/errclass"
+	"sqpeer/internal/lint/analyzers/locksafe"
+	"sqpeer/internal/lint/analyzers/maporder"
+	"sqpeer/internal/lint/analyzers/seededrand"
+	"sqpeer/internal/lint/analyzers/walltime"
+	"sqpeer/internal/lint/driver"
+	"sqpeer/internal/lint/load"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	walltime.Analyzer,
+	seededrand.Analyzer,
+	maporder.Analyzer,
+	errclass.Analyzer,
+	locksafe.Analyzer,
+}
+
+// scope restricts the clock and randomness invariants to the middleware
+// proper: cmd/ mains and examples may read the wall clock to report
+// to humans. Determinism analyzers (maporder, errclass, locksafe) run
+// everywhere. The lint framework itself is exempt from walltime (it is
+// tooling, not simulation).
+var scope = map[string]func(string) bool{
+	"walltime":   isInternal,
+	"seededrand": isInternal,
+}
+
+func isInternal(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") &&
+		!strings.Contains(pkgPath, "/internal/lint")
+}
+
+func main() {
+	showAllowed := flag.Bool("show-allowed", false, "also print suppressed diagnostics with their reasons")
+	list := flag.Bool("help-analyzers", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqpeer-lint:", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(analyzers, pkgs, scope)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqpeer-lint:", err)
+		os.Exit(2)
+	}
+	failing := driver.Failing(findings)
+	for _, f := range findings {
+		if f.Suppressed && !*showAllowed {
+			continue
+		}
+		fmt.Println(f.Format())
+	}
+	if n := len(findings) - len(failing); n > 0 && !*showAllowed {
+		fmt.Fprintf(os.Stderr, "sqpeer-lint: %d suppressed (run with -show-allowed to list)\n", n)
+	}
+	if len(failing) > 0 {
+		fmt.Fprintf(os.Stderr, "sqpeer-lint: %d finding(s) in %d package(s)\n", len(failing), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"sqpeer/internal/gen"
@@ -125,6 +126,9 @@ func runFullyConnected(net *network.Network, schema *rdf.Schema, bases map[patte
 		}
 		nodes = append(nodes, p)
 	}
+	// Sort so the fallback root (nodes[0] when no P1 exists) does not
+	// depend on map iteration order.
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 	for _, a := range nodes {
 		for _, b := range nodes {
 			if a != b {

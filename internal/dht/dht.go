@@ -171,11 +171,25 @@ func (r *Ring) redistributeLocked() {
 		key  rdf.IRI
 		regs []Registration
 	}
+	// Drain in sorted node-then-key order: entries for the same key from
+	// different nodes are concatenated at their new owner, so the drain
+	// order would otherwise leak map iteration order into lookup results.
+	ids := make([]pattern.PeerID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var all []kv
-	for _, n := range r.nodes {
+	for _, id := range ids {
+		n := r.nodes[id]
 		n.mu.Lock()
-		for k, regs := range n.store {
-			all = append(all, kv{k, regs})
+		keys := make([]rdf.IRI, 0, len(n.store))
+		for k := range n.store {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			all = append(all, kv{k, n.store[k]})
 		}
 		n.store = map[rdf.IRI][]Registration{}
 		n.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"sqpeer/internal/channel"
@@ -799,6 +800,7 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet,
 	if tm := e.Throughput; tm != nil {
 		tm.Track(site)
 	}
+	//lint:allow locksafe per-site channel serialization is the point of sc.mu, and SendWithin is deadline-bounded so the hold is finite
 	if err := e.Net.SendWithin(e.Self, site, "exec.subplan", body, e.DeadlineMS); err != nil {
 		e.Channels.MarkFailed(sc.ch)
 		return nil, &PeerFailure{Peer: site, Err: err}
@@ -894,9 +896,14 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 
 func (ex *execution) closeAll() {
 	ex.mu.Lock()
-	sites := make([]*siteChan, 0, len(ex.sites))
-	for _, sc := range ex.sites {
-		sites = append(sites, sc)
+	ids := make([]pattern.PeerID, 0, len(ex.sites))
+	for id := range ex.sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sites := make([]*siteChan, 0, len(ids))
+	for _, id := range ids {
+		sites = append(sites, ex.sites[id])
 	}
 	ex.sites = map[pattern.PeerID]*siteChan{}
 	ex.mu.Unlock()

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
 	"sqpeer/internal/gen"
 	"sqpeer/internal/network"
@@ -22,7 +21,7 @@ func init() {
 // set of live providers.
 func claimChurn() *Report {
 	r := &Report{ID: "churn", Title: "peer churn: join/leave/fail under continuous querying (§1/§2.5)", Pass: true}
-	rng := rand.New(rand.NewSource(7))
+	rng := gen.NewRNG(churnSeed)
 	schema := gen.PaperSchema()
 	net := network.New()
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
 	"sqpeer/internal/gen"
 	"sqpeer/internal/network"
@@ -213,6 +214,9 @@ func claimDistribution() *Report {
 			}
 			nodes = append(nodes, p)
 		}
+		// Sort so the root peer (nodes[0]) is the same on every run
+		// regardless of map iteration order.
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
 		for _, a := range nodes {
 			for _, b := range nodes {
 				if a != b {
@@ -253,7 +257,7 @@ func claimAdvertisements() *Report {
 	const peers = 30
 	bases := syn.Bases(peers, 12, gen.Vertical)
 
-	queries := syn.RandomQueries(40, 2, 7)
+	queries := syn.RandomQueries(40, 2, distQuerySeed)
 
 	run := func(whole bool) (annotations int) {
 		reg := routing.NewRegistry()

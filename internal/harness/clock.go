@@ -1,0 +1,33 @@
+// Wall-clock throughput measurement for harness reports. Experiment
+// *results* (answers, annotations, message counts) are a function of the
+// simulated logical clock only; the sole thing the harness may take from
+// the wall clock is how fast this host churned through repetitions,
+// which it prints for scale and never asserts on. That read is funneled
+// through this file so the walltime analyzer's allowlist has exactly one
+// entry for the harness.
+package harness
+
+import "time"
+
+// Clock measures elapsed wall time for throughput reporting.
+type Clock struct {
+	start time.Time
+}
+
+// StartClock begins a wall-clock measurement.
+func StartClock() Clock {
+	//lint:allow walltime the one sanctioned harness wall-clock read: throughput reporting, never results
+	return Clock{start: time.Now()}
+}
+
+// Seconds returns the elapsed wall time in seconds.
+func (c Clock) Seconds() float64 {
+	//lint:allow walltime paired elapsed read for StartClock
+	return time.Since(c.start).Seconds()
+}
+
+// Microseconds returns the elapsed wall time in microseconds.
+func (c Clock) Microseconds() float64 {
+	//lint:allow walltime paired elapsed read for StartClock
+	return float64(time.Since(c.start).Microseconds())
+}

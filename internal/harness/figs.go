@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"sqpeer/internal/gen"
 	"sqpeer/internal/network"
@@ -59,7 +58,7 @@ func fig1() *Report {
 			as.HasClass(gen.N1("C5")) && as.HasClass(gen.N1("C6")))
 
 	// Throughput of the front-end (parse+analyze), for scale.
-	start := time.Now()
+	clock := StartClock()
 	const n = 2000
 	for i := 0; i < n; i++ {
 		if _, err := rql.ParseAndAnalyze(gen.PaperRQL, schema); err != nil {
@@ -68,7 +67,7 @@ func fig1() *Report {
 		}
 	}
 	r.linef("  parse+analyze throughput: %.0f queries/s",
-		float64(n)/time.Since(start).Seconds())
+		float64(n)/clock.Seconds())
 	return r
 }
 
@@ -105,7 +104,7 @@ func fig2() *Report {
 				sreg.Register(id, as)
 			}
 			srouter := routing.NewRouter(syn.Schema, sreg)
-			start := time.Now()
+			clock := StartClock()
 			const reps = 50
 			var cmps int
 			for i := 0; i < reps; i++ {
@@ -113,7 +112,7 @@ func fig2() *Report {
 				cmps = sst.Comparisons
 			}
 			r.linef("    %8d %8d %12d %14.1f", nPeers, nProps, cmps,
-				float64(time.Since(start).Microseconds())/reps)
+				clock.Microseconds()/reps)
 		}
 	}
 	return r

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, offline re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// used by cmd/sqpeer-lint. The container this repo grows in has no module
+// proxy, so x/tools cannot be vendored; the subset here is API-shaped
+// like the original so the analyzers port verbatim if x/tools ever
+// becomes available. Standard passes the original multichecker would add
+// (nilness, copylocks, unusedwrite) are delegated to `go vet`, which
+// ships with the toolchain — see the Makefile `lint` target.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single
+// type-checked package through its Pass and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a single lowercase word.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run performs the analysis. The result value is unused by the
+	// sqpeer driver but kept for x/tools API compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token.Pos to file positions for Files and every
+	// package type-checked alongside them.
+	Fset *token.FileSet
+	// Files are the package's parsed sources (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression annotations.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the violated invariant and the remedy.
+	Message string
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncOf resolves a call/selector expression to the *types.Func it
+// invokes, unwrapping parentheses. It returns nil for calls through
+// plain function values, conversions and builtins.
+func FuncOf(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// PkgFunc reports whether f is a package-level function (no receiver)
+// of the package with the given import path.
+func PkgFunc(f *types.Func, pkgPath string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// MethodRecvNamed returns the named type of f's receiver (pointers
+// dereferenced), or nil when f is not a method.
+func MethodRecvNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// NamedFrom reports whether named is the type pkgPath.name.
+func NamedFrom(named *types.Named, pkgPath, name string) bool {
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// IsErrorType reports whether t is exactly the built-in error interface
+// type (the static type of variables declared `var err error`).
+func IsErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// PkgPathTail reports whether path is exactly tail or ends in "/"+tail.
+// Analyzers use it so rules about e.g. the network package hold both for
+// the real sqpeer/internal/network path and for analysistest fixture
+// packages, which live at short paths like "network".
+func PkgPathTail(path, tail string) bool {
+	return path == tail || (len(path) > len(tail) &&
+		path[len(path)-len(tail)-1] == '/' && path[len(path)-len(tail):] == tail)
+}

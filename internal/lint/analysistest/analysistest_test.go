@@ -1,0 +1,67 @@
+package analysistest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/analyzers/walltime"
+)
+
+// recorder captures Errorf/Fatalf so the suite-failure property can be
+// asserted instead of merely hoped for.
+type recorder struct {
+	errors []string
+	fatal  string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+	panic(r)
+}
+
+// TestDisabledAnalyzerFailsFixtures is the acceptance property for every
+// fixture suite: if an analyzer is disabled (reports nothing), its
+// `// want` annotations go unmatched and the suite fails. The walltime
+// testdata stands in for all five — each suite runs the same checker.
+func TestDisabledAnalyzerFailsFixtures(t *testing.T) {
+	disabled := &analysis.Analyzer{
+		Name: walltime.Analyzer.Name,
+		Doc:  walltime.Analyzer.Doc,
+		Run:  func(*analysis.Pass) (any, error) { return nil, nil },
+	}
+	rec := &recorder{}
+	func() {
+		defer func() { _ = recover() }() // Fatalf panics to stop the fake run
+		Run(rec, "../analyzers/walltime/testdata", disabled, "a")
+	}()
+	if rec.fatal != "" {
+		t.Fatalf("fixture load failed outright: %s", rec.fatal)
+	}
+	if len(rec.errors) == 0 {
+		t.Fatal("disabled analyzer passed its fixture suite; // want annotations are not being enforced")
+	}
+	for _, e := range rec.errors {
+		if !strings.Contains(e, "no diagnostic matched want") {
+			t.Fatalf("unexpected failure kind from disabled analyzer: %s", e)
+		}
+	}
+}
+
+// TestEnabledAnalyzerPassesFixtures is the control: the real analyzer
+// satisfies the same annotations.
+func TestEnabledAnalyzerPassesFixtures(t *testing.T) {
+	rec := &recorder{}
+	func() {
+		defer func() { _ = recover() }()
+		Run(rec, "../analyzers/walltime/testdata", walltime.Analyzer, "a")
+	}()
+	if rec.fatal != "" || len(rec.errors) != 0 {
+		t.Fatalf("real analyzer failed its own fixtures: fatal=%q errors=%v", rec.fatal, rec.errors)
+	}
+}

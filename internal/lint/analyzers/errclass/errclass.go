@@ -1,0 +1,102 @@
+// Package errclass protects the PR2 failure-classification contract:
+// callers must ask what an error *means* (errors.Is, errors.As,
+// network.Transient) rather than what it *is*. Direct ==/!= against a
+// non-nil error value breaks silently the moment anyone wraps the error
+// with fmt.Errorf("...: %w", err) — which the retry/backoff and
+// partial-answer paths do — and string comparison of err.Error() is the
+// same bug with extra steps. Nil checks (err == nil, err != nil) remain
+// the idiomatic success test and are never flagged.
+package errclass
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sqpeer/internal/lint/analysis"
+)
+
+// Analyzer flags identity comparison of errors; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "errclass",
+	Doc:  "require errors.Is/errors.As/network.Transient instead of ==/!= on non-nil error values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, e)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, e)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, e.X) || isNil(pass, e.Y) {
+		return
+	}
+	if isErrorExpr(pass, e.X) || isErrorExpr(pass, e.Y) {
+		pass.Reportf(e.Pos(),
+			"comparing error values with %s misses wrapped errors; use errors.Is (or network.Transient for retryability)", e.Op)
+		return
+	}
+	if isErrorString(pass, e.X) || isErrorString(pass, e.Y) {
+		pass.Reportf(e.Pos(),
+			"comparing err.Error() text is fragile; compare the error itself with errors.Is")
+	}
+}
+
+// checkSwitch flags `switch err { case ErrFoo: ... }`, which compares
+// with == per case. A switch whose cases are all nil is a plain success
+// test and stays legal.
+func checkSwitch(pass *analysis.Pass, s *ast.SwitchStmt) {
+	if s.Tag == nil || !isErrorExpr(pass, s.Tag) {
+		return
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			if !isNil(pass, v) {
+				pass.Reportf(s.Pos(),
+					"switch on an error value compares with ==; use if/else with errors.Is per sentinel")
+				return
+			}
+		}
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && analysis.IsErrorType(tv.Type)
+}
+
+// isErrorString matches err.Error() call results.
+func isErrorString(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorExpr(pass, sel.X)
+}

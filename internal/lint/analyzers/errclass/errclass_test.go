@@ -1,0 +1,11 @@
+package errclass
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestErrclass(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

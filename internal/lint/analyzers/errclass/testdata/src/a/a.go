@@ -1,0 +1,50 @@
+// Package a exercises the errclass analyzer: error values are
+// classified with errors.Is/As, never compared by identity or text.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func bad(err error) {
+	if err == errSentinel { // want `comparing error values with == misses wrapped errors`
+		return
+	}
+	if err != errSentinel { // want `comparing error values with != misses wrapped errors`
+		return
+	}
+	if err.Error() == "EOF" { // want `comparing err\.Error\(\) text is fragile`
+		return
+	}
+	switch err { // want `switch on an error value compares with ==`
+	case errSentinel:
+	}
+}
+
+func clean(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err != nil && errors.Is(err, errSentinel) {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	var target *myError
+	if errors.As(err, &target) {
+		return target
+	}
+	switch err {
+	case nil:
+	}
+	a, b := 1, 2
+	if a == b { // non-error comparisons stay legal
+		return nil
+	}
+	return err
+}
+
+type myError struct{}
+
+func (*myError) Error() string { return "my" }

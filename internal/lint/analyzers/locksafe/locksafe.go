@@ -1,0 +1,243 @@
+// Package locksafe flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held — the deadlock-under-gray-failure
+// shape the chaos soak can only probabilistically catch. A peer that
+// holds a lock across a network round-trip (network.Call*/Send*), a
+// channel operation, or a sync.WaitGroup/Cond wait stalls every other
+// goroutine contending for that lock whenever the remote side is gray:
+// the call eventually times out on the simulated clock, but for that
+// whole window the peer is wedged, which is exactly how §2.5's run-time
+// adaptation dies in practice.
+//
+// The analysis is an intraprocedural, syntactic lock-region scan: Lock/
+// RLock starts a region, Unlock/RUnlock ends it, defer Unlock holds to
+// function end; branches are scanned with a copy of the held set, and
+// function literals start lock-free (they usually run on another
+// goroutine — a literal invoked inline under the lock is the accepted
+// blind spot, traded for zero false positives on handler closures).
+package locksafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqpeer/internal/lint/analysis"
+)
+
+// Analyzer flags blocking calls under a held mutex; see package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flag channel ops, network.Call*/Send* and waits while a sync (RW)Mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanStmts(pass, fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scanStmts(pass, fn.Body.List, map[string]bool{})
+				return false // its nested literals are scanned above
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scanStmts walks one statement list linearly, tracking which mutexes
+// are held. held maps the rendered receiver expression ("p.mu") to true.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := lockOp(pass, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+			checkExpr(pass, s.X, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to function end;
+			// other deferred calls run after any region closes.
+		case *ast.GoStmt:
+			// New goroutine: does not inherit the held set.
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				pass.Reportf(s.Pos(), "channel send while holding %s can block under gray failure; release the lock first", anyHeld(held))
+			}
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				checkExpr(pass, r, held)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkExpr(pass, r, held)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				scanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkExpr(pass, s.Cond, held)
+			scanStmts(pass, s.Body.List, clone(held))
+			if s.Else != nil {
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					scanStmts(pass, e.List, clone(held))
+				case *ast.IfStmt:
+					scanStmts(pass, []ast.Stmt{e}, clone(held))
+				}
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				scanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkExpr(pass, s.Cond, held)
+			scanStmts(pass, s.Body.List, clone(held))
+		case *ast.RangeStmt:
+			checkExpr(pass, s.X, held)
+			scanStmts(pass, s.Body.List, clone(held))
+		case *ast.BlockStmt:
+			scanStmts(pass, s.List, clone(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				scanStmts(pass, []ast.Stmt{s.Init}, held)
+			}
+			checkExpr(pass, s.Tag, held)
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmts(pass, cc.Body, clone(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanStmts(pass, cc.Body, clone(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !hasDefault(s) {
+				pass.Reportf(s.Pos(), "blocking select while holding %s can wedge under gray failure; release the lock first", anyHeld(held))
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanStmts(pass, cc.Body, clone(held))
+				}
+			}
+		case *ast.DeclStmt:
+			// const/var decls can't block.
+		default:
+			// Conservative: inspect any other statement's expressions.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					checkExpr(pass, e, held)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkExpr reports blocking operations inside one expression evaluated
+// with the given locks held.
+func checkExpr(pass *analysis.Pass, expr ast.Expr, held map[string]bool) {
+	if len(held) == 0 || expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				pass.Reportf(e.Pos(), "channel receive while holding %s can block under gray failure; release the lock first", anyHeld(held))
+			}
+		case *ast.CallExpr:
+			if name, bad := blockingCall(pass, e); bad {
+				pass.Reportf(e.Pos(), "%s while holding %s can block under gray failure; release the lock first", name, anyHeld(held))
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync.Mutex or
+// sync.RWMutex receivers (including embedded ones) and returns the
+// rendered receiver plus the operation name.
+func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := analysis.MethodRecvNamed(analysis.FuncOf(pass.TypesInfo, sel))
+	if !analysis.NamedFrom(recv, "sync", "Mutex") && !analysis.NamedFrom(recv, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingCall classifies calls that can block on remote progress:
+// network round-trips and sync waits.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncOf(pass.TypesInfo, call.Fun)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if analysis.PkgPathTail(fn.Pkg().Path(), "network") &&
+		(hasPrefix(name, "Call") || hasPrefix(name, "Send")) {
+		return "network round-trip " + name, true
+	}
+	recv := analysis.MethodRecvNamed(fn)
+	if name == "Wait" &&
+		(analysis.NamedFrom(recv, "sync", "WaitGroup") || analysis.NamedFrom(recv, "sync", "Cond")) {
+		return "sync " + recv.Obj().Name() + ".Wait", true
+	}
+	return "", false
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func anyHeld(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

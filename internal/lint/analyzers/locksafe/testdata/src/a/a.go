@@ -1,0 +1,97 @@
+// Package a exercises the locksafe analyzer: no blocking operation may
+// run while a sync.Mutex or sync.RWMutex is held.
+package a
+
+import (
+	"sync"
+
+	"network"
+)
+
+type peer struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	net *network.Network
+	ch  chan int
+	wg  sync.WaitGroup
+}
+
+func (p *peer) badCallUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, _ = p.net.Call("a", "b", "k", nil) // want `network round-trip Call while holding p\.mu`
+}
+
+func (p *peer) badChannelOps() {
+	p.mu.Lock()
+	p.ch <- 1 // want `channel send while holding p\.mu`
+	<-p.ch    // want `channel receive while holding p\.mu`
+	p.mu.Unlock()
+}
+
+func (p *peer) badRWLock() {
+	p.rmu.RLock()
+	if err := p.net.SendWithin("a", "b", "k", nil, 50); err != nil { // want `network round-trip SendWithin while holding p\.rmu`
+		p.rmu.RUnlock()
+		return
+	}
+	p.rmu.RUnlock()
+}
+
+func (p *peer) badSelect() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `blocking select while holding p\.mu`
+	case v := <-p.ch:
+		_ = v
+	case p.ch <- 2:
+	}
+}
+
+func (p *peer) badWait() {
+	p.mu.Lock()
+	p.wg.Wait() // want `sync WaitGroup\.Wait while holding p\.mu`
+	p.mu.Unlock()
+}
+
+func (p *peer) cleanUnlockFirst() ([]byte, error) {
+	p.mu.Lock()
+	n := p.net
+	p.mu.Unlock()
+	return n.CallWithin("a", "b", "k", nil, 50)
+}
+
+func (p *peer) cleanNonBlockingUnderLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.net.Counters()
+}
+
+func (p *peer) cleanSelectWithDefault() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case v := <-p.ch:
+		_ = v
+	default:
+	}
+}
+
+func (p *peer) cleanGoroutine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		// A fresh goroutine does not inherit the held set.
+		_, _ = p.net.Call("a", "b", "k", nil)
+	}()
+}
+
+func (p *peer) cleanBranchUnlock(fail bool) error {
+	p.mu.Lock()
+	if fail {
+		p.mu.Unlock()
+		return p.net.SendWithin("a", "b", "k", nil, 50)
+	}
+	p.mu.Unlock()
+	return nil
+}

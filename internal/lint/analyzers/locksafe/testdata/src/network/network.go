@@ -1,0 +1,25 @@
+// Package network is a fixture stand-in for sqpeer/internal/network:
+// the locksafe analyzer matches it by package-path tail, so method and
+// function shapes mirror the real transport's blocking surface.
+package network
+
+// Network is the fixture transport.
+type Network struct{}
+
+// Call is a blocking round-trip.
+func (n *Network) Call(from, to, kind string, body []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// CallWithin is a deadline-bounded round-trip (still blocking).
+func (n *Network) CallWithin(from, to, kind string, body []byte, deadlineMS float64) ([]byte, error) {
+	return nil, nil
+}
+
+// SendWithin is a deadline-bounded one-way send (still blocking).
+func (n *Network) SendWithin(from, to, kind string, body []byte, deadlineMS float64) error {
+	return nil
+}
+
+// Counters is a non-blocking accessor; locksafe must not flag it.
+func (n *Network) Counters() int { return 0 }

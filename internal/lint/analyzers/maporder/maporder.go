@@ -1,0 +1,246 @@
+// Package maporder guards the PR1 determinism contract: map iteration
+// order must never leak into answers, annotations, or serialized output.
+// Go randomizes map-range order per run, so any loop over a map that
+// accumulates ordered output is a reproducibility bug unless the result
+// is sorted before use.
+//
+// The analyzer flags a `for ... range m` over a map when the body
+//
+//   - appends to a slice declared outside the loop and no sort call
+//     mentioning that slice follows the loop in the same function
+//     (sort/slices package calls and sort-named local wrappers count),
+//   - concatenates onto an outer string variable (s += ...),
+//   - writes directly (fmt print family, strings.Builder/bytes.Buffer
+//     writes, io.Writer.Write, json Encode), or
+//   - sends on a channel.
+//
+// Loops that only aggregate order-insensitively (building another map or
+// set, counting, summing, taking a max) are clean. Sites where order is
+// genuinely irrelevant downstream (e.g. the slice feeds a set) carry a
+// reasoned //lint:allow maporder directive.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sqpeer/internal/lint/analysis"
+)
+
+// Analyzer flags order-leaking map iteration; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map-range loops whose iteration order can leak into output without a sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Walk function bodies so each range statement knows its
+		// enclosing function (for the sort-after-loop check).
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc inspects one function body for map-range loops. Nested
+// function literals are handled by their own checkFunc call (run's
+// Inspect visits them), so they are skipped here except as sort sites.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return true
+		}
+		checkLoop(pass, rs, body)
+		return true
+	})
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkLoop hunts for order sinks inside one map-range body.
+func checkLoop(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		// A nested map-range reports its own body once; descending here
+		// too would duplicate every diagnostic inside it.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapRange(pass, inner) {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, s, rs, fnBody)
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"channel send inside map-range loop publishes map iteration order; collect and sort first")
+		case *ast.CallExpr:
+			if name, bad := emitCall(pass, s); bad {
+				pass.Reportf(s.Pos(),
+					"%s inside map-range loop emits map iteration order; collect into a slice and sort first", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags `outer = append(outer, ...)` without a later sort and
+// `outer += ...` string accumulation.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		obj := assignedObj(pass, as.Lhs[i])
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if ok && isBuiltinAppend(pass, call) && !sortedAfter(pass, obj, rs, fnBody) {
+			pass.Reportf(as.Pos(),
+				"append to %s inside map-range loop with no later sort leaks map iteration order; sort %s before use or //lint:allow maporder with the reason order is immaterial", obj.Name(), obj.Name())
+		}
+	}
+	if as.Tok.String() == "+=" && len(as.Lhs) == 1 {
+		obj := assignedObj(pass, as.Lhs[0])
+		if obj != nil && declaredOutside(obj, rs) && isString(obj.Type()) {
+			pass.Reportf(as.Pos(),
+				"string concatenation onto %s inside map-range loop leaks map iteration order; collect and sort first", obj.Name())
+		}
+	}
+}
+
+func assignedObj(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether, after the loop ends, the enclosing
+// function sorts obj — a call into sort/slices, or into any function
+// whose name contains "sort" (local wrappers like sortPeerIDs), with obj
+// among the arguments. This is the canonical collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, obj types.Object, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := analysis.FuncOf(pass.TypesInfo, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p := fn.Pkg().Path()
+		if p != "sort" && p != "slices" && !strings.Contains(strings.ToLower(fn.Name()), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			hit = true
+		}
+		return !hit
+	})
+	return hit
+}
+
+// emitCall classifies calls that serialize or print their arguments in
+// call order: the fmt print family, Builder/Buffer/io.Writer writes, and
+// streaming JSON encodes.
+func emitCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncOf(pass.TypesInfo, call.Fun)
+	if fn == nil {
+		return "", false
+	}
+	if analysis.PkgFunc(fn, "fmt") {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		}
+		return "", false
+	}
+	recv := analysis.MethodRecvNamed(fn)
+	if recv == nil {
+		return "", false
+	}
+	switch {
+	case analysis.NamedFrom(recv, "strings", "Builder") && isWrite(fn.Name()):
+		return "strings.Builder." + fn.Name(), true
+	case analysis.NamedFrom(recv, "bytes", "Buffer") && isWrite(fn.Name()):
+		return "bytes.Buffer." + fn.Name(), true
+	case analysis.NamedFrom(recv, "encoding/json", "Encoder") && fn.Name() == "Encode":
+		return "json.Encoder.Encode", true
+	}
+	return "", false
+}
+
+func isWrite(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}

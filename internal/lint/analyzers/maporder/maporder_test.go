@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

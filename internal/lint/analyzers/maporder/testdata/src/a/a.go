@@ -1,0 +1,103 @@
+// Package a exercises the maporder analyzer: map iteration order must
+// not reach output without a sort in between.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// badAppend collects map keys and returns them unsorted.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map-range loop with no later sort`
+	}
+	return out
+}
+
+// badPrint emits entries straight from the loop.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside map-range loop emits map iteration order`
+	}
+}
+
+// badBuilder streams into a strings.Builder in map order.
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings\.Builder\.WriteString inside map-range loop emits map iteration order`
+	}
+	return b.String()
+}
+
+// badSend publishes keys on a channel in map order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map-range loop publishes map iteration order`
+	}
+}
+
+// badConcat accumulates a string in map order.
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation onto s inside map-range loop`
+	}
+	return s
+}
+
+// cleanSorted is the canonical collect-then-sort idiom.
+func cleanSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cleanHelper sorts through a local wrapper, which also counts.
+func cleanHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// cleanAggregate only builds order-insensitive results.
+func cleanAggregate(m map[string]int) (int, map[string]bool) {
+	total := 0
+	set := map[string]bool{}
+	for k, v := range m {
+		total += v
+		set[k] = true
+	}
+	return total, set
+}
+
+// cleanLocal appends to a slice declared inside the loop body.
+func cleanLocal(m map[string][]string) {
+	for _, vs := range m {
+		var local []string
+		local = append(local, vs...)
+		_ = local
+	}
+}
+
+// nestedOnce: an append under two map-ranges is reported exactly once.
+func nestedOnce(m map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range m {
+		for k := range inner {
+			out = append(out, k) // want `append to out inside map-range loop with no later sort`
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package seededrand enforces the repo's byte-identical-rerun contract
+// on randomness: all pseudo-randomness must flow from an explicit
+// rand.New(rand.NewSource(seed)) (or a *rand.Rand handed down from one),
+// never from math/rand's process-global source, whose stream is shared
+// across every caller in the binary and therefore depends on goroutine
+// interleaving and unrelated code paths. The global functions
+// (rand.Intn, rand.Shuffle, ...) and global re-seeding (rand.Seed) are
+// flagged, as is rand.New over anything but a direct NewSource call or a
+// named Source value.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqpeer/internal/lint/analysis"
+)
+
+// constructors are the math/rand package functions that do not touch the
+// global source.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Analyzer flags global math/rand use; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand's global source; require explicit rand.New(rand.NewSource(seed))",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				fn := analysis.FuncOf(pass.TypesInfo, e)
+				if !randFunc(fn) {
+					return true
+				}
+				if !constructors[fn.Name()] {
+					pass.Reportf(e.Pos(),
+						"global math/rand source (rand.%s) breaks same-seed reproducibility; draw from an explicit rand.New(rand.NewSource(seed))", fn.Name())
+				}
+			case *ast.CallExpr:
+				fn := analysis.FuncOf(pass.TypesInfo, e.Fun)
+				if randFunc(fn) && fn.Name() == "New" && len(e.Args) == 1 && !seededArg(pass, e.Args[0]) {
+					pass.Reportf(e.Pos(),
+						"rand.New must be seeded explicitly: pass rand.NewSource(seed) or a named rand.Source")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// randFunc reports whether fn is a package-level function of math/rand
+// (v1 or v2). Methods on *rand.Rand have a receiver and are excluded.
+func randFunc(fn *types.Func) bool {
+	return analysis.PkgFunc(fn, "math/rand") || analysis.PkgFunc(fn, "math/rand/v2")
+}
+
+// seededArg accepts a direct rand.NewSource(...) call or a plain named
+// value (a rand.Source built elsewhere and passed down).
+func seededArg(pass *analysis.Pass, arg ast.Expr) bool {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		fn := analysis.FuncOf(pass.TypesInfo, a.Fun)
+		return randFunc(fn) && fn.Name() == "NewSource"
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		// A field or package variable holding a Source.
+		return analysis.FuncOf(pass.TypesInfo, a) == nil
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the seededrand analyzer: the global math/rand
+// source is forbidden, explicit seeding is not.
+package a
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)                  // want `global math/rand source \(rand\.Intn\)`
+	_ = rand.Int63()                   // want `global math/rand source \(rand\.Int63\)`
+	_ = rand.Float64()                 // want `global math/rand source \(rand\.Float64\)`
+	rand.Seed(42)                      // want `global math/rand source \(rand\.Seed\)`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand source \(rand\.Shuffle\)`
+	_ = rand.New(sourceFrom())         // want `rand\.New must be seeded explicitly`
+}
+
+func sourceFrom() rand.Source { return rand.NewSource(1) }
+
+func clean() {
+	rng := rand.New(rand.NewSource(7))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	rng.Shuffle(3, func(i, j int) {})
+
+	src := rand.NewSource(42)
+	rng2 := rand.New(src)
+	_ = rng2.Int63()
+
+	h := holder{src: rand.NewSource(3)}
+	_ = rand.New(h.src)
+}
+
+type holder struct{ src rand.Source }

@@ -1,0 +1,26 @@
+// Package a exercises the walltime analyzer: every wall-clock read or
+// wait is flagged; pure time arithmetic is not.
+package a
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want `wall-clock time\.Now is forbidden`
+	time.Sleep(time.Millisecond)    // want `wall-clock time\.Sleep is forbidden`
+	_ = time.Since(time.Time{})     // want `wall-clock time\.Since is forbidden`
+	_ = time.Until(time.Time{})     // want `wall-clock time\.Until is forbidden`
+	<-time.After(time.Second)       // want `wall-clock time\.After is forbidden`
+	_ = time.Tick(time.Second)      // want `wall-clock time\.Tick is forbidden`
+	_ = time.NewTimer(time.Second)  // want `wall-clock time\.NewTimer is forbidden`
+	_ = time.NewTicker(time.Second) // want `wall-clock time\.NewTicker is forbidden`
+	f := time.Now                   // want `wall-clock time\.Now is forbidden`
+	_ = f
+}
+
+func clean() time.Duration {
+	d := 5 * time.Millisecond
+	t := time.Date(2004, 3, 14, 0, 0, 0, 0, time.UTC)
+	_ = t.Add(d)
+	_ = time.Duration(42).String()
+	return d
+}

@@ -1,0 +1,11 @@
+package walltime
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,171 @@
+// Package driver runs analyzers over loaded packages and applies the
+// repo's suppression policy: a diagnostic is silenced only by an
+// explicit, reasoned directive
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// placed on the offending line or on the line directly above it. The
+// reason is mandatory — a bare allow is itself a lint error — and a
+// directive that suppresses nothing is reported as stale, so allowlist
+// entries cannot outlive the code they excused.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/load"
+)
+
+// Finding is one driver-level result: an analyzer diagnostic (possibly
+// suppressed) or a problem with the directives themselves.
+type Finding struct {
+	// Analyzer names the originating check ("driver" for directive
+	// problems).
+	Analyzer string
+	// Position locates the finding.
+	Position token.Position
+	// Message states the problem.
+	Message string
+	// Suppressed marks diagnostics covered by a valid allow directive;
+	// suppressed findings do not fail the lint run.
+	Suppressed bool
+	// Reason carries the directive's justification when Suppressed.
+	Reason string
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+	bad      bool // malformed: missing analyzer or reason
+}
+
+// Run applies every analyzer to every package. scope optionally limits
+// an analyzer (by name) to packages whose import path it accepts; absent
+// entries run everywhere. Findings come back sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]func(pkgPath string) bool) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			if accept, ok := scope[a.Name]; ok && !accept(pkg.Path) {
+				continue
+			}
+			ran[a.Name] = true
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{Analyzer: a.Name, Position: pos, Message: d.Message}
+				if dir := match(dirs, a.Name, pos); dir != nil {
+					dir.used = true
+					f.Suppressed = true
+					f.Reason = dir.reason
+				}
+				findings = append(findings, f)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		// Directive hygiene: malformed allows always fail; well-formed
+		// allows must have suppressed something (stale-allow check),
+		// unless they name an analyzer not run on this package.
+		for _, d := range dirs {
+			switch {
+			case d.bad:
+				findings = append(findings, Finding{
+					Analyzer: "driver", Position: d.pos,
+					Message: "malformed //lint:allow: want //lint:allow <analyzer> <reason>",
+				})
+			case !d.used && ran[d.analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: "driver", Position: d.pos,
+					Message: fmt.Sprintf("stale //lint:allow %s: no %s diagnostic here to suppress", d.analyzer, d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// collectDirectives parses every //lint:allow comment in the package.
+func collectDirectives(pkg *load.Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					d.bad = true
+				} else {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// match finds an unused-or-used directive for analyzer covering pos: the
+// same line or the line directly above, in the same file.
+func match(dirs []*directive, analyzer string, pos token.Position) *directive {
+	for _, d := range dirs {
+		if d.bad || d.analyzer != analyzer || d.pos.Filename != pos.Filename {
+			continue
+		}
+		if d.pos.Line == pos.Line || d.pos.Line == pos.Line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+// Format renders one finding in the conventional file:line:col style.
+func (f Finding) Format() string {
+	s := fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (allowed: %s)", f.Reason)
+	}
+	return s
+}
+
+// Failing filters findings down to the ones that should fail the run.
+func Failing(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package driver
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/analyzers/walltime"
+	"sqpeer/internal/lint/load"
+)
+
+// loadSrc type-checks one in-memory file as package p.
+func loadSrc(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// TestAllowSuppressesExactlyOne: two identical violations, one allow
+// directive — exactly one diagnostic survives and exactly one is
+// suppressed with the directive's reason.
+func TestAllowSuppressesExactlyOne(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import "time"
+
+func f() (time.Time, time.Time) {
+	//lint:allow walltime fixture needs one sanctioned read
+	a := time.Now()
+	b := time.Now()
+	return a, b
+}
+`)
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer}, []*load.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(findings), findings)
+	}
+	failing := Failing(findings)
+	if len(failing) != 1 {
+		t.Fatalf("got %d failing findings, want exactly 1: %+v", len(failing), findings)
+	}
+	var suppressed *Finding
+	for i := range findings {
+		if findings[i].Suppressed {
+			suppressed = &findings[i]
+		}
+	}
+	if suppressed == nil {
+		t.Fatal("no suppressed finding")
+	}
+	if suppressed.Reason != "fixture needs one sanctioned read" {
+		t.Fatalf("suppression reason = %q", suppressed.Reason)
+	}
+	if suppressed.Position.Line >= failing[0].Position.Line {
+		t.Fatalf("the directive should cover the first violation (line %d), not the second (line %d)",
+			suppressed.Position.Line, failing[0].Position.Line)
+	}
+}
+
+// TestSameLineAllow: a trailing directive on the offending line counts.
+func TestSameLineAllow(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import "time"
+
+func f() time.Time {
+	return time.Now() //lint:allow walltime trailing directive
+}
+`)
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer}, []*load.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Failing(findings)) != 0 {
+		t.Fatalf("trailing allow did not suppress: %+v", findings)
+	}
+}
+
+// TestMalformedAllow: a reason-less directive is itself a finding, and
+// it does not suppress anything.
+func TestMalformedAllow(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import "time"
+
+func f() time.Time {
+	//lint:allow walltime
+	return time.Now()
+}
+`)
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer}, []*load.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := Failing(findings)
+	if len(failing) != 2 {
+		t.Fatalf("got %d failing findings, want 2 (violation + malformed directive): %+v", len(failing), findings)
+	}
+	found := false
+	for _, f := range failing {
+		if f.Analyzer == "driver" && strings.Contains(f.Message, "malformed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no malformed-directive finding: %+v", failing)
+	}
+}
+
+// TestStaleAllow: a directive with nothing to suppress is a finding, so
+// allowlist entries cannot outlive the code they excused.
+func TestStaleAllow(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+//lint:allow walltime nothing here anymore
+var x = 1
+`)
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer}, []*load.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := Failing(findings)
+	if len(failing) != 1 || failing[0].Analyzer != "driver" || !strings.Contains(failing[0].Message, "stale") {
+		t.Fatalf("want exactly one stale-directive finding, got: %+v", failing)
+	}
+}
+
+// TestScope: an analyzer scoped away from a package reports nothing
+// there, and its stale-allow hygiene is skipped too.
+func TestScope(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`)
+	scope := map[string]func(string) bool{
+		"walltime": func(path string) bool { return path != "p" },
+	}
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer}, []*load.Package{pkg}, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("scoped-out analyzer still reported: %+v", findings)
+	}
+}

@@ -1,0 +1,111 @@
+// Package load locates, parses and type-checks Go packages for
+// cmd/sqpeer-lint without golang.org/x/tools/go/packages (unavailable
+// offline). Package discovery shells out to `go list -json`, parsing uses
+// go/parser with comments retained, and type checking uses the standard
+// library's source importer, which resolves and type-checks every
+// dependency (std and in-module alike) from source. Test files are
+// excluded: the determinism invariants the linters enforce apply to the
+// simulator and middleware proper, while tests may legitimately use
+// wall-clock watchdogs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (e.g. sqpeer/internal/exec).
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the non-test sources, parsed with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's annotations for Files.
+	Info *types.Info
+}
+
+// listed mirrors the subset of `go list -json` output we consume.
+type listed struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load expands the `go list` patterns and returns the matched packages,
+// parsed and type-checked. All packages share one FileSet and one
+// importer, so common dependencies are type-checked once per call.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var l listed
+		if err := dec.Decode(&l); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if len(l.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, l.ImportPath, l.Dir, l.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Shared with the analysistest fixture loader.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}

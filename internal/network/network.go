@@ -246,6 +246,7 @@ func (n *Network) delay(m Message, latencyMS float64) {
 	if scale <= 0 || m.From == m.To {
 		return
 	}
+	//lint:allow walltime the SetRealLatency shim exists to sleep scaled simulated latency for wall-clock benches
 	time.Sleep(time.Duration(latencyMS * scale * float64(time.Millisecond)))
 }
 

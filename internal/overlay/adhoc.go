@@ -115,6 +115,7 @@ func (a *Adhoc) RemovePeer(id pattern.PeerID) {
 	for pid := range a.peers {
 		others = append(others, pid)
 	}
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 	a.mu.Unlock()
 	if ok {
 		leaving.AnnounceDeparture(others...)

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"sort"
 	"sync"
 )
 
@@ -227,6 +228,7 @@ func (b *Base) PropertiesUsed() []IRI {
 			out = append(out, p.IRI())
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

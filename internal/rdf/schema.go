@@ -265,6 +265,7 @@ func keysOfClasses(m map[IRI]*Class) []IRI {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -273,6 +274,7 @@ func keysOfProps(m map[IRI]*Property) []IRI {
 	for k := range m {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

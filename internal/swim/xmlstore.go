@@ -2,7 +2,9 @@ package swim
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -33,7 +35,7 @@ func ParseXML(doc string) (*XMLStore, error) {
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			if err.Error() == "EOF" {
+			if errors.Is(err, io.EOF) {
 				break
 			}
 			return nil, fmt.Errorf("swim: parse xml: %w", err)
