@@ -30,12 +30,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/sqpeer-bench -bench-json BENCH_PR1.json
 
-# Fault suite: the chaos soak test under the race detector plus the
-# seeded CLAIM-FAULT sweep, which rewrites BENCH_PR2.json. Both are
-# fully deterministic (fixed seeds baked into the code).
+# Fault suite: the chaos soak test (both recovery modes: migration and
+# the NoMigrations restart ablation) under the race detector, the seeded
+# CLAIM-FAULT sweep (rewrites BENCH_PR2.json), and the CLAIM-RECOVER
+# migration-vs-restart experiment under -race (rewrites BENCH_PR4.json).
+# All fully deterministic (fixed seeds baked into the code).
 fault:
 	$(GO) test -race -run TestChaosSoak ./internal/exec/
 	$(GO) run ./cmd/sqpeer-bench -exp fault
+	$(GO) run -race ./cmd/sqpeer-bench -exp recover
 
 clean:
 	$(GO) clean ./...

@@ -53,6 +53,22 @@ func (t PacketType) String() string {
 	}
 }
 
+// PlanChangeInfo is the wire body of a PlanChange packet (paper §2.4:
+// packets carry "changing plan" information during run-time adaptation).
+// Both directions use it: a root announces that a subplan is migrating or
+// resuming from a checkpoint, and a destination acknowledges — or rejects
+// — a requested resume offset.
+type PlanChangeInfo struct {
+	// Reason classifies the change: "migrate", "resume-honored",
+	// "checkpoint-invalid", "hole-filled".
+	Reason string `json:"reason"`
+	// Offset is the row checkpoint involved (rows already delivered for
+	// resumes; 0 when the stream restarts from scratch).
+	Offset int `json:"offset,omitempty"`
+	// Subplan, when present, is the serialized replacement subplan.
+	Subplan []byte `json:"subplan,omitempty"`
+}
+
 // Packet is one unit of channel traffic.
 type Packet struct {
 	// ChannelID identifies the channel at its root.
@@ -68,6 +84,13 @@ type Packet struct {
 	Payload []byte `json:"payload"`
 }
 
+// seenWindow bounds the out-of-order acceptance window: packets this far
+// behind the highest accepted sequence number are treated as replays. The
+// destination assigns sequence numbers densely, so a gap wider than this
+// can only come from a duplicated delivery of something long since
+// processed — and bounding the window keeps the seen-set small.
+const seenWindow = 4096
+
 // Channel is the root-side view of one deployed channel.
 type Channel struct {
 	// ID is the root-locally unique channel id.
@@ -75,8 +98,12 @@ type Channel struct {
 	// Root manages the channel; Dest is the remote peer.
 	Root, Dest pattern.PeerID
 
-	mu     sync.Mutex
-	seq    int
+	mu sync.Mutex
+	// floor is the contiguous watermark: every sequence number <= floor
+	// has been accepted exactly once. seen holds accepted numbers above
+	// the floor (out-of-order arrivals waiting for the gap to fill).
+	floor  int
+	seen   map[int]bool
 	closed bool
 	failed bool
 	// rowsReceived counts result rows for throughput observation.
@@ -103,6 +130,41 @@ func (c *Channel) RowsReceived() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.rowsReceived
+}
+
+// Watermark returns the channel's contiguous sequence watermark: every
+// packet numbered <= Watermark() has been accepted exactly once. This is
+// the checkpoint the plan-change protocol resumes from.
+func (c *Channel) Watermark() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.floor
+}
+
+// accept decides whether a packet sequence number is new (true) or a
+// replayed duplicate (false), maintaining the bounded seen-window that
+// distinguishes late arrivals from replays. Callers hold c.mu.
+func (c *Channel) accept(seq int) bool {
+	if seq <= c.floor || c.seen[seq] {
+		return false // replay of an already-accepted packet
+	}
+	if c.seen == nil {
+		c.seen = map[int]bool{}
+	}
+	c.seen[seq] = true
+	// Advance the contiguous watermark over any gap that just filled.
+	for c.seen[c.floor+1] {
+		c.floor++
+		delete(c.seen, c.floor)
+	}
+	// Bound the window: force the floor forward so it never trails the
+	// newest accepted number by more than seenWindow. Anything below the
+	// new floor is deemed replayed from then on.
+	for seq-c.floor > seenWindow {
+		c.floor++
+		delete(c.seen, c.floor)
+	}
+	return true
 }
 
 // openReq is the wire body of a channel-open request.
@@ -188,13 +250,15 @@ func (m *Manager) Open(dest pattern.PeerID, onPacket func(Packet)) (*Channel, er
 }
 
 // Close tears the channel down, notifying the destination (best effort:
-// a dead destination is fine).
+// a dead destination is fine). The notification is deadline-bounded like
+// every other channel delivery — a gray destination must not be able to
+// hang the cleanup path past DeadlineMS.
 func (m *Manager) Close(ch *Channel) {
 	ch.mu.Lock()
 	ch.closed = true
 	ch.mu.Unlock()
 	body, _ := json.Marshal(openReq{ChannelID: ch.ID, Root: m.self})
-	_ = m.net.Send(m.self, ch.Dest, "chan.close", body) // best effort
+	_ = m.net.SendWithin(m.self, ch.Dest, "chan.close", body, m.DeadlineMS) // best effort
 	m.mu.Lock()
 	delete(m.channels, ch.ID)
 	delete(m.onPacket, ch.ID)
@@ -284,13 +348,14 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 		return nil, fmt.Errorf("channel: %s: packet for unknown channel %q", m.self, pkt.ChannelID)
 	}
 	ch.mu.Lock()
-	if pkt.Seq <= ch.seq {
+	if !ch.accept(pkt.Seq) {
 		// Duplicate delivery (at-least-once transport): the destination
-		// stamped this sequence number once; drop the replay.
+		// stamped this sequence number once; drop the replay. A late
+		// arrival reordered by a delay spike is NOT a duplicate — accept
+		// tells them apart via the bounded seen-window.
 		ch.mu.Unlock()
 		return nil, nil
 	}
-	ch.seq = pkt.Seq
 	if pkt.Type == Results {
 		ch.rowsReceived += pkt.Rows
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"sqpeer/internal/exec"
 	"sqpeer/internal/faults"
 	"sqpeer/internal/gen"
 	"sqpeer/internal/pattern"
@@ -16,11 +17,19 @@ import (
 // every delivery — with concurrent in-flight executions, under -race via
 // `make check`. P1 (the root) is never faulted and covers both query
 // patterns itself, so every query must complete despite the chaos: via
-// retry, quarantine-aware replanning, or in the worst case a plan
-// collapsed onto P1 alone. A watchdog bounds each round so a wedged
-// dispatch fails the test instead of hanging it, and goroutine counts
-// are compared before/after to catch leaks.
+// subplan migration, retry, quarantine-aware replanning, or in the worst
+// case a plan collapsed onto P1 alone. The soak runs once per recovery
+// mode — the default migrating engine and the NoMigrations full-restart
+// ablation — so both recovery paths stay exercised under -race. A
+// watchdog bounds each round so a wedged dispatch fails the test instead
+// of hanging it, and goroutine counts are compared before/after to catch
+// leaks.
 func TestChaosSoak(t *testing.T) {
+	t.Run("migrate", func(t *testing.T) { chaosSoak(t, 0) })
+	t.Run("restart", func(t *testing.T) { chaosSoak(t, exec.NoMigrations) })
+}
+
+func chaosSoak(t *testing.T, maxMigrations int) {
 	const (
 		seed       = 20240805
 		rounds     = 25
@@ -31,6 +40,7 @@ func TestChaosSoak(t *testing.T) {
 	p1.Engine.DeadlineMS = 200
 	p1.Channels.DeadlineMS = 200
 	p1.Engine.MaxRetries = 2
+	p1.Engine.MaxMigrations = maxMigrations
 	p1.Engine.Health = routing.NewHealth(p1.Registry)
 
 	inj := faults.NewInjector(seed, faults.Rates{
@@ -84,6 +94,16 @@ func TestChaosSoak(t *testing.T) {
 	if failures != 0 {
 		t.Errorf("%d/%d chaos queries failed; P1 covers both patterns, all must succeed",
 			failures, successes+failures)
+	}
+
+	m := p1.Engine.Metrics()
+	t.Logf("recovery under chaos: retries=%d migrations=%d replans=%d resumes=%d",
+		m.Retries, m.Migrations, m.Replans, m.Resumes)
+	if m.Retries+m.Migrations+m.Replans == 0 {
+		t.Error("soak exercised no recovery machinery; fault schedule is vacuous")
+	}
+	if maxMigrations == exec.NoMigrations && m.Migrations != 0 {
+		t.Errorf("NoMigrations ablation still migrated %d times", m.Migrations)
 	}
 
 	// Goroutine accounting: executions join their branch goroutines

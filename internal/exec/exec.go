@@ -3,8 +3,14 @@
 // channel per contributing peer, ships subplans, gathers result packets,
 // and combines them with unions (horizontal distribution) and joins
 // (vertical distribution). Join placement follows the configured shipping
-// policy; on peer failure the executor adopts ubQL semantics — discard
-// intermediate results, replan around the obsolete peer, restart.
+// policy. On peer failure the executor first attempts the paper's
+// plan-change protocol: cancel only the affected plan subtree, pick an
+// alternate peer from a fresh quarantine-aware routing snapshot, and
+// re-dispatch just that subplan, splicing its rows with the retained
+// siblings (checkpointed by per-channel sequence watermarks and per-leaf
+// row ledgers). Only when no alternate peer covers the subtree does it
+// fall back to the legacy ubQL semantics — discard intermediate results,
+// replan around the obsolete peer, restart.
 package exec
 
 import (
@@ -13,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"sqpeer/internal/channel"
@@ -86,8 +93,15 @@ type Engine struct {
 	Router *routing.Router
 	// MaxReplans bounds adaptation retries. The zero value keeps the
 	// historical default of 3; NoReplans (any negative value) disables
-	// adaptation entirely, which the zero value cannot express.
+	// adaptation entirely — including mid-flight migration, which is part
+	// of run-time adaptation.
 	MaxReplans int
+	// MaxMigrations bounds mid-flight subplan migrations per execution
+	// round. The zero value defaults to 3; NoMigrations (any negative
+	// value) disables migration so every peer failure takes the legacy
+	// discard-replan-restart path — the ablation CLAIM-RECOVER compares
+	// against.
+	MaxMigrations int
 	// DeadlineMS, when positive, bounds each dispatch leg on the simulated
 	// clock: a delivery slower than this (hung or gray-failed peer) fails
 	// with a transient error instead of wedging a pool token. Channel
@@ -137,11 +151,38 @@ type Engine struct {
 
 	mu      sync.Mutex
 	metrics Metrics
+	// lastLedger is the per-leaf row ledger of the most recent
+	// ExecuteAnnotated call: one entry per finished dispatch, recording
+	// site, rows and the channel watermark at completion.
+	lastLedger []LedgerEntry
 }
 
 // NoReplans disables run-time adaptation when assigned to
 // Engine.MaxReplans (the zero value means "default", i.e. 3).
 const NoReplans = -1
+
+// NoMigrations disables mid-flight subplan migration when assigned to
+// Engine.MaxMigrations (the zero value means "default", i.e. 3). With
+// migration off every peer failure falls back to the legacy full
+// restart, which is the CLAIM-RECOVER ablation.
+const NoMigrations = -1
+
+// maxMigrations resolves the migration budget: zero keeps the default,
+// NoMigrations (negative) disables migration. Migration is part of
+// run-time adaptation, so NoReplans turns it off too.
+func (e *Engine) maxMigrations() int {
+	if e.MaxReplans < 0 {
+		return 0
+	}
+	switch {
+	case e.MaxMigrations > 0:
+		return e.MaxMigrations
+	case e.MaxMigrations < 0:
+		return 0
+	default:
+		return 3
+	}
+}
 
 // parallelism resolves the engine's effective branch parallelism.
 func (e *Engine) parallelism() int {
@@ -172,6 +213,88 @@ type Metrics struct {
 	// PartialAnswers counts executions that returned an incomplete result
 	// under AllowPartial.
 	PartialAnswers int
+	// Migrations counts mid-flight subplan migrations: a failed subtree
+	// re-dispatched to an alternate peer while its siblings' rows were
+	// retained (vs. Replans, which discard and restart everything).
+	Migrations int
+	// HolesFilled counts `@?` holes converted into dispatched subplans
+	// mid-flight, after advertisement updates made them answerable.
+	HolesFilled int
+	// PlanChanges counts PlanChange packets exchanged (both the
+	// migration/resume announcements and the destination's acks).
+	PlanChanges int
+	// Resumes counts dispatch retries that resumed from a row checkpoint
+	// instead of re-streaming from scratch.
+	Resumes int
+	// RowsRetained counts rows that recovery did NOT have to fetch again:
+	// sibling rows kept across a migration plus checkpointed prefixes
+	// honored by resumed dispatches.
+	RowsRetained int
+	// RowsRefetched counts rows shipped again for a pattern set that an
+	// earlier dispatch of this query had already delivered — the wasted
+	// work a full restart pays and migration avoids.
+	RowsRefetched int
+	// RowsDiscarded counts partially-streamed rows abandoned when a
+	// dispatch ultimately failed or a checkpoint was rejected.
+	RowsDiscarded int
+}
+
+// LedgerEntry is one finished dispatch in the executor's per-leaf row
+// ledger: the checkpointed result accounting behind the plan-change
+// protocol. CLAIM-RECOVER reconciles these entries to prove exactly-once
+// recovery (retained rows + migrated rows = restart rows).
+type LedgerEntry struct {
+	// Site is the peer the subplan ran at.
+	Site pattern.PeerID `json:"site"`
+	// Subplan is the canonical rendering of the dispatched node.
+	Subplan string `json:"subplan"`
+	// Patterns is the site-independent pattern-set key of the subplan;
+	// two dispatches with equal keys fetched the same logical data slice.
+	Patterns string `json:"patterns"`
+	// Rows is how many result rows the dispatch delivered (for "failed"
+	// entries: how many had arrived before the failure, all discarded).
+	Rows int `json:"rows"`
+	// Watermark is the channel's contiguous sequence watermark when the
+	// dispatch finished.
+	Watermark int `json:"watermark"`
+	// Attempt is the ExecuteAnnotated restart round the dispatch ran in.
+	Attempt int `json:"attempt"`
+	// Outcome is "complete", "failed" or "migrated-away".
+	Outcome string `json:"outcome"`
+	// Resumed reports that the dispatch resumed from a row checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Ledger returns the row ledger of the most recent ExecuteAnnotated call.
+func (e *Engine) Ledger() []LedgerEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LedgerEntry, len(e.lastLedger))
+	copy(out, e.lastLedger)
+	return out
+}
+
+func (e *Engine) appendLedger(entry LedgerEntry) {
+	e.mu.Lock()
+	e.lastLedger = append(e.lastLedger, entry)
+	e.mu.Unlock()
+}
+
+// patternKey renders a node's pattern ids, deduplicated and sorted — the
+// site-independent identity of the data slice a dispatch fetches.
+func patternKey(n plan.Node) string {
+	seen := map[string]bool{}
+	var ids []string
+	for _, s := range plan.Scans(n) {
+		for _, id := range s.PatternIDs() {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, "+")
 }
 
 // NewEngine wires an engine for a peer into the network, registering the
@@ -268,6 +391,20 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 	maxReplans := e.maxReplans()
 	current := p
 	var unanswered []Unanswered
+	unansweredSeen := map[string]bool{}
+	note := func(id, reason string) {
+		if !unansweredSeen[id] {
+			unansweredSeen[id] = true
+			unanswered = append(unanswered, Unanswered{PatternID: id, Reason: reason})
+		}
+	}
+	// fetched maps each dispatched pattern set to the rows its first
+	// completed dispatch delivered; a later dispatch of the same set is
+	// re-fetched work (what restarts pay and migration avoids).
+	fetched := map[string]int{}
+	e.mu.Lock()
+	e.lastLedger = nil
+	e.mu.Unlock()
 	var lastFailure error
 	for attempt := 0; ; attempt++ {
 		if holes := plan.Holes(current.Root); len(holes) > 0 {
@@ -278,30 +415,36 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 			if !e.AllowPartial {
 				return nil, &HoleError{PatternIDs: ids}
 			}
-			// Graceful degradation: cut the unanswerable patterns, record
-			// why, and execute what remains.
-			pruned, removed := plan.PruneHoles(current.Root)
 			reason := "no peer advertises this pattern"
 			if lastFailure != nil {
 				reason = lastFailure.Error()
 			}
-			for _, id := range removed {
-				unanswered = append(unanswered, Unanswered{PatternID: id, Reason: reason})
+			if e.Router == nil {
+				// Graceful degradation without a router: cut the
+				// unanswerable patterns, record why, execute what remains.
+				pruned, removed := plan.PruneHoles(current.Root)
+				for _, id := range removed {
+					note(id, reason)
+				}
+				if pruned == nil {
+					// Nothing answerable at all: an empty, fully-annotated
+					// partial result.
+					e.mu.Lock()
+					e.metrics.PartialAnswers++
+					e.mu.Unlock()
+					return &Result{
+						Rows:         rql.NewResultSet(),
+						Completeness: Completeness{Complete: false, Unanswered: unanswered},
+					}, nil
+				}
+				current = &plan.Plan{Root: pruned, Query: current.Query}
 			}
-			if pruned == nil {
-				// Nothing answerable at all: an empty, fully-annotated
-				// partial result.
-				e.mu.Lock()
-				e.metrics.PartialAnswers++
-				e.mu.Unlock()
-				return &Result{
-					Rows:         rql.NewResultSet(),
-					Completeness: Completeness{Complete: false, Unanswered: unanswered},
-				}, nil
-			}
-			current = &plan.Plan{Root: pruned, Query: current.Query}
+			// With a router, holes stay in the plan: the execution fills
+			// them mid-flight from fresh advertisements (upgrading the
+			// answer's completeness without a restart) or reports them
+			// unanswered with this reason.
 		}
-		rs, err := e.executeOnce(current)
+		rs, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched)
 		if err == nil {
 			// The paper's literal run-time trigger: peers whose channels
 			// streamed too few rows this round are replanned around, same
@@ -322,6 +465,11 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 				}
 				// Replanning can't improve on this round (no alternative or
 				// same plan): keep the rows we already collected.
+			}
+			// These rows are the answer: holes this round could not fill
+			// mid-flight are what the result is missing.
+			for _, u := range runtimeUn {
+				note(u.PatternID, u.Reason)
 			}
 			if current.Query != nil && len(current.Query.Projections) > 0 {
 				rs = rs.Project(current.Query.Projections)
@@ -409,14 +557,34 @@ func failureOf(err error) (*PeerFailure, bool) {
 // per-execution state.
 type execution struct {
 	engine *Engine
-	mu     sync.Mutex
-	sites  map[pattern.PeerID]*siteChan
-	inbox  map[string]*remoteResult // channelID -> collector
+	// attempt is the ExecuteAnnotated restart round this execution runs in
+	// (ledger bookkeeping).
+	attempt int
+	// holeReason explains why holes in the plan are unanswerable, for the
+	// completeness annotation when mid-flight filling fails.
+	holeReason string
+	// fetched is ExecuteAnnotated's cross-attempt pattern-set → rows map
+	// backing the refetch accounting; guarded by mu (attempts run one at
+	// a time, branches within an attempt race).
+	fetched map[string]int
+
+	mu    sync.Mutex
+	sites map[pattern.PeerID]*siteChan
+	inbox map[string]*remoteResult // channelID -> collector
 	// cache single-flights remote dispatches within this execution:
 	// optimized plans repeat the same scan under several union branches,
 	// and with branches racing, the first to ask ships the subplan while
 	// the rest wait on its entry.
 	cache map[string]*cacheEntry
+	// migrations counts mid-flight subplan migrations this round, bounded
+	// by Engine.maxMigrations().
+	migrations int
+	// completedRows sums rows delivered by completed dispatches this
+	// round — the sibling work a migration retains.
+	completedRows int
+	// unanswered records holes that could not be filled mid-flight:
+	// pattern id → reason.
+	unanswered map[string]string
 
 	// sem is the worker pool, holding Parallelism tokens. Union/join
 	// fan-out spawns one goroutine per branch (tree structure is cheap
@@ -459,6 +627,17 @@ type remoteResult struct {
 	rows *rql.ResultSet
 	err  error
 	done bool
+	// rowCount sums the rows of accepted Results packets this dispatch
+	// (channel-layer dedup already dropped replays).
+	rowCount int
+	// resumed / restarted record the destination's PlanChange ack: the
+	// requested row checkpoint was honored, or rejected and the stream
+	// restarted from row 0.
+	resumed   bool
+	restarted bool
+	// watermark is the channel's contiguous sequence watermark when the
+	// dispatch finished.
+	watermark int
 }
 
 // errCancelled aborts sibling branches after another branch failed; the
@@ -467,11 +646,14 @@ var errCancelled = errors.New("exec: execution cancelled")
 
 func newExecution(e *Engine) *execution {
 	ex := &execution{
-		engine: e,
-		sites:  map[pattern.PeerID]*siteChan{},
-		inbox:  map[string]*remoteResult{},
-		cache:  map[string]*cacheEntry{},
-		cancel: make(chan struct{}),
+		engine:     e,
+		fetched:    map[string]int{},
+		sites:      map[pattern.PeerID]*siteChan{},
+		inbox:      map[string]*remoteResult{},
+		cache:      map[string]*cacheEntry{},
+		unanswered: map[string]string{},
+		holeReason: "no peer advertises this pattern",
+		cancel:     make(chan struct{}),
 	}
 	if par := e.parallelism(); par > 1 {
 		ex.sem = make(chan struct{}, par)
@@ -493,10 +675,36 @@ func (ex *execution) release() {
 	}
 }
 
-func (e *Engine) executeOnce(p *plan.Plan) (*rql.ResultSet, error) {
+// executeOnce runs one execution round. It returns the round's rows (nil
+// only on error) plus the patterns whose holes could not be filled
+// mid-flight, sorted by id.
+func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int) (*rql.ResultSet, []Unanswered, error) {
 	ex := newExecution(e)
+	ex.attempt = attempt
+	if fetched != nil {
+		ex.fetched = fetched
+	}
+	if lastFailure != nil {
+		ex.holeReason = lastFailure.Error()
+	}
 	defer ex.closeAll()
-	return ex.run(p.Root)
+	rows, err := ex.run(p.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rows == nil {
+		// Every branch was an unfillable hole: an empty — but explicitly
+		// annotated — answer.
+		rows = rql.NewResultSet()
+	}
+	ex.mu.Lock()
+	un := make([]Unanswered, 0, len(ex.unanswered))
+	for id, reason := range ex.unanswered {
+		un = append(un, Unanswered{PatternID: id, Reason: reason})
+	}
+	ex.mu.Unlock()
+	sort.Slice(un, func(i, j int) bool { return un[i].PatternID < un[j].PatternID })
+	return rows, un, nil
 }
 
 // abort makes every in-flight branch of this execution finish early.
@@ -571,7 +779,11 @@ func (ex *execution) runAll(inputs []plan.Node) ([]*rql.ResultSet, error) {
 	return results, nil
 }
 
-// run evaluates a plan node, producing its rows at e.Self.
+// run evaluates a plan node, producing its rows at e.Self. A nil result
+// with nil error is the "absent" sentinel: an unfillable hole under
+// AllowPartial contributed nothing, and the parent union/join skips the
+// branch instead of joining against an empty set (which would wrongly
+// annihilate sibling rows — the same collapse semantics as PruneHoles).
 func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 	if ex.cancelled() {
 		return nil, errCancelled
@@ -580,7 +792,7 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 	switch v := n.(type) {
 	case *plan.Scan:
 		if v.IsHole() {
-			return nil, &HoleError{PatternIDs: v.PatternIDs()}
+			return ex.runHole(v)
 		}
 		if v.Peer == e.Self {
 			ex.acquire()
@@ -599,14 +811,25 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		acc := rql.NewResultSet()
+		var acc *rql.ResultSet
 		for _, rs := range rss {
+			if rs == nil {
+				continue // absent branch (unfilled hole)
+			}
+			if acc == nil {
+				acc = rql.NewResultSet()
+			}
 			acc = acc.Union(rs)
+		}
+		if acc == nil && len(rss) == 0 {
+			acc = rql.NewResultSet()
 		}
 		return acc, nil
 	case *plan.Join:
 		site := ex.placeJoin(v)
-		if site != e.Self {
+		if site != e.Self && !plan.HasHoles(v) {
+			// Holes never ship: the remote evaluator has no router to fill
+			// them, so a holed join subtree always runs at the root.
 			return ex.runRemote(site, v)
 		}
 		rss, err := ex.runAll(v.Inputs)
@@ -614,7 +837,12 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 			return nil, err
 		}
 		var acc *rql.ResultSet
+		absent := false
 		for _, rs := range rss {
+			if rs == nil {
+				absent = true
+				continue // absent branch: join the answerable remainder
+			}
 			if acc == nil {
 				acc = rs
 			} else {
@@ -622,12 +850,47 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 			}
 		}
 		if acc == nil {
+			if absent {
+				return nil, nil // the whole join was unanswerable
+			}
 			acc = rql.NewResultSet()
 		}
 		return acc, nil
 	default:
 		return nil, fmt.Errorf("exec: unknown plan node %T", n)
 	}
+}
+
+// runHole resolves a `@?` leaf mid-flight: advertisement updates learned
+// since the plan was generated may cover it now, in which case the hole
+// becomes a dispatched subplan (the paper's plan-change packets carry
+// exactly this upgrade) while sibling branches keep streaming. Unfillable
+// holes become absent branches under AllowPartial, errors otherwise.
+func (ex *execution) runHole(v *plan.Scan) (*rql.ResultSet, error) {
+	e := ex.engine
+	if e.Router != nil {
+		ann := e.Router.RoutePatterns(v.Patterns)
+		sub := plan.SplitHoles(&plan.Plan{Root: v})
+		filled, nfilled := plan.FillHoles(sub, ann)
+		if nfilled > 0 && !plan.HasHoles(filled.Root) {
+			e.mu.Lock()
+			e.metrics.HolesFilled += nfilled
+			e.metrics.PlanChanges++
+			e.mu.Unlock()
+			return ex.run(filled.Root)
+		}
+	}
+	if e.AllowPartial {
+		ex.mu.Lock()
+		for _, id := range v.PatternIDs() {
+			if _, ok := ex.unanswered[id]; !ok {
+				ex.unanswered[id] = ex.holeReason
+			}
+		}
+		ex.mu.Unlock()
+		return nil, nil // absent
+	}
+	return nil, &HoleError{PatternIDs: v.PatternIDs()}
 }
 
 // placeJoin picks the join's execution site under the engine's policy.
@@ -680,10 +943,14 @@ func largestScanPeer(cm *optimizer.CostModel, j *plan.Join) pattern.PeerID {
 	return best
 }
 
-// subplanReq is the wire body of a shipped subplan.
+// subplanReq is the wire body of a shipped subplan. ResumeFrom > 0 asks
+// the destination to skip that many leading rows (a checkpoint from a
+// previous attempt that already reached the root); the destination
+// acknowledges with a PlanChange packet before streaming.
 type subplanReq struct {
-	ChannelID string `json:"channelId"`
-	Plan      []byte `json:"plan"`
+	ChannelID  string `json:"channelId"`
+	Plan       []byte `json:"plan"`
+	ResumeFrom int    `json:"resumeFrom,omitempty"`
 }
 
 // runRemote ships the node to the site peer and gathers its rows through
@@ -691,6 +958,7 @@ type subplanReq struct {
 // single-flighted: the first branch ships, the rest wait on its cache
 // entry.
 func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+	e := ex.engine
 	cacheKey := string(site) + "\x00" + n.String()
 	ex.mu.Lock()
 	if ent, ok := ex.cache[cacheKey]; ok {
@@ -703,6 +971,16 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	ent := &cacheEntry{done: make(chan struct{})}
 	ex.cache[cacheKey] = ent
 	ex.mu.Unlock()
+	// Proactive plan change: a site the throughput monitor already flagged
+	// is migrated away from before we sink a dispatch into it. If no
+	// alternate peer covers the subtree, dispatch to the slow site anyway.
+	if tm := e.Throughput; tm != nil && e.Router != nil && tm.IsFlagged(site) {
+		if rows, migrated, merr := ex.tryMigrate(site, n); migrated {
+			ent.rows, ent.err = rows, merr
+			close(ent.done)
+			return ent.rows, ent.err
+		}
+	}
 	ex.acquire()
 	if ex.cancelled() {
 		ent.err = errCancelled
@@ -710,8 +988,87 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 		ent.rows, ent.err = ex.dispatchRetry(site, n)
 	}
 	ex.release()
+	// Surgical recovery: a terminal peer failure migrates just this
+	// subtree to an alternate peer instead of failing the round. The pool
+	// token is released first — the migrated subtree re-enters ex.run and
+	// acquires its own tokens (token holders never acquire twice).
+	if ent.err != nil && !errors.Is(ent.err, errCancelled) {
+		if pf, ok := failureOf(ent.err); ok && pf.Peer == site {
+			if rows, migrated, merr := ex.tryMigrate(site, n); migrated {
+				ent.rows, ent.err = rows, merr
+			}
+		}
+	}
 	close(ent.done)
 	return ent.rows, ent.err
+}
+
+// tryMigrate is the plan-change protocol's root-side decision: quarantine
+// the failed (or flagged) site exactly as a restart would, cut its scans
+// out of the subtree, route the uncovered patterns against a fresh
+// quarantine-aware snapshot, and — when every pattern found an alternate
+// peer — re-dispatch only the rewritten subtree. Sibling rows already
+// collected stay where they are; the single-flight cache splices the
+// migrated rows in their place. Returns migrated=false when the subtree
+// has no alternate: the caller then falls back to the legacy
+// discard-replan-restart path (or, for a flagged-but-alive site, just
+// dispatches to it).
+//
+// Ordering note: each migration quarantines its site BEFORE routing. A
+// migrated branch that lands on a sibling's in-flight cache entry
+// therefore routed before that sibling quarantined its own site — so a
+// cycle of branches waiting on each other's entries would need every
+// route to precede every quarantine, which the per-branch
+// quarantine-then-route order makes impossible. The wait graph stays
+// acyclic no matter how concurrent migrations interleave.
+func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node) (*rql.ResultSet, bool, error) {
+	e := ex.engine
+	if e.Router == nil || ex.cancelled() || e.maxMigrations() == 0 {
+		return nil, false, nil
+	}
+	// The same quarantine the restart path applies, so migration and
+	// restart agree on which peers the re-route may use — required for
+	// the migrated answer to equal the restarted one.
+	e.dropFromRouting(site)
+	sub := &plan.Plan{Root: n}
+	excluded, cut := plan.ExcludePeers(sub, map[pattern.PeerID]bool{site: true})
+	if cut == 0 {
+		return nil, false, nil
+	}
+	var holePatterns []pattern.PathPattern
+	for _, h := range plan.Holes(excluded.Root) {
+		holePatterns = append(holePatterns, h.Patterns...)
+	}
+	ann := e.Router.RoutePatterns(holePatterns)
+	filled, _ := plan.FillHoles(plan.SplitHoles(excluded), ann)
+	if plan.HasHoles(filled.Root) {
+		// Decision rule: no alternate peer covers the subtree → migration
+		// cannot help; the caller surfaces the failure and the legacy
+		// restart (or hole pruning) takes over.
+		return nil, false, nil
+	}
+	ex.mu.Lock()
+	if ex.migrations >= e.maxMigrations() {
+		ex.mu.Unlock()
+		return nil, false, nil
+	}
+	ex.migrations++
+	retained := ex.completedRows
+	ex.mu.Unlock()
+	e.mu.Lock()
+	e.metrics.Migrations++
+	e.metrics.PlanChanges++
+	e.metrics.RowsRetained += retained
+	e.mu.Unlock()
+	e.appendLedger(LedgerEntry{
+		Site: site, Subplan: n.String(), Patterns: patternKey(n),
+		Attempt: ex.attempt, Outcome: "migrated-away",
+	})
+	rows, err := ex.run(filled.Root)
+	if err == nil && rows == nil {
+		rows = rql.NewResultSet()
+	}
+	return rows, true, err
 }
 
 // dispatchRetry wraps dispatch with the transient-failure retry loop:
@@ -719,21 +1076,62 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 // partition, crash) is retried up to MaxRetries times with doubling
 // backoff charged to the logical clock, resetting the site's failed
 // channel so each attempt opens fresh. Outcomes feed the health tracker.
+//
+// Retries are checkpointed: rows that reached us before the failure are a
+// contiguous prefix (the destination aborts streaming at its first failed
+// send, and the channel watermark proves contiguity), so the retry asks
+// the destination to resume after them. The destination acknowledges with
+// a PlanChange packet — "resume-honored" keeps the prefix, "checkpoint-
+// invalid" discards it and re-streams from scratch.
 func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
 	e := ex.engine
 	backoff := e.RetryBackoffMS
 	if backoff <= 0 {
 		backoff = 10
 	}
-	var rows *rql.ResultSet
+	var partial *rql.ResultSet // checkpointed rows from failed attempts
+	checkpoint := 0            // contiguous row prefix already delivered
+	resumed := false
 	var err error
 	for try := 0; ; try++ {
-		rows, err = ex.dispatch(site, n)
+		var res *remoteResult
+		res, err = ex.dispatch(site, n, checkpoint)
+		if res != nil {
+			switch {
+			case res.restarted:
+				// The destination rejected our checkpoint and re-streamed
+				// from row 0: drop the retained prefix (set-union keeps the
+				// answer right either way; the ledger keeps the accounting
+				// honest).
+				e.mu.Lock()
+				e.metrics.RowsDiscarded += checkpoint
+				e.mu.Unlock()
+				partial, checkpoint, resumed = nil, 0, false
+			case checkpoint > 0 && res.resumed:
+				resumed = true
+				e.mu.Lock()
+				e.metrics.Resumes++
+				e.metrics.RowsRetained += checkpoint
+				e.mu.Unlock()
+			}
+			if res.rows != nil {
+				if partial == nil {
+					partial = res.rows
+				} else {
+					partial = partial.Union(res.rows)
+				}
+			}
+			checkpoint += res.rowCount
+		}
 		if err == nil {
 			if e.Health != nil {
 				e.Health.ReportSuccess(site)
 			}
-			return rows, nil
+			if partial == nil {
+				partial = rql.NewResultSet()
+			}
+			ex.recordComplete(site, n, checkpoint, res.watermark, resumed)
+			return partial, nil
 		}
 		if try >= e.MaxRetries || !network.Transient(err) || ex.cancelled() {
 			break
@@ -745,10 +1143,45 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.Resul
 		backoff *= 2
 		ex.resetSite(site)
 	}
+	// Terminal failure: the checkpointed prefix is abandoned (a migration
+	// or restart will fetch the subtree elsewhere, from scratch).
+	e.mu.Lock()
+	e.metrics.RowsDiscarded += checkpoint
+	e.mu.Unlock()
+	e.appendLedger(LedgerEntry{
+		Site: site, Subplan: n.String(), Patterns: patternKey(n),
+		Rows: checkpoint, Attempt: ex.attempt, Outcome: "failed",
+	})
 	if e.Health != nil {
 		e.Health.ReportFailure(site)
 	}
 	return nil, err
+}
+
+// recordComplete books a finished dispatch into the ledger, the refetch
+// accounting and the round's retained-rows counter.
+func (ex *execution) recordComplete(site pattern.PeerID, n plan.Node, rows, watermark int, resumed bool) {
+	e := ex.engine
+	key := patternKey(n)
+	ex.mu.Lock()
+	_, again := ex.fetched[key]
+	if !again {
+		ex.fetched[key] = rows
+	}
+	ex.completedRows += rows
+	ex.mu.Unlock()
+	if again {
+		// This pattern set was already delivered by an earlier dispatch of
+		// this query: the whole fetch is re-paid work.
+		e.mu.Lock()
+		e.metrics.RowsRefetched += rows
+		e.mu.Unlock()
+	}
+	e.appendLedger(LedgerEntry{
+		Site: site, Subplan: n.String(), Patterns: key,
+		Rows: rows, Watermark: watermark, Attempt: ex.attempt,
+		Outcome: "complete", Resumed: resumed,
+	})
 }
 
 // resetSite drops a site's channel slot — every dispatch failure either
@@ -771,7 +1204,9 @@ func (ex *execution) resetSite(site pattern.PeerID) {
 }
 
 // dispatch performs one subplan shipment and collects the streamed reply.
-func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+// It returns the remoteResult even on failure: the rows that arrived
+// before the break are a contiguous checkpoint the retry loop keeps.
+func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int) (*remoteResult, error) {
 	e := ex.engine
 	sc, err := ex.channelTo(site)
 	if err != nil {
@@ -782,7 +1217,7 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet,
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan: %w", err)
 	}
-	body, err := json.Marshal(subplanReq{ChannelID: sc.ch.ID, Plan: data})
+	body, err := json.Marshal(subplanReq{ChannelID: sc.ch.ID, Plan: data, ResumeFrom: resumeFrom})
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan request: %w", err)
 	}
@@ -801,28 +1236,29 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node) (*rql.ResultSet,
 		tm.Track(site)
 	}
 	//lint:allow locksafe per-site channel serialization is the point of sc.mu, and SendWithin is deadline-bounded so the hold is finite
-	if err := e.Net.SendWithin(e.Self, site, "exec.subplan", body, e.DeadlineMS); err != nil {
-		e.Channels.MarkFailed(sc.ch)
-		return nil, &PeerFailure{Peer: site, Err: err}
-	}
+	sendErr := e.Net.SendWithin(e.Self, site, "exec.subplan", body, e.DeadlineMS)
 	// Delivery is synchronous: by the time Send returns, the remote has
-	// executed and its packets have been dispatched to our collector.
+	// executed and its packets have been dispatched to our collector. Even
+	// a failed send may have let packets through first (e.g. a crash
+	// mid-stream), so always collect what arrived.
 	ex.mu.Lock()
 	res := ex.inbox[sc.ch.ID]
 	delete(ex.inbox, sc.ch.ID)
 	ex.mu.Unlock()
+	res.watermark = sc.ch.Watermark()
+	if sendErr != nil {
+		e.Channels.MarkFailed(sc.ch)
+		return res, &PeerFailure{Peer: site, Err: sendErr}
+	}
 	if res.err != nil {
 		e.Channels.MarkFailed(sc.ch)
-		return nil, &PeerFailure{Peer: site, Err: res.err}
+		return res, &PeerFailure{Peer: site, Err: res.err}
 	}
 	if !res.done {
 		e.Channels.MarkFailed(sc.ch)
-		return nil, &PeerFailure{Peer: site, Err: fmt.Errorf("result stream ended without done packet")}
+		return res, &PeerFailure{Peer: site, Err: fmt.Errorf("result stream ended without done packet")}
 	}
-	if res.rows == nil {
-		res.rows = rql.NewResultSet()
-	}
-	return res.rows, nil
+	return res, nil
 }
 
 // channelTo returns (opening if necessary) the execution's channel slot
@@ -854,43 +1290,66 @@ func (ex *execution) channelTo(site pattern.PeerID) (*siteChan, error) {
 }
 
 func (ex *execution) onPacket(pkt channel.Packet) {
+	// The stats sink is a caller-supplied callback: invoke it only after
+	// ex.mu is released, so a sink that re-enters the engine cannot
+	// deadlock against a packet handler.
+	var sinkStats *stats.PeerStats
 	ex.mu.Lock()
-	defer ex.mu.Unlock()
 	res, ok := ex.inbox[pkt.ChannelID]
-	if !ok {
-		return // late packet from a previous dispatch on this channel
-	}
-	switch pkt.Type {
-	case channel.Results:
-		var rs rql.ResultSet
-		if err := json.Unmarshal(pkt.Payload, &rs); err != nil {
-			res.err = fmt.Errorf("exec: bad results packet: %w", err)
-			return
-		}
-		if res.rows == nil {
-			res.rows = &rs
-		} else {
-			res.rows = res.rows.Union(&rs)
-		}
-		e := ex.engine
-		e.mu.Lock()
-		e.metrics.RowsShipped += pkt.Rows
-		e.metrics.BytesShipped += len(pkt.Payload)
-		e.mu.Unlock()
-		if tm := e.Throughput; tm != nil {
-			tm.Observe(res.site, pkt.Rows)
-		}
-	case channel.Stats:
-		if sink := ex.engine.StatsSink; sink != nil {
-			var ps stats.PeerStats
-			if err := json.Unmarshal(pkt.Payload, &ps); err == nil && ps.Peer != "" {
-				sink(&ps)
+	if ok {
+		switch pkt.Type {
+		case channel.Results:
+			var rs rql.ResultSet
+			if err := json.Unmarshal(pkt.Payload, &rs); err != nil {
+				res.err = fmt.Errorf("exec: bad results packet: %w", err)
+				break
 			}
+			if res.rows == nil {
+				res.rows = &rs
+			} else {
+				res.rows = res.rows.Union(&rs)
+			}
+			res.rowCount += pkt.Rows
+			e := ex.engine
+			e.mu.Lock()
+			e.metrics.RowsShipped += pkt.Rows
+			e.metrics.BytesShipped += len(pkt.Payload)
+			e.mu.Unlock()
+			if tm := e.Throughput; tm != nil {
+				tm.Observe(res.site, pkt.Rows)
+			}
+		case channel.PlanChange:
+			var pc channel.PlanChangeInfo
+			if err := json.Unmarshal(pkt.Payload, &pc); err != nil {
+				res.err = fmt.Errorf("exec: bad plan-change packet: %w", err)
+				break
+			}
+			switch pc.Reason {
+			case "resume-honored":
+				res.resumed = true
+			case "checkpoint-invalid":
+				res.restarted = true
+			}
+			e := ex.engine
+			e.mu.Lock()
+			e.metrics.PlanChanges++
+			e.mu.Unlock()
+		case channel.Stats:
+			if ex.engine.StatsSink != nil {
+				var ps stats.PeerStats
+				if err := json.Unmarshal(pkt.Payload, &ps); err == nil && ps.Peer != "" {
+					sinkStats = &ps
+				}
+			}
+		case channel.Failure:
+			res.err = fmt.Errorf("exec: remote failure: %s", pkt.Payload)
+		case channel.Done:
+			res.done = true
 		}
-	case channel.Failure:
-		res.err = fmt.Errorf("exec: remote failure: %s", pkt.Payload)
-	case channel.Done:
-		res.done = true
+	}
+	ex.mu.Unlock()
+	if sinkStats != nil {
+		ex.engine.StatsSink(sinkStats)
 	}
 }
 
@@ -951,20 +1410,43 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		}
 		return []byte("failed"), nil
 	}
-	if err := e.streamResults(req.ChannelID, rows); err != nil {
+	if err := e.streamResults(req.ChannelID, rows, req.ResumeFrom); err != nil {
 		return nil, err
 	}
 	return []byte("ok"), nil
 }
 
 // streamResults ships a result set upstream in BatchSize-row packets
-// followed by a Done marker.
-func (e *Engine) streamResults(channelID string, rows *rql.ResultSet) error {
+// followed by a Done marker. A positive resumeFrom is the root's
+// checkpoint: when it is a valid prefix of this evaluation the stream
+// starts after it (acked with a "resume-honored" plan-change packet);
+// otherwise the checkpoint is rejected ("checkpoint-invalid") and the
+// stream restarts from row 0 so the root discards its stale prefix.
+func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom int) error {
 	batch := e.BatchSize
 	if batch <= 0 {
 		batch = 256
 	}
-	for start := 0; start == 0 || start < rows.Len(); start += batch {
+	start0 := 0
+	if resumeFrom > 0 {
+		pc := channel.PlanChangeInfo{Reason: "resume-honored", Offset: resumeFrom}
+		if resumeFrom > rows.Len() {
+			// This evaluation produced fewer rows than the root already
+			// holds: its checkpoint cannot be a prefix of our stream.
+			pc = channel.PlanChangeInfo{Reason: "checkpoint-invalid"}
+		} else {
+			start0 = resumeFrom
+		}
+		payload, err := json.Marshal(pc)
+		if err != nil {
+			return fmt.Errorf("exec: marshal plan-change: %w", err)
+		}
+		if err := e.Channels.SendToRoot(channelID, channel.PlanChange, 0, payload); err != nil {
+			return err
+		}
+	}
+	sent := false
+	for start := start0; !sent || start < rows.Len(); start += batch {
 		end := start + batch
 		if end > rows.Len() {
 			end = rows.Len()
@@ -977,6 +1459,7 @@ func (e *Engine) streamResults(channelID string, rows *rql.ResultSet) error {
 		if err := e.Channels.SendToRoot(channelID, channel.Results, part.Len(), payload); err != nil {
 			return err
 		}
+		sent = true
 	}
 	if e.StatsProvider != nil {
 		if ps := e.StatsProvider(); ps != nil {

@@ -68,7 +68,8 @@ func TestRetryRecoversDroppedDispatch(t *testing.T) {
 }
 
 // Without retries (the historical default) the same drop goes straight
-// to the replan path.
+// to the recovery path — now a surgical subtree migration, with replan
+// as the fallback.
 func TestNoRetriesByDefault(t *testing.T) {
 	peers, net := paperSystem(t, 3)
 	p1 := peers["P1"]
@@ -86,13 +87,13 @@ func TestNoRetriesByDefault(t *testing.T) {
 	if m.Retries != 0 {
 		t.Errorf("MaxRetries=0 must not retry, got %d", m.Retries)
 	}
-	if m.Replans == 0 {
-		t.Error("expected the drop to trigger a replan")
+	if m.Replans == 0 && m.Migrations == 0 {
+		t.Error("expected the drop to trigger a migration or replan")
 	}
 }
 
 // A gray-failed peer (responding, but slower than the deadline) must
-// surface as a peer failure and be replanned around instead of hanging.
+// surface as a peer failure and be recovered around instead of hanging.
 func TestDeadlineUnwedgesGrayPeer(t *testing.T) {
 	peers, net := paperSystem(t, 3)
 	p1 := peers["P1"]
@@ -118,8 +119,8 @@ func TestDeadlineUnwedgesGrayPeer(t *testing.T) {
 	if _, ok := p1.Registry.Get("P4"); ok {
 		t.Error("gray P4 should have been dropped from routing (no health tracker)")
 	}
-	if m := p1.Engine.Metrics(); m.Replans == 0 || m.Retries == 0 {
-		t.Errorf("expected retry then replan, got %+v", m)
+	if m := p1.Engine.Metrics(); (m.Replans == 0 && m.Migrations == 0) || m.Retries == 0 {
+		t.Errorf("expected retry then migration or replan, got %+v", m)
 	}
 }
 

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"sync"
+
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+)
+
+// Script is a deterministic, hand-steered fault source for tests and
+// experiments that need an exact failure at an exact delivery — "kill
+// this peer after its second results packet" — rather than the seeded
+// stochastic Injector. Rules are evaluated in order; the first rule
+// whose window covers the delivery decides its fate.
+type Script struct {
+	mu    sync.Mutex
+	rules []*ScriptRule
+}
+
+// ScriptRule matches deliveries and applies a fault over a window of
+// matches. Zero-valued matcher fields match any endpoint or kind.
+type ScriptRule struct {
+	// From / To restrict the rule to deliveries with these endpoints.
+	From, To pattern.PeerID
+	// Kind restricts the rule to one message kind.
+	Kind string
+	// After skips the first After matching deliveries before faulting.
+	After int
+	// Count bounds how many deliveries are faulted; 0 means every
+	// matching delivery from After onward (a permanent failure).
+	Count int
+	// Fault is injected into each delivery inside the window.
+	Fault network.Fault
+
+	matched int
+}
+
+// NewScript builds a script from rules, evaluated in order.
+func NewScript(rules ...*ScriptRule) *Script {
+	return &Script{rules: rules}
+}
+
+// Add appends a rule.
+func (s *Script) Add(r *ScriptRule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, r)
+}
+
+// Matched reports how many deliveries rule i has matched so far.
+func (s *Script) Matched(i int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rules[i].matched
+}
+
+func (r *ScriptRule) matches(m network.Message) bool {
+	if r.From != "" && m.From != r.From {
+		return false
+	}
+	if r.To != "" && m.To != r.To {
+		return false
+	}
+	if r.Kind != "" && m.Kind != r.Kind {
+		return false
+	}
+	return true
+}
+
+// Intercept implements network.Injector.
+func (s *Script) Intercept(m network.Message) network.Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
+		if !r.matches(m) {
+			continue
+		}
+		r.matched++
+		nth := r.matched // 1-based
+		if nth <= r.After {
+			return network.Fault{}
+		}
+		if r.Count > 0 && nth > r.After+r.Count {
+			return network.Fault{}
+		}
+		return r.Fault
+	}
+	return network.Fault{}
+}

@@ -75,14 +75,16 @@ func claimChurn() *Report {
 			down[v] = true
 		}
 
-		before := asker.Engine.Metrics().Replans
+		mb := asker.Engine.Metrics()
+		before := mb.Replans + mb.Migrations
 		rows, err := asker.Ask(gen.PaperRQL)
 		if err != nil {
 			r.linef("  round %d: query failed: %v", round, err)
 			continue
 		}
 		successes++
-		replans += asker.Engine.Metrics().Replans - before
+		ma := asker.Engine.Metrics()
+		replans += ma.Replans + ma.Migrations - before
 		if rows.Len() < minRows {
 			minRows = rows.Len()
 		}
@@ -90,7 +92,7 @@ func claimChurn() *Report {
 			maxRows = rows.Len()
 		}
 	}
-	r.linef("  rounds=%d successes=%d replans=%d answer-size range=[%d..%d]",
+	r.linef("  rounds=%d successes=%d adaptations=%d answer-size range=[%d..%d]",
 		rounds, successes, replans, minRows, maxRows)
 	r.check("every query under churn succeeds (anchors guarantee answerability)", successes == rounds)
 	r.check("run-time adaptation was exercised", replans > 0)

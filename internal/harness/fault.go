@@ -36,6 +36,7 @@ type faultPoint struct {
 	PartialFraction float64 `json:"partialFraction"`
 	Retries         int     `json:"retries"`
 	Replans         int     `json:"replans"`
+	Migrations      int     `json:"migrations"`
 	BackoffMS       float64 `json:"backoffMs"`
 	AvgLatencyMS    float64 `json:"avgLatencyMs"`
 	AddedLatencyMS  float64 `json:"addedLatencyMs"`
@@ -45,13 +46,14 @@ type faultPoint struct {
 
 // faultPointRun is one seeded pass over a sweep point.
 type faultPointRun struct {
-	full, partial, failed int
-	retries, replans      int
-	backoffMS             float64
-	simMS                 float64
-	injected              int
-	events                int
-	digest                uint64
+	full, partial, failed        int
+	retries, replans, migrations int
+	refetched, retained          int
+	backoffMS                    float64
+	simMS                        float64
+	injected                     int
+	events                       int
+	digest                       uint64
 }
 
 // claimFault sweeps a fault-intensity axis over the Figure-2/3 fixture.
@@ -73,10 +75,10 @@ func claimFault() *Report {
 	sweep := faultSweep{Seed: seed, RoundsPerPoint: rounds}
 	var baselinePerQuery float64
 	allDeterministic, anyInjected := true, false
-	r.linef("  %-6s %8s %6s %8s %7s %8s %8s %9s %12s", "rate", "complete", "full", "partial", "failed", "retries", "replans", "backoff", "added-lat/q")
+	r.linef("  %-6s %8s %6s %8s %7s %8s %8s %6s %9s %12s", "rate", "complete", "full", "partial", "failed", "retries", "replans", "migr", "backoff", "added-lat/q")
 	for _, rate := range rates {
-		run := runFaultPoint(seed, rounds, rate)
-		rerun := runFaultPoint(seed, rounds, rate)
+		run := runFaultPoint(seed, rounds, rate, 0)
+		rerun := runFaultPoint(seed, rounds, rate, 0)
 		deterministic := run.digest == rerun.digest
 		allDeterministic = allDeterministic && deterministic
 		if run.injected > 0 || run.events > 0 {
@@ -97,6 +99,7 @@ func claimFault() *Report {
 			PartialFraction: float64(run.partial) / float64(rounds),
 			Retries:         run.retries,
 			Replans:         run.replans,
+			Migrations:      run.migrations,
 			BackoffMS:       run.backoffMS,
 			AvgLatencyMS:    perQuery,
 			AddedLatencyMS:  perQuery - baselinePerQuery,
@@ -104,19 +107,19 @@ func claimFault() *Report {
 			Deterministic:   deterministic,
 		}
 		sweep.Points = append(sweep.Points, pt)
-		r.linef("  %-6.2f %7.0f%% %6d %8d %7d %8d %8d %8.0fms %10.1fms",
+		r.linef("  %-6.2f %7.0f%% %6d %8d %7d %8d %8d %6d %8.0fms %10.1fms",
 			rate, pt.SuccessRate*100, pt.Full, pt.Partial, pt.Failed,
-			pt.Retries, pt.Replans, pt.BackoffMS, pt.AddedLatencyMS)
+			pt.Retries, pt.Replans, pt.Migrations, pt.BackoffMS, pt.AddedLatencyMS)
 	}
 
 	p0 := sweep.Points[0]
 	p10 := sweep.Points[1]
-	r.check("fault-free baseline: every query fully complete, no retries or replans",
-		p0.Full == rounds && p0.Retries == 0 && p0.Replans == 0)
+	r.check("fault-free baseline: every query fully complete, no retries, replans or migrations",
+		p0.Full == rounds && p0.Retries == 0 && p0.Replans == 0 && p0.Migrations == 0)
 	r.check("≥95% of queries complete (full or partial) at 10% fault rate",
 		p10.SuccessRate >= 0.95)
-	r.check("hardening machinery exercised under faults (retries or replans > 0)",
-		p10.Retries+p10.Replans > 0)
+	r.check("hardening machinery exercised under faults (retries, replans or migrations > 0)",
+		p10.Retries+p10.Replans+p10.Migrations > 0)
 	r.check("faults actually injected at nonzero rates", anyInjected)
 	r.check("same-seed reruns byte-identical at every fault rate", allDeterministic)
 
@@ -132,8 +135,10 @@ func claimFault() *Report {
 // runFaultPoint executes one seeded pass: fresh system, fresh injector
 // and schedule, `rounds` queries, everything deterministic. The digest
 // folds in each round's outcome and row set, so two same-seed passes
-// agreeing on the digest means byte-identical answers.
-func runFaultPoint(seed int64, rounds int, rate float64) faultPointRun {
+// agreeing on the digest means byte-identical answers. maxMigrations
+// selects the recovery mode (0 = engine default, exec.NoMigrations =
+// legacy full-restart ablation).
+func runFaultPoint(seed int64, rounds int, rate float64, maxMigrations int) faultPointRun {
 	schema := gen.PaperSchema()
 	bases := gen.PaperBases(2)
 	net := network.New()
@@ -152,7 +157,7 @@ func runFaultPoint(seed int64, rounds int, rate float64) faultPointRun {
 	// opt-in partial answers. It is never faulted (schedule root).
 	p0, err := peer.New(peer.Config{ID: "P0", Kind: peer.ClientPeer, Schema: schema,
 		Parallelism: 1, DeadlineMS: 200, MaxRetries: 3,
-		AllowPartial: true, Quarantine: true}, net)
+		AllowPartial: true, Quarantine: true, MaxMigrations: maxMigrations}, net)
 	if err != nil {
 		panic(err)
 	}
@@ -205,6 +210,8 @@ func runFaultPoint(seed int64, rounds int, rate float64) faultPointRun {
 	}
 	m := p0.Engine.Metrics()
 	out.retries, out.replans, out.backoffMS = m.Retries, m.Replans, m.BackoffMS
+	out.migrations = m.Migrations
+	out.refetched, out.retained = m.RowsRefetched, m.RowsRetained
 	st := inj.Stats()
 	out.injected = st.Dropped + st.Duplicated + st.Delayed + st.Grayed
 	out.digest = h.Sum64()

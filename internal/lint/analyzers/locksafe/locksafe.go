@@ -163,6 +163,8 @@ func checkExpr(pass *analysis.Pass, expr ast.Expr, held map[string]bool) {
 		case *ast.CallExpr:
 			if name, bad := blockingCall(pass, e); bad {
 				pass.Reportf(e.Pos(), "%s while holding %s can block under gray failure; release the lock first", name, anyHeld(held))
+			} else if name, bad := callbackCall(pass, e); bad {
+				pass.Reportf(e.Pos(), "callback %s invoked while holding %s can re-enter and deadlock; copy it and call after unlocking", name, anyHeld(held))
 			}
 		}
 		return true
@@ -211,6 +213,29 @@ func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
 		return "sync " + recv.Obj().Name() + ".Wait", true
 	}
 	return "", false
+}
+
+// callbackCall recognizes invoking a func-typed struct field — a
+// caller-supplied callback like OnPacket or StatsSink. The callback's
+// body is outside this package's control: if it re-enters the type that
+// is holding the lock (a sink that queries the engine, a packet handler
+// that opens a channel), the goroutine self-deadlocks. Calls through
+// plain local variables are deliberately not flagged — copying the field
+// into a local and invoking it after Unlock is exactly the sanctioned
+// fix, and must stay clean.
+func callbackCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return "", false
+	}
+	if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+		return "", false
+	}
+	return "field " + types.ExprString(sel), true
 }
 
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

@@ -14,6 +14,11 @@ type peer struct {
 	net *network.Network
 	ch  chan int
 	wg  sync.WaitGroup
+
+	// Caller-supplied callbacks: invoking one under a held lock lets the
+	// callee re-enter and self-deadlock.
+	OnPacket func(int)
+	sink     func(string) error
 }
 
 func (p *peer) badCallUnderLock() {
@@ -52,6 +57,34 @@ func (p *peer) badWait() {
 	p.mu.Lock()
 	p.wg.Wait() // want `sync WaitGroup\.Wait while holding p\.mu`
 	p.mu.Unlock()
+}
+
+func (p *peer) badCallbackUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.OnPacket(1) // want `callback field p\.OnPacket invoked while holding p\.mu`
+}
+
+func (p *peer) badCallbackUnderRLock() error {
+	p.rmu.RLock()
+	err := p.sink("x") // want `callback field p\.sink invoked while holding p\.rmu`
+	p.rmu.RUnlock()
+	return err
+}
+
+func (p *peer) cleanCallbackCopiedOut() {
+	p.mu.Lock()
+	cb := p.OnPacket
+	p.mu.Unlock()
+	// Calling through the local copy after unlocking is the sanctioned
+	// fix and must not be flagged.
+	if cb != nil {
+		cb(2)
+	}
+}
+
+func (p *peer) cleanCallbackNoLock() {
+	p.OnPacket(3)
 }
 
 func (p *peer) cleanUnlockFirst() ([]byte, error) {

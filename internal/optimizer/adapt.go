@@ -123,6 +123,16 @@ func (m *ThroughputMonitor) Track(peer pattern.PeerID) {
 	}
 }
 
+// IsFlagged reports whether a peer is currently flagged as slow. The
+// executor's mid-flight migration path polls this before dispatching to a
+// site, so a peer flagged during one branch's collection is avoided by
+// sibling branches without waiting for the end-of-round Tick.
+func (m *ThroughputMonitor) IsFlagged(peer pattern.PeerID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flagged[peer]
+}
+
 // Unflag forgets that a peer was flagged, e.g. after the executor has
 // replanned around it (so a later reinstatement starts clean).
 func (m *ThroughputMonitor) Unflag(peer pattern.PeerID) {

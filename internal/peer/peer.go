@@ -82,6 +82,10 @@ type Config struct {
 	// AllowPartial opts the peer's queries into partial answers with
 	// completeness annotations (see exec.Engine.AllowPartial).
 	AllowPartial bool
+	// MaxMigrations bounds surgical subtree migrations per query round;
+	// 0 uses the engine default, exec.NoMigrations disables migration so
+	// recovery falls back to full replan+restart (the PR-4 ablation).
+	MaxMigrations int
 	// Quarantine enables the circuit-breaker health tracker: failed peers
 	// are quarantined from routing for a cool-down instead of forgotten.
 	Quarantine bool
@@ -181,6 +185,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	p.Engine.DeadlineMS = cfg.DeadlineMS
 	p.Engine.MaxRetries = cfg.MaxRetries
 	p.Engine.AllowPartial = cfg.AllowPartial
+	p.Engine.MaxMigrations = cfg.MaxMigrations
 	p.Channels.DeadlineMS = cfg.DeadlineMS
 	if cfg.Quarantine {
 		p.Health = routing.NewHealth(p.Registry)

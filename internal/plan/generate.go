@@ -97,6 +97,44 @@ func FillHoles(p *Plan, ann *pattern.Annotated) (*Plan, int) {
 	return out, filled
 }
 
+// SplitHoles returns a copy of the plan with every multi-pattern hole
+// rewritten into a join of single-pattern holes. Merged scans that were
+// excluded back into holes carry several path patterns in one leaf, which
+// FillHoles cannot fill (it needs per-pattern peer annotations); splitting
+// restores the one-pattern-per-hole shape the generator produces, so
+// mid-flight migration can refill each pattern independently.
+func SplitHoles(p *Plan) *Plan {
+	var rewrite func(Node) Node
+	rewrite = func(n Node) Node {
+		switch v := n.(type) {
+		case *Scan:
+			if v.IsHole() && len(v.Patterns) > 1 {
+				parts := make([]Node, len(v.Patterns))
+				for i, pp := range v.Patterns {
+					parts[i] = NewHole(pp)
+				}
+				return NewJoin(parts...)
+			}
+			return v.clone()
+		case *Union:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return NewUnion(inputs...)
+		case *Join:
+			inputs := make([]Node, len(v.Inputs))
+			for i, in := range v.Inputs {
+				inputs[i] = rewrite(in)
+			}
+			return NewJoin(inputs...)
+		default:
+			return n.clone()
+		}
+	}
+	return &Plan{Root: rewrite(p.Root), Query: p.Query}
+}
+
 // ExcludePeers returns a copy of the plan with every scan at one of the
 // given peers turned back into a hole — the replanning primitive of §2.5:
 // after a peer failure the root node "re-executes the routing and

@@ -572,3 +572,13 @@ func (r *Router) truncateAnnotation(ann *pattern.Annotated, v *View) {
 func (r *Router) RelevantPeers(q *pattern.QueryPattern) []pattern.PeerID {
 	return r.Route(q).AllPeers()
 }
+
+// RoutePatterns routes a bare set of path patterns — a subplan's leaves,
+// not a whole query — against a fresh registry snapshot. The plan-change
+// protocol uses it to find an alternate peer for one migrating subtree
+// without re-routing the entire query: the snapshot is quarantine-aware,
+// so peers dropped mid-execution are already excluded.
+func (r *Router) RoutePatterns(pats []pattern.PathPattern) *pattern.Annotated {
+	q := &pattern.QueryPattern{Patterns: pats}
+	return r.Route(q)
+}
