@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json fault clean
+.PHONY: build test lint check bench bench-json fault trace clean
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,9 @@ test:
 	$(GO) test ./...
 
 # Static analysis: the toolchain's standard passes (go vet: copylocks,
-# printf, ...) plus the five SQPeer invariant analyzers (walltime,
-# seededrand, maporder, errclass, locksafe) — see DESIGN.md §9. Zero
-# un-allowlisted diagnostics is a merge gate.
+# printf, ...) plus the six SQPeer invariant analyzers (walltime,
+# seededrand, maporder, errclass, locksafe, obsspan) — see DESIGN.md §9.
+# Zero un-allowlisted diagnostics is a merge gate.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sqpeer-lint ./...
@@ -39,6 +39,14 @@ fault:
 	$(GO) test -race -run TestChaosSoak ./internal/exec/
 	$(GO) run ./cmd/sqpeer-bench -exp fault
 	$(GO) run -race ./cmd/sqpeer-bench -exp recover
+
+# Observability: the CLAIM-TRACE experiment (rewrites BENCH_PR5.json)
+# plus a captured chrome://tracing file for the paper query — open
+# trace.json in chrome://tracing or Perfetto; trace.jsonl is the
+# byte-stable span listing (diffable across same-scenario runs).
+trace:
+	$(GO) run ./cmd/sqpeer-bench -exp trace
+	$(GO) run ./cmd/sqpeer-bench -trace trace.json
 
 clean:
 	$(GO) clean ./...

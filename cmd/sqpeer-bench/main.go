@@ -10,12 +10,14 @@
 //	sqpeer-bench -exp fig4                  # run one experiment
 //	sqpeer-bench -list                      # list experiment ids
 //	sqpeer-bench -bench-json BENCH_PR1.json # machine-readable perf numbers
+//	sqpeer-bench -trace trace.json          # chrome://tracing file + .jsonl sibling
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sqpeer/internal/harness"
 )
@@ -24,10 +26,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	benchJSON := flag.String("bench-json", "", "write routing/execution before-after ns/op to this JSON file and exit")
+	tracePath := flag.String("trace", "", "run a traced Figure-3 query, write the chrome://tracing trace_event file here (plus a .jsonl sibling) and exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -68,4 +78,22 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeTrace captures one traced paper query and writes both export
+// formats: the chrome://tracing (Perfetto) trace_event file at path and
+// the deterministic JSONL span listing next to it. The critical-path
+// attribution prints to stdout.
+func writeTrace(path string) error {
+	b := harness.CaptureTrace()
+	if err := os.WriteFile(path, b.ChromeJSON, 0o644); err != nil {
+		return err
+	}
+	jsonl := strings.TrimSuffix(path, ".json") + ".jsonl"
+	if err := os.WriteFile(jsonl, b.JSONL, 0o644); err != nil {
+		return err
+	}
+	fmt.Print(b.Report)
+	fmt.Printf("wrote %s and %s\n", path, jsonl)
+	return nil
 }

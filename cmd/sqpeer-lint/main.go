@@ -1,13 +1,14 @@
-// Command sqpeer-lint is the repo's static-analysis gate: five
-// SQPeer-specific analyzers enforcing the determinism, logical-clock and
-// failure-domain invariants of DESIGN.md §9 over the packages matched by
-// its arguments (default ./...).
+// Command sqpeer-lint is the repo's static-analysis gate: six
+// SQPeer-specific analyzers enforcing the determinism, logical-clock,
+// failure-domain and observability invariants of DESIGN.md §9 over the
+// packages matched by its arguments (default ./...).
 //
 //	walltime    no wall-clock reads/sleeps in internal packages
 //	seededrand  no global math/rand source; explicit seeds only
 //	maporder    map iteration order must not leak into output
 //	errclass    errors compared with errors.Is, never ==/!= or strings
 //	locksafe    no blocking ops while a sync (RW)Mutex is held
+//	obsspan     obs spans closed on every return path
 //
 // A diagnostic is suppressed only by `//lint:allow <analyzer> <reason>`
 // on the offending or preceding line; reasons are mandatory and stale
@@ -27,6 +28,7 @@ import (
 	"sqpeer/internal/lint/analyzers/errclass"
 	"sqpeer/internal/lint/analyzers/locksafe"
 	"sqpeer/internal/lint/analyzers/maporder"
+	"sqpeer/internal/lint/analyzers/obsspan"
 	"sqpeer/internal/lint/analyzers/seededrand"
 	"sqpeer/internal/lint/analyzers/walltime"
 	"sqpeer/internal/lint/driver"
@@ -40,6 +42,7 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	errclass.Analyzer,
 	locksafe.Analyzer,
+	obsspan.Analyzer,
 }
 
 // scope restricts the clock and randomness invariants to the middleware
@@ -50,6 +53,7 @@ var analyzers = []*analysis.Analyzer{
 var scope = map[string]func(string) bool{
 	"walltime":   isInternal,
 	"seededrand": isInternal,
+	"obsspan":    isInternal,
 }
 
 func isInternal(pkgPath string) bool {

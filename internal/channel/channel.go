@@ -33,6 +33,11 @@ const (
 	Stats
 	// Done marks the end of the destination's result stream.
 	Done
+	// TraceSpans carries the destination's serialized execution-span
+	// subtree (obs.SpanRecord) back to the root — a statistics-class
+	// packet in the paper's taxonomy (§2.4), shipped only when the root
+	// propagated a trace ID in the subplan request.
+	TraceSpans
 )
 
 // String names the packet type.
@@ -48,6 +53,8 @@ func (t PacketType) String() string {
 		return "stats"
 	case Done:
 		return "done"
+	case TraceSpans:
+		return "trace-spans"
 	default:
 		return fmt.Sprintf("packet(%d)", int(t))
 	}
@@ -82,6 +89,13 @@ type Packet struct {
 	Rows int `json:"rows"`
 	// Payload is the serialized body.
 	Payload []byte `json:"payload"`
+	// TraceID and SpanID propagate the root's trace context: when the
+	// root ships a subplan with a trace ID, the destination binds it to
+	// the channel (Manager.BindTrace) and every upstream packet carries
+	// it, so remote execution is attributable to the root span that
+	// dispatched it.
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // seenWindow bounds the out-of-order acceptance window: packets this far
@@ -143,10 +157,13 @@ func (c *Channel) Watermark() int {
 
 // accept decides whether a packet sequence number is new (true) or a
 // replayed duplicate (false), maintaining the bounded seen-window that
-// distinguishes late arrivals from replays. Callers hold c.mu.
-func (c *Channel) accept(seq int) bool {
+// distinguishes late arrivals from replays. forced counts how many
+// floor slots the bounded window pushed past without a contiguous fill
+// (observability: a nonzero forced rate means the window is too small
+// for the reordering in play). Callers hold c.mu.
+func (c *Channel) accept(seq int) (ok bool, forced int) {
 	if seq <= c.floor || c.seen[seq] {
-		return false // replay of an already-accepted packet
+		return false, 0 // replay of an already-accepted packet
 	}
 	if c.seen == nil {
 		c.seen = map[int]bool{}
@@ -162,9 +179,10 @@ func (c *Channel) accept(seq int) bool {
 	// new floor is deemed replayed from then on.
 	for seq-c.floor > seenWindow {
 		c.floor++
+		forced++
 		delete(c.seen, c.floor)
 	}
-	return true
+	return true, forced
 }
 
 // openReq is the wire body of a channel-open request.
@@ -192,7 +210,34 @@ type Manager struct {
 	onPacket map[string]func(Packet)              // root-side packet callbacks
 	inbound  map[string]pattern.PeerID            // channelID -> root (dest side)
 	outSeq   map[string]int                       // channelID -> last sent seq (dest side)
+	trace    map[string]traceBinding              // channelID -> trace context (dest side)
 	onOpen   func(id string, root pattern.PeerID) // dest-side accept hook
+	stats    ManagerStats
+}
+
+// traceBinding is the dest-side trace context stamped onto every
+// upstream packet of a channel.
+type traceBinding struct {
+	traceID, spanID string
+}
+
+// ManagerStats is the manager's packet accounting: the seq-window and
+// dedupe counters that used to live only as per-channel state, published
+// to the obs registry via CollectObs.
+type ManagerStats struct {
+	// PacketsSent counts upstream packets shipped as destination.
+	PacketsSent int
+	// PacketsAccepted / PacketsDuplicate count root-side packet
+	// arrivals split by the dedupe verdict; WindowForced counts floor
+	// slots the bounded seen-window skipped without a contiguous fill.
+	PacketsAccepted  int
+	PacketsDuplicate int
+	WindowForced     int
+	// ChannelsOpened counts root-side opens; ChannelsAccepted dest-side
+	// accepts; ChannelsClosed root-side closes.
+	ChannelsOpened   int
+	ChannelsAccepted int
+	ChannelsClosed   int
 }
 
 // NewManager wires a manager for peer self into the network, registering
@@ -205,6 +250,7 @@ func NewManager(self pattern.PeerID, net *network.Network) *Manager {
 		onPacket: map[string]func(Packet){},
 		inbound:  map[string]pattern.PeerID{},
 		outSeq:   map[string]int{},
+		trace:    map[string]traceBinding{},
 	}
 	net.AddNode(self)
 	net.Handle(self, "chan.open", m.handleOpen)
@@ -215,6 +261,25 @@ func NewManager(self pattern.PeerID, net *network.Network) *Manager {
 
 // Self returns the peer this manager belongs to.
 func (m *Manager) Self() pattern.PeerID { return m.self }
+
+// Stats returns a copy of the manager's packet accounting.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// BindTrace attaches a trace context to an inbound channel (this peer is
+// the destination): every subsequent upstream packet carries the trace
+// and span IDs. Unbinding happens automatically at channel close.
+func (m *Manager) BindTrace(channelID, traceID, spanID string) {
+	if traceID == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trace[channelID] = traceBinding{traceID: traceID, spanID: spanID}
+}
 
 // OnOpen registers a destination-side hook invoked when a remote root
 // opens a channel to this peer.
@@ -245,6 +310,7 @@ func (m *Manager) Open(dest pattern.PeerID, onPacket func(Packet)) (*Channel, er
 	if onPacket != nil {
 		m.onPacket[id] = onPacket
 	}
+	m.stats.ChannelsOpened++
 	m.mu.Unlock()
 	return ch, nil
 }
@@ -262,6 +328,7 @@ func (m *Manager) Close(ch *Channel) {
 	m.mu.Lock()
 	delete(m.channels, ch.ID)
 	delete(m.onPacket, ch.ID)
+	m.stats.ChannelsClosed++
 	m.mu.Unlock()
 }
 
@@ -301,15 +368,19 @@ func (m *Manager) SendToRoot(channelID string, typ PacketType, rows int, payload
 	m.mu.Lock()
 	root, ok := m.inbound[channelID]
 	var seq int
+	var tb traceBinding
 	if ok {
 		m.outSeq[channelID]++
 		seq = m.outSeq[channelID]
+		tb = m.trace[channelID]
+		m.stats.PacketsSent++
 	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("channel: %s: unknown inbound channel %q", m.self, channelID)
 	}
-	pkt := Packet{ChannelID: channelID, Type: typ, Seq: seq, Rows: rows, Payload: payload}
+	pkt := Packet{ChannelID: channelID, Type: typ, Seq: seq, Rows: rows, Payload: payload,
+		TraceID: tb.traceID, SpanID: tb.spanID}
 	body, err := json.Marshal(pkt)
 	if err != nil {
 		return fmt.Errorf("channel: marshal packet: %w", err)
@@ -327,6 +398,7 @@ func (m *Manager) handleOpen(msg network.Message) ([]byte, error) {
 	}
 	m.mu.Lock()
 	m.inbound[req.ChannelID] = req.Root
+	m.stats.ChannelsAccepted++
 	hook := m.onOpen
 	m.mu.Unlock()
 	if hook != nil {
@@ -348,12 +420,16 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 		return nil, fmt.Errorf("channel: %s: packet for unknown channel %q", m.self, pkt.ChannelID)
 	}
 	ch.mu.Lock()
-	if !ch.accept(pkt.Seq) {
+	ok, forced := ch.accept(pkt.Seq)
+	if !ok {
 		// Duplicate delivery (at-least-once transport): the destination
 		// stamped this sequence number once; drop the replay. A late
 		// arrival reordered by a delay spike is NOT a duplicate — accept
 		// tells them apart via the bounded seen-window.
 		ch.mu.Unlock()
+		m.mu.Lock()
+		m.stats.PacketsDuplicate++
+		m.mu.Unlock()
 		return nil, nil
 	}
 	if pkt.Type == Results {
@@ -363,6 +439,10 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 		ch.failed = true
 	}
 	ch.mu.Unlock()
+	m.mu.Lock()
+	m.stats.PacketsAccepted++
+	m.stats.WindowForced += forced
+	m.mu.Unlock()
 	if cb != nil {
 		cb(pkt)
 	}
@@ -377,6 +457,7 @@ func (m *Manager) handleClose(msg network.Message) ([]byte, error) {
 	m.mu.Lock()
 	delete(m.inbound, req.ChannelID)
 	delete(m.outSeq, req.ChannelID)
+	delete(m.trace, req.ChannelID)
 	m.mu.Unlock()
 	return nil, nil
 }

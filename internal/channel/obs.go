@@ -1,0 +1,17 @@
+package channel
+
+import "sqpeer/internal/obs"
+
+// CollectObs publishes the manager's packet accounting into an obs
+// gather under the unified naming scheme. Intended to be called from a
+// registered snapshot-time collector; the Stats() accessor remains the
+// direct compatibility path.
+func (s ManagerStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
+	g.Count("channel_packets_sent_total", float64(s.PacketsSent), labels...)
+	g.Count("channel_packets_accepted_total", float64(s.PacketsAccepted), labels...)
+	g.Count("channel_packets_duplicate_total", float64(s.PacketsDuplicate), labels...)
+	g.Count("channel_window_forced_total", float64(s.WindowForced), labels...)
+	g.Count("channel_opens_total", float64(s.ChannelsOpened), labels...)
+	g.Count("channel_accepts_total", float64(s.ChannelsAccepted), labels...)
+	g.Count("channel_closes_total", float64(s.ChannelsClosed), labels...)
+}

@@ -24,6 +24,7 @@ import (
 
 	"sqpeer/internal/channel"
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/optimizer"
 	"sqpeer/internal/pattern"
 	"sqpeer/internal/plan"
@@ -148,6 +149,18 @@ type Engine struct {
 	// regardless of the setting: branches are collected per input and
 	// merged in input order.
 	Parallelism int
+	// Tracer, when set, opens a query trace per Execute call (unless the
+	// caller supplies a parent span via ExecuteAnnotatedIn): spans for
+	// every phase, with trace IDs propagated to remote evaluators in the
+	// subplan request so their execution grafts back into the root's
+	// trace. Nil disables tracing at zero cost — all span operations are
+	// nil-receiver no-ops.
+	Tracer *obs.Tracer
+	// Obs, when set, receives direct event counters (stats packets
+	// received/applied, throughput flag transitions). Component counters
+	// (Metrics, channel and health stats) reach the registry through
+	// snapshot-time collectors instead — see peer.New.
+	Obs *obs.Registry
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -388,6 +401,19 @@ func (e *Engine) maxReplans() int {
 // hole pruning instead of failure when replanning cannot cover every
 // pattern.
 func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
+	return e.ExecuteAnnotatedIn(p, nil)
+}
+
+// ExecuteAnnotatedIn is ExecuteAnnotated under a caller-supplied trace
+// span (the peer layer passes its query span so routing, planning and
+// execution share one trace). With a nil span and a configured Tracer,
+// the engine opens a standalone trace for the call.
+func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, error) {
+	if span == nil && e.Tracer != nil {
+		tr := e.Tracer.StartTrace("execute@"+string(e.Self), string(e.Self))
+		span = tr.Root()
+		defer span.End()
+	}
 	maxReplans := e.maxReplans()
 	current := p
 	var unanswered []Unanswered
@@ -444,12 +470,15 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 			// answer's completeness without a restart) or reports them
 			// unanswered with this reason.
 		}
-		rs, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched)
+		rs, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched, span)
 		if err == nil {
 			// The paper's literal run-time trigger: peers whose channels
 			// streamed too few rows this round are replanned around, same
 			// path as a hard failure.
 			if slow := e.slowPeers(); len(slow) > 0 && e.Router != nil && attempt < maxReplans {
+				if span != nil {
+					span.Annotate(fmt.Sprintf("throughput.flagged.%d", attempt), peersCSV(slow))
+				}
 				obsolete := map[pattern.PeerID]bool{}
 				for _, peer := range slow {
 					obsolete[peer] = true
@@ -457,6 +486,10 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 				}
 				replanned, rerr := optimizer.Replan(current, obsolete, e.Router)
 				if rerr == nil && !plan.Equal(replanned.Root, current.Root) {
+					rsp := span.Child(obs.KindReplan, fmt.Sprintf("replan.%d", attempt))
+					rsp.Annotate("trigger", "throughput")
+					rsp.Annotate("obsolete", peersCSV(slow))
+					rsp.End()
 					e.mu.Lock()
 					e.metrics.Replans++
 					e.mu.Unlock()
@@ -489,6 +522,10 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 		// ubQL adaptation: discard intermediates, drop the obsolete peer
 		// from our routing knowledge, replan, restart.
 		e.dropFromRouting(pf.Peer)
+		rsp := span.Child(obs.KindReplan, fmt.Sprintf("replan.%d", attempt))
+		rsp.Annotate("trigger", "failure")
+		rsp.Annotate("obsolete", string(pf.Peer))
+		rsp.End()
 		replanned, rerr := optimizer.Replan(current, map[pattern.PeerID]bool{pf.Peer: true}, e.Router)
 		if rerr != nil {
 			if replanned != nil && e.AllowPartial {
@@ -531,9 +568,22 @@ func (e *Engine) slowPeers() []pattern.PeerID {
 	}
 	flagged := e.Throughput.Tick()
 	for _, peer := range flagged {
+		if e.Obs != nil {
+			e.Obs.Counter("exec_throughput_flags_total",
+				obs.L("peer", string(e.Self)), obs.L("site", string(peer))).Inc()
+		}
 		e.Throughput.Unflag(peer)
 	}
 	return flagged
+}
+
+// peersCSV renders a sorted peer list for span annotations.
+func peersCSV(peers []pattern.PeerID) string {
+	parts := make([]string, len(peers))
+	for i, p := range peers {
+		parts[i] = string(p)
+	}
+	return strings.Join(parts, ",")
 }
 
 func failureOf(err error) (*PeerFailure, bool) {
@@ -627,6 +677,13 @@ type remoteResult struct {
 	rows *rql.ResultSet
 	err  error
 	done bool
+	// span is the dispatch try's stream span: the packet collector
+	// charges per-packet transfer time to it and grafts the remote
+	// peer's shipped span subtree under it. nil when tracing is off.
+	span *obs.Span
+	// link is the root→site link, captured at dispatch so the packet
+	// collector prices transfers without touching the network's lock.
+	link stats.Link
 	// rowCount sums the rows of accepted Results packets this dispatch
 	// (channel-layer dedup already dropped replays).
 	rowCount int
@@ -678,7 +735,7 @@ func (ex *execution) release() {
 // executeOnce runs one execution round. It returns the round's rows (nil
 // only on error) plus the patterns whose holes could not be filled
 // mid-flight, sorted by id.
-func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int) (*rql.ResultSet, []Unanswered, error) {
+func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int, parent *obs.Span) (*rql.ResultSet, []Unanswered, error) {
 	ex := newExecution(e)
 	ex.attempt = attempt
 	if fetched != nil {
@@ -687,8 +744,10 @@ func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetch
 	if lastFailure != nil {
 		ex.holeReason = lastFailure.Error()
 	}
+	asp := parent.Child(obs.KindAttempt, fmt.Sprintf("attempt.%d", attempt))
+	defer asp.End()
 	defer ex.closeAll()
-	rows, err := ex.run(p.Root)
+	rows, err := ex.run(p.Root, asp)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -727,12 +786,29 @@ func (ex *execution) cancelled() bool {
 // order, so the caller's merge is deterministic no matter how the branches
 // interleave. On failure the lowest-index real error wins (matching what
 // sequential evaluation would have surfaced) and siblings are cancelled.
-func (ex *execution) runAll(inputs []plan.Node) ([]*rql.ResultSet, error) {
+func (ex *execution) runAll(inputs []plan.Node, parent *obs.Span) ([]*rql.ResultSet, error) {
+	// Branch spans are pre-created here, in input order, BEFORE any
+	// goroutine is spawned: span creation order (and therefore the
+	// exported layout) is a function of the plan alone, no matter how the
+	// branches interleave at run time. Sibling span names are made unique
+	// by the branch index prefix.
+	var spans []*obs.Span
+	if parent != nil {
+		spans = make([]*obs.Span, len(inputs))
+		for i, in := range inputs {
+			spans[i] = parent.Child(branchKind(in), fmt.Sprintf("b%02d.%s", i, branchName(in)))
+		}
+		defer endAll(spans)
+	}
 	if len(inputs) == 1 || ex.sem == nil {
 		// Sequential fast path: no goroutines, stop at the first error.
 		out := make([]*rql.ResultSet, len(inputs))
 		for i, in := range inputs {
-			rs, err := ex.run(in)
+			var bsp *obs.Span
+			if spans != nil {
+				bsp = spans[i]
+			}
+			rs, err := ex.run(in, bsp)
 			if err != nil {
 				ex.abort()
 				return nil, err
@@ -751,14 +827,18 @@ func (ex *execution) runAll(inputs []plan.Node) ([]*rql.ResultSet, error) {
 	errs := make([]error, len(inputs))
 	var wg sync.WaitGroup
 	for i, in := range inputs {
+		var bsp *obs.Span
+		if spans != nil {
+			bsp = spans[i]
+		}
 		wg.Add(1)
-		go func(i int, in plan.Node) {
+		go func(i int, in plan.Node, bsp *obs.Span) {
 			defer wg.Done()
-			results[i], errs[i] = ex.run(in)
+			results[i], errs[i] = ex.run(in, bsp)
 			if errs[i] != nil {
 				ex.abort()
 			}
-		}(i, in)
+		}(i, in, bsp)
 	}
 	wg.Wait()
 	var fallback error
@@ -779,12 +859,51 @@ func (ex *execution) runAll(inputs []plan.Node) ([]*rql.ResultSet, error) {
 	return results, nil
 }
 
+// branchKind maps a plan node to the span kind of its branch span.
+func branchKind(n plan.Node) string {
+	switch n.(type) {
+	case *plan.Union:
+		return obs.KindUnion
+	case *plan.Join:
+		return obs.KindJoin
+	default:
+		return obs.KindScan
+	}
+}
+
+// branchName renders a short deterministic label for a branch span.
+func branchName(n plan.Node) string {
+	switch v := n.(type) {
+	case *plan.Union:
+		return "union"
+	case *plan.Join:
+		return "join"
+	case *plan.Scan:
+		ids := strings.Join(v.PatternIDs(), "+")
+		if v.IsHole() {
+			return ids + "@?"
+		}
+		return ids + "@" + string(v.Peer)
+	default:
+		return "node"
+	}
+}
+
+// endAll closes a batch of branch spans.
+func endAll(spans []*obs.Span) {
+	for _, s := range spans {
+		s.End()
+	}
+}
+
 // run evaluates a plan node, producing its rows at e.Self. A nil result
 // with nil error is the "absent" sentinel: an unfillable hole under
 // AllowPartial contributed nothing, and the parent union/join skips the
 // branch instead of joining against an empty set (which would wrongly
 // annihilate sibling rows — the same collapse semantics as PruneHoles).
-func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
+// sp is the node's own span (the branch span its parent pre-created, or
+// the attempt span at the plan root); nil when tracing is off.
+func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 	if ex.cancelled() {
 		return nil, errCancelled
 	}
@@ -792,7 +911,7 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 	switch v := n.(type) {
 	case *plan.Scan:
 		if v.IsHole() {
-			return ex.runHole(v)
+			return ex.runHole(v, sp)
 		}
 		if v.Peer == e.Self {
 			ex.acquire()
@@ -803,11 +922,15 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 			e.mu.Lock()
 			e.metrics.LocalScans++
 			e.mu.Unlock()
-			return e.Local.EvalScan(v.Patterns), nil
+			rs := e.Local.EvalScan(v.Patterns)
+			if sp != nil {
+				sp.Annotate("localRows", fmt.Sprintf("%d", rs.Len()))
+			}
+			return rs, nil
 		}
-		return ex.runRemote(v.Peer, v)
+		return ex.runRemote(v.Peer, v, sp)
 	case *plan.Union:
-		rss, err := ex.runAll(v.Inputs)
+		rss, err := ex.runAll(v.Inputs, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -830,9 +953,9 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 		if site != e.Self && !plan.HasHoles(v) {
 			// Holes never ship: the remote evaluator has no router to fill
 			// them, so a holed join subtree always runs at the root.
-			return ex.runRemote(site, v)
+			return ex.runRemote(site, v, sp)
 		}
-		rss, err := ex.runAll(v.Inputs)
+		rss, err := ex.runAll(v.Inputs, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -866,7 +989,7 @@ func (ex *execution) run(n plan.Node) (*rql.ResultSet, error) {
 // becomes a dispatched subplan (the paper's plan-change packets carry
 // exactly this upgrade) while sibling branches keep streaming. Unfillable
 // holes become absent branches under AllowPartial, errors otherwise.
-func (ex *execution) runHole(v *plan.Scan) (*rql.ResultSet, error) {
+func (ex *execution) runHole(v *plan.Scan, sp *obs.Span) (*rql.ResultSet, error) {
 	e := ex.engine
 	if e.Router != nil {
 		ann := e.Router.RoutePatterns(v.Patterns)
@@ -877,7 +1000,10 @@ func (ex *execution) runHole(v *plan.Scan) (*rql.ResultSet, error) {
 			e.metrics.HolesFilled += nfilled
 			e.metrics.PlanChanges++
 			e.mu.Unlock()
-			return ex.run(filled.Root)
+			hsp := sp.Child(obs.KindHoleFill, "hole-fill")
+			rows, err := ex.run(filled.Root, hsp)
+			hsp.End()
+			return rows, err
 		}
 	}
 	if e.AllowPartial {
@@ -951,18 +1077,27 @@ type subplanReq struct {
 	ChannelID  string `json:"channelId"`
 	Plan       []byte `json:"plan"`
 	ResumeFrom int    `json:"resumeFrom,omitempty"`
+	// TraceID/SpanID propagate the root's trace context: the destination
+	// binds them to the channel, stamps them onto every upstream packet,
+	// records its own execution spans and ships them back in a
+	// TraceSpans packet, parented under SpanID in the root's trace.
+	TraceID string `json:"traceId,omitempty"`
+	SpanID  string `json:"spanId,omitempty"`
 }
 
 // runRemote ships the node to the site peer and gathers its rows through
 // the channel. Identical dispatches from concurrent branches are
 // single-flighted: the first branch ships, the rest wait on its cache
 // entry.
-func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 	e := ex.engine
 	cacheKey := string(site) + "\x00" + n.String()
 	ex.mu.Lock()
 	if ent, ok := ex.cache[cacheKey]; ok {
 		ex.mu.Unlock()
+		if sp != nil {
+			sp.Annotate("singleflight", "hit")
+		}
 		// Waiters hold no pool token, so the owner can always acquire one
 		// and fill the entry — waiting here cannot deadlock.
 		<-ent.done
@@ -975,7 +1110,7 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	// is migrated away from before we sink a dispatch into it. If no
 	// alternate peer covers the subtree, dispatch to the slow site anyway.
 	if tm := e.Throughput; tm != nil && e.Router != nil && tm.IsFlagged(site) {
-		if rows, migrated, merr := ex.tryMigrate(site, n); migrated {
+		if rows, migrated, merr := ex.tryMigrate(site, n, sp); migrated {
 			ent.rows, ent.err = rows, merr
 			close(ent.done)
 			return ent.rows, ent.err
@@ -985,7 +1120,9 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	if ex.cancelled() {
 		ent.err = errCancelled
 	} else {
-		ent.rows, ent.err = ex.dispatchRetry(site, n)
+		dsp := sp.ChildAt(obs.KindDispatch, "dispatch@"+string(site), string(site))
+		ent.rows, ent.err = ex.dispatchRetry(site, n, dsp)
+		dsp.End()
 	}
 	ex.release()
 	// Surgical recovery: a terminal peer failure migrates just this
@@ -994,7 +1131,7 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 	// acquires its own tokens (token holders never acquire twice).
 	if ent.err != nil && !errors.Is(ent.err, errCancelled) {
 		if pf, ok := failureOf(ent.err); ok && pf.Peer == site {
-			if rows, migrated, merr := ex.tryMigrate(site, n); migrated {
+			if rows, migrated, merr := ex.tryMigrate(site, n, sp); migrated {
 				ent.rows, ent.err = rows, merr
 			}
 		}
@@ -1021,7 +1158,7 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node) (*rql.ResultSet
 // route to precede every quarantine, which the per-branch
 // quarantine-then-route order makes impossible. The wait graph stays
 // acyclic no matter how concurrent migrations interleave.
-func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node) (*rql.ResultSet, bool, error) {
+func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) (*rql.ResultSet, bool, error) {
 	e := ex.engine
 	if e.Router == nil || ex.cancelled() || e.maxMigrations() == 0 {
 		return nil, false, nil
@@ -1064,7 +1201,12 @@ func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node) (*rql.ResultSe
 		Site: site, Subplan: n.String(), Patterns: patternKey(n),
 		Attempt: ex.attempt, Outcome: "migrated-away",
 	})
-	rows, err := ex.run(filled.Root)
+	msp := sp.Child(obs.KindMigrate, "migrate-from@"+string(site))
+	if msp != nil {
+		msp.Annotate("retainedRows", fmt.Sprintf("%d", retained))
+	}
+	rows, err := ex.run(filled.Root, msp)
+	msp.End()
 	if err == nil && rows == nil {
 		rows = rql.NewResultSet()
 	}
@@ -1083,7 +1225,7 @@ func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node) (*rql.ResultSe
 // the destination to resume after them. The destination acknowledges with
 // a PlanChange packet — "resume-honored" keeps the prefix, "checkpoint-
 // invalid" discards it and re-streams from scratch.
-func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.ResultSet, error) {
+func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.Span) (*rql.ResultSet, error) {
 	e := ex.engine
 	backoff := e.RetryBackoffMS
 	if backoff <= 0 {
@@ -1092,10 +1234,23 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.Resul
 	var partial *rql.ResultSet // checkpointed rows from failed attempts
 	checkpoint := 0            // contiguous row prefix already delivered
 	resumed := false
+	pendingBackoffMS := 0.0 // backoff owed to the next try's span
 	var err error
 	for try := 0; ; try++ {
+		// The first try streams under a "stream" span; each retry gets a
+		// "retry" span carrying its backoff charge plus the re-sent
+		// transfer — so the retry/backoff phase prices what the failure
+		// cost, not just the waiting.
+		kind, name := obs.KindStream, "stream"
+		if try > 0 {
+			kind, name = obs.KindRetry, fmt.Sprintf("retry.%d", try)
+		}
+		ssp := leaf.Child(kind, name)
+		ssp.ChargeMS(pendingBackoffMS)
+		pendingBackoffMS = 0
 		var res *remoteResult
-		res, err = ex.dispatch(site, n, checkpoint)
+		res, err = ex.dispatch(site, n, checkpoint, ssp)
+		ssp.End()
 		if res != nil {
 			switch {
 			case res.restarted:
@@ -1106,6 +1261,7 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.Resul
 				e.mu.Lock()
 				e.metrics.RowsDiscarded += checkpoint
 				e.mu.Unlock()
+				ssp.Annotate("checkpoint", "invalid")
 				partial, checkpoint, resumed = nil, 0, false
 			case checkpoint > 0 && res.resumed:
 				resumed = true
@@ -1113,6 +1269,7 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.Resul
 				e.metrics.Resumes++
 				e.metrics.RowsRetained += checkpoint
 				e.mu.Unlock()
+				ssp.Annotate("checkpoint", "resumed")
 			}
 			if res.rows != nil {
 				if partial == nil {
@@ -1140,6 +1297,7 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node) (*rql.Resul
 		e.metrics.Retries++
 		e.metrics.BackoffMS += backoff
 		e.mu.Unlock()
+		pendingBackoffMS = backoff
 		backoff *= 2
 		ex.resetSite(site)
 	}
@@ -1206,7 +1364,10 @@ func (ex *execution) resetSite(site pattern.PeerID) {
 // dispatch performs one subplan shipment and collects the streamed reply.
 // It returns the remoteResult even on failure: the rows that arrived
 // before the break are a contiguous checkpoint the retry loop keeps.
-func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int) (*remoteResult, error) {
+// sp is the try's stream/retry span: the request leg's transfer time is
+// charged to it here, reply packets are charged by the packet collector,
+// and the remote's shipped span record is grafted under it.
+func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int, sp *obs.Span) (*remoteResult, error) {
 	e := ex.engine
 	sc, err := ex.channelTo(site)
 	if err != nil {
@@ -1217,9 +1378,22 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int) 
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan: %w", err)
 	}
-	body, err := json.Marshal(subplanReq{ChannelID: sc.ch.ID, Plan: data, ResumeFrom: resumeFrom})
+	req := subplanReq{ChannelID: sc.ch.ID, Plan: data, ResumeFrom: resumeFrom}
+	if sp != nil {
+		req.TraceID = sp.TraceID()
+		req.SpanID = sp.Path()
+	}
+	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan request: %w", err)
+	}
+	// Capture the link before taking any lock: the packet collector prices
+	// reply transfers from this snapshot, and LinkBetween takes the
+	// network's own lock.
+	var link stats.Link
+	if sp != nil {
+		link = e.Net.LinkBetween(e.Self, site)
+		sp.ChargeMS(link.TransferMS(len(body) + len("exec.subplan") + 16))
 	}
 	// One request/collect cycle at a time per channel: the inbox collector
 	// is keyed by channel id, so concurrent branches targeting the same
@@ -1227,7 +1401,7 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int) 
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	ex.mu.Lock()
-	ex.inbox[sc.ch.ID] = &remoteResult{site: site}
+	ex.inbox[sc.ch.ID] = &remoteResult{site: site, span: sp, link: link}
 	ex.mu.Unlock()
 	e.mu.Lock()
 	e.metrics.SubplansShipped++
@@ -1289,14 +1463,29 @@ func (ex *execution) channelTo(site pattern.PeerID) (*siteChan, error) {
 	return sc, nil
 }
 
+// packetEnvelopeBytes approximates the on-wire overhead of one channel
+// packet beyond its payload: the JSON envelope fields plus the
+// "chan.packet" message kind and the fixed message header. A constant
+// keeps the per-packet transfer charge deterministic without
+// re-marshaling every packet at the root.
+const packetEnvelopeBytes = 96
+
 func (ex *execution) onPacket(pkt channel.Packet) {
 	// The stats sink is a caller-supplied callback: invoke it only after
 	// ex.mu is released, so a sink that re-enters the engine cannot
 	// deadlock against a packet handler.
 	var sinkStats *stats.PeerStats
+	var statsSite pattern.PeerID
+	statsReceived := false
 	ex.mu.Lock()
 	res, ok := ex.inbox[pkt.ChannelID]
 	if ok {
+		// Price the reply leg: every packet that reaches the collector
+		// crossed the site→root link once. The link was captured at
+		// dispatch, so no network lock is touched here.
+		if res.span != nil {
+			res.span.ChargeMS(res.link.TransferMS(len(pkt.Payload) + packetEnvelopeBytes))
+		}
 		switch pkt.Type {
 		case channel.Results:
 			var rs rql.ResultSet
@@ -1335,19 +1524,46 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 			e.metrics.PlanChanges++
 			e.mu.Unlock()
 		case channel.Stats:
+			statsReceived = true
+			statsSite = res.site
 			if ex.engine.StatsSink != nil {
 				var ps stats.PeerStats
 				if err := json.Unmarshal(pkt.Payload, &ps); err == nil && ps.Peer != "" {
 					sinkStats = &ps
 				}
 			}
+		case channel.TraceSpans:
+			var rec obs.SpanRecord
+			if err := json.Unmarshal(pkt.Payload, &rec); err == nil && res.span != nil {
+				res.span.Graft(&rec)
+			}
 		case channel.Failure:
 			res.err = fmt.Errorf("exec: remote failure: %s", pkt.Payload)
 		case channel.Done:
 			res.done = true
+			// A Done payload is the remote's piggybacked span record (see
+			// streamResults); empty when the remote had no trace context.
+			if len(pkt.Payload) > 0 && res.span != nil {
+				var rec obs.SpanRecord
+				if err := json.Unmarshal(pkt.Payload, &rec); err == nil {
+					res.span.Graft(&rec)
+				}
+			}
 		}
 	}
 	ex.mu.Unlock()
+	// Registry counters live behind their own lock: increment after ex.mu
+	// is released so lock order stays one-deep.
+	if statsReceived {
+		if reg := ex.engine.Obs; reg != nil {
+			peerL := obs.L("peer", string(ex.engine.Self))
+			siteL := obs.L("site", string(statsSite))
+			reg.Counter("exec_stats_packets_received_total", peerL, siteL).Inc()
+			if sinkStats != nil {
+				reg.Counter("exec_stats_packets_applied_total", peerL, siteL).Inc()
+			}
+		}
+	}
 	if sinkStats != nil {
 		ex.engine.StatsSink(sinkStats)
 	}
@@ -1386,6 +1602,14 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Rebuild the root's trace context, if it shipped one: every span this
+	// peer opens hangs off a remote@<self> span that is serialized and
+	// shipped back on the channel, and the channel binding stamps the
+	// trace ids onto every upstream packet.
+	rsp := obs.RemoteSpan(req.TraceID, req.SpanID, string(e.Self))
+	if rsp != nil {
+		e.Channels.BindTrace(req.ChannelID, req.TraceID, req.SpanID)
+	}
 	// Execute with this peer as root and data-shipping placement, so the
 	// shipped join runs here (terminating the recursion).
 	local := &Engine{
@@ -1394,10 +1618,18 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		StatsProvider: e.StatsProvider,
 		StatsSink:     e.StatsSink,
 		Parallelism:   e.Parallelism,
+		Obs:           e.Obs,
 	}
 	ex := newExecution(local)
 	defer ex.closeAll()
-	rows, err := ex.run(sub.Root)
+	rows, err := ex.run(sub.Root, rsp)
+	rsp.End()
+	var traceRec []byte
+	if rsp != nil {
+		if data, merr := json.Marshal(rsp.Record()); merr == nil {
+			traceRec = data
+		}
+	}
 	// Fold the nested execution's metrics into the serving engine's.
 	e.mu.Lock()
 	e.metrics.LocalScans += local.metrics.LocalScans
@@ -1405,12 +1637,17 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 	e.metrics.ChannelsOpened += local.metrics.ChannelsOpened
 	e.mu.Unlock()
 	if err != nil {
+		if len(traceRec) > 0 {
+			if serr := e.Channels.SendToRoot(req.ChannelID, channel.TraceSpans, 0, traceRec); serr != nil {
+				return nil, serr
+			}
+		}
 		if serr := e.Channels.SendToRoot(req.ChannelID, channel.Failure, 0, []byte(err.Error())); serr != nil {
 			return nil, serr
 		}
 		return []byte("failed"), nil
 	}
-	if err := e.streamResults(req.ChannelID, rows, req.ResumeFrom); err != nil {
+	if err := e.streamResults(req.ChannelID, rows, req.ResumeFrom, traceRec); err != nil {
 		return nil, err
 	}
 	return []byte("ok"), nil
@@ -1422,7 +1659,10 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 // starts after it (acked with a "resume-honored" plan-change packet);
 // otherwise the checkpoint is rejected ("checkpoint-invalid") and the
 // stream restarts from row 0 so the root discards its stale prefix.
-func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom int) error {
+// A non-empty traceRec (the serialized remote span subtree) is shipped
+// as a statistics-class TraceSpans packet just before Done, so the root
+// grafts it only after all row packets have been charged.
+func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom int, traceRec []byte) error {
 	batch := e.BatchSize
 	if batch <= 0 {
 		batch = 256
@@ -1470,5 +1710,10 @@ func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom
 			}
 		}
 	}
-	return e.Channels.SendToRoot(channelID, channel.Done, 0, nil)
+	// The span record rides the Done marker's otherwise-empty payload: on
+	// the happy path tracing adds zero extra packets (and zero extra
+	// per-message latency) — only bytes on a packet that was going to be
+	// sent anyway. The failure path, where no Done follows, ships it as a
+	// standalone TraceSpans packet instead.
+	return e.Channels.SendToRoot(channelID, channel.Done, 0, traceRec)
 }

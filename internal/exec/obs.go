@@ -1,0 +1,27 @@
+package exec
+
+import "sqpeer/internal/obs"
+
+// CollectObs publishes the engine's execution counters into an obs
+// gather under the unified naming scheme. Intended to be called from a
+// registered snapshot-time collector against a Metrics copy (the
+// Engine.Metrics() accessor returns one), so no engine lock is held
+// while the registry gathers.
+func (m Metrics) CollectObs(g *obs.Gather, labels ...obs.Label) {
+	g.Count("exec_channels_opened_total", float64(m.ChannelsOpened), labels...)
+	g.Count("exec_subplans_shipped_total", float64(m.SubplansShipped), labels...)
+	g.Count("exec_rows_shipped_total", float64(m.RowsShipped), labels...)
+	g.Count("exec_bytes_shipped_total", float64(m.BytesShipped), labels...)
+	g.Count("exec_replans_total", float64(m.Replans), labels...)
+	g.Count("exec_local_scans_total", float64(m.LocalScans), labels...)
+	g.Count("exec_retries_total", float64(m.Retries), labels...)
+	g.Count("exec_backoff_ms_total", m.BackoffMS, labels...)
+	g.Count("exec_partial_answers_total", float64(m.PartialAnswers), labels...)
+	g.Count("exec_migrations_total", float64(m.Migrations), labels...)
+	g.Count("exec_holes_filled_total", float64(m.HolesFilled), labels...)
+	g.Count("exec_plan_changes_total", float64(m.PlanChanges), labels...)
+	g.Count("exec_resumes_total", float64(m.Resumes), labels...)
+	g.Count("exec_rows_retained_total", float64(m.RowsRetained), labels...)
+	g.Count("exec_rows_refetched_total", float64(m.RowsRefetched), labels...)
+	g.Count("exec_rows_discarded_total", float64(m.RowsDiscarded), labels...)
+}

@@ -1,0 +1,162 @@
+package exec_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/peer"
+)
+
+// tracedPaperSystem is paperSystem with a tracer on P1 only and one
+// shared registry: remote peers must appear in P1's trace purely through
+// channel propagation.
+func tracedPaperSystem(t testing.TB, pairs int) (map[pattern.PeerID]*peer.Peer, *network.Network, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	schema := gen.PaperSchema()
+	bases := gen.PaperBases(pairs)
+	net := network.New()
+	tracer := obs.NewTracer()
+	reg := obs.NewRegistry()
+	peers := map[pattern.PeerID]*peer.Peer{}
+	for _, id := range []pattern.PeerID{"P1", "P2", "P3", "P4"} {
+		cfg := peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: bases[id], Obs: reg}
+		if id == "P1" {
+			cfg.Tracer = tracer
+		}
+		p, err := peer.New(cfg, net)
+		if err != nil {
+			t.Fatalf("peer.New(%s): %v", id, err)
+		}
+		peers[id] = p
+	}
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				a.Learn(b.Advertisement())
+			}
+		}
+	}
+	return peers, net, tracer, reg
+}
+
+func tracedAskJSONL(t *testing.T) []byte {
+	t.Helper()
+	peers, _, tracer, _ := tracedPaperSystem(t, 3)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = 1
+	if _, err := p1.Ask(gen.PaperRQL); err != nil {
+		t.Fatalf("traced ask: %v", err)
+	}
+	return tracer.JSONL()
+}
+
+// Two fresh same-scenario runs must export byte-identical span listings:
+// the trace is a function of the plan and the simulated network alone.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	a, b := tracedAskJSONL(t), tracedAskJSONL(t)
+	if len(a) == 0 {
+		t.Fatal("empty trace export")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-scenario traces differ:\nrun1:\n%s\nrun2:\n%s", a, b)
+	}
+}
+
+// Only P1 owns a tracer, yet the spans of every peer that executed a
+// subplan must appear in P1's trace, grafted under the dispatch that
+// shipped the work — and the grafted tree must keep attribution exact.
+func TestCrossPeerSpanPropagation(t *testing.T) {
+	peers, _, tracer, _ := tracedPaperSystem(t, 3)
+	p1 := peers["P1"]
+	if _, err := p1.Ask(gen.PaperRQL); err != nil {
+		t.Fatalf("traced ask: %v", err)
+	}
+	traces := tracer.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("want 1 trace, got %d", len(traces))
+	}
+	remotePeers := map[string]bool{}
+	for _, es := range traces[0].Layout() {
+		if es.Kind == obs.KindRemote && es.Peer != "P1" {
+			remotePeers[es.Peer] = true
+		}
+	}
+	for _, want := range []string{"P2", "P3", "P4"} {
+		if !remotePeers[want] {
+			t.Errorf("no remote span from %s in P1's trace (got %v)", want, remotePeers)
+		}
+	}
+	att := obs.Analyze(traces[0], 2)
+	if att == nil {
+		t.Fatal("no attribution")
+	}
+	if err := att.Check(); err != nil {
+		t.Fatalf("attribution invariants: %v", err)
+	}
+	if len(att.Leaves) == 0 {
+		t.Fatal("no dispatch leaves attributed")
+	}
+}
+
+// A dropped dispatch surfaces in the trace as a retry span whose self
+// time (backoff + re-transfer) lands in the retry/backoff phase.
+func TestTraceRetrySpans(t *testing.T) {
+	peers, net, tracer, _ := tracedPaperSystem(t, 3)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = 1
+	p1.Engine.MaxRetries = 2
+	net.SetInjector(&scriptInjector{drops: map[string]int{"exec.subplan": 1}})
+	if _, err := p1.Ask(gen.PaperRQL); err != nil {
+		t.Fatalf("traced ask with retry: %v", err)
+	}
+	tr := tracer.Traces()[0]
+	sawRetry := false
+	for _, es := range tr.Layout() {
+		if es.Kind == obs.KindRetry {
+			sawRetry = true
+			if es.SelfMS <= 0 {
+				t.Errorf("retry span %s has no self charge", es.ID)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no retry span recorded for the dropped dispatch")
+	}
+	att := obs.Analyze(tr, 1)
+	if att.Phases[obs.PhaseRetry] <= 0 {
+		t.Fatalf("retry/backoff phase empty: %v", att.Phases)
+	}
+	if err := att.Check(); err != nil {
+		t.Fatalf("attribution invariants with retries: %v", err)
+	}
+}
+
+// The shared registry must end the run holding every layer's counters,
+// including the stats-packet arrival counters of the StatsSink path.
+func TestRegistryUnifiesLayers(t *testing.T) {
+	peers, _, _, reg := tracedPaperSystem(t, 3)
+	p1 := peers["P1"]
+	if _, err := p1.Ask(gen.PaperRQL); err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	got := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		got[m.Name] += m.Value
+	}
+	for _, name := range []string{
+		"exec_subplans_shipped_total",
+		"exec_rows_shipped_total",
+		"exec_stats_packets_received_total",
+		"exec_stats_packets_applied_total",
+		"channel_packets_sent_total",
+		"channel_packets_accepted_total",
+	} {
+		if got[name] <= 0 {
+			t.Errorf("registry missing activity on %s (snapshot: %v)", name, got)
+		}
+	}
+}

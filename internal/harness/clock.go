@@ -7,7 +7,25 @@
 // entry for the harness.
 package harness
 
-import "time"
+import (
+	"time"
+
+	"sqpeer/internal/obs"
+)
+
+// benchReg funnels every harness wall-clock microbenchmark into one obs
+// histogram (harness_bench_us, labeled by bench id): figure reports read
+// their throughput numbers back from the registry, the same path
+// production metrics take, instead of keeping bespoke floats.
+var benchReg = obs.NewRegistry()
+
+// benchObserve records one microbenchmark observation (microseconds per
+// operation) and returns its histogram for reporting.
+func benchObserve(bench string, us float64) *obs.Histogram {
+	h := benchReg.Histogram("harness_bench_us", obs.L("bench", bench))
+	h.Observe(us)
+	return h
+}
 
 // Clock measures elapsed wall time for throughput reporting.
 type Clock struct {

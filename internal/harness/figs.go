@@ -66,8 +66,8 @@ func fig1() *Report {
 			return r
 		}
 	}
-	r.linef("  parse+analyze throughput: %.0f queries/s",
-		float64(n)/clock.Seconds())
+	h := benchObserve("fig1.parse", clock.Microseconds()/n)
+	r.linef("  parse+analyze throughput: %.0f queries/s", 1e6/h.Mean())
 	return r
 }
 
@@ -111,8 +111,9 @@ func fig2() *Report {
 				_, sst := srouter.RouteWithStats(q)
 				cmps = sst.Comparisons
 			}
-			r.linef("    %8d %8d %12d %14.1f", nPeers, nProps, cmps,
+			h := benchObserve(fmt.Sprintf("fig2.route.peers%d.props%d", nPeers, nProps),
 				clock.Microseconds()/reps)
+			r.linef("    %8d %8d %12d %14.1f", nPeers, nProps, cmps, h.Mean())
 		}
 	}
 	return r

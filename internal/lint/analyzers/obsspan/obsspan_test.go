@@ -1,0 +1,11 @@
+package obsspan
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestObsspan(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

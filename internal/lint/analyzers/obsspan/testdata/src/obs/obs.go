@@ -1,0 +1,25 @@
+// Package obs is a fixture stand-in for sqpeer/internal/obs: the
+// obsspan analyzer matches it by package-path tail, so the opener and
+// closer method shapes mirror the real tracing surface.
+package obs
+
+// Span is the fixture span.
+type Span struct{}
+
+// Child opens a child span (an opener).
+func (s *Span) Child(kind, name string) *Span { return s }
+
+// ChildAt opens a child span at a peer (an opener).
+func (s *Span) ChildAt(kind, name, peer string) *Span { return s }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Annotate attaches a key/value (use, not escape).
+func (s *Span) Annotate(k, v string) {}
+
+// ChargeMS accumulates logical time (use, not escape).
+func (s *Span) ChargeMS(ms float64) {}
+
+// RemoteSpan rebuilds a shipped trace context (an opener).
+func RemoteSpan(traceID, parentPath, peer string) *Span { return nil }

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Phase names used by critical-path attribution.
+const (
+	PhaseRouting   = "routing"
+	PhasePlanning  = "planning"
+	PhaseDispatch  = "dispatch"
+	PhaseTransfer  = "transfer"
+	PhaseJoinLocal = "join/local"
+	PhaseRetry     = "retry/backoff"
+	PhaseMigration = "migration"
+	PhaseOther     = "other"
+)
+
+// PhaseOf maps a span kind to its attribution phase.
+func PhaseOf(kind string) string {
+	switch kind {
+	case KindRoute, KindReplan, KindHoleFill:
+		return PhaseRouting
+	case KindPlan, KindOptimize:
+		return PhasePlanning
+	case KindDispatch, KindRemote:
+		return PhaseDispatch
+	case KindStream:
+		return PhaseTransfer
+	case KindScan, KindUnion, KindJoin:
+		return PhaseJoinLocal
+	case KindRetry:
+		return PhaseRetry
+	case KindMigrate:
+		return PhaseMigration
+	default:
+		return PhaseOther
+	}
+}
+
+// Phases is the fixed report order.
+var Phases = []string{
+	PhaseRouting, PhasePlanning, PhaseDispatch, PhaseTransfer,
+	PhaseJoinLocal, PhaseRetry, PhaseMigration, PhaseOther,
+}
+
+// LeafAttribution breaks one dispatch leaf's subtree down by phase.
+type LeafAttribution struct {
+	// Path is the leaf span's deterministic ID.
+	Path string `json:"path"`
+	// Peer is the peer the subplan was dispatched to.
+	Peer string `json:"peer"`
+	// TotalMS is the leaf subtree's total logical time.
+	TotalMS float64 `json:"totalMs"`
+	// QueueMS is the modeled wait behind Parallelism tokens (see
+	// Attribution.ModeledMakespanMS) — reported separately because the
+	// logical clock serializes charges and never actually queues.
+	QueueMS float64 `json:"queueMs"`
+	// Phases sums the subtree's self charges by phase; the values add
+	// up to TotalMS exactly.
+	Phases map[string]float64 `json:"phases"`
+}
+
+// Attribution is the critical-path report for one trace. Two exact
+// invariants hold by construction (and are enforced by Check): each
+// leaf's phase buckets sum to the leaf's total, and all self charges in
+// the trace sum to the end-to-end root total.
+type Attribution struct {
+	TraceID string `json:"trace"`
+	// EndToEndMS is the root span's total: the query's end-to-end
+	// logical latency with every charge laid out sequentially.
+	EndToEndMS float64 `json:"endToEndMs"`
+	// Phases buckets every span's self time in the trace by phase.
+	Phases map[string]float64 `json:"phases"`
+	// Leaves lists dispatch leaves in walk (creation) order.
+	Leaves []LeafAttribution `json:"leaves"`
+	// Parallelism and ModeledMakespanMS report the k-token schedule
+	// model: leaves are replayed through k servers in dispatch order,
+	// giving the makespan a real executor with that token budget would
+	// see and each leaf's queueing delay behind earlier leaves.
+	Parallelism       int     `json:"parallelism"`
+	ModeledMakespanMS float64 `json:"modeledMakespanMs"`
+}
+
+// Analyze walks a finished trace and attributes its end-to-end logical
+// time to phases, per dispatch leaf and overall. parallelism bounds the
+// modeled token schedule (<=0 means unbounded).
+func Analyze(tr *Trace, parallelism int) *Attribution {
+	if tr == nil || tr.root == nil {
+		return nil
+	}
+	a := &Attribution{
+		TraceID:     tr.ID,
+		EndToEndMS:  tr.root.TotalMS(),
+		Phases:      map[string]float64{},
+		Parallelism: parallelism,
+	}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		a.Phases[PhaseOf(s.kind)] += s.SelfMS()
+		if s.kind == KindDispatch {
+			leaf := LeafAttribution{
+				Path:    s.path,
+				Peer:    s.peer,
+				TotalMS: s.TotalMS(),
+				Phases:  map[string]float64{},
+			}
+			bucketSelf(s, leaf.Phases)
+			a.Leaves = append(a.Leaves, leaf)
+		}
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	// walk visits every span exactly once for the trace-wide buckets;
+	// bucketSelf re-sums each dispatch subtree into its leaf's buckets.
+	walk(tr.root)
+	a.modelQueue()
+	return a
+}
+
+// bucketSelf sums every self charge in the subtree into phases.
+func bucketSelf(s *Span, phases map[string]float64) {
+	phases[PhaseOf(s.kind)] += s.SelfMS()
+	for _, c := range s.Children() {
+		bucketSelf(c, phases)
+	}
+}
+
+// modelQueue replays the leaves through parallelism tokens in dispatch
+// order: leaf i starts when a token frees up, waits QueueMS, and the
+// last completion is the modeled makespan.
+func (a *Attribution) modelQueue() {
+	k := a.Parallelism
+	if k <= 0 || k > len(a.Leaves) {
+		k = len(a.Leaves)
+	}
+	if k == 0 {
+		return
+	}
+	busy := make([]float64, k) // per-token next-free time
+	for i := range a.Leaves {
+		// Earliest-free token; ties go to the lowest index.
+		tok := 0
+		for j := 1; j < k; j++ {
+			if busy[j] < busy[tok] {
+				tok = j
+			}
+		}
+		a.Leaves[i].QueueMS = busy[tok]
+		busy[tok] += a.Leaves[i].TotalMS
+		if busy[tok] > a.ModeledMakespanMS {
+			a.ModeledMakespanMS = busy[tok]
+		}
+	}
+}
+
+// Check verifies the attribution invariants: per-leaf phase buckets sum
+// to the leaf total, and the whole-trace phase buckets sum to the
+// end-to-end total. Exact up to float rounding (1e-6 ms).
+func (a *Attribution) Check() error {
+	const eps = 1e-6
+	var sum float64
+	for _, v := range a.Phases {
+		sum += v
+	}
+	if math.Abs(sum-a.EndToEndMS) > eps {
+		return fmt.Errorf("phase sum %.9f != end-to-end %.9f", sum, a.EndToEndMS)
+	}
+	for _, leaf := range a.Leaves {
+		var ls float64
+		for _, v := range leaf.Phases {
+			ls += v
+		}
+		if math.Abs(ls-leaf.TotalMS) > eps {
+			return fmt.Errorf("leaf %s: phase sum %.9f != total %.9f", leaf.Path, ls, leaf.TotalMS)
+		}
+	}
+	return nil
+}
+
+// String renders the attribution as an aligned text report.
+func (a *Attribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s end-to-end %.3fms (modeled makespan %.3fms at par=%d)\n",
+		a.TraceID, a.EndToEndMS, a.ModeledMakespanMS, a.Parallelism)
+	for _, ph := range Phases {
+		if a.Phases[ph] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-14s %10.3fms\n", ph, a.Phases[ph])
+	}
+	for _, leaf := range a.Leaves {
+		fmt.Fprintf(&b, "  leaf %-40s peer=%-4s total=%8.3fms queue=%8.3fms %s\n",
+			leaf.Path, leaf.Peer, leaf.TotalMS, leaf.QueueMS, phaseLine(leaf.Phases))
+	}
+	return b.String()
+}
+
+func phaseLine(phases map[string]float64) string {
+	parts := make([]string, 0, len(phases))
+	for _, ph := range Phases {
+		if phases[ph] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.3f", ph, phases[ph]))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// ExportSpan is one rendered span: the JSONL line format. Start times
+// are assigned at export, not at run time: a span starts at its
+// parent's cursor, occupies self time, then its children follow
+// sequentially in creation order. The rendered timeline is therefore a
+// pure function of the span tree — concurrency in the live run cannot
+// perturb it, which is what makes same-seed traces byte-identical.
+type ExportSpan struct {
+	Trace   string            `json:"trace"`
+	ID      string            `json:"id"`
+	Parent  string            `json:"parent,omitempty"`
+	Kind    string            `json:"kind"`
+	Name    string            `json:"name"`
+	Peer    string            `json:"peer,omitempty"`
+	StartMS float64           `json:"startMs"`
+	DurMS   float64           `json:"durMs"`
+	SelfMS  float64           `json:"selfMs"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Layout renders the trace as a depth-first span list with sequential
+// start times (root at 0).
+func (tr *Trace) Layout() []ExportSpan {
+	if tr == nil || tr.root == nil {
+		return nil
+	}
+	var out []ExportSpan
+	layoutSpan(tr.ID, tr.root, 0, &out)
+	return out
+}
+
+func layoutSpan(traceID string, s *Span, start float64, out *[]ExportSpan) float64 {
+	total := s.TotalMS()
+	es := ExportSpan{
+		Trace:   traceID,
+		ID:      s.path,
+		Kind:    s.kind,
+		Name:    s.name,
+		Peer:    s.peer,
+		StartMS: start,
+		DurMS:   total,
+		SelfMS:  s.SelfMS(),
+	}
+	if s.parent != nil {
+		es.Parent = s.parent.path
+	}
+	attrs := s.Attrs()
+	if len(attrs) > 0 {
+		es.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			es.Attrs[a.Key] = a.Value
+		}
+	}
+	if !s.Ended() {
+		if es.Attrs == nil {
+			es.Attrs = map[string]string{}
+		}
+		es.Attrs["unclosed"] = "true"
+	}
+	*out = append(*out, es)
+	cur := start + s.SelfMS()
+	for _, c := range s.Children() {
+		cur = layoutSpan(traceID, c, cur, out)
+	}
+	return start + total
+}
+
+// JSONL renders every trace as line-delimited JSON, one span per line,
+// traces in start order, spans depth-first. Deterministic: encoding/json
+// marshals map keys sorted, span order is creation order, and all times
+// are logical.
+func (t *Tracer) JSONL() []byte {
+	var buf bytes.Buffer
+	for _, tr := range t.Traces() {
+		for _, es := range tr.Layout() {
+			b, err := json.Marshal(es)
+			if err != nil {
+				continue
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// traceEvent is one Chrome trace_event entry ("X" = complete event).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// TraceEventJSON renders every trace in Chrome trace_event format,
+// loadable in chrome://tracing or Perfetto. Each peer becomes a thread
+// (tid) under one process; logical milliseconds map to trace
+// microseconds × 1000 so sub-ms charges stay visible.
+func (t *Tracer) TraceEventJSON() []byte {
+	traces := t.Traces()
+	peerSet := map[string]bool{}
+	for _, tr := range traces {
+		for _, es := range tr.Layout() {
+			if es.Peer != "" {
+				peerSet[es.Peer] = true
+			}
+		}
+	}
+	peers := make([]string, 0, len(peerSet))
+	for p := range peerSet {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers)
+	tid := map[string]int{}
+	for i, p := range peers {
+		tid[p] = i + 1
+	}
+
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for _, p := range peers {
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid[p],
+			Args: map[string]string{"name": "peer " + p},
+		})
+	}
+	for _, tr := range traces {
+		for _, es := range tr.Layout() {
+			args := map[string]string{"id": es.ID, "selfMs": trimFloat(es.SelfMS)}
+			for k, v := range es.Attrs {
+				args[k] = v
+			}
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: es.Name,
+				Cat:  es.Kind,
+				Ph:   "X",
+				TS:   es.StartMS * 1000,
+				Dur:  es.DurMS * 1000,
+				PID:  1,
+				TID:  tid[es.Peer],
+				Args: args,
+			})
+		}
+	}
+	b, err := json.Marshal(tf)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+func trimFloat(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

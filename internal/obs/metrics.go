@@ -1,0 +1,323 @@
+// Package obs is SQPeer's observability layer: a deterministic metrics
+// registry and a logical-clock span tracer for distributed query
+// execution (paper §2.4–2.5: ubQL channels carry statistics packets so
+// peers can "obtain knowledge about the state of the execution of a
+// query plan"). Everything in this package is driven by the simulated
+// logical clock and by explicit charges — never the wall clock — so a
+// same-seed rerun produces byte-identical snapshots and traces. The
+// package depends only on the standard library: every other layer may
+// import it.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension (e.g. peer=P1).
+type Label struct {
+	// Key and Value are the dimension name and value.
+	Key, Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// canonLabels renders labels in canonical sorted "k=v,k2=v2" form — the
+// identity of an instrument and the deterministic sort key of snapshots.
+func canonLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		return ls[i].Value < ls[j].Value
+	})
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d.
+func (c *Counter) Add(d float64) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a set-to-current-value metric. Safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram summarizes a stream of observations (count/sum/min/max —
+// enough for the harness microbenchmarks and trace reports to agree on
+// units). Safe for concurrent use.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Summary returns (count, sum, min, max).
+func (h *Histogram) Summary() (count int, sum, min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count, h.sum, h.min, h.max
+}
+
+// Mean returns sum/count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Metric is one row of a registry snapshot.
+type Metric struct {
+	// Name is the metric name (snake_case, _total suffix for counters).
+	Name string `json:"name"`
+	// Labels is the canonical "k=v,k2=v2" label string.
+	Labels string `json:"labels,omitempty"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Value carries counter/gauge values (and histogram sums).
+	Value float64 `json:"value"`
+	// Count/Min/Max are set for histograms.
+	Count int     `json:"count,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Gather is the sink a collector writes its component's counters into at
+// snapshot time. Components that already keep internal counters (the
+// executor's Metrics, routing.Health's breaker stats, the channel
+// manager's packet accounting) publish through a collector instead of
+// dual-writing on their hot paths; their existing accessors stay as thin
+// compatibility shims.
+type Gather struct {
+	rows []Metric
+}
+
+// Count emits one counter row.
+func (g *Gather) Count(name string, v float64, labels ...Label) {
+	g.rows = append(g.rows, Metric{Name: name, Labels: canonLabels(labels), Kind: "counter", Value: v})
+}
+
+// Gauge emits one gauge row.
+func (g *Gather) Gauge(name string, v float64, labels ...Label) {
+	g.rows = append(g.rows, Metric{Name: name, Labels: canonLabels(labels), Kind: "gauge", Value: v})
+}
+
+// Registry is the unified metrics store: direct instruments (counters,
+// gauges, histograms keyed by name+labels) plus registered collectors
+// that publish component-internal counters at snapshot time. Snapshot
+// output is deterministically sorted, so two same-seed runs render
+// byte-identical snapshots. Safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	meta       map[string]Metric // instrument key -> name/labels/kind
+	collectors []collectorEntry
+}
+
+type collectorEntry struct {
+	id string
+	fn func(*Gather)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		meta:     map[string]Metric{},
+	}
+}
+
+func key(name string, labels []Label) (string, Metric) {
+	cl := canonLabels(labels)
+	return name + "|" + cl, Metric{Name: name, Labels: cl}
+}
+
+// Counter returns (creating on first use) the counter instrument for the
+// name+labels pair.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	k, m := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+		m.Kind = "counter"
+		r.meta[k] = m
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	k, m := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+		m.Kind = "gauge"
+		r.meta[k] = m
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	k, m := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+		m.Kind = "histogram"
+		r.meta[k] = m
+	}
+	return h
+}
+
+// RegisterCollector adds a snapshot-time publisher under a unique id;
+// re-registering an id replaces the previous collector (peers rebuilt
+// between experiment runs re-register cleanly). Collectors run in id
+// order during Snapshot, without the registry lock held.
+func (r *Registry) RegisterCollector(id string, fn func(*Gather)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.collectors {
+		if c.id == id {
+			r.collectors[i].fn = fn
+			return
+		}
+	}
+	r.collectors = append(r.collectors, collectorEntry{id: id, fn: fn})
+}
+
+// Snapshot renders every instrument and collector output as a sorted,
+// deterministic metric list.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	var rows []Metric
+	keys := make([]string, 0, len(r.meta))
+	for k := range r.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := r.meta[k]
+		switch m.Kind {
+		case "counter":
+			m.Value = r.counters[k].Value()
+		case "gauge":
+			m.Value = r.gauges[k].Value()
+		case "histogram":
+			count, sum, min, max := r.hists[k].Summary()
+			m.Count, m.Value, m.Min, m.Max = count, sum, min, max
+		}
+		rows = append(rows, m)
+	}
+	collectors := make([]collectorEntry, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	sort.Slice(collectors, func(i, j int) bool { return collectors[i].id < collectors[j].id })
+	g := &Gather{}
+	for _, c := range collectors {
+		c.fn(g)
+	}
+	rows = append(rows, g.rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].Labels < rows[j].Labels
+	})
+	return rows
+}
+
+// String renders the snapshot as aligned text, one metric per line,
+// deterministically ordered.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for _, m := range r.Snapshot() {
+		name := m.Name
+		if m.Labels != "" {
+			name += "{" + m.Labels + "}"
+		}
+		if m.Kind == "histogram" {
+			fmt.Fprintf(&b, "%-64s count=%d sum=%g min=%g max=%g\n", name, m.Count, m.Value, m.Min, m.Max)
+		} else {
+			fmt.Fprintf(&b, "%-64s %g\n", name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// buildTrace assembles a small fixed span tree.
+func buildTrace(t *Tracer) *Trace {
+	tr := t.StartTrace("Q", "P1")
+	root := tr.Root()
+	route := root.Child(KindRoute, "route")
+	route.ChargeMS(2)
+	route.Annotate("peers", "3")
+	route.End()
+	leaf := root.ChildAt(KindDispatch, "b00.q1@P2", "P2")
+	stream := leaf.Child(KindStream, "stream")
+	stream.ChargeMS(5)
+	stream.End()
+	leaf.Graft(&SpanRecord{Kind: KindRemote, Name: "remote@P2", Peer: "P2", SelfMS: 1,
+		Children: []*SpanRecord{{Kind: KindScan, Name: "scan", Peer: "P2", SelfMS: 0.5}}})
+	leaf.End()
+	root.End()
+	return tr
+}
+
+func TestLayoutSequentialAndDeterministic(t *testing.T) {
+	t1, t2 := NewTracer(), NewTracer()
+	buildTrace(t1)
+	buildTrace(t2)
+	a, b := t1.JSONL(), t2.JSONL()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same tree produced different JSONL:\n%s\nvs\n%s", a, b)
+	}
+	spans := t1.Traces()[0].Layout()
+	if spans[0].ID != "/Q" || spans[0].StartMS != 0 {
+		t.Fatalf("root misplaced: %+v", spans[0])
+	}
+	// Root total = sum of all self charges.
+	var self float64
+	for _, es := range spans {
+		self += es.SelfMS
+	}
+	if spans[0].DurMS != self {
+		t.Fatalf("root dur %v != self sum %v", spans[0].DurMS, self)
+	}
+	// Children are laid out sequentially: each starts at or after the
+	// previous sibling's end.
+	if spans[2].StartMS != spans[1].StartMS+spans[1].DurMS {
+		t.Fatalf("siblings not sequential: %+v then %+v", spans[1], spans[2])
+	}
+}
+
+func TestTraceEventJSONValid(t *testing.T) {
+	tc := NewTracer()
+	buildTrace(tc)
+	blob := tc.TraceEventJSON()
+	if !json.Valid(blob) {
+		t.Fatalf("trace_event export is not valid JSON")
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+}
+
+func TestAnalyzeInvariants(t *testing.T) {
+	tc := NewTracer()
+	tr := buildTrace(tc)
+	a := Analyze(tr, 2)
+	if a == nil {
+		t.Fatal("nil attribution")
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Leaves) != 1 || a.Leaves[0].Peer != "P2" {
+		t.Fatalf("leaves: %+v", a.Leaves)
+	}
+	if a.Leaves[0].TotalMS != 6.5 {
+		t.Fatalf("leaf total = %v, want 6.5", a.Leaves[0].TotalMS)
+	}
+	if a.EndToEndMS != 8.5 {
+		t.Fatalf("end-to-end = %v, want 8.5", a.EndToEndMS)
+	}
+}
+
+func TestModeledQueue(t *testing.T) {
+	tc := NewTracer()
+	tr := tc.StartTrace("Q", "P1")
+	root := tr.Root()
+	for i, ms := range []float64{6, 4, 3} {
+		leaf := root.ChildAt(KindDispatch, fmt.Sprintf("b%02d", i), "P2")
+		leaf.ChargeMS(ms)
+		leaf.End()
+	}
+	root.End()
+	a := Analyze(tr, 2)
+	// Token schedule with k=2: [6] on t0, [4] on t1, [3] waits for t1
+	// freeing at 4 and ends at 7; makespan = 7.
+	if a.ModeledMakespanMS != 7 {
+		t.Fatalf("makespan = %v, want 7", a.ModeledMakespanMS)
+	}
+	if a.Leaves[2].QueueMS != 4 {
+		t.Fatalf("third leaf queue = %v, want 4", a.Leaves[2].QueueMS)
+	}
+	// Unbounded: no queueing, makespan = longest leaf.
+	a = Analyze(tr, 0)
+	if a.ModeledMakespanMS != 6 || a.Leaves[2].QueueMS != 0 {
+		t.Fatalf("unbounded: makespan=%v queue=%v", a.ModeledMakespanMS, a.Leaves[2].QueueMS)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var tr *Tracer
+	trace := tr.StartTrace("q", "P1")
+	if trace != nil {
+		t.Fatal("nil tracer must return nil trace")
+	}
+	sp := trace.Root()
+	sp.ChargeMS(1)
+	sp.Annotate("k", "v")
+	child := sp.Child(KindScan, "x")
+	child.End()
+	if sp.TotalMS() != 0 || child != nil {
+		t.Fatal("nil span must be inert")
+	}
+	if RemoteSpan("", "/q", "P2") != nil {
+		t.Fatal("empty trace ID must yield nil remote span")
+	}
+}
+
+// TestDisabledPathAllocations: the hot path with tracing disabled (nil
+// spans) must not allocate — CLAIM-TRACE's "0 allocations when
+// disabled".
+func TestDisabledPathAllocations(t *testing.T) {
+	var sp *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		c := sp.Child(KindStream, "stream")
+		c.ChargeMS(1.5)
+		c.Annotate("rows", "3")
+		c.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v times per op, want 0", allocs)
+	}
+}
+
+// TestRegistrySnapshotConcurrency hammers the registry from many
+// goroutines while snapshotting — run under -race, and the final
+// snapshot must be deterministic and complete.
+func TestRegistrySnapshotConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("ops_total", L("worker", fmt.Sprintf("w%d", w%4)))
+			h := r.Histogram("latency_ms")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total float64
+	for _, m := range snap {
+		if m.Name == "ops_total" {
+			total += m.Value
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("ops_total sum = %v, want %d", total, workers*perWorker)
+	}
+	if s1, s2 := r.String(), r.String(); s1 != s2 {
+		t.Fatalf("snapshot rendering unstable:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestRegistryCollectors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("direct_total").Add(2)
+	r.RegisterCollector("b/second", func(g *Gather) {
+		g.Count("collected_total", 7, L("peer", "P2"))
+	})
+	r.RegisterCollector("a/first", func(g *Gather) {
+		g.Gauge("depth", 3, L("peer", "P1"))
+	})
+	// Re-registering an id replaces the collector.
+	r.RegisterCollector("b/second", func(g *Gather) {
+		g.Count("collected_total", 9, L("peer", "P2"))
+	})
+	snap := r.Snapshot()
+	want := []string{"collected_total|peer=P2", "depth|peer=P1", "direct_total|"}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot rows = %d, want %d: %+v", len(snap), len(want), snap)
+	}
+	for i, m := range snap {
+		if m.Name+"|"+m.Labels != want[i] {
+			t.Fatalf("row %d = %s|%s, want %s", i, m.Name, m.Labels, want[i])
+		}
+	}
+	if snap[0].Value != 9 {
+		t.Fatalf("replaced collector not used: %v", snap[0].Value)
+	}
+}
+
+func TestUnclosedSpanFlagged(t *testing.T) {
+	tc := NewTracer()
+	tr := tc.StartTrace("Q", "P1")
+	tr.Root().Child(KindScan, "left-open")
+	tr.Root().End()
+	var found bool
+	for _, es := range tr.Layout() {
+		if es.ID == "/Q/left-open" && es.Attrs["unclosed"] == "true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unclosed span not flagged in export")
+	}
+}

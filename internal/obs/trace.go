@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Span kinds — the taxonomy of query-execution phases (DESIGN.md §11).
+const (
+	KindQuery    = "query"         // root: one user query at the root peer
+	KindRoute    = "route"         // query-pattern annotation (§2.2)
+	KindPlan     = "plan"          // algebraic plan generation
+	KindOptimize = "optimize"      // optimizer pass
+	KindAttempt  = "attempt"       // one execution attempt (replan round)
+	KindScan     = "scan"          // local pattern scan
+	KindUnion    = "union"         // union node
+	KindJoin     = "join"          // join node
+	KindDispatch = "dispatch-leaf" // one remote subplan dispatch (a leaf of attribution)
+	KindStream   = "stream"        // request + result-packet streaming for one dispatch try
+	KindRetry    = "retry"         // a re-sent dispatch try (backoff + re-transfer)
+	KindMigrate  = "migrate"       // surgical plan-change migration
+	KindReplan   = "replan"        // full replan around obsolete peers
+	KindHoleFill = "hole-fill"     // mid-flight hole filling under AllowPartial
+	KindRemote   = "remote"        // grafted remote-side execution subtree
+)
+
+// Tracer hands out traces. A nil *Tracer is valid and inert: StartTrace
+// on nil returns a nil *Trace whose nil *Span methods are all no-ops, so
+// the instrumented hot paths cost nothing when tracing is disabled.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int
+	traces []*Trace
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// StartTrace opens a new trace whose root span carries the given name
+// and owning peer. Trace IDs are sequential per tracer (T1, T2, …) —
+// deterministic because query admission is deterministic.
+func (t *Tracer) StartTrace(name, peer string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	tr := &Trace{ID: fmt.Sprintf("T%d", t.nextID), Name: name}
+	t.traces = append(t.traces, tr)
+	t.mu.Unlock()
+	tr.root = &Span{traceID: tr.ID, kind: KindQuery, name: name, peer: peer, path: "/" + name}
+	return tr
+}
+
+// Traces returns the traces started so far, in start order.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, len(t.traces))
+	copy(out, t.traces)
+	return out
+}
+
+// Trace is one query's span tree.
+type Trace struct {
+	// ID is the tracer-scoped trace identifier (T1, T2, …).
+	ID string
+	// Name is the root span name.
+	Name string
+	root *Span
+}
+
+// Root returns the root span (nil on a nil trace).
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// Span is one phase of a query's execution. Spans carry no wall-clock
+// timestamps: they accumulate explicit logical-millisecond charges
+// (ChargeMS) from deterministic quantities — link transfer times,
+// backoff budgets — and the export layer lays children out sequentially
+// after the fact, so the rendered timeline is a function of the span
+// tree alone and two same-seed runs serialize byte-identically.
+//
+// All methods are safe on a nil receiver (no-ops returning zero
+// values), which is the entire disabled-tracing path: no allocation, no
+// branches beyond the nil check.
+type Span struct {
+	traceID string
+	parent  *Span
+	kind    string
+	name    string
+	peer    string
+	path    string // parent.path + "/" + name: the deterministic span ID
+
+	mu       sync.Mutex
+	selfMS   float64
+	attrs    map[string]string
+	children []*Span
+	ended    bool
+}
+
+// Child opens a sub-span on the same peer. The child's path — its span
+// ID — is parent path + "/" + name, so callers keep sibling names unique
+// by construction (e.g. branch index prefixes) rather than relying on
+// any counter shared across goroutines.
+func (s *Span) Child(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(kind, name, s.peer)
+}
+
+// ChildAt opens a sub-span attributed to another peer (dispatch leaves).
+func (s *Span) ChildAt(kind, name, peer string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.child(kind, name, peer)
+}
+
+func (s *Span) child(kind, name, peer string) *Span {
+	c := &Span{traceID: s.traceID, parent: s, kind: kind, name: name, peer: peer, path: s.path + "/" + name}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// ChargeMS adds logical milliseconds to the span's self time.
+func (s *Span) ChargeMS(ms float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.selfMS += ms
+	s.mu.Unlock()
+}
+
+// Annotate attaches a key/value attribute (last write wins).
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End marks the span closed. Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ended = true
+	s.mu.Unlock()
+}
+
+// TraceID returns the owning trace's ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// Path returns the span's deterministic ID ("" on nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Kind returns the span kind ("" on nil).
+func (s *Span) Kind() string {
+	if s == nil {
+		return ""
+	}
+	return s.kind
+}
+
+// SelfMS returns the accumulated self charge.
+func (s *Span) SelfMS() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.selfMS
+}
+
+// TotalMS is self time plus the totals of all children.
+func (s *Span) TotalMS() float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	total := s.selfMS
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		total += c.TotalMS()
+	}
+	return total
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attrs returns the attributes sorted by key.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Attr, 0, len(s.attrs))
+	for k, v := range s.attrs {
+		out = append(out, Attr{Key: k, Value: v})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Ended reports whether End was called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key, Value string
+}
+
+// RemoteSpan opens a detached span on the executing peer of a shipped
+// subplan. The trace ID and parent path arrive in the subplan request
+// header; the resulting subtree is serialized with Record and grafted
+// back into the root peer's trace by Graft, so remote execution appears
+// in the root trace without the remote peer holding a Tracer.
+func RemoteSpan(traceID, parentPath, peer string) *Span {
+	if traceID == "" {
+		return nil
+	}
+	return &Span{
+		traceID: traceID,
+		kind:    KindRemote,
+		name:    "remote@" + peer,
+		peer:    peer,
+		path:    parentPath + "/remote@" + peer,
+	}
+}
+
+// SpanRecord is the wire form of a span subtree — what a remote peer
+// ships back inside a statistics-class packet (paper §2.4: channels
+// carry statistics about the state of plan execution).
+type SpanRecord struct {
+	Kind     string            `json:"k"`
+	Name     string            `json:"n"`
+	Peer     string            `json:"p,omitempty"`
+	SelfMS   float64           `json:"ms,omitempty"`
+	Attrs    map[string]string `json:"a,omitempty"`
+	Children []*SpanRecord     `json:"c,omitempty"`
+}
+
+// Record serializes the subtree rooted at s (nil on a nil span).
+func (s *Span) Record() *SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	rec := &SpanRecord{Kind: s.kind, Name: s.name, Peer: s.peer, SelfMS: s.selfMS}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			rec.Attrs[k] = v
+		}
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		rec.Children = append(rec.Children, c.Record())
+	}
+	return rec
+}
+
+// Graft rebuilds a recorded subtree as a child of s, recomputing paths
+// under s's path so grafted span IDs stay deterministic.
+func (s *Span) Graft(rec *SpanRecord) {
+	if s == nil || rec == nil {
+		return
+	}
+	c := s.child(rec.Kind, rec.Name, rec.Peer)
+	c.mu.Lock()
+	c.selfMS = rec.SelfMS
+	if len(rec.Attrs) > 0 {
+		c.attrs = make(map[string]string, len(rec.Attrs))
+		for k, v := range rec.Attrs {
+			c.attrs[k] = v
+		}
+	}
+	c.ended = true
+	c.mu.Unlock()
+	for _, kid := range rec.Children {
+		c.Graft(kid)
+	}
+}

@@ -63,6 +63,13 @@ type ThroughputMonitor struct {
 	// MinRowsPerTick is the floor below which a channel is flagged.
 	MinRowsPerTick int
 
+	// OnEvent, when set, observes flag/unflag transitions: event is
+	// "flag" (peer dropped below the floor at a Tick) or "unflag" (the
+	// executor cleared it after adapting). Invoked after the monitor
+	// lock is released, in sorted peer order per Tick, so hooks may call
+	// back into the monitor or an obs registry freely.
+	OnEvent func(event string, peer pattern.PeerID)
+
 	mu      sync.Mutex
 	counts  map[pattern.PeerID]int
 	flagged map[pattern.PeerID]bool
@@ -89,7 +96,6 @@ func (m *ThroughputMonitor) Observe(peer pattern.PeerID, rows int) {
 // peers newly flagged this tick, sorted.
 func (m *ThroughputMonitor) Tick() []pattern.PeerID {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	var newly []pattern.PeerID
 	for peer, n := range m.counts {
 		if n < m.MinRowsPerTick && !m.flagged[peer] {
@@ -98,7 +104,14 @@ func (m *ThroughputMonitor) Tick() []pattern.PeerID {
 		}
 		m.counts[peer] = 0
 	}
+	hook := m.OnEvent
+	m.mu.Unlock()
 	sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+	if hook != nil {
+		for _, peer := range newly {
+			hook("flag", peer)
+		}
+	}
 	return newly
 }
 
@@ -137,7 +150,12 @@ func (m *ThroughputMonitor) IsFlagged(peer pattern.PeerID) bool {
 // replanned around it (so a later reinstatement starts clean).
 func (m *ThroughputMonitor) Unflag(peer pattern.PeerID) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	was := m.flagged[peer]
 	delete(m.flagged, peer)
 	delete(m.counts, peer)
+	hook := m.OnEvent
+	m.mu.Unlock()
+	if hook != nil && was {
+		hook("unflag", peer)
+	}
 }

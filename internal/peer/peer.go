@@ -14,6 +14,7 @@ import (
 	"sqpeer/internal/channel"
 	"sqpeer/internal/exec"
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/optimizer"
 	"sqpeer/internal/pattern"
 	"sqpeer/internal/plan"
@@ -89,6 +90,17 @@ type Config struct {
 	// Quarantine enables the circuit-breaker health tracker: failed peers
 	// are quarantined from routing for a cool-down instead of forgotten.
 	Quarantine bool
+	// Tracer, when set, records a deterministic per-query trace for every
+	// Ask/AskAnnotated posed at this peer: routing, planning, optimization
+	// and distributed execution spans, with remote peers' spans grafted in
+	// through the channel layer. Only the query root needs a tracer.
+	Tracer *obs.Tracer
+	// Obs, when set, is the unified metrics registry this peer publishes
+	// into: a snapshot-time collector folds the engine's execution
+	// counters, the channel manager's packet accounting and (when
+	// Quarantine is on) the health breaker's transitions, all labeled
+	// peer=<ID>. Several peers may share one registry.
+	Obs *obs.Registry
 }
 
 // Advertisement is the wire form of a peer's self-description: its
@@ -129,6 +141,10 @@ type Peer struct {
 	Health *routing.Health
 	// Net is the transport.
 	Net *network.Network
+	// Tracer records per-query traces (nil when tracing is off).
+	Tracer *obs.Tracer
+	// Obs is the shared metrics registry (nil when metrics are off).
+	Obs *obs.Registry
 	// Super is the super-peer this simple-peer is attached to (hybrid
 	// architecture); empty otherwise.
 	Super pattern.PeerID
@@ -190,6 +206,20 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	if cfg.Quarantine {
 		p.Health = routing.NewHealth(p.Registry)
 		p.Engine.Health = p.Health
+	}
+	p.Tracer = cfg.Tracer
+	p.Engine.Tracer = cfg.Tracer
+	if cfg.Obs != nil {
+		p.Obs = cfg.Obs
+		p.Engine.Obs = cfg.Obs
+		peerL := obs.L("peer", string(cfg.ID))
+		cfg.Obs.RegisterCollector("peer/"+string(cfg.ID), func(g *obs.Gather) {
+			p.Engine.Metrics().CollectObs(g, peerL)
+			p.Channels.Stats().CollectObs(g, peerL)
+			if p.Health != nil {
+				p.Health.Stats().CollectObs(g, peerL)
+			}
+		})
 	}
 
 	// A sharing peer knows itself.
@@ -384,25 +414,44 @@ func (p *Peer) Compile(rqlText string) (*rql.Compiled, error) {
 // when attached to one) and compiles the annotation into an optimized
 // distributed plan.
 func (p *Peer) PlanQuery(q *pattern.QueryPattern) (*plan.PlanResult, error) {
-	return p.planWith(q, optimizer.Options{})
+	return p.planWith(q, optimizer.Options{}, nil)
 }
 
-func (p *Peer) planWith(q *pattern.QueryPattern, opts optimizer.Options) (*plan.PlanResult, error) {
+// startQuerySpan opens the per-query trace root when the peer has a
+// tracer; nil otherwise (every span method is nil-safe).
+func (p *Peer) startQuerySpan(op string) *obs.Span {
+	if p.Tracer == nil {
+		return nil
+	}
+	tr := p.Tracer.StartTrace(op+"@"+string(p.ID), string(p.ID))
+	return tr.Root()
+}
+
+func (p *Peer) planWith(q *pattern.QueryPattern, opts optimizer.Options, span *obs.Span) (*plan.PlanResult, error) {
 	var ann *pattern.Annotated
 	var err error
+	rsp := span.Child(obs.KindRoute, "route")
 	if p.Super != "" {
-		ann, err = p.RequestRouting(p.Super, q)
-		if err != nil {
-			return nil, err
+		if rsp != nil {
+			rsp.Annotate("via", string(p.Super))
 		}
+		ann, err = p.RequestRouting(p.Super, q)
 	} else {
 		ann = p.Router.Route(q)
 	}
-	pl, err := plan.Generate(ann)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
+	psp := span.Child(obs.KindPlan, "plan")
+	pl, err := plan.Generate(ann)
+	psp.End()
+	if err != nil {
+		return nil, err
+	}
+	osp := span.Child(obs.KindOptimize, "optimize")
 	optimized := optimizer.Optimize(pl, opts)
+	osp.End()
 	return &plan.PlanResult{Annotated: ann, Raw: pl, Optimized: optimized}, nil
 }
 
@@ -410,19 +459,21 @@ func (p *Peer) planWith(q *pattern.QueryPattern, opts optimizer.Options) (*plan.
 // in hybrid mode), generate and optimize the plan, execute it with this
 // peer as root, and apply WHERE filters and projections.
 func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
+	qsp := p.startQuerySpan("ask")
+	defer qsp.End()
 	c, err := p.Compile(rqlText)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := p.PlanQuery(c.Pattern)
+	pr, err := p.planWith(c.Pattern, optimizer.Options{}, qsp)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := p.Engine.Execute(pr.Optimized)
+	res, err := p.Engine.ExecuteAnnotatedIn(pr.Optimized, qsp)
 	if err != nil {
 		return nil, err
 	}
-	filtered, err := rql.ApplyFilters(rows, c.Query.Where)
+	filtered, err := rql.ApplyFilters(res.Rows, c.Query.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -434,15 +485,17 @@ func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
 // became unanswerable mid-flight yields its answerable rows plus the list
 // of unanswered patterns, instead of an error.
 func (p *Peer) AskAnnotated(rqlText string) (*exec.Result, error) {
+	qsp := p.startQuerySpan("ask")
+	defer qsp.End()
 	c, err := p.Compile(rqlText)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := p.PlanQuery(c.Pattern)
+	pr, err := p.planWith(c.Pattern, optimizer.Options{}, qsp)
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Engine.ExecuteAnnotated(pr.Optimized)
+	res, err := p.Engine.ExecuteAnnotatedIn(pr.Optimized, qsp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,11 @@
+package routing
+
+import "sqpeer/internal/obs"
+
+// CollectObs publishes the breaker's transition counters into an obs
+// gather. The Stats() accessor remains the direct compatibility path.
+func (s HealthStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
+	g.Count("routing_health_quarantines_total", float64(s.Quarantines), labels...)
+	g.Count("routing_health_reinstates_total", float64(s.Reinstates), labels...)
+	g.Count("routing_health_recoveries_total", float64(s.Recoveries), labels...)
+}
