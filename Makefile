@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json fault trace clean
+.PHONY: build test lint check bench bench-json batch fault trace clean
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,9 @@ test:
 	$(GO) test ./...
 
 # Static analysis: the toolchain's standard passes (go vet: copylocks,
-# printf, ...) plus the six SQPeer invariant analyzers (walltime,
-# seededrand, maporder, errclass, locksafe, obsspan) — see DESIGN.md §9.
-# Zero un-allowlisted diagnostics is a merge gate.
+# printf, ...) plus the seven SQPeer invariant analyzers (walltime,
+# seededrand, maporder, errclass, locksafe, obsspan, jsonrow) — see
+# DESIGN.md §9. Zero un-allowlisted diagnostics is a merge gate.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sqpeer-lint ./...
@@ -29,6 +29,13 @@ bench:
 # parallel executor (see cmd/sqpeer-bench/benchjson.go).
 bench-json:
 	$(GO) run ./cmd/sqpeer-bench -bench-json BENCH_PR1.json
+
+# Batch data plane: the CLAIM-BATCH columnar-vs-RowWire sweep at
+# headline sizes (rewrites BENCH_PR6.json), gated against the committed
+# baseline — the run fails if the batch plane's allocs/row regresses
+# >20% at any matching sweep point. See DESIGN.md §12.
+batch:
+	$(GO) run ./cmd/sqpeer-bench -exp batch -alloc-baseline BENCH_PR6.json
 
 # Fault suite: the chaos soak test (both recovery modes: migration and
 # the NoMigrations restart ablation) under the race detector, the seeded

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"sqpeer/internal/gen"
+	"sqpeer/internal/harness"
 	"sqpeer/internal/network"
 	"sqpeer/internal/pattern"
 	"sqpeer/internal/peer"
@@ -27,18 +28,22 @@ import (
 // benchReport is the schema of the emitted JSON file.
 type benchReport struct {
 	Fig2Routing struct {
-		Peers          int     `json:"peers"`
-		BruteNsPerOp   float64 `json:"brute_ns_per_op"`
-		IndexedNsPerOp float64 `json:"indexed_ns_per_op"`
-		Speedup        float64 `json:"speedup"`
+		Peers              int     `json:"peers"`
+		BruteNsPerOp       float64 `json:"brute_ns_per_op"`
+		IndexedNsPerOp     float64 `json:"indexed_ns_per_op"`
+		IndexedAllocsPerOp int64   `json:"indexed_allocs_per_op"`
+		IndexedBytesPerOp  int64   `json:"indexed_bytes_per_op"`
+		Speedup            float64 `json:"speedup"`
 	} `json:"fig2_routing"`
 	Fig3Execution struct {
-		Pairs             int     `json:"pairs"`
-		LatencyScale      float64 `json:"latency_scale"`
-		SequentialNsPerOp float64 `json:"sequential_ns_per_op"`
-		ParallelNsPerOp   float64 `json:"parallel_ns_per_op"`
-		Parallelism       int     `json:"parallelism"`
-		Speedup           float64 `json:"speedup"`
+		Pairs               int     `json:"pairs"`
+		LatencyScale        float64 `json:"latency_scale"`
+		SequentialNsPerOp   float64 `json:"sequential_ns_per_op"`
+		ParallelNsPerOp     float64 `json:"parallel_ns_per_op"`
+		ParallelAllocsPerOp int64   `json:"parallel_allocs_per_op"`
+		ParallelBytesPerOp  int64   `json:"parallel_bytes_per_op"`
+		Parallelism         int     `json:"parallelism"`
+		Speedup             float64 `json:"speedup"`
 	} `json:"fig3_execution"`
 }
 
@@ -104,6 +109,7 @@ func runBenchJSON(path string) error {
 	for _, indexed := range []bool{false, true} {
 		router, q := routingWorkload(sonSize, indexed)
 		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				router.Route(q)
 			}
@@ -111,6 +117,10 @@ func runBenchJSON(path string) error {
 		ns := float64(res.NsPerOp())
 		if indexed {
 			rep.Fig2Routing.IndexedNsPerOp = ns
+			rep.Fig2Routing.IndexedAllocsPerOp = res.AllocsPerOp()
+			rep.Fig2Routing.IndexedBytesPerOp = res.AllocedBytesPerOp()
+			harness.ObserveBenchAlloc("fig2.indexed",
+				float64(res.AllocsPerOp()), float64(res.AllocedBytesPerOp()))
 		} else {
 			rep.Fig2Routing.BruteNsPerOp = ns
 		}
@@ -128,6 +138,7 @@ func runBenchJSON(path string) error {
 		}
 		var execErr error
 		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := p1.Engine.Execute(pr.Raw); err != nil {
 					execErr = err
@@ -143,6 +154,10 @@ func runBenchJSON(path string) error {
 			rep.Fig3Execution.SequentialNsPerOp = ns
 		} else {
 			rep.Fig3Execution.ParallelNsPerOp = ns
+			rep.Fig3Execution.ParallelAllocsPerOp = res.AllocsPerOp()
+			rep.Fig3Execution.ParallelBytesPerOp = res.AllocedBytesPerOp()
+			harness.ObserveBenchAlloc("fig3.parallel",
+				float64(res.AllocsPerOp()), float64(res.AllocedBytesPerOp()))
 		}
 	}
 	rep.Fig3Execution.Speedup = rep.Fig3Execution.SequentialNsPerOp / rep.Fig3Execution.ParallelNsPerOp

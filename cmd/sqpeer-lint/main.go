@@ -1,4 +1,4 @@
-// Command sqpeer-lint is the repo's static-analysis gate: six
+// Command sqpeer-lint is the repo's static-analysis gate: seven
 // SQPeer-specific analyzers enforcing the determinism, logical-clock,
 // failure-domain and observability invariants of DESIGN.md §9 over the
 // packages matched by its arguments (default ./...).
@@ -9,6 +9,7 @@
 //	errclass    errors compared with errors.Is, never ==/!= or strings
 //	locksafe    no blocking ops while a sync (RW)Mutex is held
 //	obsspan     obs spans closed on every return path
+//	jsonrow     no JSON of row-carrying rql types on the data plane
 //
 // A diagnostic is suppressed only by `//lint:allow <analyzer> <reason>`
 // on the offending or preceding line; reasons are mandatory and stale
@@ -26,6 +27,7 @@ import (
 
 	"sqpeer/internal/lint/analysis"
 	"sqpeer/internal/lint/analyzers/errclass"
+	"sqpeer/internal/lint/analyzers/jsonrow"
 	"sqpeer/internal/lint/analyzers/locksafe"
 	"sqpeer/internal/lint/analyzers/maporder"
 	"sqpeer/internal/lint/analyzers/obsspan"
@@ -43,6 +45,7 @@ var analyzers = []*analysis.Analyzer{
 	errclass.Analyzer,
 	locksafe.Analyzer,
 	obsspan.Analyzer,
+	jsonrow.Analyzer,
 }
 
 // scope restricts the clock and randomness invariants to the middleware
@@ -54,11 +57,21 @@ var scope = map[string]func(string) bool{
 	"walltime":   isInternal,
 	"seededrand": isInternal,
 	"obsspan":    isInternal,
+	"jsonrow":    isDataPlane,
 }
 
 func isInternal(pkgPath string) bool {
 	return strings.Contains(pkgPath, "/internal/") &&
 		!strings.Contains(pkgPath, "/internal/lint")
+}
+
+// isDataPlane scopes jsonrow to the packages that move rows between
+// peers: only there does JSON-encoding a row type reintroduce the wire
+// format the batch plane replaced. Facade users (harness, examples,
+// tests elsewhere) may JSON rows for artifacts and goldens freely.
+func isDataPlane(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "/internal/exec") ||
+		strings.HasSuffix(pkgPath, "/internal/channel")
 }
 
 func main() {

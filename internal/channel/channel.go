@@ -76,6 +76,20 @@ type PlanChangeInfo struct {
 	Subplan []byte `json:"subplan,omitempty"`
 }
 
+// PayloadEnc names the encoding of a packet's Payload, so a root can
+// decode Results bodies from peers running either data plane.
+type PayloadEnc int
+
+// Payload encodings.
+const (
+	// EncJSON is the legacy encoding: control bodies and row-at-a-time
+	// Results payloads are JSON documents.
+	EncJSON PayloadEnc = iota
+	// EncBatch marks a Results payload framed by the rql batch codec
+	// (length-prefixed binary columns with a per-batch term dictionary).
+	EncBatch
+)
+
 // Packet is one unit of channel traffic.
 type Packet struct {
 	// ChannelID identifies the channel at its root.
@@ -87,8 +101,10 @@ type Packet struct {
 	// Rows is the number of result rows carried (Results packets), used
 	// for throughput monitoring.
 	Rows int `json:"rows"`
-	// Payload is the serialized body.
-	Payload []byte `json:"payload"`
+	// Payload is the serialized body; Enc names its encoding (control
+	// packets are always EncJSON).
+	Payload []byte     `json:"payload"`
+	Enc     PayloadEnc `json:"enc,omitempty"`
 	// TraceID and SpanID propagate the root's trace context: when the
 	// root ships a subplan with a trace ID, the destination binds it to
 	// the channel (Manager.BindTrace) and every upstream packet carries
@@ -225,8 +241,11 @@ type traceBinding struct {
 // dedupe counters that used to live only as per-channel state, published
 // to the obs registry via CollectObs.
 type ManagerStats struct {
-	// PacketsSent counts upstream packets shipped as destination.
-	PacketsSent int
+	// PacketsSent counts upstream packets shipped as destination;
+	// PayloadBytesSent sums their payload sizes, making wire-format
+	// savings (JSON rows vs binary batches) visible in the registry.
+	PacketsSent      int
+	PayloadBytesSent int
 	// PacketsAccepted / PacketsDuplicate count root-side packet
 	// arrivals split by the dedupe verdict; WindowForced counts floor
 	// slots the bounded seen-window skipped without a contiguous fill.
@@ -365,6 +384,14 @@ func (m *Manager) OpenChannels() []string {
 // the wire, so a duplicated delivery carries the same Seq and the root
 // can suppress it (at-least-once transport, exactly-once packets).
 func (m *Manager) SendToRoot(channelID string, typ PacketType, rows int, payload []byte) error {
+	return m.SendToRootEnc(channelID, typ, rows, EncJSON, payload)
+}
+
+// SendToRootEnc is SendToRoot with an explicit payload encoding; the
+// batched data plane uses it to ship EncBatch Results frames. The send is
+// synchronous — the simulated transport delivers before returning — so a
+// pooled payload buffer may be recycled as soon as this returns.
+func (m *Manager) SendToRootEnc(channelID string, typ PacketType, rows int, enc PayloadEnc, payload []byte) error {
 	m.mu.Lock()
 	root, ok := m.inbound[channelID]
 	var seq int
@@ -374,13 +401,14 @@ func (m *Manager) SendToRoot(channelID string, typ PacketType, rows int, payload
 		seq = m.outSeq[channelID]
 		tb = m.trace[channelID]
 		m.stats.PacketsSent++
+		m.stats.PayloadBytesSent += len(payload)
 	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("channel: %s: unknown inbound channel %q", m.self, channelID)
 	}
 	pkt := Packet{ChannelID: channelID, Type: typ, Seq: seq, Rows: rows, Payload: payload,
-		TraceID: tb.traceID, SpanID: tb.spanID}
+		Enc: enc, TraceID: tb.traceID, SpanID: tb.spanID}
 	body, err := json.Marshal(pkt)
 	if err != nil {
 		return fmt.Errorf("channel: marshal packet: %w", err)

@@ -8,6 +8,7 @@ import "sqpeer/internal/obs"
 // direct compatibility path.
 func (s ManagerStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
 	g.Count("channel_packets_sent_total", float64(s.PacketsSent), labels...)
+	g.Count("channel_payload_bytes_sent_total", float64(s.PayloadBytesSent), labels...)
 	g.Count("channel_packets_accepted_total", float64(s.PacketsAccepted), labels...)
 	g.Count("channel_packets_duplicate_total", float64(s.PacketsDuplicate), labels...)
 	g.Count("channel_window_forced_total", float64(s.WindowForced), labels...)

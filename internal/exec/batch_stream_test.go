@@ -1,0 +1,197 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sqpeer/internal/faults"
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+)
+
+// TestBatchStreamSurvivesReorderDuplication feeds the columnar data
+// plane through the PR 4 adversarial wire: every chan.packet delivery is
+// duplicated and half get delay spikes, while multi-frame batch streams
+// (BatchSize=2 forces several frames per peer) carry the answer. The
+// channel-layer dedup must suppress every replayed frame, so the answer
+// matches ground truth exactly and no row is double-collected.
+func TestBatchStreamSurvivesReorderDuplication(t *testing.T) {
+	const seed = 20240805
+	peers, net := paperSystem(t, 3)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = 1
+	p1.Engine.BatchSize = 2
+	inj := faults.NewInjector(seed, faults.Rates{Duplicate: 1, DelaySpike: 0.5, SpikeMS: 300})
+	net.SetInjector(inj)
+
+	pr, err := p1.PlanQuery(gen.PaperQuery())
+	if err != nil {
+		t.Fatalf("PlanQuery: %v", err)
+	}
+	rows, err := p1.Engine.Execute(pr.Optimized)
+	if err != nil {
+		t.Fatalf("Execute under duplication: %v", err)
+	}
+	want := groundTruth(t, peers, gen.PaperRQL)
+	if !sameRows(rows, want) {
+		t.Fatalf("batched answer diverged under duplication:\n got %v\nwant %v",
+			rows.Sorted(), want.Sorted())
+	}
+	if inj.Stats().Duplicated == 0 {
+		t.Fatal("injector duplicated nothing; the test is vacuous")
+	}
+	if dup := p1.Channels.Stats().PacketsDuplicate; dup == 0 {
+		t.Error("expected the channel layer to have suppressed duplicated batch frames")
+	}
+}
+
+// TestBatchResumeAtBatchBoundary kills one mid-stream batch frame and
+// checks the retry resumes at the frame boundary: the checkpoint the
+// root carries is the contiguous rows of the frames that made it
+// (a multiple of BatchSize), the destination honors it, and the ledger
+// reconciles exactly-once delivery of every row.
+func TestBatchResumeAtBatchBoundary(t *testing.T) {
+	const batchSize = 2
+	peers, net := paperSystem(t, 4)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = 1
+	p1.Engine.MaxRetries = 2
+	p1.Engine.BatchSize = batchSize
+	// Drop P4's second chan.packet: the first batch frame (batchSize rows)
+	// reaches the root, the second dies on the wire.
+	net.SetInjector(faults.NewScript(&faults.ScriptRule{
+		From: "P4", Kind: "chan.packet", After: 1, Count: 1,
+		Fault: network.Fault{Drop: true},
+	}))
+
+	pr, err := p1.PlanQuery(gen.PaperQuery())
+	if err != nil {
+		t.Fatalf("PlanQuery: %v", err)
+	}
+	rows, err := p1.Engine.Execute(pr.Optimized)
+	if err != nil {
+		t.Fatalf("Execute with one dropped frame: %v", err)
+	}
+	want := groundTruth(t, peers, gen.PaperRQL)
+	if !sameRows(rows, want) {
+		t.Fatalf("resumed batch answer diverged:\n got %v\nwant %v", rows.Sorted(), want.Sorted())
+	}
+	m := p1.Engine.Metrics()
+	if m.Resumes == 0 {
+		t.Fatalf("expected the retry to resume from the frame checkpoint, got %+v", m)
+	}
+	if m.RowsRetained == 0 || m.RowsRetained%batchSize != 0 {
+		t.Errorf("retained prefix %d rows; want a positive multiple of the %d-row frame size",
+			m.RowsRetained, batchSize)
+	}
+	// The ledger must account every P4 row exactly once across the
+	// resumed dispatch: one "complete" entry whose row count equals the
+	// full subplan answer (prefix + resumed remainder), flagged Resumed.
+	resumed := false
+	for _, ent := range p1.Engine.Ledger() {
+		if ent.Outcome == "complete" && ent.Resumed {
+			resumed = true
+			if ent.Rows == 0 {
+				t.Error("resumed ledger entry accounts zero rows")
+			}
+		}
+	}
+	if !resumed {
+		t.Error("ledger records no resumed completion")
+	}
+}
+
+// TestBatchAndRowWireAnswersIdentical is the ablation equality proof: the
+// same seeded system answers the same query on both data planes, and the
+// rendered answers must be byte-identical.
+func TestBatchAndRowWireAnswersIdentical(t *testing.T) {
+	run := func(rowWire bool) string {
+		peers, _ := paperSystem(t, 3)
+		p1 := peers["P1"]
+		p1.Engine.RowWire = rowWire
+		p1.Engine.BatchSize = 2
+		for _, p := range peers {
+			p.Engine.RowWire = rowWire
+		}
+		pr, err := p1.PlanQuery(gen.PaperQuery())
+		if err != nil {
+			t.Fatalf("PlanQuery: %v", err)
+		}
+		rows, err := p1.Engine.Execute(pr.Optimized)
+		if err != nil {
+			t.Fatalf("Execute (RowWire=%v): %v", rowWire, err)
+		}
+		return fmt.Sprint(rows.Sorted())
+	}
+	if batch, row := run(false), run(true); batch != row {
+		t.Fatalf("data planes disagree:\nbatch: %s\nrow:   %s", batch, row)
+	}
+}
+
+// TestMixedModePeersInteroperate runs a columnar root against row-wire
+// destinations and vice versa: the packet Enc field lets each side decode
+// the other's Results payloads, so rolling a fleet between the two wire
+// formats never corrupts answers.
+func TestMixedModePeersInteroperate(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		rootRow, destsRow bool
+	}{
+		{"batch-root/row-dests", false, true},
+		{"row-root/batch-dests", true, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			peers, _ := paperSystem(t, 3)
+			p1 := peers["P1"]
+			for id, p := range peers {
+				if id == "P1" {
+					p.Engine.RowWire = tc.rootRow
+				} else {
+					p.Engine.RowWire = tc.destsRow
+				}
+			}
+			pr, err := p1.PlanQuery(gen.PaperQuery())
+			if err != nil {
+				t.Fatalf("PlanQuery: %v", err)
+			}
+			rows, err := p1.Engine.Execute(pr.Optimized)
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			want := groundTruth(t, peers, gen.PaperRQL)
+			if !sameRows(rows, want) {
+				t.Fatalf("mixed-mode answer diverged:\n got %v\nwant %v", rows.Sorted(), want.Sorted())
+			}
+		})
+	}
+}
+
+// TestBackpressureWindowBoundsStream sanity-checks the windowed streamer
+// on a result far larger than the window: many frames, tiny window, and
+// the answer still arrives complete and exactly once.
+func TestBackpressureWindowBoundsStream(t *testing.T) {
+	peers, _ := paperSystem(t, 8)
+	p1 := peers["P1"]
+	p1.Engine.Parallelism = 1
+	p1.Engine.BatchSize = 1 // one frame per row: stream length >> window
+	p1.Engine.WindowSize = 2
+	for _, p := range peers {
+		p.Engine.BatchSize = 1
+		p.Engine.WindowSize = 2
+	}
+	pr, err := p1.PlanQuery(gen.PaperQuery())
+	if err != nil {
+		t.Fatalf("PlanQuery: %v", err)
+	}
+	rows, err := p1.Engine.Execute(pr.Optimized)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	want := groundTruth(t, peers, gen.PaperRQL)
+	if !sameRows(rows, want) {
+		t.Fatalf("windowed stream diverged:\n got %v\nwant %v", rows.Sorted(), want.Sorted())
+	}
+	if m := p1.Engine.Metrics(); m.Retries != 0 || m.Replans != 0 {
+		t.Errorf("fault-free windowed run should not retry or replan: %+v", m)
+	}
+}

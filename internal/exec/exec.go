@@ -40,6 +40,20 @@ type LocalSource interface {
 	EvalScan(patterns []pattern.PathPattern) *rql.ResultSet
 }
 
+// BatchSource is the columnar upgrade of LocalSource: a source that can
+// evaluate a scan straight into a batch, skipping the per-row map
+// materialization EvalScan pays. The engine uses it at the scan leaf
+// whenever the batch plane is active and the source offers it; RowWire
+// and plain LocalSources keep the row path.
+type BatchSource interface {
+	// EvalScanBatch evaluates the conjunction of path patterns locally,
+	// returning the joined rows in columnar form. The scan interns into
+	// store — the calling execution's shared dictionary — so the result
+	// composes with the execution's other batches without remapping; a
+	// nil store yields a self-contained batch.
+	EvalScanBatch(patterns []pattern.PathPattern, store *rql.TermStore) *rql.Batch
+}
+
 // PeerFailure reports that a remote peer could not contribute: the
 // executor's replanning treats its peer as obsolete.
 type PeerFailure struct {
@@ -134,6 +148,18 @@ type Engine struct {
 	// shipped subplans (default 256). Smaller batches mean more packets —
 	// the ubQL streaming the throughput monitor observes.
 	BatchSize int
+	// RowWire reverts the data plane to the row-at-a-time ablation:
+	// Results payloads are JSON-encoded ResultSet slices and operators run
+	// over row maps instead of batch columns. Default (false) is the
+	// columnar plane: binary batch frames on the wire, vectorized
+	// union/join/project in the collector. Same-seed answers are identical
+	// either way — CLAIM-BATCH proves it by digest.
+	RowWire bool
+	// WindowSize bounds the in-flight encode window when streaming
+	// batches upstream (default 4): the encoder goroutine blocks once
+	// this many frames are encoded but unsent, so a slow channel applies
+	// backpressure instead of buffering the whole result.
+	WindowSize int
 	// StatsProvider, when set, supplies this peer's current statistics,
 	// piggybacked as a Stats packet on every answered subplan (paper
 	// §2.4: packets "can also contain ... statistics useful for query
@@ -470,7 +496,7 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 			// answer's completeness without a restart) or reports them
 			// unanswered with this reason.
 		}
-		rs, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched, span)
+		rel, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched, span)
 		if err == nil {
 			// The paper's literal run-time trigger: peers whose channels
 			// streamed too few rows this round are replanned around, same
@@ -505,9 +531,11 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 				note(u.PatternID, u.Reason)
 			}
 			if current.Query != nil && len(current.Query.Projections) > 0 {
-				rs = rs.Project(current.Query.Projections)
+				rel = rel.project(current.Query.Projections)
 			}
-			res := &Result{Rows: rs, Completeness: Completeness{Complete: len(unanswered) == 0, Unanswered: unanswered}}
+			// The facade boundary: whatever representation the data plane
+			// ran in, callers get the public ResultSet back.
+			res := &Result{Rows: rel.resultSet(), Completeness: Completeness{Complete: len(unanswered) == 0, Unanswered: unanswered}}
 			if len(unanswered) > 0 {
 				e.mu.Lock()
 				e.metrics.PartialAnswers++
@@ -607,6 +635,11 @@ func failureOf(err error) (*PeerFailure, bool) {
 // per-execution state.
 type execution struct {
 	engine *Engine
+	// store is the execution's shared term dictionary: scan leaves intern
+	// into it, decoded result frames are rebased onto it, so every batch
+	// this execution composes agrees on ids and the operators above the
+	// leaves never re-intern a term (see rql.TermStore).
+	store *rql.TermStore
 	// attempt is the ExecuteAnnotated restart round this execution runs in
 	// (ledger bookkeeping).
 	attempt int
@@ -668,15 +701,22 @@ type siteChan struct {
 // has filled rows/err.
 type cacheEntry struct {
 	done chan struct{}
-	rows *rql.ResultSet
+	rows *relation
 	err  error
 }
 
 type remoteResult struct {
 	site pattern.PeerID
-	rows *rql.ResultSet
-	err  error
-	done bool
+	// segs / batches accumulate the stream's Results payloads in arrival
+	// order (exactly one of the two fills, per the root engine's data
+	// plane). Segments are disjoint slices of the destination's already-
+	// deduplicated relation, so gathered() reassembles them by
+	// concatenation instead of the quadratic repeated Union the
+	// row-at-a-time collector used to run.
+	segs    []*rql.ResultSet
+	batches []*rql.Batch
+	err     error
+	done    bool
 	// span is the dispatch try's stream span: the packet collector
 	// charges per-packet transfer time to it and grafts the remote
 	// peer's shipped span subtree under it. nil when tracing is off.
@@ -697,6 +737,20 @@ type remoteResult struct {
 	watermark int
 }
 
+// gathered reassembles the stream's accepted Results payloads into one
+// relation. nil when no Results packet arrived at all — the same "no
+// stream" sentinel the old single-ResultSet field encoded (a destination
+// always sends at least one Results packet, even for an empty answer).
+func (res *remoteResult) gathered() *relation {
+	if len(res.batches) > 0 {
+		return relFromBatch(rql.Concat(res.batches...))
+	}
+	if len(res.segs) > 0 {
+		return &relation{rs: concatRS(res.segs)}
+	}
+	return nil
+}
+
 // errCancelled aborts sibling branches after another branch failed; the
 // failing branch's own error is what surfaces.
 var errCancelled = errors.New("exec: execution cancelled")
@@ -704,6 +758,7 @@ var errCancelled = errors.New("exec: execution cancelled")
 func newExecution(e *Engine) *execution {
 	ex := &execution{
 		engine:     e,
+		store:      rql.NewTermStore(),
 		fetched:    map[string]int{},
 		sites:      map[pattern.PeerID]*siteChan{},
 		inbox:      map[string]*remoteResult{},
@@ -735,7 +790,7 @@ func (ex *execution) release() {
 // executeOnce runs one execution round. It returns the round's rows (nil
 // only on error) plus the patterns whose holes could not be filled
 // mid-flight, sorted by id.
-func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int, parent *obs.Span) (*rql.ResultSet, []Unanswered, error) {
+func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int, parent *obs.Span) (*relation, []Unanswered, error) {
 	ex := newExecution(e)
 	ex.attempt = attempt
 	if fetched != nil {
@@ -754,7 +809,7 @@ func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetch
 	if rows == nil {
 		// Every branch was an unfillable hole: an empty — but explicitly
 		// annotated — answer.
-		rows = rql.NewResultSet()
+		rows = e.emptyRel()
 	}
 	ex.mu.Lock()
 	un := make([]Unanswered, 0, len(ex.unanswered))
@@ -786,7 +841,7 @@ func (ex *execution) cancelled() bool {
 // order, so the caller's merge is deterministic no matter how the branches
 // interleave. On failure the lowest-index real error wins (matching what
 // sequential evaluation would have surfaced) and siblings are cancelled.
-func (ex *execution) runAll(inputs []plan.Node, parent *obs.Span) ([]*rql.ResultSet, error) {
+func (ex *execution) runAll(inputs []plan.Node, parent *obs.Span) ([]*relation, error) {
 	// Branch spans are pre-created here, in input order, BEFORE any
 	// goroutine is spawned: span creation order (and therefore the
 	// exported layout) is a function of the plan alone, no matter how the
@@ -802,7 +857,7 @@ func (ex *execution) runAll(inputs []plan.Node, parent *obs.Span) ([]*rql.Result
 	}
 	if len(inputs) == 1 || ex.sem == nil {
 		// Sequential fast path: no goroutines, stop at the first error.
-		out := make([]*rql.ResultSet, len(inputs))
+		out := make([]*relation, len(inputs))
 		for i, in := range inputs {
 			var bsp *obs.Span
 			if spans != nil {
@@ -823,7 +878,7 @@ func (ex *execution) runAll(inputs []plan.Node, parent *obs.Span) ([]*rql.Result
 	// scan or dispatch. Keeping structural nodes out of the pool matters:
 	// a union parent that held a token while waiting on its children would
 	// starve its own siblings' leaves.
-	results := make([]*rql.ResultSet, len(inputs))
+	results := make([]*relation, len(inputs))
 	errs := make([]error, len(inputs))
 	var wg sync.WaitGroup
 	for i, in := range inputs {
@@ -903,7 +958,7 @@ func endAll(spans []*obs.Span) {
 // annihilate sibling rows — the same collapse semantics as PruneHoles).
 // sp is the node's own span (the branch span its parent pre-created, or
 // the attempt span at the plan root); nil when tracing is off.
-func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
+func (ex *execution) run(n plan.Node, sp *obs.Span) (*relation, error) {
 	if ex.cancelled() {
 		return nil, errCancelled
 	}
@@ -922,11 +977,21 @@ func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 			e.mu.Lock()
 			e.metrics.LocalScans++
 			e.mu.Unlock()
+			// The scan leaf is where rows enter the engine's data plane:
+			// on the columnar path they are born a batch (BatchSource) or
+			// become one here, so every union/join above runs vectorized.
+			if bs, ok := e.Local.(BatchSource); ok && !e.RowWire {
+				b := bs.EvalScanBatch(v.Patterns, ex.store)
+				if sp != nil {
+					sp.Annotate("localRows", fmt.Sprintf("%d", b.Len()))
+				}
+				return relFromBatch(b), nil
+			}
 			rs := e.Local.EvalScan(v.Patterns)
 			if sp != nil {
 				sp.Annotate("localRows", fmt.Sprintf("%d", rs.Len()))
 			}
-			return rs, nil
+			return relOf(e.RowWire, rs), nil
 		}
 		return ex.runRemote(v.Peer, v, sp)
 	case *plan.Union:
@@ -934,18 +999,11 @@ func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		var acc *rql.ResultSet
-		for _, rs := range rss {
-			if rs == nil {
-				continue // absent branch (unfilled hole)
-			}
-			if acc == nil {
-				acc = rql.NewResultSet()
-			}
-			acc = acc.Union(rs)
-		}
+		// nil branches (unfilled holes) contribute nothing; all-nil means
+		// the whole union is absent.
+		acc := e.unionAll(rss)
 		if acc == nil && len(rss) == 0 {
-			acc = rql.NewResultSet()
+			acc = e.emptyRel()
 		}
 		return acc, nil
 	case *plan.Join:
@@ -959,24 +1017,24 @@ func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		var acc *rql.ResultSet
+		var acc *relation
 		absent := false
-		for _, rs := range rss {
-			if rs == nil {
+		for _, rel := range rss {
+			if rel == nil {
 				absent = true
 				continue // absent branch: join the answerable remainder
 			}
 			if acc == nil {
-				acc = rs
+				acc = rel
 			} else {
-				acc = acc.Join(rs)
+				acc = acc.join(rel)
 			}
 		}
 		if acc == nil {
 			if absent {
 				return nil, nil // the whole join was unanswerable
 			}
-			acc = rql.NewResultSet()
+			acc = e.emptyRel()
 		}
 		return acc, nil
 	default:
@@ -989,7 +1047,7 @@ func (ex *execution) run(n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
 // becomes a dispatched subplan (the paper's plan-change packets carry
 // exactly this upgrade) while sibling branches keep streaming. Unfillable
 // holes become absent branches under AllowPartial, errors otherwise.
-func (ex *execution) runHole(v *plan.Scan, sp *obs.Span) (*rql.ResultSet, error) {
+func (ex *execution) runHole(v *plan.Scan, sp *obs.Span) (*relation, error) {
 	e := ex.engine
 	if e.Router != nil {
 		ann := e.Router.RoutePatterns(v.Patterns)
@@ -1089,7 +1147,7 @@ type subplanReq struct {
 // the channel. Identical dispatches from concurrent branches are
 // single-flighted: the first branch ships, the rest wait on its cache
 // entry.
-func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (*rql.ResultSet, error) {
+func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (*relation, error) {
 	e := ex.engine
 	cacheKey := string(site) + "\x00" + n.String()
 	ex.mu.Lock()
@@ -1158,7 +1216,7 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (
 // route to precede every quarantine, which the per-branch
 // quarantine-then-route order makes impossible. The wait graph stays
 // acyclic no matter how concurrent migrations interleave.
-func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) (*rql.ResultSet, bool, error) {
+func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) (*relation, bool, error) {
 	e := ex.engine
 	if e.Router == nil || ex.cancelled() || e.maxMigrations() == 0 {
 		return nil, false, nil
@@ -1208,7 +1266,7 @@ func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) 
 	rows, err := ex.run(filled.Root, msp)
 	msp.End()
 	if err == nil && rows == nil {
-		rows = rql.NewResultSet()
+		rows = e.emptyRel()
 	}
 	return rows, true, err
 }
@@ -1225,14 +1283,14 @@ func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) 
 // the destination to resume after them. The destination acknowledges with
 // a PlanChange packet — "resume-honored" keeps the prefix, "checkpoint-
 // invalid" discards it and re-streams from scratch.
-func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.Span) (*rql.ResultSet, error) {
+func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.Span) (*relation, error) {
 	e := ex.engine
 	backoff := e.RetryBackoffMS
 	if backoff <= 0 {
 		backoff = 10
 	}
-	var partial *rql.ResultSet // checkpointed rows from failed attempts
-	checkpoint := 0            // contiguous row prefix already delivered
+	var partial *relation // checkpointed rows from failed attempts
+	checkpoint := 0       // contiguous row prefix already delivered
 	resumed := false
 	pendingBackoffMS := 0.0 // backoff owed to the next try's span
 	var err error
@@ -1271,11 +1329,15 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 				e.mu.Unlock()
 				ssp.Annotate("checkpoint", "resumed")
 			}
-			if res.rows != nil {
+			if rel := res.gathered(); rel != nil {
 				if partial == nil {
-					partial = res.rows
+					partial = rel
 				} else {
-					partial = partial.Union(res.rows)
+					// Retried tries re-stream after the checkpoint, so the
+					// new segment extends (never overlaps) the retained
+					// prefix; union keeps the set semantics honest if a
+					// destination ever re-sends a boundary row.
+					partial = partial.union(rel)
 				}
 			}
 			checkpoint += res.rowCount
@@ -1285,7 +1347,7 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 				e.Health.ReportSuccess(site)
 			}
 			if partial == nil {
-				partial = rql.NewResultSet()
+				partial = e.emptyRel()
 			}
 			ex.recordComplete(site, n, checkpoint, res.watermark, resumed)
 			return partial, nil
@@ -1477,6 +1539,7 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 	var sinkStats *stats.PeerStats
 	var statsSite pattern.PeerID
 	statsReceived := false
+	resultsRows, resultsSeen := 0, false
 	ex.mu.Lock()
 	res, ok := ex.inbox[pkt.ChannelID]
 	if ok {
@@ -1488,18 +1551,42 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 		}
 		switch pkt.Type {
 		case channel.Results:
-			var rs rql.ResultSet
-			if err := json.Unmarshal(pkt.Payload, &rs); err != nil {
-				res.err = fmt.Errorf("exec: bad results packet: %w", err)
-				break
-			}
-			if res.rows == nil {
-				res.rows = &rs
-			} else {
-				res.rows = res.rows.Union(&rs)
+			// Decode by the packet's declared encoding, then store in the
+			// root's own representation — so a root on either data plane
+			// collects correctly from a destination on either.
+			e := ex.engine
+			switch pkt.Enc {
+			case channel.EncBatch:
+				b, err := rql.DecodeBatch(pkt.Payload)
+				if err != nil {
+					res.err = fmt.Errorf("exec: bad results packet: %w", err)
+					break
+				}
+				if e.RowWire {
+					res.segs = append(res.segs, b.ResultSet())
+				} else {
+					// Rebase the frame onto the execution's shared
+					// dictionary as it arrives: one interning pass per
+					// frame, and reassembly plus every operator above
+					// move ids without touching a term again.
+					res.batches = append(res.batches, b.Rebase(ex.store))
+				}
+			default:
+				var rs rql.ResultSet
+				//lint:allow jsonrow legacy RowWire wire format: decoding it here is what keeps mixed-mode peers interoperable
+				if err := json.Unmarshal(pkt.Payload, &rs); err != nil {
+					res.err = fmt.Errorf("exec: bad results packet: %w", err)
+					break
+				}
+				if e.RowWire {
+					res.segs = append(res.segs, &rs)
+				} else {
+					res.batches = append(res.batches, rql.BatchOf(&rs).Rebase(ex.store))
+				}
 			}
 			res.rowCount += pkt.Rows
-			e := ex.engine
+			resultsRows = pkt.Rows
+			resultsSeen = true
 			e.mu.Lock()
 			e.metrics.RowsShipped += pkt.Rows
 			e.metrics.BytesShipped += len(pkt.Payload)
@@ -1554,6 +1641,11 @@ func (ex *execution) onPacket(pkt channel.Packet) {
 	ex.mu.Unlock()
 	// Registry counters live behind their own lock: increment after ex.mu
 	// is released so lock order stays one-deep.
+	if resultsSeen {
+		if reg := ex.engine.Obs; reg != nil {
+			reg.Histogram("exec_batch_rows", obs.L("peer", string(ex.engine.Self))).Observe(float64(resultsRows))
+		}
+	}
 	if statsReceived {
 		if reg := ex.engine.Obs; reg != nil {
 			peerL := obs.L("peer", string(ex.engine.Self))
@@ -1618,6 +1710,9 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		StatsProvider: e.StatsProvider,
 		StatsSink:     e.StatsSink,
 		Parallelism:   e.Parallelism,
+		BatchSize:     e.BatchSize,
+		RowWire:       e.RowWire,
+		WindowSize:    e.WindowSize,
 		Obs:           e.Obs,
 	}
 	ex := newExecution(local)
@@ -1647,7 +1742,11 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		}
 		return []byte("failed"), nil
 	}
-	if err := e.streamResults(req.ChannelID, rows, req.ResumeFrom, traceRec); err != nil {
+	if e.RowWire {
+		if err := e.streamResults(req.ChannelID, rows.resultSet(), req.ResumeFrom, traceRec); err != nil {
+			return nil, err
+		}
+	} else if err := e.streamBatches(req.ChannelID, rows.asBatch(), req.ResumeFrom, traceRec); err != nil {
 		return nil, err
 	}
 	return []byte("ok"), nil
@@ -1692,6 +1791,7 @@ func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom
 			end = rows.Len()
 		}
 		part := &rql.ResultSet{Vars: rows.Vars, Rows: rows.Rows[start:end]}
+		//lint:allow jsonrow this IS the RowWire ablation's legacy wire format; the default plane streams binary batches (streamBatches)
 		payload, err := json.Marshal(part)
 		if err != nil {
 			return fmt.Errorf("exec: marshal rows: %w", err)
@@ -1715,5 +1815,108 @@ func (e *Engine) streamResults(channelID string, rows *rql.ResultSet, resumeFrom
 	// per-message latency) — only bytes on a packet that was going to be
 	// sent anyway. The failure path, where no Done follows, ships it as a
 	// standalone TraceSpans packet instead.
+	return e.Channels.SendToRoot(channelID, channel.Done, 0, traceRec)
+}
+
+// windowSize resolves the streaming in-flight window (encoded-but-unsent
+// frames the encoder may run ahead by).
+func (e *Engine) windowSize() int {
+	if e.WindowSize > 0 {
+		return e.WindowSize
+	}
+	return 4
+}
+
+// wireFrame is one encoded Results frame awaiting its send slot.
+type wireFrame struct {
+	payload []byte // pooled; the sender returns it after the send
+	rows    int
+}
+
+// streamBatches is the columnar twin of streamResults: the answer ships
+// as length-prefixed binary batch frames (BatchSize rows each, per-frame
+// compacted term dictionary, pooled encode buffers) instead of JSON row
+// slices. The checkpoint protocol is byte-for-byte the same — resumeFrom
+// is acked with the identical PlanChange packet, frames after the
+// checkpoint slice the same contiguous row prefix order, and at least one
+// Results packet is always sent so the root learns the schema.
+//
+// Encoding is pipelined with backpressure: a producer goroutine slices
+// and encodes ahead of the sender through a channel holding at most
+// windowSize() frames, so a slow (or high-latency) channel bounds how
+// much encoded-but-unsent data exists at any moment instead of the whole
+// result being materialized on the wire at once. The first send error
+// stops the producer via the abort channel; remaining frames are drained
+// back to the buffer pool.
+func (e *Engine) streamBatches(channelID string, rows *rql.Batch, resumeFrom int, traceRec []byte) error {
+	batch := e.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	start0 := 0
+	if resumeFrom > 0 {
+		pc := channel.PlanChangeInfo{Reason: "resume-honored", Offset: resumeFrom}
+		if resumeFrom > rows.Len() {
+			// This evaluation produced fewer rows than the root already
+			// holds: its checkpoint cannot be a prefix of our stream.
+			pc = channel.PlanChangeInfo{Reason: "checkpoint-invalid"}
+		} else {
+			start0 = resumeFrom
+		}
+		payload, err := json.Marshal(pc)
+		if err != nil {
+			return fmt.Errorf("exec: marshal plan-change: %w", err)
+		}
+		if err := e.Channels.SendToRoot(channelID, channel.PlanChange, 0, payload); err != nil {
+			return err
+		}
+	}
+	frames := make(chan wireFrame, e.windowSize())
+	abort := make(chan struct{})
+	go func() {
+		defer close(frames)
+		sl := rql.NewSlicer(rows)
+		sent := false
+		for start := start0; !sent || start < rows.Len(); start += batch {
+			end := start + batch
+			if end > rows.Len() {
+				end = rows.Len()
+			}
+			part := sl.Slice(start, end)
+			payload := rql.AppendBatch(rql.GetWireBuf(), part)
+			select {
+			case frames <- wireFrame{payload: payload, rows: part.Len()}:
+				sent = true
+			case <-abort:
+				rql.PutWireBuf(payload)
+				return
+			}
+		}
+	}()
+	var sendErr error
+	for f := range frames {
+		if sendErr == nil {
+			sendErr = e.Channels.SendToRootEnc(channelID, channel.Results, f.rows, channel.EncBatch, f.payload)
+			if sendErr != nil {
+				// Stop the producer: the root's checkpoint is the contiguous
+				// prefix that made it, and a retry resumes from there.
+				close(abort)
+			}
+		}
+		rql.PutWireBuf(f.payload)
+	}
+	if sendErr != nil {
+		return sendErr
+	}
+	if e.StatsProvider != nil {
+		if ps := e.StatsProvider(); ps != nil {
+			if payload, err := json.Marshal(ps); err == nil {
+				if err := e.Channels.SendToRoot(channelID, channel.Stats, 0, payload); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// As in streamResults, the span record rides the Done marker.
 	return e.Channels.SendToRoot(channelID, channel.Done, 0, traceRec)
 }

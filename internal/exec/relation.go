@@ -1,0 +1,153 @@
+package exec
+
+import "sqpeer/internal/rql"
+
+// relation is the engine-internal value flowing between plan operators:
+// the same logical relation in whichever representation the engine's data
+// plane uses — columnar rql.Batch on the default path, row-map ResultSet
+// under the Engine.RowWire ablation. Exactly one of rs / b is set. A nil
+// *relation is the "absent" sentinel (an unfillable hole contributed
+// nothing), matching the nil-*ResultSet convention it replaces.
+type relation struct {
+	rs *rql.ResultSet
+	b  *rql.Batch
+}
+
+// relOf wraps a freshly evaluated result set in the engine's
+// representation: the batch plane converts at the leaf, so every operator
+// above it runs vectorized.
+func relOf(rowWire bool, rs *rql.ResultSet) *relation {
+	if rowWire {
+		return &relation{rs: rs}
+	}
+	return &relation{b: rql.BatchOf(rs)}
+}
+
+// relFromBatch wraps a decoded wire batch.
+func relFromBatch(b *rql.Batch) *relation { return &relation{b: b} }
+
+// emptyRel returns an empty relation in the engine's representation.
+func (e *Engine) emptyRel() *relation {
+	if e.RowWire {
+		return &relation{rs: rql.NewResultSet()}
+	}
+	return &relation{b: rql.NewBatch()}
+}
+
+// len returns the row count; nil relations are empty.
+func (r *relation) len() int {
+	if r == nil {
+		return 0
+	}
+	if r.b != nil {
+		return r.b.Len()
+	}
+	return r.rs.Len()
+}
+
+// asBatch returns the columnar view, converting if needed.
+func (r *relation) asBatch() *rql.Batch {
+	if r.b != nil {
+		return r.b
+	}
+	return rql.BatchOf(r.rs)
+}
+
+// resultSet returns the row-map view, converting if needed — the facade
+// boundary where batches become the public ResultSet again.
+func (r *relation) resultSet() *rql.ResultSet {
+	if r == nil {
+		return rql.NewResultSet()
+	}
+	if r.b != nil {
+		return r.b.ResultSet()
+	}
+	return r.rs
+}
+
+// union merges o into r, vectorized when either side is columnar.
+func (r *relation) union(o *relation) *relation {
+	if r.b != nil || (o != nil && o.b != nil) {
+		return &relation{b: r.asBatch().Union(o.asBatch())}
+	}
+	var ors *rql.ResultSet
+	if o != nil {
+		ors = o.rs
+	}
+	return &relation{rs: r.rs.Union(ors)}
+}
+
+// unionAll merges the non-nil relations in one pass. On the batch plane
+// this is a single dedup over all branches (rql.UnionAll); folding
+// pairwise instead would re-key the whole accumulated relation once per
+// branch — quadratic in the branch count. The RowWire ablation keeps its
+// original pairwise scalar fold. Returns nil when every input is nil.
+func (e *Engine) unionAll(rels []*relation) *relation {
+	if e.RowWire {
+		var acc *relation
+		for _, rel := range rels {
+			if rel == nil {
+				continue
+			}
+			if acc == nil {
+				acc = e.emptyRel()
+			}
+			acc = acc.union(rel)
+		}
+		return acc
+	}
+	batches := make([]*rql.Batch, 0, len(rels))
+	for _, rel := range rels {
+		if rel == nil {
+			continue
+		}
+		batches = append(batches, rel.asBatch())
+	}
+	if len(batches) == 0 {
+		return nil
+	}
+	return &relation{b: rql.UnionAll(batches...)}
+}
+
+// join natural-joins r with o, vectorized when either side is columnar.
+func (r *relation) join(o *relation) *relation {
+	if r.b != nil || (o != nil && o.b != nil) {
+		return &relation{b: r.asBatch().Join(o.asBatch())}
+	}
+	return &relation{rs: r.rs.Join(o.rs)}
+}
+
+// project restricts r to vars, deduplicating.
+func (r *relation) project(vars []string) *relation {
+	if r.b != nil {
+		return &relation{b: r.b.Project(vars)}
+	}
+	return &relation{rs: r.rs.Project(vars)}
+}
+
+// concatRS appends result-set segments in order without deduplicating —
+// the row-plane mirror of rql.Concat, used to reassemble one remote
+// stream whose segments are disjoint slices of an already-deduplicated
+// relation.
+func concatRS(segs []*rql.ResultSet) *rql.ResultSet {
+	var vars []string
+	total := 0
+	for _, s := range segs {
+		if s == nil {
+			continue
+		}
+		if vars == nil {
+			vars = s.Vars // every segment of one stream shares its schema
+		}
+		total += s.Len()
+	}
+	out := rql.NewResultSet(vars...)
+	out.Rows = make([]rql.Row, 0, total)
+	for _, s := range segs {
+		if s == nil {
+			continue
+		}
+		out.Rows = append(out.Rows, s.Rows...)
+	}
+	return out
+}

@@ -27,6 +27,20 @@ func benchObserve(bench string, us float64) *obs.Histogram {
 	return h
 }
 
+// ObserveBenchAlloc records a microbenchmark's allocation cost into the
+// registry (harness_bench_allocs_per_op, harness_bench_bytes_per_op,
+// labeled by bench id) and returns the registry means, so reports and
+// artifacts read allocation numbers back the same way they read
+// throughput. Exported for cmd/sqpeer-bench, whose Fig benches feed the
+// same registry.
+func ObserveBenchAlloc(bench string, allocsPerOp, bytesPerOp float64) (meanAllocs, meanBytes float64) {
+	a := benchReg.Histogram("harness_bench_allocs_per_op", obs.L("bench", bench))
+	a.Observe(allocsPerOp)
+	b := benchReg.Histogram("harness_bench_bytes_per_op", obs.L("bench", bench))
+	b.Observe(bytesPerOp)
+	return a.Mean(), b.Mean()
+}
+
 // Clock measures elapsed wall time for throughput reporting.
 type Clock struct {
 	start time.Time

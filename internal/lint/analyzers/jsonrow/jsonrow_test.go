@@ -1,0 +1,11 @@
+package jsonrow
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestJSONRow(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

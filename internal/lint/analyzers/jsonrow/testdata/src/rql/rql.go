@@ -1,0 +1,23 @@
+// Package rql is a fixture mirror of the real sqpeer/internal/rql row
+// types: the analyzer matches any package whose import path ends in
+// "rql", so these shapes stand in for the real ones.
+package rql
+
+// Term stands in for rdf.Term.
+type Term struct{ Value string }
+
+// Row mirrors rql.Row (a named map type).
+type Row map[string]Term
+
+// ResultSet mirrors rql.ResultSet.
+type ResultSet struct {
+	Vars []string
+	Rows []Row
+}
+
+// Batch mirrors the columnar rql.Batch.
+type Batch struct {
+	Vars []string
+	Cols [][]int32
+	Dict []Term
+}

@@ -1,0 +1,37 @@
+// Allocation accounting for the batched data plane. The perf claims in
+// EXPERIMENTS.md are stated per row (allocs/row, bytes/row), so the
+// harness needs cheap before/after snapshots of the Go allocator's
+// cumulative counters. runtime.ReadMemStats is a stop-the-world read;
+// callers sample once around a whole measured region, never per row.
+package obs
+
+import "runtime"
+
+// AllocSample is a snapshot of the allocator's cumulative counters
+// (or, via Delta, the difference between two snapshots).
+type AllocSample struct {
+	Allocs uint64 // heap objects allocated (runtime.MemStats.Mallocs)
+	Bytes  uint64 // bytes allocated (runtime.MemStats.TotalAlloc)
+}
+
+// ReadAllocs snapshots the allocator counters. The counters are
+// cumulative and monotonic, so two samples bracket a region exactly.
+func ReadAllocs() AllocSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return AllocSample{Allocs: ms.Mallocs, Bytes: ms.TotalAlloc}
+}
+
+// Delta returns the allocations and bytes accumulated since prev.
+func (s AllocSample) Delta(prev AllocSample) AllocSample {
+	return AllocSample{Allocs: s.Allocs - prev.Allocs, Bytes: s.Bytes - prev.Bytes}
+}
+
+// PerOp divides the sample by an operation count, returning allocs/op
+// and bytes/op as floats for reporting. A zero count yields zeros.
+func (s AllocSample) PerOp(n int) (allocs, bytes float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	return float64(s.Allocs) / float64(n), float64(s.Bytes) / float64(n)
+}

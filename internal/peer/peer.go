@@ -152,6 +152,11 @@ type Peer struct {
 	mu        sync.Mutex
 	neighbors map[pattern.PeerID]bool
 	slots     int
+	// statsCache memoizes selfStats against the base's mutation
+	// generation; Catalog treats stored *PeerStats as immutable
+	// (copy-on-write), so handing the same pointer out repeatedly is safe.
+	statsCache *stats.PeerStats
+	statsGen   uint64
 }
 
 // New builds and wires a peer into the network.
@@ -255,10 +260,46 @@ func (ls localSource) EvalScan(patterns []pattern.PathPattern) *rql.ResultSet {
 	return acc
 }
 
-// selfStats collects the peer's own statistics.
+// EvalScanBatch is EvalScan on the columnar plane (exec.BatchSource):
+// each pattern scans straight into a batch — interned into the calling
+// execution's shared dictionary — and multi-pattern subplans join
+// vectorized, so local evaluation never materializes row maps and the
+// joins between same-store scans never remap an id.
+func (ls localSource) EvalScanBatch(patterns []pattern.PathPattern, store *rql.TermStore) *rql.Batch {
+	var acc *rql.Batch
+	for _, pp := range patterns {
+		b := rql.EvalPathPatternBatchInto(store, ls.p.Base, ls.p.Schema, pp)
+		if acc == nil {
+			acc = b
+		} else {
+			acc = acc.Join(b)
+		}
+	}
+	if acc == nil {
+		acc = rql.NewBatch()
+	}
+	return acc
+}
+
+// selfStats collects the peer's own statistics, memoized against the
+// base's mutation generation. The engine piggybacks these on every
+// answered subplan (paper §2.4), so without the cache a full base scan
+// ran per dispatched Stats packet — on large bases that recomputation,
+// not row movement, dominated distributed execution time.
 func (p *Peer) selfStats() *stats.PeerStats {
+	gen := p.Base.Gen()
+	p.mu.Lock()
+	if ps := p.statsCache; ps != nil && p.statsGen == gen {
+		p.mu.Unlock()
+		return ps
+	}
+	p.mu.Unlock()
 	bs := rdf.CollectStats(p.Base, p.Schema)
-	return stats.FromBaseStats(p.ID, bs, p.slots)
+	ps := stats.FromBaseStats(p.ID, bs, p.slots)
+	p.mu.Lock()
+	p.statsCache, p.statsGen = ps, gen
+	p.mu.Unlock()
+	return ps
 }
 
 // Advertisement returns the peer's current advertisement (active-schema

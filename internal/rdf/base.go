@@ -26,6 +26,7 @@ type Base struct {
 	pos map[Term]map[Term]map[Term]struct{}
 	osp map[Term]map[Term]map[Term]struct{}
 	n   int
+	gen uint64
 }
 
 // NewBase returns an empty description base.
@@ -49,6 +50,7 @@ func (b *Base) Add(t Triple) bool {
 	idxAdd(b.pos, t.P, t.O, t.S)
 	idxAdd(b.osp, t.O, t.S, t.P)
 	b.n++
+	b.gen++
 	return true
 }
 
@@ -74,6 +76,7 @@ func (b *Base) Remove(t Triple) bool {
 	idxDel(b.pos, t.P, t.O, t.S)
 	idxDel(b.osp, t.O, t.S, t.P)
 	b.n--
+	b.gen++
 	return true
 }
 
@@ -82,6 +85,15 @@ func (b *Base) Has(t Triple) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return idxHas(b.spo, t.S, t.P, t.O)
+}
+
+// Gen returns the base's mutation generation: it changes on every
+// successful Add or Remove, so derived artifacts (statistics, active
+// schemas) can be memoized against it.
+func (b *Base) Gen() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.gen
 }
 
 // Len returns the number of stored triples.
@@ -214,6 +226,39 @@ func (b *Base) Pairs(p IRI, schema *Schema) []Pair {
 		}
 	}
 	return out
+}
+
+// PairsFunc streams the pairs Pairs would return to fn, in the same
+// order, without materializing the pair (or intermediate triple) slices.
+// The batch scan leaf consumes millions of pairs per query; building them
+// as one throwaway slice per scan dominated that path's allocation. The
+// base lock is held while fn runs (see MatchFunc), so fn must not call
+// back into the Base's mutating methods.
+func (b *Base) PairsFunc(p IRI, schema *Schema, fn func(Pair)) {
+	props := []IRI{p}
+	if schema != nil {
+		props = schema.SubProperties(p)
+	}
+	if len(props) == 1 {
+		// Sole property: the index holds each (s,p,o) once and there is
+		// no cross-property overlap, so no seen-set is needed.
+		b.MatchFunc(Term{}, NewIRI(props[0]), Term{}, func(t Triple) bool {
+			fn(Pair{X: t.S, Y: t.O})
+			return true
+		})
+		return
+	}
+	seen := map[Pair]struct{}{}
+	for _, prop := range props {
+		b.MatchFunc(Term{}, NewIRI(prop), Term{}, func(t Triple) bool {
+			pr := Pair{X: t.S, Y: t.O}
+			if _, dup := seen[pr]; !dup {
+				seen[pr] = struct{}{}
+				fn(pr)
+			}
+			return true
+		})
+	}
 }
 
 // PropertiesUsed returns the set of distinct predicate IRIs appearing in

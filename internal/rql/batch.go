@@ -1,0 +1,731 @@
+package rql
+
+import (
+	"sync"
+
+	"sqpeer/internal/rdf"
+)
+
+// Batch is the columnar twin of ResultSet: the same logical relation —
+// rows over a fixed variable schema — stored as one dictionary-encoded
+// id column per variable. Terms repeat heavily in SQPeer workloads (join
+// resources appear once per matching pair, IRIs share long namespace
+// prefixes), so each batch carries a small per-batch term dictionary and
+// the columns hold int32 dictionary ids; unbound variables are encoded
+// as -1. Batches are what the executor's data plane moves and operates
+// on; ResultSet remains the public facade, with BatchOf / Batch.ResultSet
+// converting at the boundary.
+//
+// Facade contract: a Row binding for a variable outside the set's Vars
+// is not representable columnar-wise and is dropped by BatchOf. Nothing
+// in the engine produces such rows (every operator binds only schema
+// variables), which is what makes the two representations equivalent.
+type Batch struct {
+	// Vars is the variable schema, in presentation order.
+	Vars []string
+	// Cols holds one id column per variable, aligned with Vars; each
+	// column has Len() entries and entry -1 means "unbound in this row".
+	Cols [][]int32
+	// Dict maps dictionary ids to terms.
+	Dict []rdf.Term
+
+	// rows is the row count, kept explicitly so zero-variable relations
+	// (a projection onto no variables) keep their cardinality.
+	rows int
+	// index is the lazily-built Dict inverse used when interning; nil
+	// (and unused) while the batch is store-backed.
+	index map[rdf.Term]int32
+	// store, when non-nil, is the shared dictionary this batch's ids
+	// live in; Dict is then a prefix snapshot of the store's term
+	// sequence. Two batches on the same store agree on every id, which
+	// is what lets the operators skip dictionary merging entirely.
+	store *TermStore
+}
+
+// TermStore is a grow-only term dictionary shared by every batch of one
+// engine execution. Per-batch dictionaries make wire frames self-
+// contained, but inside one engine they mean each operator re-interns
+// its inputs' terms — on million-row results the repeated dictionary and
+// index rebuilds, not the row work, dominate allocation. A store interns
+// each term once per execution; batches carry capacity-capped snapshots
+// of the term sequence as their Dict, so ids are stable, snapshots stay
+// immutable while the store grows, and every id-space read path (facade
+// conversion, slicing, encoding) works unchanged.
+//
+// The mutex makes interning safe across the execution's collector and
+// branch goroutines; reads of a snapshot need no lock because the store
+// only ever appends past every existing snapshot's length.
+//
+// The inverse index is a linear-probing table of id+1 slots (0 empty)
+// rather than a Go map: each term's hash is computed once at insertion
+// and memoized in hashes, so growing the table re-buckets by stored
+// hash without touching a term, and both table arrays are pointer-free
+// — on million-term executions a Term-keyed map spends more time
+// re-hashing terms during growth (and being scanned by the collector)
+// than interning them.
+type TermStore struct {
+	mu    sync.Mutex
+	terms []rdf.Term
+	// hashes[id] is the memoized termHash of terms[id].
+	hashes []uint64
+	// slots is the power-of-two probe table holding id+1; mask is
+	// len(slots)-1.
+	slots []int32
+	mask  uint64
+}
+
+// NewTermStore returns an empty shared dictionary.
+func NewTermStore() *TermStore {
+	return &TermStore{slots: make([]int32, 1024), mask: 1023}
+}
+
+// termHash is a deterministic FNV-1a over the term's discriminant and
+// text; interning uses it through the memo in TermStore.hashes.
+func termHash(t rdf.Term) uint64 {
+	h := uint64(14695981039346656037)
+	h ^= uint64(t.Kind)
+	h *= 1099511628211
+	for i := 0; i < len(t.Value); i++ {
+		h ^= uint64(t.Value[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff // separator: ("a","b") must not collide with ("ab","")
+	h *= 1099511628211
+	for i := 0; i < len(t.Datatype); i++ {
+		h ^= uint64(t.Datatype[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// intern returns t's id, adding it on first use. Caller holds mu.
+func (s *TermStore) intern(t rdf.Term) int32 {
+	h := termHash(t)
+	i := h & s.mask
+	for {
+		slot := s.slots[i]
+		if slot == 0 {
+			break
+		}
+		if id := slot - 1; s.hashes[id] == h && s.terms[id] == t {
+			return id
+		}
+		i = (i + 1) & s.mask
+	}
+	id := int32(len(s.terms))
+	s.terms = append(s.terms, t)
+	s.hashes = append(s.hashes, h)
+	s.slots[i] = id + 1
+	if uint64(len(s.terms))*4 >= uint64(len(s.slots))*3 {
+		s.grow()
+	}
+	return id
+}
+
+// grow doubles the probe table, re-bucketing by memoized hash.
+func (s *TermStore) grow() {
+	slots := make([]int32, 2*len(s.slots))
+	mask := uint64(len(slots) - 1)
+	for id, h := range s.hashes {
+		i := h & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(id) + 1
+	}
+	s.slots, s.mask = slots, mask
+}
+
+// snapshot returns the current term sequence, capacity-capped so later
+// store appends reallocate instead of scribbling past it. Caller holds mu.
+func (s *TermStore) snapshot() []rdf.Term {
+	return s.terms[:len(s.terms):len(s.terms)]
+}
+
+// NewBatch returns an empty store-backed batch over the variables.
+func (s *TermStore) NewBatch(vars ...string) *Batch {
+	b := NewBatch(vars...)
+	b.store = s
+	s.mu.Lock()
+	b.Dict = s.snapshot()
+	s.mu.Unlock()
+	return b
+}
+
+// Rebase rewrites b in place into s's id space, making it store-backed.
+// The collector calls this on every decoded wire frame, so one stream
+// pays one dictionary-sized interning pass per frame and everything
+// downstream of it — concatenation, unions, joins — moves ids without
+// touching a term again. Returns b for chaining.
+func (b *Batch) Rebase(s *TermStore) *Batch {
+	if b == nil || b.store == s {
+		return b
+	}
+	m := make([]int32, len(b.Dict))
+	s.mu.Lock()
+	for i, t := range b.Dict {
+		m[i] = s.intern(t)
+	}
+	snap := s.snapshot()
+	s.mu.Unlock()
+	for _, col := range b.Cols {
+		for r, id := range col {
+			if id >= 0 {
+				col[r] = m[id]
+			}
+		}
+	}
+	b.store, b.Dict, b.index = s, snap, nil
+	return b
+}
+
+// NewBatch returns an empty batch over the variables.
+func NewBatch(vars ...string) *Batch {
+	return &Batch{Vars: vars, Cols: make([][]int32, len(vars))}
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return b.rows
+}
+
+// Intern returns the dictionary id of t, adding it on first use. On a
+// store-backed batch the store interns and the batch refreshes its Dict
+// snapshot to cover the new id.
+func (b *Batch) Intern(t rdf.Term) int32 {
+	if s := b.store; s != nil {
+		s.mu.Lock()
+		id := s.intern(t)
+		if int(id) >= len(b.Dict) {
+			b.Dict = s.snapshot()
+		}
+		s.mu.Unlock()
+		return id
+	}
+	if b.index == nil {
+		b.index = make(map[rdf.Term]int32, len(b.Dict)+16)
+		for i, dt := range b.Dict {
+			b.index[dt] = int32(i)
+		}
+	}
+	if id, ok := b.index[t]; ok {
+		return id
+	}
+	id := int32(len(b.Dict))
+	b.Dict = append(b.Dict, t)
+	b.index[t] = id
+	return id
+}
+
+// appendIDs appends one row of dictionary ids (already in this batch's
+// dictionary space, aligned with Vars).
+func (b *Batch) appendIDs(ids []int32) {
+	for i := range b.Cols {
+		b.Cols[i] = append(b.Cols[i], ids[i])
+	}
+	b.rows++
+}
+
+// BatchOf converts a result set into its columnar form.
+func BatchOf(rs *ResultSet) *Batch {
+	if rs == nil {
+		return NewBatch()
+	}
+	b := NewBatch(rs.Vars...)
+	for i := range b.Cols {
+		b.Cols[i] = make([]int32, 0, len(rs.Rows))
+	}
+	for _, r := range rs.Rows {
+		for i, v := range b.Vars {
+			t, ok := r[v]
+			if !ok {
+				b.Cols[i] = append(b.Cols[i], -1)
+				continue
+			}
+			b.Cols[i] = append(b.Cols[i], b.Intern(t))
+		}
+		b.rows++
+	}
+	return b
+}
+
+// ResultSet converts the batch back into the row-map facade form.
+func (b *Batch) ResultSet() *ResultSet {
+	if b == nil {
+		return NewResultSet()
+	}
+	rs := NewResultSet(b.Vars...)
+	rs.Rows = make([]Row, 0, b.rows)
+	for r := 0; r < b.rows; r++ {
+		row := make(Row, len(b.Vars))
+		for c, v := range b.Vars {
+			if id := b.Cols[c][r]; id >= 0 {
+				row[v] = b.Dict[id]
+			}
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs
+}
+
+// hashIDs folds an id tuple into a 64-bit FNV-1a hash. Ids are shifted
+// by one so the unbound sentinel (-1) hashes distinctly from id 0. The
+// batch operators key their dedup sets and join indexes on this hash —
+// a scalar, so the maps never allocate per entry the way string-keyed
+// maps do — and verify genuine tuple equality against the columns on
+// every hash hit, so collisions cost a comparison, never a wrong answer.
+func hashIDs(ids []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		x := uint32(id + 1)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64((x >> s) & 0xff)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// dedup admits unique id tuples into out, appending each new row. head
+// maps a tuple hash to the first admitted out-row with that hash;
+// genuinely colliding tuples (same hash, different ids — vanishingly
+// rare but handled) chain through over.
+type dedup struct {
+	out  *Batch
+	head map[uint64]int32
+	over map[uint64][]int32
+}
+
+func newDedup(out *Batch, hint int) *dedup {
+	return &dedup{out: out, head: make(map[uint64]int32, hint)}
+}
+
+// sameRow reports whether admitted out-row r equals the candidate tuple.
+func (d *dedup) sameRow(r int32, ids []int32) bool {
+	for c := range d.out.Cols {
+		if d.out.Cols[c][r] != ids[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// admit appends ids to out unless an equal tuple was admitted before,
+// reporting whether the row is new.
+func (d *dedup) admit(ids []int32) bool {
+	h := hashIDs(ids)
+	r, ok := d.head[h]
+	if !ok {
+		d.head[h] = int32(d.out.rows)
+		d.out.appendIDs(ids)
+		return true
+	}
+	if d.sameRow(r, ids) {
+		return false
+	}
+	for _, or := range d.over[h] {
+		if d.sameRow(or, ids) {
+			return false
+		}
+	}
+	if d.over == nil {
+		d.over = map[uint64][]int32{}
+	}
+	d.over[h] = append(d.over[h], int32(d.out.rows))
+	d.out.appendIDs(ids)
+	return true
+}
+
+// adoptDict shares src's dictionary (and store, if any) with b, making
+// src's ids valid b ids so the caller can skip remapping that input (a
+// nil translation table). Operators adopt the input with the largest
+// dictionary, so across a pipeline of operators each term is hashed and
+// interned once — when it first enters — rather than once per operator.
+// The shared slice is capacity-capped, so b's first dictionary append
+// reallocates instead of scribbling on src's backing array. src is never
+// mutated and its intern index is never shared: parallel sibling
+// branches may adopt the same input concurrently, so b lazily builds its
+// own index if it ever interns (store-backed batches never need one).
+func (b *Batch) adoptDict(src *Batch) {
+	if src == nil {
+		return
+	}
+	b.store = src.store
+	b.Dict = src.Dict[:len(src.Dict):len(src.Dict)]
+}
+
+// adoptee picks the input with the largest dictionary — the one worth
+// adopting wholesale so only the smaller inputs pay interning.
+func adoptee(batches []*Batch) *Batch {
+	var best *Batch
+	for _, src := range batches {
+		if src != nil && (best == nil || len(src.Dict) > len(best.Dict)) {
+			best = src
+		}
+	}
+	return best
+}
+
+// remapFrom interns every term of o's dictionary into b's, returning the
+// o-id → b-id translation table. O(|o.Dict|), independent of row count —
+// the reason dictionary-encoded columns make unions and joins cheap.
+func (b *Batch) remapFrom(o *Batch) []int32 {
+	m := make([]int32, len(o.Dict))
+	for i, t := range o.Dict {
+		m[i] = b.Intern(t)
+	}
+	return m
+}
+
+// remapFor returns the translation table for src's ids into b's space,
+// nil when none is needed: batches on the same store already agree on
+// every id.
+func (b *Batch) remapFor(src *Batch) []int32 {
+	if b.store != nil && src.store == b.store {
+		return nil
+	}
+	return b.remapFrom(src)
+}
+
+// remapID translates one id through a remapFrom table, preserving the
+// unbound sentinel. A nil table is the identity: the source's dictionary
+// was adopted, so its ids are already output ids.
+func remapID(m []int32, id int32) int32 {
+	if id < 0 {
+		return -1
+	}
+	if m == nil {
+		return id
+	}
+	return m[id]
+}
+
+// columnsOf maps each requested variable to its column index in b, -1
+// when b's schema lacks it.
+func columnsOf(b *Batch, vars []string) []int {
+	pos := make(map[string]int, len(b.Vars))
+	for i, v := range b.Vars {
+		pos[v] = i
+	}
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		if c, ok := pos[v]; ok {
+			out[i] = c
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Union merges another batch into this one, deduplicating over the union
+// of the variable schemas — the vectorized ResultSet.Union: same merged
+// schema, same first-occurrence-wins order, keyed on dictionary ids
+// instead of rendered strings.
+func (b *Batch) Union(o *Batch) *Batch {
+	return UnionAll(b, o)
+}
+
+// UnionAll unions any number of batches in one pass: one merged schema,
+// one dedup set, first occurrence wins across all inputs in order. The
+// executor's n-way plan unions call this instead of folding pairwise,
+// which would re-key the whole accumulated relation once per branch.
+func UnionAll(batches ...*Batch) *Batch {
+	var vars []string
+	total := 0
+	for _, src := range batches {
+		if src == nil {
+			continue
+		}
+		vars = mergeVars(vars, src.Vars)
+		total += src.Len()
+	}
+	out := NewBatch(vars...)
+	adopted := adoptee(batches)
+	out.adoptDict(adopted)
+	for i := range out.Cols {
+		out.Cols[i] = make([]int32, 0, total)
+	}
+	d := newDedup(out, total)
+	ids := make([]int32, len(vars))
+	for _, src := range batches {
+		if src == nil {
+			continue
+		}
+		var remap []int32
+		if src != adopted {
+			remap = out.remapFor(src)
+		}
+		cols := columnsOf(src, vars)
+		for r := 0; r < src.rows; r++ {
+			for i := range vars {
+				id := int32(-1)
+				if c := cols[i]; c >= 0 {
+					id = remapID(remap, src.Cols[c][r])
+				}
+				ids[i] = id
+			}
+			d.admit(ids)
+		}
+	}
+	return out
+}
+
+// Join natural-joins two batches on their shared variables — the
+// vectorized ResultSet.Join: hash-build on the smaller side, probe with
+// the larger, build-side bindings win in the merged row, output
+// deduplicated. Keys are dictionary-id sequences built in a reused
+// scratch buffer; two unbound values key equal (as the rendered zero
+// term does in the row path), an unbound never matches a bound one.
+func (b *Batch) Join(o *Batch) *Batch {
+	shared := sharedVars(b.Vars, o.Vars)
+	vars := mergeVars(b.Vars, o.Vars)
+	out := NewBatch(vars...)
+	if b.Len() == 0 || o.Len() == 0 {
+		return out
+	}
+	build, probe := b, o
+	if probe.Len() < build.Len() {
+		build, probe = probe, build
+	}
+	var buildMap, probeMap []int32
+	if len(build.Dict) > len(probe.Dict) {
+		out.adoptDict(build)
+		probeMap = out.remapFor(probe)
+	} else {
+		out.adoptDict(probe)
+		buildMap = out.remapFor(build)
+	}
+	for i := range out.Cols {
+		out.Cols[i] = make([]int32, 0, probe.Len())
+	}
+	buildShared := columnsOf(build, shared)
+	probeShared := columnsOf(probe, shared)
+	// Chained hash index over the build side's shared-variable ids: head
+	// maps a key hash to the newest build row, next links same-hash
+	// predecessors (-1 terminates). Key equality is re-verified against
+	// the columns at probe time, so the index needs no per-row key
+	// storage at all.
+	head := make(map[uint64]int32, build.Len())
+	next := make([]int32, build.rows)
+	keyIDs := make([]int32, len(shared))
+	for r := 0; r < build.rows; r++ {
+		for i := range shared {
+			id := int32(-1)
+			if c := buildShared[i]; c >= 0 {
+				id = remapID(buildMap, build.Cols[c][r])
+			}
+			keyIDs[i] = id
+		}
+		h := hashIDs(keyIDs)
+		if prev, ok := head[h]; ok {
+			next[r] = prev
+		} else {
+			next[r] = -1
+		}
+		head[h] = int32(r)
+	}
+	buildCols := columnsOf(build, vars)
+	probeCols := columnsOf(probe, vars)
+	d := newDedup(out, probe.Len())
+	ids := make([]int32, len(vars))
+	var matches []int32
+	for r := 0; r < probe.rows; r++ {
+		for i := range shared {
+			id := int32(-1)
+			if c := probeShared[i]; c >= 0 {
+				id = remapID(probeMap, probe.Cols[c][r])
+			}
+			keyIDs[i] = id
+		}
+		br, ok := head[hashIDs(keyIDs)]
+		if !ok {
+			continue
+		}
+		// The chain yields newest-first; collect and reverse so matches
+		// emit in build-row order exactly like the row-at-a-time join.
+		matches = matches[:0]
+		for ; br >= 0; br = next[br] {
+			if buildKeyEqual(build, buildShared, buildMap, br, keyIDs) {
+				matches = append(matches, br)
+			}
+		}
+		for i := len(matches) - 1; i >= 0; i-- {
+			br := matches[i]
+			for i := range vars {
+				id := int32(-1)
+				if c := buildCols[i]; c >= 0 {
+					id = remapID(buildMap, build.Cols[c][br])
+				}
+				if id < 0 {
+					if c := probeCols[i]; c >= 0 {
+						id = remapID(probeMap, probe.Cols[c][r])
+					}
+				}
+				ids[i] = id
+			}
+			d.admit(ids)
+		}
+	}
+	return out
+}
+
+// buildKeyEqual reports whether build row r's remapped shared-variable
+// ids equal the probe key — the collision guard behind the hash index.
+func buildKeyEqual(build *Batch, sharedCols []int, m []int32, r int32, want []int32) bool {
+	for i, c := range sharedCols {
+		id := int32(-1)
+		if c >= 0 {
+			id = remapID(m, build.Cols[c][r])
+		}
+		if id != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project restricts rows to the given variables, deduplicating — the
+// vectorized ResultSet.Project.
+func (b *Batch) Project(vars []string) *Batch {
+	out := NewBatch(vars...)
+	out.adoptDict(b)
+	var remap []int32 // b's dictionary adopted: ids pass through
+	cols := columnsOf(b, vars)
+	for i := range out.Cols {
+		out.Cols[i] = make([]int32, 0, b.Len())
+	}
+	d := newDedup(out, b.Len())
+	ids := make([]int32, len(vars))
+	for r := 0; r < b.rows; r++ {
+		for i := range vars {
+			id := int32(-1)
+			if c := cols[i]; c >= 0 {
+				id = remapID(remap, b.Cols[c][r])
+			}
+			ids[i] = id
+		}
+		d.admit(ids)
+	}
+	return out
+}
+
+// Concat appends batches in order over the merged schema WITHOUT
+// deduplicating. It is the collector's reassembly of one result stream:
+// the destination streams disjoint slices of an already-deduplicated
+// relation, so concatenation reproduces exactly what a per-segment Union
+// would — minus the quadratic re-scan of everything already received.
+func Concat(batches ...*Batch) *Batch {
+	var vars []string
+	total := 0
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		vars = mergeVars(vars, b.Vars)
+		total += b.Len()
+	}
+	out := NewBatch(vars...)
+	adopted := adoptee(batches)
+	out.adoptDict(adopted)
+	for i := range out.Cols {
+		out.Cols[i] = make([]int32, 0, total)
+	}
+	for _, b := range batches {
+		if b == nil {
+			continue
+		}
+		var remap []int32
+		if b != adopted {
+			remap = out.remapFor(b)
+		}
+		cols := columnsOf(b, vars)
+		for r := 0; r < b.rows; r++ {
+			for i := range vars {
+				id := int32(-1)
+				if c := cols[i]; c >= 0 {
+					id = remapID(remap, b.Cols[c][r])
+				}
+				out.Cols[i] = append(out.Cols[i], id)
+			}
+			out.rows++
+		}
+	}
+	return out
+}
+
+// Slice returns rows [start, end) re-dictionaried to only the terms the
+// slice uses. Wire batches carry a per-batch dictionary, so slicing for
+// the wire must not drag the whole source dictionary along. Callers
+// slicing the same batch repeatedly (the sender's framing loop) should
+// use a Slicer, which reuses the remap table across calls.
+func (b *Batch) Slice(start, end int) *Batch {
+	return NewSlicer(b).Slice(start, end)
+}
+
+// Slicer cuts successive wire frames from one source batch. It keeps the
+// source-dictionary-sized remap table across Slice calls, resetting only
+// the entries the previous frame touched — without it a framing loop
+// allocates and zeroes |Dict| ints per frame, which dominates sender-side
+// allocation on large results.
+type Slicer struct {
+	src *Batch
+	// remap[id] is the current frame's local id for source id, -1 while
+	// unassigned; touched lists the ids assigned this frame.
+	remap   []int32
+	touched []int32
+}
+
+// NewSlicer returns a Slicer over b.
+func NewSlicer(b *Batch) *Slicer {
+	remap := make([]int32, len(b.Dict))
+	for i := range remap {
+		remap[i] = -1
+	}
+	return &Slicer{src: b, remap: remap}
+}
+
+// Slice returns rows [start, end) of the source, re-dictionaried to only
+// the terms the frame uses. The returned batch is independent of the
+// Slicer and of later Slice calls.
+func (s *Slicer) Slice(start, end int) *Batch {
+	b := s.src
+	out := NewBatch(b.Vars...)
+	if start < 0 {
+		start = 0
+	}
+	if end > b.rows {
+		end = b.rows
+	}
+	if start >= end {
+		return out
+	}
+	s.touched = s.touched[:0]
+	for c := range b.Cols {
+		col := make([]int32, 0, end-start)
+		for r := start; r < end; r++ {
+			id := b.Cols[c][r]
+			if id < 0 {
+				col = append(col, -1)
+				continue
+			}
+			nid := s.remap[id]
+			if nid < 0 {
+				nid = int32(len(out.Dict))
+				out.Dict = append(out.Dict, b.Dict[id])
+				s.remap[id] = nid
+				s.touched = append(s.touched, id)
+			}
+			col = append(col, nid)
+		}
+		out.Cols[c] = col
+	}
+	for _, id := range s.touched {
+		s.remap[id] = -1
+	}
+	out.rows = end - start
+	return out
+}

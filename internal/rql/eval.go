@@ -39,6 +39,57 @@ func EvalPathPattern(base *rdf.Base, schema *rdf.Schema, pat pattern.PathPattern
 	return rs
 }
 
+// EvalPathPatternBatch is EvalPathPattern's columnar twin: the same
+// pairs, the same end-point filters, appended straight into a batch with
+// interned term ids — no per-row map materialization. This is the scan
+// leaf of the batch data plane; the row version above remains the
+// RowWire ablation's leaf and the local ground-truth evaluator's.
+func EvalPathPatternBatch(base *rdf.Base, schema *rdf.Schema, pat pattern.PathPattern) *Batch {
+	return EvalPathPatternBatchInto(nil, base, schema, pat)
+}
+
+// EvalPathPatternBatchInto is EvalPathPatternBatch interning into an
+// execution's shared dictionary (nil store for a self-contained batch).
+// The pairs stream straight from the triple indexes into the columns, so
+// the scan materializes nothing per row but the two id appends.
+func EvalPathPatternBatchInto(store *TermStore, base *rdf.Base, schema *rdf.Schema, pat pattern.PathPattern) *Batch {
+	var b *Batch
+	if store != nil {
+		b = store.NewBatch(pat.SubjectVar, pat.ObjectVar)
+	} else {
+		b = NewBatch(pat.SubjectVar, pat.ObjectVar)
+	}
+	def, _ := schema.PropertyByName(pat.Property)
+
+	var domainFilter, rangeFilter map[rdf.Term]bool
+	if def != nil && pat.Domain != def.Domain && pat.Domain != "" {
+		domainFilter = instanceSet(base, schema, pat.Domain)
+	}
+	if def != nil && pat.Range != def.Range && pat.Range != "" {
+		rangeFilter = instanceSet(base, schema, pat.Range)
+	}
+	// The triple indexes group a property's pairs by subject, so runs of
+	// consecutive pairs share pr.X; memoizing the previous subject's id
+	// saves a dictionary probe per pair in the run.
+	var lastX rdf.Term
+	lastID := int32(-1)
+	base.PairsFunc(pat.Property, schema, func(pr rdf.Pair) {
+		if domainFilter != nil && !domainFilter[pr.X] {
+			return
+		}
+		if rangeFilter != nil && !pr.Y.IsLiteral() && !rangeFilter[pr.Y] {
+			return
+		}
+		if lastID < 0 || pr.X != lastX {
+			lastX, lastID = pr.X, b.Intern(pr.X)
+		}
+		b.Cols[0] = append(b.Cols[0], lastID)
+		b.Cols[1] = append(b.Cols[1], b.Intern(pr.Y))
+		b.rows++
+	})
+	return b
+}
+
 func instanceSet(base *rdf.Base, schema *rdf.Schema, class rdf.IRI) map[rdf.Term]bool {
 	set := map[rdf.Term]bool{}
 	for _, t := range base.InstancesOf(class, schema) {

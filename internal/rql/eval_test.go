@@ -46,6 +46,49 @@ func TestEvalPathPatternClassFilter(t *testing.T) {
 	}
 }
 
+// TestEvalPathPatternBatchMatchesScalar pins the columnar scan leaf to
+// the row-map evaluator: same pattern, same base, same rows (rendered
+// and sorted), across subsumption, class filters and empty results.
+func TestEvalPathPatternBatchMatchesScalar(t *testing.T) {
+	schema := gen.PaperSchema()
+	base := rdf.NewBase()
+	base.Add(rdf.Statement("http://d#a", gen.N1("prop1"), "http://d#b"))
+	base.Add(rdf.Typing("http://d#a", gen.N1("C5")))
+	base.Add(rdf.Statement("http://d#c", gen.N1("prop1"), "http://d#d"))
+	base.Add(rdf.Typing("http://d#c", gen.N1("C1")))
+	base.Add(rdf.Statement("http://d#e", gen.N1("prop4"), "http://d#f")) // ⊑ prop1
+
+	pats := []pattern.PathPattern{
+		gen.PaperQuery().Patterns[0], // {X;C1}prop1{Y;C2}
+		{ID: "Q1", SubjectVar: "X", ObjectVar: "Y",
+			Property: gen.N1("prop1"), Domain: gen.N1("C5"), Range: gen.N1("C2")},
+		{ID: "Q2", SubjectVar: "S", ObjectVar: "O",
+			Property: gen.N1("prop2"), Domain: gen.N1("C2"), Range: gen.N1("C3")}, // no rows
+	}
+	for _, pat := range pats {
+		want := rql.EvalPathPattern(base, schema, pat)
+		got := rql.EvalPathPatternBatch(base, schema, pat).ResultSet()
+		if gs, ws := strings.Join(got.Sorted(), "\n"), strings.Join(want.Sorted(), "\n"); gs != ws {
+			t.Errorf("pattern %s: batch scan diverges from scalar\nbatch:\n%s\nscalar:\n%s", pat.ID, gs, ws)
+		}
+		if !slicesEqual(got.Vars, want.Vars) {
+			t.Errorf("pattern %s: Vars = %v, want %v", pat.ID, got.Vars, want.Vars)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestEvalPaperQueryJoins(t *testing.T) {
 	schema := gen.PaperSchema()
 	c, err := rql.ParseAndAnalyze(gen.PaperRQL, schema)

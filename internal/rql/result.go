@@ -1,6 +1,7 @@
 package rql
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,11 +44,31 @@ func (r Row) Merge(other Row) Row {
 
 // key canonicalizes the row for deduplication.
 func (r Row) key(vars []string) string {
-	parts := make([]string, len(vars))
-	for i, v := range vars {
-		parts[i] = r[v].String()
+	return string(appendRowKey(nil, r, vars))
+}
+
+// appendTermKey appends an injective byte encoding of t — kind byte plus
+// length-prefixed value and datatype — so concatenated terms form an
+// unambiguous key without rendering strings.
+func appendTermKey(dst []byte, t rdf.Term) []byte {
+	dst = append(dst, byte(t.Kind))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Value)))
+	dst = append(dst, t.Value...)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Datatype)))
+	dst = append(dst, string(t.Datatype)...)
+	return dst
+}
+
+// appendRowKey appends r's dedup key over vars into dst, which the set
+// operators reuse across rows: a map lookup with string(dst) does not
+// allocate, so a key string is only materialized per unique row on insert.
+// A variable missing from r keys as the zero Term, exactly as it did when
+// keys rendered Term.String (where both print "<>").
+func appendRowKey(dst []byte, r Row, vars []string) []byte {
+	for _, v := range vars {
+		dst = appendTermKey(dst, r[v])
 	}
-	return strings.Join(parts, "\x00")
+	return dst
 }
 
 // ResultSet is an ordered collection of rows over a fixed variable list.
@@ -81,17 +102,19 @@ func (rs *ResultSet) Add(r Row) { rs.Rows = append(rs.Rows, r) }
 func (rs *ResultSet) Union(other *ResultSet) *ResultSet {
 	vars := mergeVars(rs.Vars, other.Vars)
 	out := NewResultSet(vars...)
-	seen := map[string]bool{}
+	seen := make(map[string]bool, rs.Len()+other.Len())
+	var key []byte
 	for _, src := range []*ResultSet{rs, other} {
 		if src == nil {
 			continue
 		}
 		for _, r := range src.Rows {
-			k := r.key(vars)
-			if !seen[k] {
-				seen[k] = true
-				out.Add(r)
+			key = appendRowKey(key[:0], r, vars)
+			if seen[string(key)] {
+				continue
 			}
+			seen[string(key)] = true
+			out.Add(r)
 		}
 	}
 	return out
@@ -111,20 +134,31 @@ func (rs *ResultSet) Join(other *ResultSet) *ResultSet {
 	if probe.Len() < build.Len() {
 		build, probe = probe, build
 	}
-	idx := map[string][]Row{}
+	idx := make(map[string][]Row, build.Len())
+	var key []byte
 	for _, r := range build.Rows {
-		idx[r.key(shared)] = append(idx[r.key(shared)], r)
+		// Compute the shared-variable key once per build row; the string
+		// is only allocated when the key is new.
+		key = appendRowKey(key[:0], r, shared)
+		if rows, ok := idx[string(key)]; ok {
+			idx[string(key)] = append(rows, r)
+		} else {
+			idx[string(key)] = []Row{r}
+		}
 	}
-	seen := map[string]bool{}
+	seen := make(map[string]bool, probe.Len())
+	var rowKey []byte
 	for _, r := range probe.Rows {
-		for _, b := range idx[r.key(shared)] {
+		key = appendRowKey(key[:0], r, shared)
+		for _, b := range idx[string(key)] {
 			if r.Compatible(b) {
 				m := r.Merge(b)
-				k := m.key(vars)
-				if !seen[k] {
-					seen[k] = true
-					out.Add(m)
+				rowKey = appendRowKey(rowKey[:0], m, vars)
+				if seen[string(rowKey)] {
+					continue
 				}
+				seen[string(rowKey)] = true
+				out.Add(m)
 			}
 		}
 	}
@@ -134,7 +168,8 @@ func (rs *ResultSet) Join(other *ResultSet) *ResultSet {
 // Project restricts rows to the given variables, deduplicating.
 func (rs *ResultSet) Project(vars []string) *ResultSet {
 	out := NewResultSet(vars...)
-	seen := map[string]bool{}
+	seen := make(map[string]bool, rs.Len())
+	var key []byte
 	for _, r := range rs.Rows {
 		p := make(Row, len(vars))
 		for _, v := range vars {
@@ -142,11 +177,12 @@ func (rs *ResultSet) Project(vars []string) *ResultSet {
 				p[v] = t
 			}
 		}
-		k := p.key(vars)
-		if !seen[k] {
-			seen[k] = true
-			out.Add(p)
+		key = appendRowKey(key[:0], p, vars)
+		if seen[string(key)] {
+			continue
 		}
+		seen[string(key)] = true
+		out.Add(p)
 	}
 	return out
 }
