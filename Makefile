@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json batch fault trace clean
+.PHONY: build test lint check bench bench-json batch fault trace overload clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,16 @@ fault:
 	$(GO) test -race -run TestChaosSoak ./internal/exec/
 	$(GO) run ./cmd/sqpeer-bench -exp fault
 	$(GO) run -race ./cmd/sqpeer-bench -exp recover
+
+# Overload suite: the concurrent multi-tenant admission soak under the
+# race detector (explicit-Done controllers, watchdog, occupancy-drain
+# and goroutine-leak checks), then the deterministic CLAIM-OVERLOAD
+# sweep — 2× sustained overload, priority shedding, hot-advertisement
+# replication, rate-bound fairness and the admission-off ablation
+# (rewrites BENCH_PR7.json). See DESIGN.md §13.
+overload:
+	$(GO) test -race -run TestOverloadSoak ./internal/exec/
+	$(GO) run ./cmd/sqpeer-bench -exp overload
 
 # Observability: the CLAIM-TRACE experiment (rewrites BENCH_PR5.json)
 # plus a captured chrome://tracing file for the paper query — open

@@ -127,6 +127,10 @@ type Channel struct {
 	ID string
 	// Root manages the channel; Dest is the remote peer.
 	Root, Dest pattern.PeerID
+	// Tenant and Priority are the QoS headers the channel was opened
+	// under (empty/zero for untagged executions).
+	Tenant   string
+	Priority int
 
 	mu sync.Mutex
 	// floor is the contiguous watermark: every sequence number <= floor
@@ -201,10 +205,15 @@ func (c *Channel) accept(seq int) (ok bool, forced int) {
 	return true, forced
 }
 
-// openReq is the wire body of a channel-open request.
+// openReq is the wire body of a channel-open request. Tenant and
+// Priority are the QoS headers of the execution deploying the channel:
+// the destination accounts accepted channels per tenant, and serving
+// peers apply the same admission class the root charged at its facade.
 type openReq struct {
 	ChannelID string         `json:"channelId"`
 	Root      pattern.PeerID `json:"root"`
+	Tenant    string         `json:"tenant,omitempty"`
+	Priority  int            `json:"priority,omitempty"`
 }
 
 // Manager is one peer's channel endpoint: it opens channels as root,
@@ -257,6 +266,10 @@ type ManagerStats struct {
 	ChannelsOpened   int
 	ChannelsAccepted int
 	ChannelsClosed   int
+	// TenantAccepts splits dest-side accepts by the open request's
+	// tenant header (untagged opens count under ""), the per-tenant
+	// serving-load view the fairness metrics draw on.
+	TenantAccepts map[string]int
 }
 
 // NewManager wires a manager for peer self into the network, registering
@@ -285,7 +298,14 @@ func (m *Manager) Self() pattern.PeerID { return m.self }
 func (m *Manager) Stats() ManagerStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats
+	snap := m.stats
+	if m.stats.TenantAccepts != nil {
+		snap.TenantAccepts = make(map[string]int, len(m.stats.TenantAccepts))
+		for t, n := range m.stats.TenantAccepts {
+			snap.TenantAccepts[t] = n
+		}
+	}
+	return snap
 }
 
 // BindTrace attaches a trace context to an inbound channel (this peer is
@@ -311,19 +331,26 @@ func (m *Manager) OnOpen(fn func(id string, root pattern.PeerID)) {
 // Open deploys a channel from this peer (the root) to dest. onPacket, if
 // non-nil, receives every packet the destination sends back.
 func (m *Manager) Open(dest pattern.PeerID, onPacket func(Packet)) (*Channel, error) {
+	return m.OpenAs(dest, "", 0, onPacket)
+}
+
+// OpenAs is Open with QoS headers: the deploying execution's tenant and
+// priority ride the open request so the destination can account and
+// admit per class before any subplan work arrives.
+func (m *Manager) OpenAs(dest pattern.PeerID, tenant string, priority int, onPacket func(Packet)) (*Channel, error) {
 	m.mu.Lock()
 	m.nextID++
 	id := fmt.Sprintf("%s#%d", m.self, m.nextID)
 	m.mu.Unlock()
 
-	body, err := json.Marshal(openReq{ChannelID: id, Root: m.self})
+	body, err := json.Marshal(openReq{ChannelID: id, Root: m.self, Tenant: tenant, Priority: priority})
 	if err != nil {
 		return nil, fmt.Errorf("channel: marshal open: %w", err)
 	}
 	if _, err := m.net.CallWithin(m.self, dest, "chan.open", body, m.DeadlineMS); err != nil {
 		return nil, fmt.Errorf("channel: open to %s: %w", dest, err)
 	}
-	ch := &Channel{ID: id, Root: m.self, Dest: dest}
+	ch := &Channel{ID: id, Root: m.self, Dest: dest, Tenant: tenant, Priority: priority}
 	m.mu.Lock()
 	m.channels[id] = ch
 	if onPacket != nil {
@@ -427,6 +454,10 @@ func (m *Manager) handleOpen(msg network.Message) ([]byte, error) {
 	m.mu.Lock()
 	m.inbound[req.ChannelID] = req.Root
 	m.stats.ChannelsAccepted++
+	if m.stats.TenantAccepts == nil {
+		m.stats.TenantAccepts = map[string]int{}
+	}
+	m.stats.TenantAccepts[req.Tenant]++
 	hook := m.onOpen
 	m.mu.Unlock()
 	if hook != nil {

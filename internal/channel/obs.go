@@ -1,6 +1,10 @@
 package channel
 
-import "sqpeer/internal/obs"
+import (
+	"sort"
+
+	"sqpeer/internal/obs"
+)
 
 // CollectObs publishes the manager's packet accounting into an obs
 // gather under the unified naming scheme. Intended to be called from a
@@ -15,4 +19,17 @@ func (s ManagerStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
 	g.Count("channel_opens_total", float64(s.ChannelsOpened), labels...)
 	g.Count("channel_accepts_total", float64(s.ChannelsAccepted), labels...)
 	g.Count("channel_closes_total", float64(s.ChannelsClosed), labels...)
+	tenants := make([]string, 0, len(s.TenantAccepts))
+	for t := range s.TenantAccepts {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		name := t
+		if name == "" {
+			name = "untagged"
+		}
+		tl := append(append([]obs.Label{}, labels...), obs.L("tenant", name))
+		g.Count("channel_tenant_accepts_total", float64(s.TenantAccepts[t]), tl...)
+	}
 }

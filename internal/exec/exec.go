@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"sqpeer/internal/admission"
 	"sqpeer/internal/channel"
 	"sqpeer/internal/network"
 	"sqpeer/internal/obs"
@@ -187,6 +188,14 @@ type Engine struct {
 	// (Metrics, channel and health stats) reach the registry through
 	// snapshot-time collectors instead — see peer.New.
 	Obs *obs.Registry
+	// Admission, when set, is this peer's admission controller. Serving
+	// side, handleSubplan admits every arriving subplan against the
+	// occupancy watermark of its priority class (rejections surface as
+	// transient OverloadErrors carrying a retry-after hint). Root side,
+	// a saturated pool sheds not-yet-dispatched subplans of classes past
+	// their watermark into completeness holes (AllowPartial only; High
+	// is never shed). Nil disables both — the historical behaviour.
+	Admission *admission.Controller
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -276,6 +285,16 @@ type Metrics struct {
 	// RowsDiscarded counts partially-streamed rows abandoned when a
 	// dispatch ultimately failed or a checkpoint was rejected.
 	RowsDiscarded int
+	// Shed counts subplans this engine (as root) converted into
+	// completeness holes because its pool saturated past the query's
+	// priority watermark — answered partially instead of timing out.
+	Shed int
+	// OverloadRejected counts subplans this engine (as serving peer)
+	// refused at admission; the root retries, migrates or sheds them.
+	OverloadRejected int
+	// RetryAfterHonored counts retries that waited the destination's
+	// retry-after hint instead of the default doubling backoff curve.
+	RetryAfterHonored int
 }
 
 // LedgerEntry is one finished dispatch in the executor's per-leaf row
@@ -435,6 +454,16 @@ func (e *Engine) ExecuteAnnotated(p *plan.Plan) (*Result, error) {
 // execution share one trace). With a nil span and a configured Tracer,
 // the engine opens a standalone trace for the call.
 func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, error) {
+	return e.ExecuteAnnotatedQoS(p, span, admission.QoS{})
+}
+
+// ExecuteAnnotatedQoS is ExecuteAnnotatedIn under an explicit QoS: the
+// tenant and priority ride every channel open and subplan request this
+// execution ships, so serving peers admit (or shed) the work under the
+// same class the root charged at its facade. The zero QoS is an
+// untagged Low-priority query — indistinguishable from the historical
+// behaviour unless an admission controller is configured somewhere.
+func (e *Engine) ExecuteAnnotatedQoS(p *plan.Plan, span *obs.Span, qos admission.QoS) (*Result, error) {
 	if span == nil && e.Tracer != nil {
 		tr := e.Tracer.StartTrace("execute@"+string(e.Self), string(e.Self))
 		span = tr.Root()
@@ -486,7 +515,7 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 					e.mu.Unlock()
 					return &Result{
 						Rows:         rql.NewResultSet(),
-						Completeness: Completeness{Complete: false, Unanswered: unanswered},
+						Completeness: Completeness{Complete: false, Unanswered: sortUnanswered(unanswered)},
 					}, nil
 				}
 				current = &plan.Plan{Root: pruned, Query: current.Query}
@@ -496,7 +525,7 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 			// answer's completeness without a restart) or reports them
 			// unanswered with this reason.
 		}
-		rel, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched, span)
+		rel, runtimeUn, err := e.executeOnce(current, attempt, lastFailure, fetched, span, qos)
 		if err == nil {
 			// The paper's literal run-time trigger: peers whose channels
 			// streamed too few rows this round are replanned around, same
@@ -535,7 +564,7 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 			}
 			// The facade boundary: whatever representation the data plane
 			// ran in, callers get the public ResultSet back.
-			res := &Result{Rows: rel.resultSet(), Completeness: Completeness{Complete: len(unanswered) == 0, Unanswered: unanswered}}
+			res := &Result{Rows: rel.resultSet(), Completeness: Completeness{Complete: len(unanswered) == 0, Unanswered: sortUnanswered(unanswered)}}
 			if len(unanswered) > 0 {
 				e.mu.Lock()
 				e.metrics.PartialAnswers++
@@ -573,6 +602,16 @@ func (e *Engine) ExecuteAnnotatedIn(p *plan.Plan, span *obs.Span) (*Result, erro
 		e.mu.Unlock()
 		current = replanned
 	}
+}
+
+// sortUnanswered orders a completeness annotation by pattern id. The
+// note() dedupe keeps ids unique, but ids accumulate in discovery order
+// across attempts — a later attempt can add a smaller id after a larger
+// one — so the Completeness contract ("sorted by id") needs this final
+// pass.
+func sortUnanswered(un []Unanswered) []Unanswered {
+	sort.Slice(un, func(i, j int) bool { return un[i].PatternID < un[j].PatternID })
+	return un
 }
 
 // dropFromRouting removes a failed peer from routing's working set: via
@@ -650,6 +689,10 @@ type execution struct {
 	// backing the refetch accounting; guarded by mu (attempts run one at
 	// a time, branches within an attempt race).
 	fetched map[string]int
+	// qos is the tenant/priority the execution runs under: stamped onto
+	// every channel open and subplan request, and consulted for
+	// root-side shedding. Immutable after newExecution's caller sets it.
+	qos admission.QoS
 
 	mu    sync.Mutex
 	sites map[pattern.PeerID]*siteChan
@@ -790,9 +833,10 @@ func (ex *execution) release() {
 // executeOnce runs one execution round. It returns the round's rows (nil
 // only on error) plus the patterns whose holes could not be filled
 // mid-flight, sorted by id.
-func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int, parent *obs.Span) (*relation, []Unanswered, error) {
+func (e *Engine) executeOnce(p *plan.Plan, attempt int, lastFailure error, fetched map[string]int, parent *obs.Span, qos admission.QoS) (*relation, []Unanswered, error) {
 	ex := newExecution(e)
 	ex.attempt = attempt
+	ex.qos = qos
 	if fetched != nil {
 		ex.fetched = fetched
 	}
@@ -1141,6 +1185,10 @@ type subplanReq struct {
 	// TraceSpans packet, parented under SpanID in the root's trace.
 	TraceID string `json:"traceId,omitempty"`
 	SpanID  string `json:"spanId,omitempty"`
+	// Tenant/Priority are the root execution's QoS headers: the serving
+	// peer admits the subplan under this class before evaluating it.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 // runRemote ships the node to the site peer and gathers its rows through
@@ -1164,6 +1212,21 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (
 	ent := &cacheEntry{done: make(chan struct{})}
 	ex.cache[cacheKey] = ent
 	ex.mu.Unlock()
+	// Root-side load shedding: once this peer's pool has saturated past
+	// the execution's priority watermark (which only happens when
+	// higher classes piled on top — admission stops same-class entry at
+	// the line), a subplan not yet dispatched is converted into an
+	// explicit completeness hole rather than queued into the overload.
+	// The query answers partially and immediately instead of timing
+	// out. Requires AllowPartial; High-priority work never sheds
+	// (ShouldShed guarantees it).
+	if e.AllowPartial && e.Admission.ShouldShed(ex.qos.Priority) {
+		if ok := ex.shedSubplan(site, n, sp); ok {
+			ent.rows, ent.err = nil, nil // nil relation: the absent-branch sentinel
+			close(ent.done)
+			return ent.rows, ent.err
+		}
+	}
 	// Proactive plan change: a site the throughput monitor already flagged
 	// is migrated away from before we sink a dispatch into it. If no
 	// alternate peer covers the subtree, dispatch to the slow site anyway.
@@ -1196,6 +1259,53 @@ func (ex *execution) runRemote(site pattern.PeerID, n plan.Node, sp *obs.Span) (
 	}
 	close(ent.done)
 	return ent.rows, ent.err
+}
+
+// shedSubplan converts a not-yet-dispatched remote subtree into
+// completeness holes: every scan pattern under it is recorded
+// unanswered with a shed reason, the tenant is charged a shed, and the
+// ledger gets a "shed" entry so the overload experiment can prove shed
+// work surfaced as partial answers rather than bare timeouts. Returns
+// false when the subtree carries no patterns to annotate (nothing to
+// shed honestly — the caller dispatches normally).
+func (ex *execution) shedSubplan(site pattern.PeerID, n plan.Node, sp *obs.Span) bool {
+	e := ex.engine
+	var ids []string
+	seen := map[string]bool{}
+	for _, s := range plan.Scans(n) {
+		for _, id := range s.PatternIDs() {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return false
+	}
+	reason := fmt.Sprintf("shed: overload at %s (%s)", e.Self, ex.qos.Priority)
+	ex.mu.Lock()
+	for _, id := range ids {
+		if _, ok := ex.unanswered[id]; !ok {
+			ex.unanswered[id] = reason
+		}
+	}
+	ex.mu.Unlock()
+	e.mu.Lock()
+	e.metrics.Shed++
+	e.mu.Unlock()
+	e.Admission.RecordShed(ex.qos)
+	e.appendLedger(LedgerEntry{
+		Site: site, Subplan: n.String(), Patterns: patternKey(n),
+		Attempt: ex.attempt, Outcome: "shed",
+	})
+	ssp := sp.Child(obs.KindShed, "shed@"+string(site))
+	if ssp != nil {
+		ssp.Annotate("reason", reason)
+		ssp.Annotate("priority", ex.qos.Priority.String())
+	}
+	ssp.End()
+	return true
 }
 
 // tryMigrate is the plan-change protocol's root-side decision: quarantine
@@ -1355,12 +1465,29 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 		if try >= e.MaxRetries || !network.Transient(err) || ex.cancelled() {
 			break
 		}
+		wait := backoff
+		if admission.IsOverload(err) {
+			hint, ok := admission.RetryAfterHint(err)
+			if !ok {
+				// Hopeless rejection: capacity frees up after the query's
+				// deadline budget. Fail now so migration (or shedding)
+				// takes over instead of burning retries.
+				break
+			}
+			// The destination said when its capacity frees up: honor its
+			// retry-after instead of the blind doubling curve.
+			wait = hint
+			e.mu.Lock()
+			e.metrics.RetryAfterHonored++
+			e.mu.Unlock()
+		} else {
+			backoff *= 2
+		}
 		e.mu.Lock()
 		e.metrics.Retries++
-		e.metrics.BackoffMS += backoff
+		e.metrics.BackoffMS += wait
 		e.mu.Unlock()
-		pendingBackoffMS = backoff
-		backoff *= 2
+		pendingBackoffMS = wait
 		ex.resetSite(site)
 	}
 	// Terminal failure: the checkpointed prefix is abandoned (a migration
@@ -1440,7 +1567,8 @@ func (ex *execution) dispatch(site pattern.PeerID, n plan.Node, resumeFrom int, 
 	if err != nil {
 		return nil, fmt.Errorf("exec: marshal subplan: %w", err)
 	}
-	req := subplanReq{ChannelID: sc.ch.ID, Plan: data, ResumeFrom: resumeFrom}
+	req := subplanReq{ChannelID: sc.ch.ID, Plan: data, ResumeFrom: resumeFrom,
+		Tenant: ex.qos.Tenant, Priority: int(ex.qos.Priority)}
 	if sp != nil {
 		req.TraceID = sp.TraceID()
 		req.SpanID = sp.Path()
@@ -1508,7 +1636,8 @@ func (ex *execution) channelTo(site pattern.PeerID) (*siteChan, error) {
 		ex.sites[site] = sc
 		ex.mu.Unlock()
 		e := ex.engine
-		sc.ch, sc.err = e.Channels.Open(site, func(pkt channel.Packet) { ex.onPacket(pkt) })
+		sc.ch, sc.err = e.Channels.OpenAs(site, ex.qos.Tenant, int(ex.qos.Priority),
+			func(pkt channel.Packet) { ex.onPacket(pkt) })
 		if sc.err == nil {
 			e.mu.Lock()
 			e.metrics.ChannelsOpened++
@@ -1694,6 +1823,21 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serving-side admission: refuse the subplan before spending any
+	// work on it when this peer's pool has saturated past the request's
+	// priority watermark. The typed rejection travels back as the
+	// handler error (delivery is synchronous and in-process, so the
+	// root's errors.As sees the OverloadError chain intact) and the root
+	// retries after the hint, migrates, or sheds — priority load
+	// shedding happens here, lowest classes first.
+	qos := admission.QoS{Tenant: req.Tenant, Priority: admission.Priority(req.Priority)}
+	if aerr := e.Admission.AdmitWork(qos); aerr != nil {
+		e.mu.Lock()
+		e.metrics.OverloadRejected++
+		e.mu.Unlock()
+		return nil, aerr
+	}
+	defer e.Admission.Done()
 	// Rebuild the root's trace context, if it shipped one: every span this
 	// peer opens hangs off a remote@<self> span that is serialized and
 	// shipped back on the channel, and the channel binding stamps the
@@ -1716,6 +1860,7 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		Obs:           e.Obs,
 	}
 	ex := newExecution(local)
+	ex.qos = qos // nested dispatches ship under the root's class
 	defer ex.closeAll()
 	rows, err := ex.run(sub.Root, rsp)
 	rsp.End()

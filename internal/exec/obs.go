@@ -24,4 +24,7 @@ func (m Metrics) CollectObs(g *obs.Gather, labels ...obs.Label) {
 	g.Count("exec_rows_retained_total", float64(m.RowsRetained), labels...)
 	g.Count("exec_rows_refetched_total", float64(m.RowsRefetched), labels...)
 	g.Count("exec_rows_discarded_total", float64(m.RowsDiscarded), labels...)
+	g.Count("exec_shed_total", float64(m.Shed), labels...)
+	g.Count("exec_overload_rejected_total", float64(m.OverloadRejected), labels...)
+	g.Count("exec_retry_after_honored_total", float64(m.RetryAfterHonored), labels...)
 }

@@ -12,4 +12,7 @@ const (
 	churnSeed = 7
 	// distQuerySeed generates CLAIM-DIST's random chain-query workload.
 	distQuerySeed = 7
+	// overloadSeed drives CLAIM-OVERLOAD's Zipfian tenant mix and its
+	// fault injector.
+	overloadSeed = 20260808
 )

@@ -1,0 +1,72 @@
+package a
+
+import "sync"
+
+// controller mirrors the admission-control shape: a token-bucket map
+// behind one mutex, a caller-supplied clock callback, and observers
+// that want a snapshot. The bucket mutex is hot (every admission takes
+// it), so nothing blocking — channel ops, callbacks — may run under it.
+type controller struct {
+	mu      sync.Mutex
+	buckets map[string]float64
+	clock   func() float64
+	rejects chan string
+	emit    func(name string, v float64)
+}
+
+func (c *controller) badClockUnderBucketMutex() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock() // want `callback field c\.clock invoked while holding c\.mu`
+	c.buckets["t"] += now
+	return c.buckets["t"]
+}
+
+func (c *controller) badRejectNotifyUnderBucketMutex(tenant string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.buckets[tenant] < 1 {
+		c.rejects <- tenant // want `channel send while holding c\.mu`
+	}
+}
+
+func (c *controller) badEmitUnderBucketMutex() {
+	c.mu.Lock()
+	for t, v := range c.buckets {
+		c.emit(t, v) // want `callback field c\.emit invoked while holding c\.mu`
+	}
+	c.mu.Unlock()
+}
+
+func (c *controller) cleanClockBeforeLock() float64 {
+	// The sanctioned admission pattern: read the clock before taking the
+	// bucket mutex, so a clock that consults the controller cannot
+	// deadlock.
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buckets["t"] += now
+	return c.buckets["t"]
+}
+
+func (c *controller) cleanSnapshotThenEmit() {
+	// Snapshot under the lock, emit outside it — the CollectObs idiom.
+	c.mu.Lock()
+	snap := make(map[string]float64, len(c.buckets))
+	for t, v := range c.buckets {
+		snap[t] = v
+	}
+	c.mu.Unlock()
+	for t, v := range snap {
+		c.emit(t, v)
+	}
+}
+
+func (c *controller) cleanNotifyAfterUnlock(tenant string) {
+	c.mu.Lock()
+	rejected := c.buckets[tenant] < 1
+	c.mu.Unlock()
+	if rejected {
+		c.rejects <- tenant
+	}
+}

@@ -59,6 +59,10 @@ const (
 	ReasonUnknownNode = "unknown-node"
 	// ReasonNoHandler: the destination has no handler for the kind.
 	ReasonNoHandler = "no-handler"
+	// ReasonOverload: the destination admitted too much work already and
+	// shed this request (admission control). Transient by construction —
+	// the rejection carries a retry-after hint on the logical clock.
+	ReasonOverload = "overload"
 )
 
 // DeliveryError reports a failed delivery with a failure class, letting
@@ -482,6 +486,30 @@ func (n *Network) Counters() Counters {
 		snap.PerNodeReceived[k] = v
 	}
 	return snap
+}
+
+// NowMS returns the logical clock reading: total simulated transfer
+// time accounted so far. Admission token buckets refill against this
+// clock so overload experiments stay deterministic — no wall time.
+func (n *Network) NowMS() float64 {
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	return n.counters.SimulatedMS
+}
+
+// AdvanceMS advances the logical clock by ms without sending traffic:
+// client think time between requests. Harnesses use it to pace offered
+// load against lease-based admission controllers, whose slots expire on
+// this clock, so an experiment's overload factor is set by explicit
+// deterministic steps rather than by how much transfer latency its
+// queries happen to accumulate.
+func (n *Network) AdvanceMS(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	n.cmu.Lock()
+	defer n.cmu.Unlock()
+	n.counters.SimulatedMS += ms
 }
 
 // ResetCounters zeroes the traffic counters (between experiment runs).

@@ -22,6 +22,7 @@ const (
 	KindMigrate  = "migrate"       // surgical plan-change migration
 	KindReplan   = "replan"        // full replan around obsolete peers
 	KindHoleFill = "hole-fill"     // mid-flight hole filling under AllowPartial
+	KindShed     = "shed"          // subplan converted to a completeness hole under overload
 	KindRemote   = "remote"        // grafted remote-side execution subtree
 )
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"sqpeer/internal/admission"
 	"sqpeer/internal/channel"
 	"sqpeer/internal/exec"
 	"sqpeer/internal/network"
@@ -101,6 +102,18 @@ type Config struct {
 	// Quarantine is on) the health breaker's transitions, all labeled
 	// peer=<ID>. Several peers may share one registry.
 	Obs *obs.Registry
+	// Tenant and Priority are the default QoS this peer's own queries
+	// run under (Ask/AskAnnotated); AskAnnotatedAs overrides per query.
+	// The zero value is an untagged Low-priority query.
+	Tenant   string
+	Priority admission.Priority
+	// Admission, when set, is the peer's admission controller: the
+	// facade admits each query against the tenant's token bucket and
+	// the priority's occupancy watermark (deadline-aware — rejections
+	// whose retry-after exceeds DeadlineMS are flagged hopeless), and
+	// the engine admits arriving subplans and sheds past-watermark work.
+	// Its counters fold into the Obs collector alongside the engine's.
+	Admission *admission.Controller
 }
 
 // Advertisement is the wire form of a peer's self-description: its
@@ -145,9 +158,15 @@ type Peer struct {
 	Tracer *obs.Tracer
 	// Obs is the shared metrics registry (nil when metrics are off).
 	Obs *obs.Registry
+	// Admission is the peer's admission controller (nil unless
+	// Config.Admission was set).
+	Admission *admission.Controller
 	// Super is the super-peer this simple-peer is attached to (hybrid
 	// architecture); empty otherwise.
 	Super pattern.PeerID
+	// qos is the default QoS for this peer's own queries (from
+	// Config.Tenant/Priority).
+	qos admission.QoS
 
 	mu        sync.Mutex
 	neighbors map[pattern.PeerID]bool
@@ -214,6 +233,9 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	}
 	p.Tracer = cfg.Tracer
 	p.Engine.Tracer = cfg.Tracer
+	p.Admission = cfg.Admission
+	p.Engine.Admission = cfg.Admission
+	p.qos = admission.QoS{Tenant: cfg.Tenant, Priority: cfg.Priority}
 	if cfg.Obs != nil {
 		p.Obs = cfg.Obs
 		p.Engine.Obs = cfg.Obs
@@ -224,6 +246,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 			if p.Health != nil {
 				p.Health.Stats().CollectObs(g, peerL)
 			}
+			p.Admission.CollectObs(g, peerL)
 		})
 	}
 
@@ -498,27 +521,14 @@ func (p *Peer) planWith(q *pattern.QueryPattern, opts optimizer.Options, span *o
 
 // Ask answers an RQL query end-to-end: compile, route (via the super-peer
 // in hybrid mode), generate and optimize the plan, execute it with this
-// peer as root, and apply WHERE filters and projections.
+// peer as root, and apply WHERE filters and projections. Runs under the
+// peer's configured default QoS.
 func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
-	qsp := p.startQuerySpan("ask")
-	defer qsp.End()
-	c, err := p.Compile(rqlText)
+	res, err := p.AskAnnotatedAs(rqlText, p.qos)
 	if err != nil {
 		return nil, err
 	}
-	pr, err := p.planWith(c.Pattern, optimizer.Options{}, qsp)
-	if err != nil {
-		return nil, err
-	}
-	res, err := p.Engine.ExecuteAnnotatedIn(pr.Optimized, qsp)
-	if err != nil {
-		return nil, err
-	}
-	filtered, err := rql.ApplyFilters(res.Rows, c.Query.Where)
-	if err != nil {
-		return nil, err
-	}
-	return filtered.Project(c.Pattern.Projections).Limit(c.Query.Limit), nil
+	return res.Rows, nil
 }
 
 // AskAnnotated is Ask returning the completeness annotation alongside the
@@ -526,8 +536,29 @@ func (p *Peer) Ask(rqlText string) (*rql.ResultSet, error) {
 // became unanswerable mid-flight yields its answerable rows plus the list
 // of unanswered patterns, instead of an error.
 func (p *Peer) AskAnnotated(rqlText string) (*exec.Result, error) {
+	return p.AskAnnotatedAs(rqlText, p.qos)
+}
+
+// AskAnnotatedAs is AskAnnotated under an explicit QoS. With an
+// admission controller configured, the query is admitted at this facade
+// first — charged against the tenant's token bucket and checked under
+// its priority's occupancy watermark, with the peer's DeadlineMS as the
+// deadline-awareness budget. A rejected query returns a transient
+// *admission.OverloadError (network.Transient reports true) carrying a
+// retry-after hint on the logical clock; no compile or routing work is
+// spent on it. The QoS then rides every channel open and subplan
+// request the execution ships.
+func (p *Peer) AskAnnotatedAs(rqlText string, qos admission.QoS) (*exec.Result, error) {
+	if err := p.Admission.AdmitQuery(qos, p.Engine.DeadlineMS); err != nil {
+		return nil, err
+	}
+	defer p.Admission.Done()
 	qsp := p.startQuerySpan("ask")
 	defer qsp.End()
+	if qsp != nil && qos.Tenant != "" {
+		qsp.Annotate("tenant", qos.Tenant)
+		qsp.Annotate("priority", qos.Priority.String())
+	}
 	c, err := p.Compile(rqlText)
 	if err != nil {
 		return nil, err
@@ -536,7 +567,7 @@ func (p *Peer) AskAnnotated(rqlText string) (*exec.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Engine.ExecuteAnnotatedIn(pr.Optimized, qsp)
+	res, err := p.Engine.ExecuteAnnotatedQoS(pr.Optimized, qsp, qos)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,112 @@
+package routing
+
+// Hot-advertisement replication: when routing demand concentrates on a
+// few peers (hub saturation — the super-peer pathology the related
+// work measures), the advertisements those peers serve are replicated
+// to less-loaded peers so subsequent routes spread the load. The
+// registry's hit counters supply the demand signal; the Apply callback
+// performs the actual data/advertisement copy (the routing layer knows
+// nothing about bases), and registration of the copied advertisement
+// bumps the registry epoch, so every snapshot taken afterwards sees a
+// consistent post-replication view.
+
+import (
+	"sort"
+
+	"sqpeer/internal/pattern"
+)
+
+// Replication records one applied copy: Hot's advertisement (and
+// backing data) now also lives at Target.
+type Replication struct {
+	// Hot is the overloaded source peer whose advertisement replicated.
+	Hot pattern.PeerID
+	// Target is the peer that received the replica.
+	Target pattern.PeerID
+}
+
+// Replicator plans and applies quarantine-aware hot-advertisement
+// rebalancing over one registry.
+type Replicator struct {
+	// Registry supplies demand (hit counters) and membership.
+	Registry *Registry
+	// TopK is how many of the hottest advertisements each Rebalance
+	// considers (default 1).
+	TopK int
+	// Copies is how many replicas each hot advertisement gets per
+	// Rebalance (default 1).
+	Copies int
+	// Load reports a peer's current load (admission occupancy, slot
+	// usage — any monotone measure); lower is a better replica target.
+	// Nil treats every peer as equally loaded (ties break by id).
+	Load func(pattern.PeerID) float64
+	// Eligible, when set, filters replica targets (e.g. only peers with
+	// spare storage). Quarantined peers are never eligible regardless.
+	Eligible func(pattern.PeerID) bool
+	// Apply performs one copy: make Target serve Hot's data and
+	// register Target's refreshed advertisement (which bumps the
+	// registry epoch). Returning false skips the pair (e.g. the copy
+	// failed); it is not counted. Required.
+	Apply func(hot, target pattern.PeerID) bool
+}
+
+// Rebalance picks the TopK hottest advertisements by registry hit
+// count and replicates each to its Copies least-loaded eligible peers.
+// Quarantined peers can be replicated FROM (an overloaded source is
+// the point) but never TO. Applied copies are returned in application
+// order; the caller typically follows with Registry.ResetHits to start
+// a fresh observation window.
+func (r *Replicator) Rebalance() []Replication {
+	if r.Registry == nil || r.Apply == nil {
+		return nil
+	}
+	topK := r.TopK
+	if topK <= 0 {
+		topK = 1
+	}
+	copies := r.Copies
+	if copies <= 0 {
+		copies = 1
+	}
+	var out []Replication
+	for _, hot := range r.Registry.HotPeers(topK) {
+		for _, target := range r.targetsFor(hot, copies) {
+			if r.Apply(hot, target) {
+				out = append(out, Replication{Hot: hot, Target: target})
+			}
+		}
+	}
+	return out
+}
+
+// targetsFor returns up to n replica targets for a hot peer: known,
+// not the source, not quarantined, Eligible, sorted by Load ascending
+// with ties by id.
+func (r *Replicator) targetsFor(hot pattern.PeerID, n int) []pattern.PeerID {
+	var cands []pattern.PeerID
+	for _, p := range r.Registry.Peers() {
+		if p == hot || r.Registry.IsQuarantined(p) {
+			continue
+		}
+		if r.Eligible != nil && !r.Eligible(p) {
+			continue
+		}
+		cands = append(cands, p)
+	}
+	if r.Load != nil {
+		load := make(map[pattern.PeerID]float64, len(cands))
+		for _, p := range cands {
+			load[p] = r.Load(p)
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if load[cands[i]] != load[cands[j]] {
+				return load[cands[i]] < load[cands[j]]
+			}
+			return cands[i] < cands[j]
+		})
+	}
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	return cands
+}

@@ -1,0 +1,126 @@
+package routing_test
+
+import (
+	"reflect"
+	"testing"
+
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/routing"
+)
+
+// replSchema builds a small community schema with two properties.
+func replSchema(t *testing.T) *rdf.Schema {
+	t.Helper()
+	s := rdf.NewSchema("son")
+	s.AddClass("C1")
+	s.AddClass("C2")
+	s.AddProperty("p1", "C1", "C2")
+	s.AddProperty("p2", "C1", "C2")
+	return s
+}
+
+func advFor(prop rdf.IRI) *pattern.ActiveSchema {
+	return &pattern.ActiveSchema{
+		SchemaName: "son",
+		Patterns: []pattern.PathPattern{{
+			ID: "a1", Property: prop, Domain: "C1", Range: "C2",
+			SubjectVar: "X", ObjectVar: "Y",
+		}},
+	}
+}
+
+func queryP1() *pattern.QueryPattern {
+	return &pattern.QueryPattern{
+		SchemaName: "son",
+		Patterns: []pattern.PathPattern{{
+			ID: "q1", Property: "p1", Domain: "C1", Range: "C2",
+			SubjectVar: "X", ObjectVar: "Y",
+		}},
+	}
+}
+
+func TestHitCountsAndHotPeers(t *testing.T) {
+	schema := replSchema(t)
+	reg := routing.NewIndexedRegistry(schema)
+	reg.Register("P1", advFor("p1"))
+	reg.Register("P2", advFor("p1"))
+	reg.Register("P3", advFor("p2"))
+	router := routing.NewRouter(schema, reg)
+
+	epochBefore := reg.Epoch()
+	for i := 0; i < 3; i++ {
+		router.Route(queryP1()) // annotates P1 and P2
+	}
+	if reg.Epoch() != epochBefore {
+		t.Fatal("recording hits must not bump the epoch (cached views stay valid)")
+	}
+	if got := reg.Hits("P1"); got != 3 {
+		t.Fatalf("P1 hits = %d, want 3", got)
+	}
+	if got := reg.Hits("P3"); got != 0 {
+		t.Fatalf("P3 hits = %d, want 0", got)
+	}
+	// Hottest first, zero-hit peers absent, ties by id.
+	if got := reg.HotPeers(5); !reflect.DeepEqual(got, []pattern.PeerID{"P1", "P2"}) {
+		t.Fatalf("HotPeers = %v", got)
+	}
+	if got := reg.HotPeers(1); !reflect.DeepEqual(got, []pattern.PeerID{"P1"}) {
+		t.Fatalf("HotPeers(1) = %v", got)
+	}
+	reg.ResetHits()
+	if got := reg.HotPeers(5); len(got) != 0 {
+		t.Fatalf("HotPeers after reset = %v, want empty", got)
+	}
+}
+
+func TestRebalanceReplicatesToLeastLoadedEligible(t *testing.T) {
+	schema := replSchema(t)
+	reg := routing.NewIndexedRegistry(schema)
+	for _, p := range []pattern.PeerID{"HOT", "A", "B", "C", "Q"} {
+		reg.Register(p, advFor("p1"))
+	}
+	reg.RecordHits([]pattern.PeerID{"HOT", "HOT", "HOT", "A"})
+	if !reg.Quarantine("Q") {
+		t.Fatal("quarantine Q")
+	}
+
+	load := map[pattern.PeerID]float64{"A": 5, "B": 1, "C": 2}
+	var applied []routing.Replication
+	epochBefore := reg.Epoch()
+	rep := &routing.Replicator{
+		Registry: reg,
+		TopK:     1,
+		Copies:   2,
+		Load:     func(p pattern.PeerID) float64 { return load[p] },
+		Eligible: func(p pattern.PeerID) bool { return p != "C" },
+		Apply: func(hot, target pattern.PeerID) bool {
+			applied = append(applied, routing.Replication{Hot: hot, Target: target})
+			// A real Apply copies data and re-registers the target's
+			// advertisement — which is the epoch bump snapshots rely on.
+			if as, ok := reg.Get(target); ok {
+				reg.Register(target, as)
+			}
+			return true
+		},
+	}
+	got := rep.Rebalance()
+	// Hot source is HOT; candidates are A (load 5) and B (load 1) — C is
+	// ineligible, Q quarantined, HOT is the source. Least-loaded first:
+	// B then A.
+	want := []routing.Replication{{Hot: "HOT", Target: "B"}, {Hot: "HOT", Target: "A"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rebalance = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(applied, want) {
+		t.Fatalf("Apply calls = %v, want %v", applied, want)
+	}
+	if reg.Epoch() == epochBefore {
+		t.Fatal("applying a replication must bump the epoch (via Register)")
+	}
+	// A declined Apply is not counted.
+	rep.Apply = func(hot, target pattern.PeerID) bool { return false }
+	if got := rep.Rebalance(); len(got) != 0 {
+		t.Fatalf("declined applies still reported: %v", got)
+	}
+}

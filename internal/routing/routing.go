@@ -64,6 +64,12 @@ type Registry struct {
 	// it was built at.
 	epoch uint64
 	view  *View
+	// hits counts, per advertised peer, how many routed queries were
+	// annotated with it — the demand signal hot-advertisement
+	// replication acts on. Recording a hit does NOT bump the epoch:
+	// demand observation is not a routing change, so cached views stay
+	// valid.
+	hits map[pattern.PeerID]uint64
 }
 
 // NewRegistry returns an empty registry without an inverted index; routing
@@ -237,6 +243,71 @@ func (r *Registry) QuarantinedPeers() []pattern.PeerID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// RecordHits charges one routing hit to each named peer (the router
+// calls this with the annotated peer set after every route). The epoch
+// is deliberately not bumped — see the hits field.
+func (r *Registry) RecordHits(peers []pattern.PeerID) {
+	if len(peers) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hits == nil {
+		r.hits = map[pattern.PeerID]uint64{}
+	}
+	for _, p := range peers {
+		r.hits[p]++
+	}
+}
+
+// Hits returns how many routed queries annotated the peer since the
+// last ResetHits.
+func (r *Registry) Hits(peer pattern.PeerID) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hits[peer]
+}
+
+// HotPeers returns the k peers with the most routing hits, hottest
+// first (ties broken by id). Quarantined peers are included — an
+// overloaded advertisement is exactly the kind worth replicating away
+// from. Peers with zero hits never appear.
+func (r *Registry) HotPeers(k int) []pattern.PeerID {
+	if k <= 0 {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]pattern.PeerID, 0, len(r.hits))
+	for p, n := range r.hits {
+		if n > 0 {
+			out = append(out, p)
+		}
+	}
+	hits := make(map[pattern.PeerID]uint64, len(out))
+	for _, p := range out {
+		hits[p] = r.hits[p]
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if hits[out[i]] != hits[out[j]] {
+			return hits[out[i]] > hits[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ResetHits zeroes the demand counters (e.g. between observation
+// windows, after a rebalance acted on them).
+func (r *Registry) ResetHits() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hits = nil
 }
 
 // Get returns the peer's advertisement.
@@ -447,6 +518,9 @@ func (r *Router) RouteWithStats(q *pattern.QueryPattern) (*pattern.Annotated, St
 	if r.MaxPeersPerPattern > 0 {
 		r.truncateAnnotation(ann, v)
 	}
+	// Demand accounting for hot-advertisement replication: every peer the
+	// final annotation names took one hit.
+	r.Registry.RecordHits(ann.AllPeers())
 	return ann, st
 }
 

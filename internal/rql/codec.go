@@ -33,14 +33,62 @@ var wirePool = sync.Pool{
 	},
 }
 
+// maxPooledCap caps the capacity of buffers returned to the pool. One
+// pathological giant batch would otherwise pin its frame-sized buffer in
+// the pool forever, and every later borrower would hold megabytes to
+// encode kilobytes.
+const maxPooledCap = 1 << 20
+
+// pooledTrackCap bounds the double-put tracking set. Entries are removed
+// on Get, so the set normally mirrors the pool's population; it can only
+// grow stale when the GC drops pool victims, and resetting it then costs
+// nothing but a brief window without double-put detection.
+const pooledTrackCap = 4096
+
+// pooledBufs tracks the backing arrays currently resting in wirePool, by
+// the address of their first element. PutWireBuf consults it to drop a
+// second put of the same array: pooling one array twice hands the same
+// bytes to two independent encoders, which silently corrupts frames.
+var pooledBufs struct {
+	mu  sync.Mutex
+	set map[*byte]struct{}
+}
+
 // GetWireBuf returns an empty pooled buffer to encode a batch into.
 func GetWireBuf() []byte {
-	return (*wirePool.Get().(*[]byte))[:0]
+	b := (*wirePool.Get().(*[]byte))[:0]
+	if cap(b) > 0 {
+		pooledBufs.mu.Lock()
+		delete(pooledBufs.set, &b[:1][0])
+		pooledBufs.mu.Unlock()
+	}
+	return b
 }
 
 // PutWireBuf returns a buffer obtained from GetWireBuf to the pool. The
-// caller must not retain the slice afterwards.
+// caller must not retain the slice afterwards. Degenerate (zero-cap) and
+// oversized buffers are dropped rather than pooled, as is a buffer whose
+// backing array is already in the pool — a double put would alias two
+// future borrowers onto the same bytes.
 func PutWireBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooledCap {
+		return
+	}
+	buf = buf[:0]
+	key := &buf[:1][0]
+	pooledBufs.mu.Lock()
+	if pooledBufs.set == nil {
+		pooledBufs.set = make(map[*byte]struct{})
+	}
+	if _, dup := pooledBufs.set[key]; dup {
+		pooledBufs.mu.Unlock()
+		return
+	}
+	if len(pooledBufs.set) >= pooledTrackCap {
+		pooledBufs.set = make(map[*byte]struct{})
+	}
+	pooledBufs.set[key] = struct{}{}
+	pooledBufs.mu.Unlock()
 	wirePool.Put(&buf)
 }
 
