@@ -12,12 +12,16 @@ test:
 	$(GO) test ./...
 
 # Static analysis: the toolchain's standard passes (go vet: copylocks,
-# printf, ...) plus the seven SQPeer invariant analyzers (walltime,
-# seededrand, maporder, errclass, locksafe, obsspan, jsonrow) — see
-# DESIGN.md §9. Zero un-allowlisted diagnostics is a merge gate.
+# printf, ...) plus the eleven SQPeer invariant analyzers — seven
+# intraprocedural (walltime, seededrand, maporder, errclass, locksafe,
+# obsspan, jsonrow) and four interprocedural (lockorder, bufsafe,
+# deadlinebound, goroleak) — see DESIGN.md §9. Zero un-allowlisted
+# diagnostics is a merge gate. The interprocedural tier's per-package
+# summaries persist in .lintcache/ so repeat runs only re-summarize
+# what changed; the per-analyzer cost report lands in lint-report.txt.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/sqpeer-lint ./...
+	$(GO) run ./cmd/sqpeer-lint -summary-cache .lintcache -report lint-report.txt ./...
 
 check: lint
 	$(GO) test -race ./...

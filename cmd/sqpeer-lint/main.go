@@ -1,22 +1,35 @@
-// Command sqpeer-lint is the repo's static-analysis gate: seven
+// Command sqpeer-lint is the repo's static-analysis gate: eleven
 // SQPeer-specific analyzers enforcing the determinism, logical-clock,
-// failure-domain and observability invariants of DESIGN.md §9 over the
-// packages matched by its arguments (default ./...).
+// failure-domain, concurrency and observability invariants of DESIGN.md
+// §9 over the packages matched by its arguments (default ./...).
 //
-//	walltime    no wall-clock reads/sleeps in internal packages
-//	seededrand  no global math/rand source; explicit seeds only
-//	maporder    map iteration order must not leak into output
-//	errclass    errors compared with errors.Is, never ==/!= or strings
-//	locksafe    no blocking ops while a sync (RW)Mutex is held
-//	obsspan     obs spans closed on every return path
-//	jsonrow     no JSON of row-carrying rql types on the data plane
+// Intraprocedural suite:
+//
+//	walltime       no wall-clock reads/sleeps in internal packages
+//	seededrand     no global math/rand source; explicit seeds only
+//	maporder       map iteration order must not leak into output
+//	errclass       errors compared with errors.Is, never ==/!= or strings
+//	locksafe       no blocking ops while a sync (RW)Mutex is held
+//	obsspan        obs spans closed on every return path
+//	jsonrow        no JSON of row-carrying rql types on the data plane
+//
+// Interprocedural tier (cross-package function summaries, see
+// internal/lint/summary; cacheable via -summary-cache):
+//
+//	lockorder      mutex acquisition-order graph must be acyclic
+//	bufsafe        pooled wire-buffer lifecycle (double-put, use-after-put,
+//	               put-of-escaped)
+//	deadlinebound  RPC paths must carry deadlines (CallWithin/SendWithin)
+//	goroleak       every spawned goroutine needs a bounded exit
 //
 // A diagnostic is suppressed only by `//lint:allow <analyzer> <reason>`
 // on the offending or preceding line; reasons are mandatory and stale
 // directives are errors. Standard passes (copylocks and friends) run via
 // `go vet` in the Makefile's lint target; this binary adds only the
-// checks the toolchain does not ship. Exit status: 0 clean, 1 findings,
-// 2 operational failure.
+// checks the toolchain does not ship. Every run ends with a per-analyzer
+// wall-time and finding-count report (sorted by analyzer, so diffable);
+// -report also writes it to a file for CI artifacts. Exit status: 0
+// clean, 1 findings, 2 operational failure.
 package main
 
 import (
@@ -26,8 +39,12 @@ import (
 	"strings"
 
 	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/analyzers/bufsafe"
+	"sqpeer/internal/lint/analyzers/deadlinebound"
 	"sqpeer/internal/lint/analyzers/errclass"
+	"sqpeer/internal/lint/analyzers/goroleak"
 	"sqpeer/internal/lint/analyzers/jsonrow"
+	"sqpeer/internal/lint/analyzers/lockorder"
 	"sqpeer/internal/lint/analyzers/locksafe"
 	"sqpeer/internal/lint/analyzers/maporder"
 	"sqpeer/internal/lint/analyzers/obsspan"
@@ -46,18 +63,28 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	obsspan.Analyzer,
 	jsonrow.Analyzer,
+	lockorder.Analyzer,
+	bufsafe.Analyzer,
+	deadlinebound.Analyzer,
+	goroleak.Analyzer,
 }
 
 // scope restricts the clock and randomness invariants to the middleware
 // proper: cmd/ mains and examples may read the wall clock to report
 // to humans. Determinism analyzers (maporder, errclass, locksafe) run
 // everywhere. The lint framework itself is exempt from walltime (it is
-// tooling, not simulation).
+// tooling, not simulation). The interprocedural tier runs over internal/
+// — deadlinebound excluding the network package itself, whose Call/Send
+// bodies implement the deadline-free wrappers rather than use them.
 var scope = map[string]func(string) bool{
-	"walltime":   isInternal,
-	"seededrand": isInternal,
-	"obsspan":    isInternal,
-	"jsonrow":    isDataPlane,
+	"walltime":      isInternal,
+	"seededrand":    isInternal,
+	"obsspan":       isInternal,
+	"jsonrow":       isDataPlane,
+	"lockorder":     isInternal,
+	"bufsafe":       isInternal,
+	"goroleak":      isInternal,
+	"deadlinebound": isDeadlineScope,
 }
 
 func isInternal(pkgPath string) bool {
@@ -74,13 +101,20 @@ func isDataPlane(pkgPath string) bool {
 		strings.HasSuffix(pkgPath, "/internal/channel")
 }
 
+// isDeadlineScope is isInternal minus the transport implementation.
+func isDeadlineScope(pkgPath string) bool {
+	return isInternal(pkgPath) && !strings.HasSuffix(pkgPath, "/internal/network")
+}
+
 func main() {
 	showAllowed := flag.Bool("show-allowed", false, "also print suppressed diagnostics with their reasons")
 	list := flag.Bool("help-analyzers", false, "list analyzers and exit")
+	cacheDir := flag.String("summary-cache", "", "directory for the interprocedural summary cache (empty = no cache)")
+	reportFile := flag.String("report", "", "also write the per-analyzer stats report to this file")
 	flag.Parse()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -94,7 +128,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sqpeer-lint:", err)
 		os.Exit(2)
 	}
-	findings, err := driver.Run(analyzers, pkgs, scope)
+	findings, stats, err := driver.RunWith(analyzers, pkgs, scope, driver.Options{
+		SummaryCacheDir: *cacheDir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqpeer-lint:", err)
 		os.Exit(2)
@@ -106,6 +142,19 @@ func main() {
 		}
 		fmt.Println(f.Format())
 	}
+
+	report := driver.Stats(stats)
+	fmt.Println("--- analyzer report ---")
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if *reportFile != "" {
+		if err := os.WriteFile(*reportFile, []byte(strings.Join(report, "\n")+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sqpeer-lint: writing report:", err)
+			os.Exit(2)
+		}
+	}
+
 	if n := len(findings) - len(failing); n > 0 && !*showAllowed {
 		fmt.Fprintf(os.Stderr, "sqpeer-lint: %d suppressed (run with -show-allowed to list)\n", n)
 	}

@@ -1,0 +1,121 @@
+package dht_test
+
+import (
+	"errors"
+	"testing"
+
+	"sqpeer/internal/dht"
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/pattern"
+	"sqpeer/internal/stats"
+)
+
+// TestDeadlineBoundsLookupForwarding: Ring.DeadlineMS bounds every
+// forwarded hop, so a lookup that must route through a slow peer fails
+// with a transient deadline error instead of pinning the caller, while
+// the zero default preserves the old unbounded behavior.
+func TestDeadlineBoundsLookupForwarding(t *testing.T) {
+	net := network.New()
+	ring := dht.NewRing(net)
+	for _, id := range []pattern.PeerID{"A", "B"} {
+		if err := ring.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := gen.N1("prop1")
+	// One of the two nodes owns the key; the other must forward one hop.
+	var slow pattern.PeerID
+	for _, from := range []pattern.PeerID{"A", "B"} {
+		_, hops, err := ring.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("unbounded Lookup(%s): %v", from, err)
+		}
+		if hops > 0 {
+			slow = from
+		}
+	}
+	if slow == "" {
+		t.Fatal("neither node forwarded; expected a one-hop lookup")
+	}
+	net.SetLink("A", "B", stats.Link{LatencyMS: 500, BandwidthKBps: 1000})
+	ring.DeadlineMS = 10
+	if _, _, err := ring.Lookup(slow, key); err == nil {
+		t.Fatal("lookup over a 500ms link beat a 10ms deadline")
+	} else {
+		var de *network.DeliveryError
+		if !errors.As(err, &de) || de.Reason != network.ReasonDeadline {
+			t.Fatalf("expected a deadline DeliveryError, got %v", err)
+		}
+		if !network.Transient(err) {
+			t.Fatalf("deadline miss should be transient: %v", err)
+		}
+	}
+	// Zero disables the bound again.
+	ring.DeadlineMS = 0
+	if _, _, err := ring.Lookup(slow, key); err != nil {
+		t.Fatalf("unbounded lookup over the slow link failed: %v", err)
+	}
+}
+
+// TestDeadlineBoundsPublish: a publish hop that cannot make its deadline
+// surfaces the error to the publisher.
+func TestDeadlineBoundsPublish(t *testing.T) {
+	net := network.New()
+	ring := dht.NewRing(net)
+	for _, id := range []pattern.PeerID{"A", "B"} {
+		if err := ring.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.SetLink("A", "B", stats.Link{LatencyMS: 500, BandwidthKBps: 1000})
+	ring.DeadlineMS = 10
+	schema := gen.PaperSchema()
+	sawDeadline := false
+	for _, from := range []pattern.PeerID{"A", "B"} {
+		as := gen.PaperActiveSchemas()["P1"]
+		if _, err := ring.Publish(from, schema, as); err != nil {
+			var de *network.DeliveryError
+			if !errors.As(err, &de) || de.Reason != network.ReasonDeadline {
+				t.Fatalf("Publish(%s): expected deadline error, got %v", from, err)
+			}
+			sawDeadline = true
+		}
+	}
+	// P1's patterns hash under several keys; at least one publisher must
+	// have needed the slow forward hop.
+	if !sawDeadline {
+		t.Fatal("no publish hop tripped the deadline; test setup is vacuous")
+	}
+}
+
+// TestLeaveDrainsRingPreservingKeys drains an eleven-node ring down to a
+// single survivor. Every departure hands the leaver's keys to its
+// successor under two node locks taken in deterministic (hash, id)
+// order; draining the whole membership exercises both orderings (the
+// max-hash node's departure wraps to the ring minimum, every other
+// departure locks leaver-first), and no registration may be lost.
+func TestLeaveDrainsRingPreservingKeys(t *testing.T) {
+	ring, _ := paperRing(t, 7)
+	before, _, err := ring.Lookup("P1", gen.N1("prop2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leave := []pattern.PeerID{
+		"X000", "X001", "X002", "X003", "X004", "X005", "X006",
+		"P2", "P3", "P4",
+	}
+	for _, id := range leave {
+		ring.Leave(id)
+	}
+	if ring.Size() != 1 {
+		t.Fatalf("Size after drain = %d, want 1", ring.Size())
+	}
+	after, _, err := ring.Lookup("P1", gen.N1("prop2"))
+	if err != nil {
+		t.Fatalf("Lookup on the last node: %v", err)
+	}
+	if len(after) < len(before) {
+		t.Errorf("registrations lost while draining: %d < %d", len(after), len(before))
+	}
+}

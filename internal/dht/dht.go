@@ -64,6 +64,10 @@ type node struct {
 type Ring struct {
 	// Net is the transport lookups route over.
 	Net *network.Network
+	// DeadlineMS bounds every lookup/put hop on the simulated clock
+	// (0 = none); a slow or stalled peer fails the hop instead of
+	// pinning the caller.
+	DeadlineMS float64
 
 	mu    sync.Mutex
 	nodes map[pattern.PeerID]*node
@@ -103,16 +107,24 @@ func (r *Ring) Leave(id pattern.PeerID) {
 	}
 	delete(r.nodes, id)
 	r.rebuildLocked()
-	// Hand over stored keys.
+	// Hand over stored keys. Two node.mu instances are nested here, so
+	// they are taken in deterministic (hash, id) order: every path that
+	// holds two node locks agrees on the order, and no other path nests
+	// them at all.
 	if len(r.order) > 0 {
 		succ := r.nodes[r.successorOfLocked(n.hash)]
-		n.mu.Lock()
-		succ.mu.Lock()
+		first, second := n, succ
+		if succ.hash < n.hash || (succ.hash == n.hash && succ.id < n.id) {
+			first, second = succ, n
+		}
+		first.mu.Lock()
+		//lint:allow lockorder two node.mu instances nested in deterministic (hash, id) order; no opposing nesting exists
+		second.mu.Lock()
 		for k, regs := range n.store {
 			succ.store[k] = append(succ.store[k], regs...)
 		}
-		succ.mu.Unlock()
-		n.mu.Unlock()
+		second.mu.Unlock()
+		first.mu.Unlock()
 	}
 }
 
@@ -261,7 +273,7 @@ func (r *Ring) findHandler(n *node) network.Handler {
 			return json.Marshal(findResp{Regs: regs, Hops: 0})
 		}
 		next := n.closestFinger(h)
-		reply, err := r.Net.Call(n.id, next, "dht.find", msg.Payload)
+		reply, err := r.Net.CallWithin(n.id, next, "dht.find", msg.Payload, r.DeadlineMS)
 		if err != nil {
 			return nil, fmt.Errorf("dht: forward to %s: %w", next, err)
 		}
@@ -299,7 +311,7 @@ func (r *Ring) putHandler(n *node) network.Handler {
 			return []byte("ok"), nil
 		}
 		next := n.closestFinger(h)
-		return r.Net.Call(n.id, next, "dht.put", msg.Payload)
+		return r.Net.CallWithin(n.id, next, "dht.put", msg.Payload, r.DeadlineMS)
 	}
 }
 
@@ -317,7 +329,7 @@ func (r *Ring) Publish(from pattern.PeerID, schema *rdf.Schema, as *pattern.Acti
 			if err != nil {
 				return stored, fmt.Errorf("dht: marshal put: %w", err)
 			}
-			if _, err := r.Net.Call(from, from, "dht.put", body); err != nil {
+			if _, err := r.Net.CallWithin(from, from, "dht.put", body, r.DeadlineMS); err != nil {
 				return stored, err
 			}
 			stored++
@@ -333,7 +345,7 @@ func (r *Ring) Lookup(from pattern.PeerID, key rdf.IRI) ([]Registration, int, er
 	if err != nil {
 		return nil, 0, fmt.Errorf("dht: marshal find: %w", err)
 	}
-	reply, err := r.Net.Call(from, from, "dht.find", body)
+	reply, err := r.Net.CallWithin(from, from, "dht.find", body, r.DeadlineMS)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -13,6 +13,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"sqpeer/internal/lint/summary"
 )
 
 // Analyzer describes one static check. Run inspects a single
@@ -23,6 +25,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by -help.
 	Doc string
+	// NeedsSummaries marks interprocedural analyzers: the driver builds
+	// the cross-package summary index (internal/lint/summary) once per
+	// run and hands it to every Pass. This plays the role of x/tools
+	// Facts in the offline mini-framework.
+	NeedsSummaries bool
 	// Run performs the analysis. The result value is unused by the
 	// sqpeer driver but kept for x/tools API compatibility.
 	Run func(*Pass) (any, error)
@@ -41,6 +48,9 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the type-checker's expression annotations.
 	TypesInfo *types.Info
+	// Summaries is the interprocedural summary index, populated only
+	// for analyzers that set NeedsSummaries.
+	Summaries *summary.Index
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }

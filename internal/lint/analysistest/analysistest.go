@@ -30,7 +30,9 @@ import (
 	"strings"
 
 	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/callgraph"
 	"sqpeer/internal/lint/load"
+	"sqpeer/internal/lint/summary"
 )
 
 // T is the slice of *testing.T this package needs. It exists so the
@@ -57,12 +59,21 @@ func Run(t T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		check(t, a, fset, pkg)
+		var index *summary.Index
+		if a.NeedsSummaries {
+			// The importer's memo now holds the fixture package and every
+			// fixture dependency it pulled in; summarize them all so the
+			// interprocedural analyzers see cross-package facts exactly as
+			// the driver builds them.
+			index = summary.BuildIndex(imp.sourcePkgs(), nil)
+		}
+		check(t, a, fset, pkg, index)
 	}
 }
 
 // fixturePkg is one type-checked fixture package.
 type fixturePkg struct {
+	path  string
 	files []*ast.File
 	types *types.Package
 	info  *types.Info
@@ -119,9 +130,27 @@ func (fi *fixtureImporter) load(path string) (*fixturePkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
 	}
-	pkg := &fixturePkg{files: files, types: tpkg, info: info}
+	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
 	fi.done[path] = pkg
 	return pkg, nil
+}
+
+// sourcePkgs adapts every memoized fixture package for the summary
+// builder, sorted for determinism (BuildIndex topo-sorts anyway).
+func (fi *fixtureImporter) sourcePkgs() []*callgraph.SourcePkg {
+	paths := make([]string, 0, len(fi.done))
+	for p := range fi.done {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*callgraph.SourcePkg, 0, len(paths))
+	for _, p := range paths {
+		pkg := fi.done[p]
+		out = append(out, &callgraph.SourcePkg{
+			Path: p, Fset: fi.fset, Files: pkg.files, Types: pkg.types, Info: pkg.info,
+		})
+	}
+	return out
 }
 
 // expectation is one want regexp with its match state.
@@ -134,7 +163,7 @@ type expectation struct {
 
 // check runs the analyzer on one fixture package and diffs diagnostics
 // against the // want annotations.
-func check(t T, a *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg) {
+func check(t T, a *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg, index *summary.Index) {
 	t.Helper()
 	wants := map[string][]*expectation{} // filename -> expectations
 	for _, f := range pkg.files {
@@ -170,6 +199,7 @@ func check(t T, a *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg) {
 		Files:     pkg.files,
 		Pkg:       pkg.types,
 		TypesInfo: pkg.info,
+		Summaries: index,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if _, err := a.Run(pass); err != nil {

@@ -53,6 +53,22 @@ func TestDisabledAnalyzerFailsFixtures(t *testing.T) {
 	}
 }
 
+// TestAllowDirectiveInertInFixtures: the driver's //lint:allow layer
+// does not apply inside fixture testdata — the want annotation on an
+// "allowed" line still must (and does) match the raw diagnostic. If
+// suppression ever leaked into analysistest, the want would go unmatched
+// and this run would report errors.
+func TestAllowDirectiveInertInFixtures(t *testing.T) {
+	rec := &recorder{}
+	func() {
+		defer func() { _ = recover() }()
+		Run(rec, "testdata", walltime.Analyzer, "allowed")
+	}()
+	if rec.fatal != "" || len(rec.errors) != 0 {
+		t.Fatalf("allow directive suppressed a fixture diagnostic: fatal=%q errors=%v", rec.fatal, rec.errors)
+	}
+}
+
 // TestEnabledAnalyzerPassesFixtures is the control: the real analyzer
 // satisfies the same annotations.
 func TestEnabledAnalyzerPassesFixtures(t *testing.T) {

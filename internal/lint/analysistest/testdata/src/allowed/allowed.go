@@ -1,0 +1,13 @@
+// Package allowed proves that //lint:allow directives are inert inside
+// fixture testdata: analysistest checks raw analyzer diagnostics against
+// the // want annotations without the driver's suppression layer, so a
+// fixture cannot accidentally (or deliberately) allow its way past an
+// expectation.
+package allowed
+
+import "time"
+
+func f() time.Time {
+	//lint:allow walltime this directive must NOT suppress the fixture diagnostic
+	return time.Now() // want `wall-clock time\.Now is forbidden`
+}

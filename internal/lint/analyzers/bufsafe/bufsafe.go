@@ -1,0 +1,479 @@
+// Package bufsafe checks the lifecycle of pooled wire buffers. The rql
+// codec hands out reusable []byte buffers through GetWireBuf and takes
+// them back through PutWireBuf; a buffer returned to the pool may be
+// handed to any other goroutine immediately, so three misuses corrupt
+// frames at a distance:
+//
+//   - double put — PutWireBuf twice on one buffer poisons the pool with
+//     an aliased entry;
+//   - use after put — reading or growing a buffer the pool may already
+//     have re-issued;
+//   - put of an escaped buffer — returning a buffer that was stored or
+//     sent elsewhere (channel send, field/global store, goroutine
+//     capture), so a live reference survives the put.
+//
+// The analysis is a per-function state machine over buffer-holding
+// variables (live → put, live → escaped), with branch bodies scanned on
+// cloned state the way locksafe scans held locks. Interprocedural
+// effects come from the summary tier: a callee that (transitively) puts,
+// escapes, returns its argument, or mints a pooled buffer is recognized
+// through its FuncSummary, so wrappers like a local `retire(b []byte)`
+// helper are as visible as rql.PutWireBuf itself. Deferred puts are
+// applied at function end against the state the body left behind.
+package bufsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/callgraph"
+	"sqpeer/internal/lint/summary"
+)
+
+// Analyzer reports pooled-buffer lifecycle violations; see the package
+// comment.
+var Analyzer = &analysis.Analyzer{
+	Name:           "bufsafe",
+	Doc:            "flag double-put, use-after-put, and put-of-escaped pooled wire buffers (rql.GetWireBuf/PutWireBuf)",
+	NeedsSummaries: true,
+	Run:            run,
+}
+
+// bufState is one tracked buffer's lifecycle stage.
+type bufState int
+
+const (
+	live    bufState = iota // owned here, not yet returned
+	put                     // returned to the pool
+	escaped                 // a reference left this function's control
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Summaries == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, reported: map[token.Pos]bool{}}
+			st := map[*types.Var]bufState{}
+			c.scanStmts(fd.Body.List, st)
+			c.applyDeferred(st)
+		}
+	}
+	return nil, nil
+}
+
+// deferredPut is one `defer <put>(buf)` awaiting function end.
+type deferredPut struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool // dedup use-after-put per use site
+	deferred []deferredPut
+}
+
+// applyDeferred settles deferred puts against the state the body ended
+// in: a buffer already put is a double put, an escaped one is a put of
+// an escaped buffer.
+func (c *checker) applyDeferred(st map[*types.Var]bufState) {
+	for _, d := range c.deferred {
+		switch st[d.v] {
+		case put:
+			c.reportOnce(d.pos, "wire buffer %s already returned to the pool; this deferred PutWireBuf is a double put", d.v.Name())
+		case escaped:
+			c.reportOnce(d.pos, "deferred PutWireBuf on buffer %s that escaped (stored or sent elsewhere); the pool would re-issue it while still referenced", d.v.Name())
+		}
+	}
+}
+
+func (c *checker) reportOnce(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// scanStmts walks one statement list linearly; branch bodies get cloned
+// state so a put on an early-return path doesn't poison the main path.
+func (c *checker) scanStmts(stmts []ast.Stmt, st map[*types.Var]bufState) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			c.scanExpr(s.X, st)
+		case *ast.AssignStmt:
+			c.scanAssign(s, st)
+		case *ast.DeferStmt:
+			c.scanDefer(s, st)
+		case *ast.GoStmt:
+			// The goroutine owns whatever it is handed or captures.
+			if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				c.markCaptured(lit, st)
+			}
+			for _, a := range s.Call.Args {
+				if v := c.trackedVar(a, st); v != nil {
+					c.escape(v, a.Pos(), st)
+					continue
+				}
+				c.scanExpr(a, st)
+			}
+		case *ast.SendStmt:
+			c.scanExpr(s.Chan, st)
+			if v := c.trackedVar(s.Value, st); v != nil {
+				c.escape(v, s.Value.Pos(), st)
+			} else {
+				c.scanExpr(s.Value, st)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if v := c.trackedVar(r, st); v != nil {
+					if st[v] == put {
+						c.reportOnce(r.Pos(), "wire buffer %s returned to the caller after PutWireBuf; the pool may already have re-issued it", v.Name())
+					}
+					// Ownership transfers out; the caller's checker takes
+					// over (ReturnsPooled wrappers are the legitimate case).
+					delete(st, v)
+					continue
+				}
+				c.scanExpr(r, st)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.scanStmts([]ast.Stmt{s.Init}, st)
+			}
+			c.scanExpr(s.Cond, st)
+			c.scanStmts(s.Body.List, clone(st))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				c.scanStmts(e.List, clone(st))
+			case *ast.IfStmt:
+				c.scanStmts([]ast.Stmt{e}, clone(st))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.scanStmts([]ast.Stmt{s.Init}, st)
+			}
+			c.scanExpr(s.Cond, st)
+			if s.Post != nil {
+				c.scanStmts([]ast.Stmt{s.Post}, clone(st))
+			}
+			c.scanStmts(s.Body.List, clone(st))
+		case *ast.RangeStmt:
+			c.scanExpr(s.X, st)
+			c.scanStmts(s.Body.List, clone(st))
+		case *ast.BlockStmt:
+			c.scanStmts(s.List, clone(st))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				c.scanStmts([]ast.Stmt{s.Init}, st)
+			}
+			c.scanExpr(s.Tag, st)
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, clone(st))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanStmts(cc.Body, clone(st))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					branch := clone(st)
+					if cc.Comm != nil {
+						c.scanStmts([]ast.Stmt{cc.Comm}, branch)
+					}
+					c.scanStmts(cc.Body, branch)
+				}
+			}
+		case *ast.LabeledStmt:
+			c.scanStmts([]ast.Stmt{s.Stmt}, st)
+		default:
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					c.scanExpr(e, st)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// scanAssign handles buffer births (x := GetWireBuf()), identity
+// passthrough (x = AppendBatch(x, ...), x = append(x, ...)), aliasing,
+// stores that escape, and plain overwrites that end tracking.
+func (c *checker) scanAssign(s *ast.AssignStmt, st map[*types.Var]bufState) {
+	if len(s.Lhs) != len(s.Rhs) {
+		for _, r := range s.Rhs {
+			c.scanExpr(r, st)
+		}
+		return
+	}
+	for i, rhs := range s.Rhs {
+		lhs := s.Lhs[i]
+		lhsVar := varOf(c.pass.TypesInfo, lhs)
+
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if src := c.passthroughVar(call, st); src != nil {
+				// The callee returns the buffer it was handed: the result
+				// carries the argument's identity and state.
+				c.handleCall(call, st)
+				if lhsVar != nil && isBufVar(lhsVar) {
+					st[lhsVar] = st[src]
+				}
+				continue
+			}
+			sum := c.summaryOf(call)
+			c.handleCall(call, st)
+			if sum != nil && sum.ReturnsPooled {
+				if lhsVar != nil && isBufVar(lhsVar) {
+					st[lhsVar] = live
+				}
+				continue
+			}
+			if lhsVar != nil {
+				delete(st, lhsVar) // overwritten by an unrelated value
+			}
+			continue
+		}
+
+		if v := c.trackedVar(rhs, st); v != nil {
+			if lhsVar != nil && isLocalVar(lhsVar) {
+				st[lhsVar] = st[v] // alias; both names share the buffer
+			} else if lhsVar != nil {
+				// Stored into a package-level variable or a field var: the
+				// reference outlives this frame.
+				c.escape(v, rhs.Pos(), st)
+			} else if !isBlank(lhs) {
+				// Stored into a field, global, index, or composite target:
+				// a reference now lives beyond this function's control.
+				c.escape(v, rhs.Pos(), st)
+			}
+			continue
+		}
+		c.scanExpr(rhs, st)
+		if lhsVar != nil {
+			delete(st, lhsVar)
+		}
+	}
+	for _, l := range s.Lhs {
+		if _, ok := ast.Unparen(l).(*ast.Ident); !ok {
+			c.scanExpr(l, st)
+		}
+	}
+}
+
+// scanDefer records deferred puts for function-end settlement and scans
+// everything else as an ordinary call.
+func (c *checker) scanDefer(s *ast.DeferStmt, st map[*types.Var]bufState) {
+	sum := c.summaryOf(s.Call)
+	if sum != nil && len(sum.PutsParams) == 1 && len(s.Call.Args) > sum.PutsParams[0] {
+		if v := varOf(c.pass.TypesInfo, s.Call.Args[sum.PutsParams[0]]); v != nil && isBufVar(v) {
+			c.deferred = append(c.deferred, deferredPut{v: v, pos: s.Pos()})
+			return
+		}
+	}
+	c.scanExpr(s.Call, st)
+}
+
+// scanExpr walks an expression, applying call effects and catching uses
+// of already-put buffers.
+func (c *checker) scanExpr(e ast.Expr, st map[*types.Var]bufState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.markCaptured(x, st)
+			return false
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if v := c.trackedVar(el, st); v != nil {
+					c.escape(v, el.Pos(), st)
+				}
+			}
+		case *ast.CallExpr:
+			c.handleCall(x, st)
+			return false
+		case *ast.Ident:
+			if v := c.trackedVar(x, st); v != nil && st[v] == put {
+				c.reportOnce(x.Pos(), "wire buffer %s used after PutWireBuf returned it to the pool", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// handleCall applies one call's summary effects to its tracked-variable
+// arguments and scans the rest.
+func (c *checker) handleCall(call *ast.CallExpr, st map[*types.Var]bufState) {
+	sum := c.summaryOf(call)
+	c.scanExpr(call.Fun, st)
+	for i, a := range call.Args {
+		v := c.trackedVar(a, st)
+		if v == nil {
+			c.scanExpr(a, st)
+			continue
+		}
+		switch {
+		case sum != nil && containsInt(sum.PutsParams, i):
+			switch st[v] {
+			case put:
+				c.reportOnce(a.Pos(), "wire buffer %s already returned to the pool; this put is a double put", v.Name())
+			case escaped:
+				c.reportOnce(a.Pos(), "PutWireBuf on buffer %s that escaped (stored or sent elsewhere); the pool would re-issue it while still referenced", v.Name())
+			default:
+				st[v] = put
+			}
+		case sum != nil && containsInt(sum.EscapesParams, i):
+			c.escape(v, a.Pos(), st)
+		default:
+			// Reading use (len, copy, a passthrough like append/AppendBatch,
+			// or an unknown callee): legal while live, a bug after put.
+			if st[v] == put {
+				c.reportOnce(a.Pos(), "wire buffer %s used after PutWireBuf returned it to the pool", v.Name())
+			}
+		}
+	}
+}
+
+// escape transitions a buffer out of this function's control; escaping a
+// buffer the pool already owns is a use-after-put.
+func (c *checker) escape(v *types.Var, pos token.Pos, st map[*types.Var]bufState) {
+	if st[v] == put {
+		c.reportOnce(pos, "wire buffer %s used after PutWireBuf returned it to the pool", v.Name())
+		return
+	}
+	st[v] = escaped
+}
+
+// markCaptured treats tracked buffers referenced inside a function
+// literal as escaping: the literal may run on another goroutine or after
+// this frame returns.
+func (c *checker) markCaptured(lit *ast.FuncLit, st map[*types.Var]bufState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := c.trackedVar(id, st); v != nil {
+				c.escape(v, id.Pos(), st)
+			}
+		}
+		return true
+	})
+}
+
+// passthroughVar resolves calls whose result is identity-equal to a
+// tracked argument: summary ReturnsParams (e.g. rql.AppendBatch) and the
+// append builtin.
+func (c *checker) passthroughVar(call *ast.CallExpr, st map[*types.Var]bufState) *types.Var {
+	if isAppend(c.pass.TypesInfo, call) && len(call.Args) > 0 {
+		return c.trackedVar(call.Args[0], st)
+	}
+	sum := c.summaryOf(call)
+	if sum == nil {
+		return nil
+	}
+	for _, i := range sum.ReturnsParams {
+		if i < len(call.Args) {
+			if v := c.trackedVar(call.Args[i], st); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// summaryOf looks up the interprocedural summary of a call's static
+// callee, if any.
+func (c *checker) summaryOf(call *ast.CallExpr) *summary.FuncSummary {
+	callee := callgraph.CalleeOf(c.pass.TypesInfo, call)
+	return c.pass.Summaries.FuncOf(callee)
+}
+
+// trackedVar resolves an expression to a variable currently tracked in
+// st.
+func (c *checker) trackedVar(e ast.Expr, st map[*types.Var]bufState) *types.Var {
+	v := varOf(c.pass.TypesInfo, e)
+	if v == nil {
+		return nil
+	}
+	if _, ok := st[v]; !ok {
+		return nil
+	}
+	return v
+}
+
+// varOf resolves a plain identifier to its variable object.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// isLocalVar reports whether v is function-local (not a package-level
+// variable or struct field).
+func isLocalVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() != v.Pkg().Scope() && !v.IsField()
+}
+
+// isBufVar reports whether v is a []byte local worth tracking.
+func isBufVar(v *types.Var) bool {
+	sl, ok := v.Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isAppend recognizes the append builtin.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isBlank reports the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clone(m map[*types.Var]bufState) map[*types.Var]bufState {
+	out := make(map[*types.Var]bufState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

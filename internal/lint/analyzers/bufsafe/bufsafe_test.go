@@ -1,0 +1,11 @@
+package bufsafe
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestBufsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,113 @@
+// Fixture: pooled wire-buffer lifecycle violations.
+package a
+
+import "rql"
+
+var sink []byte
+
+func double() {
+	buf := rql.GetWireBuf()
+	rql.PutWireBuf(buf)
+	rql.PutWireBuf(buf) // want `wire buffer buf already returned to the pool`
+}
+
+func useAfter() {
+	buf := rql.GetWireBuf()
+	rql.PutWireBuf(buf)
+	_ = len(buf) // want `wire buffer buf used after PutWireBuf`
+}
+
+func escapeThenPut(ch chan []byte) {
+	buf := rql.GetWireBuf()
+	ch <- buf
+	rql.PutWireBuf(buf) // want `PutWireBuf on buffer buf that escaped`
+}
+
+// The legitimate lifecycle: get, grow through the passthrough helpers,
+// put once.
+func ok(ch chan int) {
+	buf := rql.GetWireBuf()
+	buf = rql.AppendBatch(buf, 1)
+	buf = append(buf, 0x7f)
+	rql.PutWireBuf(buf)
+}
+
+// retire is a put wrapper: the summary tier marks its parameter as put,
+// so misuse through it is caught like a direct PutWireBuf.
+func retire(b []byte) {
+	rql.PutWireBuf(b)
+}
+
+func doubleViaHelper() {
+	buf := rql.GetWireBuf()
+	retire(buf)
+	rql.PutWireBuf(buf) // want `wire buffer buf already returned to the pool`
+}
+
+// mint is a get wrapper: its result carries pooled identity.
+func mint() []byte {
+	return rql.GetWireBuf()
+}
+
+func useAfterViaHelpers() {
+	buf := mint()
+	retire(buf)
+	_ = buf[:0] // want `wire buffer buf used after PutWireBuf`
+}
+
+// stash leaks its argument into a package-level variable; the summary
+// tier marks the parameter as escaping.
+func stash(b []byte) {
+	sink = b
+}
+
+func escapeViaHelper() {
+	buf := rql.GetWireBuf()
+	stash(buf)
+	rql.PutWireBuf(buf) // want `PutWireBuf on buffer buf that escaped`
+}
+
+func capturedByGoroutine(done chan struct{}) {
+	buf := rql.GetWireBuf()
+	go func() {
+		_ = len(buf)
+		close(done)
+	}()
+	rql.PutWireBuf(buf) // want `PutWireBuf on buffer buf that escaped`
+}
+
+func deferOK() {
+	buf := rql.GetWireBuf()
+	defer rql.PutWireBuf(buf)
+	_ = len(buf)
+}
+
+func deferDouble() {
+	buf := rql.GetWireBuf()
+	defer rql.PutWireBuf(buf) // want `this deferred PutWireBuf is a double put`
+	rql.PutWireBuf(buf)
+}
+
+// A put on an early-return branch does not poison the main path.
+func branchPut(cond bool) {
+	buf := rql.GetWireBuf()
+	if cond {
+		rql.PutWireBuf(buf)
+		return
+	}
+	buf = append(buf, 1)
+	rql.PutWireBuf(buf)
+}
+
+// Returning the buffer hands ownership to the caller; no finding.
+func handOff() []byte {
+	buf := rql.GetWireBuf()
+	buf = rql.AppendBatch(buf, 2)
+	return buf
+}
+
+func returnAfterPut() []byte {
+	buf := rql.GetWireBuf()
+	rql.PutWireBuf(buf)
+	return buf // want `wire buffer buf returned to the caller after PutWireBuf`
+}

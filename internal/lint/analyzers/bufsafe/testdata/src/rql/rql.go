@@ -1,0 +1,11 @@
+// Fixture stub of the rql wire-buffer pool API. The summary tier seeds
+// the pool contract on any package whose path ends in "rql": GetWireBuf
+// mints pooled buffers, PutWireBuf retires its argument, AppendBatch
+// returns the buffer it was handed.
+package rql
+
+func GetWireBuf() []byte { return make([]byte, 0, 64) }
+
+func PutWireBuf(b []byte) {}
+
+func AppendBatch(b []byte, rows int) []byte { return b }

@@ -1,0 +1,87 @@
+// Package deadlinebound enforces that RPCs carry deadlines. The network
+// layer exposes two call families: CallWithin/SendWithin take an explicit
+// deadline, while Call/Send are the deadline-free wrappers (DeadlineMS=0,
+// meaning none). A query plan dispatched over a deadline-free edge can
+// pin an executor forever when a peer stalls, so production paths must
+// flow through the *Within forms with a threaded deadline.
+//
+// The interprocedural summaries record every reachable deadline-free
+// network.Call/Send per function. This analyzer reports them in two
+// tiers:
+//
+//   - direct sites — a literal n.Call(...)/n.Send(...) in the function
+//     body — are reported wherever the analyzer is scoped to run;
+//   - transitive sites — a call into a helper that (through any chain)
+//     reaches a deadline-free op — are reported only in the exec and
+//     channel packages, the two places that originate plan dispatch and
+//     therefore own the deadline that should have been threaded.
+//
+// The network package itself is never scanned: its Call/Send bodies are
+// the wrappers' implementation, not uses of them.
+package deadlinebound
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/callgraph"
+)
+
+// Analyzer reports deadline-free RPC paths; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name:           "deadlinebound",
+	Doc:            "require network.CallWithin/SendWithin (with a deadline) on every RPC path from exec and channel",
+	NeedsSummaries: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Summaries == nil {
+		return nil, nil
+	}
+	path := pass.Pkg.Path()
+	transitive := callgraph.PathTail(path, "exec") || callgraph.PathTail(path, "channel")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			sum := pass.Summaries.FuncOf(obj)
+			if sum == nil {
+				continue
+			}
+			for _, op := range sum.Unbounded {
+				pos := op.Site.Pos(pass.Fset)
+				if !pos.IsValid() {
+					continue
+				}
+				if len(op.Via) == 0 {
+					pass.Reportf(pos, "unbounded network.%s: no deadline reaches this RPC; use %sWithin and thread a deadline",
+						op.Op, op.Op)
+					continue
+				}
+				if transitive {
+					pass.Reportf(pos, "call chain %s reaches deadline-free network.%s; thread a deadline down to %sWithin",
+						chain(op.Via), op.Op, op.Op)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// chain renders a via chain with import-path prefixes shortened.
+func chain(via []string) string {
+	shorts := make([]string, len(via))
+	for i, v := range via {
+		if slash := strings.LastIndexByte(v, '/'); slash >= 0 {
+			v = v[slash+1:]
+		}
+		shorts[i] = v
+	}
+	return strings.Join(shorts, " → ")
+}

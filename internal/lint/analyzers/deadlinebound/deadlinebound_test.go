@@ -1,0 +1,11 @@
+package deadlinebound
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestDeadlinebound(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "exec", "peer")
+}

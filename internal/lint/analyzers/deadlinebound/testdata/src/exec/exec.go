@@ -1,0 +1,26 @@
+// Fixture: the exec package originates plan dispatch, so both direct
+// and transitive deadline-free RPC paths are reported here.
+package exec
+
+import "network"
+
+func direct(n *network.Network, dst string, m network.Message) {
+	n.Call(dst, m) // want `unbounded network\.Call: no deadline reaches this RPC`
+	n.CallWithin(dst, m, 100)
+}
+
+func helper(n *network.Network, dst string, m network.Message) error {
+	return n.Send(dst, m) // want `unbounded network\.Send`
+}
+
+func indirect(n *network.Network, dst string, m network.Message) {
+	helper(n, dst, m) // want `call chain exec\.helper reaches deadline-free network\.Send`
+}
+
+func bounded(n *network.Network, dst string, m network.Message, deadlineMS int64) error {
+	return n.SendWithin(dst, m, deadlineMS)
+}
+
+func boundedIndirect(n *network.Network, dst string, m network.Message) {
+	bounded(n, dst, m, 250)
+}

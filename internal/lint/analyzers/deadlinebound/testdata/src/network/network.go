@@ -1,0 +1,17 @@
+// Fixture stub of the transport API: Call/Send are the deadline-free
+// wrappers, CallWithin/SendWithin take an explicit deadline.
+package network
+
+type Message struct{ Body string }
+
+type Network struct{}
+
+func (n *Network) Call(dst string, m Message) (Message, error) { return m, nil }
+
+func (n *Network) CallWithin(dst string, m Message, deadlineMS int64) (Message, error) {
+	return m, nil
+}
+
+func (n *Network) Send(dst string, m Message) error { return nil }
+
+func (n *Network) SendWithin(dst string, m Message, deadlineMS int64) error { return nil }

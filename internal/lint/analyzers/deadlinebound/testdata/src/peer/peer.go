@@ -1,0 +1,13 @@
+// Fixture: outside exec and channel, only direct deadline-free sites
+// are reported; the transitive tier belongs to the dispatch origins.
+package peer
+
+import "network"
+
+func direct(n *network.Network, dst string, m network.Message) {
+	n.Call(dst, m) // want `unbounded network\.Call`
+}
+
+func indirect(n *network.Network, dst string, m network.Message) {
+	direct(n, dst, m)
+}

@@ -1,0 +1,118 @@
+// Package goroleak flags goroutines with no bounded exit. A spawned body
+// whose only control flow is an inescapable infinite loop — no return,
+// no break that targets the loop, no panic — runs until process death,
+// holding its stack, its captures, and whatever channels it blocks on.
+// In a long-lived peer every such spawn is a leak.
+//
+// Three spawn shapes are checked:
+//
+//   - `go func(){...}()` — the literal body is analyzed inline at the
+//     spawn site (summary.BodyRunsForever), including calls to functions
+//     whose summaries mark them RunsForever;
+//   - `go f(...)` — f's interprocedural summary decides;
+//   - callbacks: when a callee's summary says it launches parameter i as
+//     a goroutine (SpawnsParams), the concrete function supplied at the
+//     call site is checked there — the helper is innocent, the unbounded
+//     callback is the bug, and the diagnostic lands where the fix goes.
+//
+// Loops that wait on a stop channel, a context, or a closed-connection
+// error all have a return on some path and pass; `for { work() }` with
+// no way out does not, and earns either an exit condition or a reasoned
+// //lint:allow naming the process-lifetime justification.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/callgraph"
+	"sqpeer/internal/lint/summary"
+)
+
+// Analyzer reports goroutines without a bounded exit; see the package
+// comment.
+var Analyzer = &analysis.Analyzer{
+	Name:           "goroleak",
+	Doc:            "require every spawned goroutine to have a bounded exit (return, breaking select, or panic)",
+	NeedsSummaries: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Summaries == nil {
+		return nil, nil
+	}
+	spkg := &callgraph.SourcePkg{
+		Path: pass.Pkg.Path(), Fset: pass.Fset, Files: pass.Files,
+		Types: pass.Pkg, Info: pass.TypesInfo,
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				checkSpawn(pass, spkg, s)
+			case *ast.CallExpr:
+				checkCallbackArgs(pass, spkg, s)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkSpawn analyzes one go statement's spawned function.
+func checkSpawn(pass *analysis.Pass, spkg *callgraph.SourcePkg, s *ast.GoStmt) {
+	fun := ast.Unparen(s.Call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if summary.BodyRunsForever(spkg, pass.Summaries, lit.Body) {
+			pass.Reportf(s.Pos(), "goroutine runs forever: no return, breaking select, or panic exits its loop; add a stop condition")
+		}
+		return
+	}
+	callee := callgraph.CalleeOf(pass.TypesInfo, s.Call)
+	if sum := pass.Summaries.FuncOf(callee); sum != nil && sum.RunsForever {
+		pass.Reportf(s.Pos(), "goroutine %s runs forever: no return, breaking select, or panic exits its loop; add a stop condition", callee.Name())
+	}
+}
+
+// checkCallbackArgs checks function arguments handed to callees that
+// launch them as goroutines.
+func checkCallbackArgs(pass *analysis.Pass, spkg *callgraph.SourcePkg, call *ast.CallExpr) {
+	callee := callgraph.CalleeOf(pass.TypesInfo, call)
+	sum := pass.Summaries.FuncOf(callee)
+	if sum == nil || len(sum.SpawnsParams) == 0 {
+		return
+	}
+	for _, i := range sum.SpawnsParams {
+		if i >= len(call.Args) {
+			continue
+		}
+		arg := ast.Unparen(call.Args[i])
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			if summary.BodyRunsForever(spkg, pass.Summaries, lit.Body) {
+				pass.Reportf(arg.Pos(), "callback launched as a goroutine by %s runs forever: add a stop condition or bound its loop", callee.Name())
+			}
+			continue
+		}
+		if obj := funcOf(pass.TypesInfo, arg); obj != nil {
+			if s := pass.Summaries.FuncOf(obj); s != nil && s.RunsForever {
+				pass.Reportf(arg.Pos(), "callback %s launched as a goroutine by %s runs forever: add a stop condition or bound its loop", obj.Name(), callee.Name())
+			}
+		}
+	}
+}
+
+// funcOf resolves a plain identifier or selector argument to the
+// function it names, if any.
+func funcOf(info *types.Info, e ast.Expr) *types.Func {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[x].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[x.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package goroleak
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

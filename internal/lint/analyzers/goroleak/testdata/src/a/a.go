@@ -1,0 +1,74 @@
+// Fixture: goroutines with and without bounded exits.
+package a
+
+func forever() {
+	for {
+	}
+}
+
+func bounded(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}
+
+func spawnBad() {
+	go forever() // want `goroutine forever runs forever`
+	go func() {  // want `goroutine runs forever`
+		for {
+		}
+	}()
+}
+
+func spawnGood(stop chan struct{}) {
+	go bounded(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// spawnUntilError's loop exits when work fails: bounded.
+func spawnUntilError(work func() error) {
+	go func() {
+		for {
+			if work() != nil {
+				return
+			}
+		}
+	}()
+}
+
+// launch spawns its callback, so the callback's exit condition is
+// checked where the concrete function is supplied.
+func launch(f func()) {
+	go f()
+}
+
+func viaParam(stop chan struct{}) {
+	launch(forever) // want `callback forever launched as a goroutine by launch runs forever`
+	launch(func() { // want `callback launched as a goroutine by launch runs forever`
+		for {
+		}
+	})
+	launch(func() {
+		<-stop
+	})
+}
+
+// spawnForeverTransitively runs forever through a callee, so spawning it
+// is as unbounded as spawning forever directly.
+func spin() {
+	forever()
+}
+
+func spawnTransitive() {
+	go spin() // want `goroutine spin runs forever`
+}

@@ -1,0 +1,212 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order. The interprocedural summary tier (internal/lint/
+// summary) contributes one edge A→B whenever code acquires lock B while
+// holding lock A — directly, or by calling a function that (transitively)
+// acquires B. Locks are identified at package level ("pkg.Type.field",
+// "pkg.Type" for an embedded mutex, "pkg.var" for a package-level one):
+// two goroutines taking the same pair of lock *classes* in opposite
+// orders can deadlock no matter which instances they hold, so class
+// granularity is the sound one for a global order.
+//
+// A cycle in the resulting graph is the finding. Two shapes exist:
+//
+//   - A→B→…→A across distinct locks: the classic ABBA deadlock. Every
+//     package owning one of the cycle's edges reports it at that edge's
+//     acquisition (or call) site, so a cross-package cycle surfaces in
+//     each place that must change — or carry the reasoned allow.
+//   - A→A: reacquiring a lock class already held. Go's sync mutexes are
+//     not reentrant, so this is either a self-deadlock or two instances
+//     of one class taken with no instance-order discipline; both deserve
+//     a look, and the latter earns the //lint:allow that documents the
+//     discipline.
+//
+// The admission package's clock-before-lock idiom — reading the
+// caller-supplied clock callback before taking the bucket mutex — is
+// naturally honored: a callback invoked before Lock contributes no edge,
+// and locksafe separately guarantees no callback runs under the lock.
+package lockorder
+
+import (
+	"sort"
+	"strings"
+
+	"sqpeer/internal/lint/analysis"
+)
+
+// Analyzer reports lock-order cycles; see the package comment.
+var Analyzer = &analysis.Analyzer{
+	Name:           "lockorder",
+	Doc:            "flag cycles in the global mutex acquisition-order graph (potential deadlock)",
+	NeedsSummaries: true,
+	Run:            run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Summaries == nil {
+		return nil, nil
+	}
+	edges := pass.Summaries.AllLockEdges()
+
+	// Strongly connected components over the lock graph: two locks are
+	// mutually reachable exactly when they sit on a common cycle.
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if e.From == e.To {
+			continue // reentrant edges are reported directly below
+		}
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+	}
+	comp := sccOf(adj)
+
+	// Report each offending edge that lives in this pass's package:
+	// positions elsewhere belong to other packages' passes.
+	local := map[string]bool{}
+	for _, f := range pass.Files {
+		local[pass.Fset.Position(f.Pos()).Filename] = true
+	}
+	seen := map[string]bool{}
+	for _, e := range edges {
+		if !local[e.Site.File] {
+			continue
+		}
+		dedup := e.From + "→" + e.To + "@" + e.Site.File + ":" + itoa(e.Site.Offset)
+		if seen[dedup] {
+			continue
+		}
+		pos := e.Site.Pos(pass.Fset)
+		if !pos.IsValid() {
+			continue
+		}
+		switch {
+		case e.From == e.To:
+			seen[dedup] = true
+			pass.Reportf(pos, "lock %s acquired while already held%s; sync mutexes are not reentrant — release first or document the instance order",
+				short(e.From), via(e.Via))
+		case comp[e.From] != "" && comp[e.From] == comp[e.To]:
+			seen[dedup] = true
+			pass.Reportf(pos, "lock-order cycle %s: %s acquired while holding %s%s; acquire in one global order to avoid deadlock",
+				cycleName(comp, e.From), short(e.To), short(e.From), via(e.Via))
+		}
+	}
+	return nil, nil
+}
+
+// sccOf maps each node to a canonical component name (the sorted, joined
+// member list) for components of size ≥ 2; acyclic nodes map to "".
+func sccOf(adj map[string]map[string]bool) map[string]string {
+	// Tarjan's algorithm, iterated over sorted roots for determinism.
+	nodes := map[string]bool{}
+	for from, tos := range adj {
+		nodes[from] = true
+		for to := range tos {
+			nodes[to] = true
+		}
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	members := map[string][]string{} // node → its component's members
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(adj[v]))
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) >= 2 {
+				sort.Strings(comp)
+				for _, m := range comp {
+					members[m] = comp
+				}
+			}
+		}
+	}
+	for _, n := range order {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+
+	out := map[string]string{}
+	for n, comp := range members {
+		shorts := make([]string, len(comp))
+		for i, m := range comp {
+			shorts[i] = short(m)
+		}
+		out[n] = strings.Join(shorts, " ↔ ")
+	}
+	return out
+}
+
+// cycleName renders the component containing n.
+func cycleName(comp map[string]string, n string) string { return comp[n] }
+
+// short drops the import-path prefix of a lock ID for readable
+// diagnostics: "sqpeer/internal/exec.Engine.mu" → "exec.Engine.mu".
+func short(id string) string {
+	slash := strings.LastIndexByte(id, '/')
+	if slash < 0 {
+		return id
+	}
+	return id[slash+1:]
+}
+
+// via renders the call-edge annotation.
+func via(callee string) string {
+	if callee == "" {
+		return ""
+	}
+	return " (via " + short(callee) + ")"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

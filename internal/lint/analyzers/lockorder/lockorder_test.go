@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"sqpeer/internal/lint/analysistest"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a", "b")
+}

@@ -1,0 +1,66 @@
+// Fixture: lock-order cycles, direct and through helpers.
+package a
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+type T struct{ mu sync.Mutex }
+
+// ab and ba take the two locks in opposite orders: the classic ABBA
+// deadlock. Both acquisition sites sit on the cycle and are reported.
+func ab(s *S, t *T) {
+	s.mu.Lock()
+	t.mu.Lock() // want `lock-order cycle a\.S\.mu ↔ a\.T\.mu: a\.T\.mu acquired while holding a\.S\.mu`
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func ba(s *S, t *T) {
+	t.mu.Lock()
+	s.mu.Lock() // want `lock-order cycle a\.S\.mu ↔ a\.T\.mu: a\.S\.mu acquired while holding a\.T\.mu`
+	s.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// lockT acquires T behind a call, so abIndirect's edge is discovered
+// interprocedurally and reported at the call site with the via chain.
+func lockT(t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func abIndirect(s *S, t *T) {
+	s.mu.Lock()
+	lockT(t) // want `lock-order cycle a\.S\.mu ↔ a\.T\.mu: .*via a\.lockT`
+	s.mu.Unlock()
+}
+
+// Reacquisition of a held lock class: sync mutexes are not reentrant.
+func lockS(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func reentrant(s *S) {
+	s.mu.Lock()
+	lockS(s) // want `lock a\.S\.mu acquired while already held \(via a\.lockS\); sync mutexes are not reentrant`
+	s.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisitions contribute no edges: nothing is
+// held when the second lock is taken.
+func sequential(s *S, t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// An early unlock closes the region: no edge from s to t here.
+func handoff(s *S, t *T) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,36 @@
+// Fixture: consistent global order — nested acquisition is fine as long
+// as every path agrees on the order, so this package is clean.
+package b
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+type T struct{ mu sync.Mutex }
+
+func ab(s *S, t *T) {
+	s.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockT(t *T) {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func abViaHelper(s *S, t *T) {
+	s.mu.Lock()
+	lockT(t)
+	s.mu.Unlock()
+}
+
+// deferUnlock keeps s held to function end; the t acquisition still
+// follows the same s-before-t order.
+func deferUnlock(s *S, t *T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"sqpeer/internal/lint/load"
+)
+
+// checkSrc type-checks one in-memory package, resolving imports against
+// previously checked packages.
+func checkSrc(t *testing.T, fset *token.FileSet, path, src string, deps map[string]*types.Package) *SourcePkg {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: mapImporter(deps)}
+	tpkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SourcePkg{Path: path, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	return m[path], nil
+}
+
+func TestBuildRecordsStaticCalls(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := checkSrc(t, fset, "p", `package p
+
+func a() { b(); c() }
+
+func b() { c() }
+
+func c() {}
+`, nil)
+	g := Build(pkg)
+	want := []string{"p.a", "p.b", "p.c"}
+	if len(g.Keys) != len(want) {
+		t.Fatalf("keys = %v, want %v", g.Keys, want)
+	}
+	for i, k := range want {
+		if g.Keys[i] != k {
+			t.Fatalf("keys = %v, want %v", g.Keys, want)
+		}
+	}
+	callees := func(key string) []string {
+		var out []string
+		for _, c := range g.Funcs[key].Calls {
+			out = append(out, FuncKey(c.Callee))
+		}
+		return out
+	}
+	if got := callees("p.a"); len(got) != 2 || got[0] != "p.b" || got[1] != "p.c" {
+		t.Errorf("p.a calls %v, want [p.b p.c]", got)
+	}
+	if got := callees("p.b"); len(got) != 1 || got[0] != "p.c" {
+		t.Errorf("p.b calls %v, want [p.c]", got)
+	}
+	if got := callees("p.c"); len(got) != 0 {
+		t.Errorf("p.c calls %v, want none", got)
+	}
+}
+
+func TestTopoSortDependenciesFirst(t *testing.T) {
+	fset := token.NewFileSet()
+	x := checkSrc(t, fset, "x", `package x
+
+func F() {}
+`, nil)
+	y := checkSrc(t, fset, "y", `package y
+
+import "x"
+
+func G() { x.F() }
+`, map[string]*types.Package{"x": x.Types})
+	z := checkSrc(t, fset, "z", `package z
+
+import "y"
+
+func H() { y.G() }
+`, map[string]*types.Package{"y": y.Types})
+
+	// Reverse input order: the sort must still put dependencies first.
+	got := TopoSort([]*SourcePkg{z, y, x})
+	order := map[string]int{}
+	for i, p := range got {
+		order[p.Path] = i
+	}
+	if len(got) != 3 {
+		t.Fatalf("TopoSort returned %d packages, want 3", len(got))
+	}
+	if !(order["x"] < order["y"] && order["y"] < order["z"]) {
+		var paths []string
+		for _, p := range got {
+			paths = append(paths, p.Path)
+		}
+		t.Fatalf("order %v does not put dependencies first", paths)
+	}
+}
+
+func TestPathTail(t *testing.T) {
+	cases := []struct {
+		path, tail string
+		want       bool
+	}{
+		{"sqpeer/internal/rql", "rql", true},
+		{"rql", "rql", true},
+		{"sqpeer/internal/rqlx", "rql", false},
+		{"sqpeer/internal/network", "rql", false},
+	}
+	for _, c := range cases {
+		if got := PathTail(c.path, c.tail); got != c.want {
+			t.Errorf("PathTail(%q, %q) = %v, want %v", c.path, c.tail, got, c.want)
+		}
+	}
+}

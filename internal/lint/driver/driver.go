@@ -15,9 +15,12 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 
 	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/callgraph"
 	"sqpeer/internal/lint/load"
+	"sqpeer/internal/lint/summary"
 )
 
 // Finding is one driver-level result: an analyzer diagnostic (possibly
@@ -46,10 +49,92 @@ type directive struct {
 	bad      bool // malformed: missing analyzer or reason
 }
 
+// Options configures a driver run.
+type Options struct {
+	// SummaryCacheDir, when non-empty, persists per-package summaries of
+	// the interprocedural tier there (see internal/lint/summary). The
+	// directory is created if missing.
+	SummaryCacheDir string
+}
+
+// Stat is one analyzer's cost/yield line for the end-of-run report:
+// how long its passes took across all packages and how many findings it
+// produced (suppressed ones included, so directive changes don't hide
+// cost shifts).
+type Stat struct {
+	Analyzer   string
+	Findings   int
+	Suppressed int
+	Wall       time.Duration
+	// Note replaces the finding columns for pseudo-rows (the shared
+	// summary-index build reports its cache hit/miss split here).
+	Note string
+}
+
+// Stats renders per-analyzer lines sorted by name, so the report is
+// deterministic up to the measured durations.
+func Stats(stats []Stat) []string {
+	sorted := append([]Stat(nil), stats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Analyzer < sorted[j].Analyzer })
+	out := make([]string, 0, len(sorted))
+	for _, s := range sorted {
+		if s.Note != "" {
+			out = append(out, fmt.Sprintf("%-14s %-29s %8.1fms",
+				s.Analyzer, s.Note, float64(s.Wall.Microseconds())/1000))
+			continue
+		}
+		out = append(out, fmt.Sprintf("%-14s %4d finding(s) %4d suppressed %8.1fms",
+			s.Analyzer, s.Findings, s.Suppressed, float64(s.Wall.Microseconds())/1000))
+	}
+	return out
+}
+
 // Run applies every analyzer to every package. scope optionally limits
 // an analyzer (by name) to packages whose import path it accepts; absent
 // entries run everywhere. Findings come back sorted by position.
 func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]func(pkgPath string) bool) ([]Finding, error) {
+	findings, _, err := RunWith(analyzers, pkgs, scope, Options{})
+	return findings, err
+}
+
+// RunWith is Run plus per-analyzer stats and driver options. When any
+// analyzer needs summaries, the interprocedural index is built once over
+// every loaded package (cached per Options.SummaryCacheDir) and shared
+// by all passes; its build time is reported under the pseudo-analyzer
+// name "summaries".
+func RunWith(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]func(pkgPath string) bool, opts Options) ([]Finding, []Stat, error) {
+	var index *summary.Index
+	statByName := map[string]*Stat{}
+	statOf := func(name string) *Stat {
+		s, ok := statByName[name]
+		if !ok {
+			s = &Stat{Analyzer: name}
+			statByName[name] = s
+		}
+		return s
+	}
+	for _, a := range analyzers {
+		statOf(a.Name)
+		if a.NeedsSummaries && index == nil {
+			cache, err := summary.NewCache(opts.SummaryCacheDir)
+			if err != nil {
+				return nil, nil, err
+			}
+			src := make([]*callgraph.SourcePkg, 0, len(pkgs))
+			for _, pkg := range pkgs {
+				src = append(src, &callgraph.SourcePkg{
+					Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files,
+					Types: pkg.Types, Info: pkg.Info,
+				})
+			}
+			start := time.Now()
+			index = summary.BuildIndex(src, cache)
+			s := statOf("summaries")
+			s.Wall = time.Since(start)
+			s.Note = fmt.Sprintf("%d pkg(s) computed, %d cached", index.CacheMisses, index.CacheHits)
+		}
+	}
+
 	var findings []Finding
 	for _, pkg := range pkgs {
 		dirs := collectDirectives(pkg)
@@ -66,6 +151,10 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 			}
+			if a.NeedsSummaries {
+				pass.Summaries = index
+			}
+			stat := statOf(a.Name)
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
 				f := Finding{Analyzer: a.Name, Position: pos, Message: d.Message}
@@ -73,12 +162,16 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]
 					dir.used = true
 					f.Suppressed = true
 					f.Reason = dir.reason
+					stat.Suppressed++
 				}
+				stat.Findings++
 				findings = append(findings, f)
 			}
+			start := time.Now()
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
+			stat.Wall += time.Since(start)
 		}
 		// Directive hygiene: malformed allows always fail; well-formed
 		// allows must have suppressed something (stale-allow check),
@@ -108,7 +201,12 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package, scope map[string]
 		}
 		return findings[i].Analyzer < findings[j].Analyzer
 	})
-	return findings, nil
+	stats := make([]Stat, 0, len(statByName))
+	for _, s := range statByName {
+		stats = append(stats, *s)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Analyzer < stats[j].Analyzer })
+	return findings, stats, nil
 }
 
 // collectDirectives parses every //lint:allow comment in the package.

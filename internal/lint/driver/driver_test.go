@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sqpeer/internal/lint/analysis"
+	"sqpeer/internal/lint/analyzers/seededrand"
 	"sqpeer/internal/lint/analyzers/walltime"
 	"sqpeer/internal/lint/load"
 )
@@ -140,6 +141,48 @@ var x = 1
 	failing := Failing(findings)
 	if len(failing) != 1 || failing[0].Analyzer != "driver" || !strings.Contains(failing[0].Message, "stale") {
 		t.Fatalf("want exactly one stale-directive finding, got: %+v", failing)
+	}
+}
+
+// TestTwoAnalyzersOneLine: one line violating two analyzers needs two
+// directives — one above, one trailing both work — and each suppression
+// keeps its own analyzer's reason. A directive for one analyzer must
+// never soak up the other's diagnostic.
+func TestTwoAnalyzersOneLine(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() int {
+	//lint:allow walltime clock feeds a test-only seed
+	return rand.Intn(int(time.Now().Unix())) //lint:allow seededrand global source is fine here
+}
+`)
+	findings, err := Run([]*analysis.Analyzer{walltime.Analyzer, seededrand.Analyzer}, []*load.Package{pkg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing := Failing(findings); len(failing) != 0 {
+		t.Fatalf("both violations should be suppressed, got failing: %+v", failing)
+	}
+	reasons := map[string]string{}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Fatalf("unsuppressed finding slipped through Failing: %+v", f)
+		}
+		reasons[f.Analyzer] = f.Reason
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want one per analyzer: %+v", len(findings), findings)
+	}
+	if reasons["walltime"] != "clock feeds a test-only seed" {
+		t.Errorf("walltime suppressed by the wrong directive: %q", reasons["walltime"])
+	}
+	if reasons["seededrand"] != "global source is fine here" {
+		t.Errorf("seededrand suppressed by the wrong directive: %q", reasons["seededrand"])
 	}
 }
 

@@ -1,0 +1,149 @@
+// The summary cache: one JSON file per package under a cache directory,
+// keyed so a package is recomputed exactly when its own sources change
+// or when the summaries of something it (transitively) calls change.
+//
+// The key covers (a) a format version, (b) the package's import path,
+// (c) the bytes of every source file, and (d) for each import that is
+// part of the analyzed set, the hash of that dependency's *computed
+// summaries* — not its sources. Keying on dependency results rather
+// than dependency sources gives precise transitive invalidation: if B
+// changes in a way that leaves B's summaries identical, A's key is
+// unchanged and A stays cached; if B's summaries change, A's key
+// changes, and so do the keys of everything above A.
+//
+// Packages whose sources cannot be re-read (in-memory test sources) are
+// simply uncacheable: their key is empty and every lookup misses.
+package summary
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sqpeer/internal/lint/callgraph"
+)
+
+// formatVersion invalidates every cache entry when the summary format
+// or extraction rules change.
+const formatVersion = "sqpeer-lint-summary-v1"
+
+// Cache is an on-disk summary store. A nil *Cache is valid and caches
+// nothing, so callers thread it unconditionally.
+type Cache struct {
+	dir string
+	// resultHash maps processed package paths to the hash of their
+	// computed summaries, feeding dependents' keys.
+	resultHash map[string]string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir. An empty
+// dir disables caching.
+func NewCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("summary cache: %w", err)
+	}
+	return &Cache{dir: dir, resultHash: map[string]string{}}, nil
+}
+
+// entry is the on-disk shape of one package's cached summaries.
+type entry struct {
+	Key   string                  `json:"key"`
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+// packageKey computes the cache key for pkg given the dependency
+// results already recorded, or "" when the package is uncacheable.
+func (c *Cache) packageKey(pkg *callgraph.SourcePkg) string {
+	if c == nil {
+		return ""
+	}
+	h := sha256.New()
+	io.WriteString(h, formatVersion+"\n"+pkg.Path+"\n")
+
+	names := make([]string, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		names = append(names, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "" // in-memory or vanished source: uncacheable
+		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(data))
+		h.Write(data)
+	}
+
+	deps := make([]string, 0, len(pkg.Types.Imports()))
+	for _, imp := range pkg.Types.Imports() {
+		if rh, ok := c.resultHash[imp.Path()]; ok {
+			deps = append(deps, imp.Path()+" "+rh)
+		}
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		io.WriteString(h, "dep "+d+"\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// load returns the cached summaries for (path, key), recording the
+// package's result hash on a hit.
+func (c *Cache) load(path, key string) (map[string]*FuncSummary, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.file(path))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.Funcs == nil {
+		return nil, false
+	}
+	c.record(path, e.Funcs)
+	return e.Funcs, true
+}
+
+// store writes one package's summaries and records its result hash.
+func (c *Cache) store(path, key string, sums map[string]*FuncSummary) {
+	if c == nil {
+		return
+	}
+	c.record(path, sums)
+	if key == "" {
+		return
+	}
+	data, err := json.Marshal(entry{Key: key, Funcs: sums})
+	if err != nil {
+		return
+	}
+	// Cache writes are best-effort: a failed write only costs speed.
+	_ = os.WriteFile(c.file(path), data, 0o644)
+}
+
+// record hashes a package's summaries for its dependents' keys.
+// encoding/json emits map keys sorted and every slice in a FuncSummary
+// is deterministically ordered, so the hash is stable.
+func (c *Cache) record(path string, sums map[string]*FuncSummary) {
+	data, err := json.Marshal(sums)
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(data)
+	c.resultHash[path] = hex.EncodeToString(sum[:])
+}
+
+// file maps a package path to its cache file.
+func (c *Cache) file(path string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(path, "/", "__")+".json")
+}

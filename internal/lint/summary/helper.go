@@ -1,0 +1,35 @@
+package summary
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sqpeer/internal/lint/callgraph"
+)
+
+// BodyRunsForever reports whether a function-literal body spawned as a
+// goroutine can run forever: it contains an inescapable infinite loop
+// directly, or synchronously calls a function whose summary marks it
+// RunsForever. goroleak uses this to analyze `go func(){...}` bodies
+// inline — literals have no key in the index, their exit condition
+// belongs to the spawn site.
+func BodyRunsForever(pkg *callgraph.SourcePkg, ix *Index, body *ast.BlockStmt) bool {
+	lf := &localFacts{}
+	w := &walker{pkg: pkg, lf: lf, params: map[types.Object]int{}}
+	w.scanStmts(body.List, map[string]bool{})
+	if lf.runsForever {
+		return true
+	}
+	if ix == nil {
+		return false
+	}
+	for _, c := range lf.calls {
+		if c.inLit {
+			continue
+		}
+		if s := ix.Func(c.callee); s != nil && s.RunsForever {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,334 @@
+package summary_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sqpeer/internal/lint/callgraph"
+	"sqpeer/internal/lint/load"
+	"sqpeer/internal/lint/summary"
+)
+
+// treeLoader loads packages from an on-disk tree (root/<path>/*.go),
+// resolving std imports through the source importer — the same shape the
+// driver and analysistest feed BuildIndex.
+type treeLoader struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	done map[string]*callgraph.SourcePkg
+}
+
+func newTreeLoader(root string) *treeLoader {
+	fset := token.NewFileSet()
+	return &treeLoader{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		done: map[string]*callgraph.SourcePkg{},
+	}
+}
+
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, path)); err != nil {
+		return l.std.Import(path)
+	}
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *treeLoader) load(path string) (*callgraph.SourcePkg, error) {
+	if pkg, ok := l.done[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &callgraph.SourcePkg{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.done[path] = pkg
+	return pkg, nil
+}
+
+// loadTree loads the given package paths (plus anything they import from
+// the tree) and returns every loaded package.
+func loadTree(t *testing.T, root string, paths ...string) []*callgraph.SourcePkg {
+	t.Helper()
+	l := newTreeLoader(root)
+	for _, p := range paths {
+		if _, err := l.load(p); err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+	}
+	keys := make([]string, 0, len(l.done))
+	for k := range l.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*callgraph.SourcePkg, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, l.done[k])
+	}
+	return out
+}
+
+// writeTree materializes path→source pairs under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		full := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Mutual recursion: b acquires the lock, a reaches it only through the
+// a→b→a cycle. The in-package fixed point must converge with both
+// functions reporting the acquisition.
+func TestFixedPointRecursion(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"p/p.go": `package p
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func a(s *S, n int) {
+	if n > 0 {
+		b(s, n-1)
+	}
+}
+
+func b(s *S, n int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	a(s, n)
+}
+`,
+	})
+	ix := summary.BuildIndex(loadTree(t, root, "p"), nil)
+	for _, fn := range []string{"p.a", "p.b"} {
+		sum := ix.Func(fn)
+		if sum == nil {
+			t.Fatalf("no summary for %s", fn)
+		}
+		if !reflect.DeepEqual(sum.Acquires, []string{"p.S.mu"}) {
+			t.Errorf("%s.Acquires = %v, want [p.S.mu]", fn, sum.Acquires)
+		}
+	}
+}
+
+// Lock identities come in three shapes: struct field, package-level
+// variable, and embedded mutex (identified by the embedding type).
+func TestLockIDShapes(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"q/q.go": `package q
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+var gmu sync.Mutex
+
+type E struct{ sync.Mutex }
+
+func f(s *S) { s.mu.Lock(); s.mu.Unlock() }
+
+func g() { gmu.Lock(); gmu.Unlock() }
+
+func (e *E) h() { e.Lock(); e.Unlock() }
+`,
+	})
+	ix := summary.BuildIndex(loadTree(t, root, "q"), nil)
+	for fn, want := range map[string]string{
+		"q.f":      "q.S.mu",
+		"q.g":      "q.gmu",
+		"(*q.E).h": "q.E",
+	} {
+		sum := ix.Func(fn)
+		if sum == nil {
+			t.Fatalf("no summary for %s", fn)
+		}
+		if !reflect.DeepEqual(sum.Acquires, []string{want}) {
+			t.Errorf("%s.Acquires = %v, want [%s]", fn, sum.Acquires, want)
+		}
+	}
+}
+
+const cacheBaseV1 = `package base
+
+import "sync"
+
+var Mu sync.Mutex
+
+func Hold() {
+	Mu.Lock()
+	Mu.Unlock()
+}
+`
+
+const cacheTop = `package top
+
+import "base"
+
+func Use() {
+	base.Hold()
+}
+`
+
+// build reloads the tree from disk with a fresh cache handle, the way a
+// new lint process would.
+func buildCached(t *testing.T, root, cacheDir string, paths ...string) *summary.Index {
+	t.Helper()
+	cache, err := summary.NewCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return summary.BuildIndex(loadTree(t, root, paths...), cache)
+}
+
+func TestCacheHitMissAndTransitiveInvalidation(t *testing.T) {
+	root := t.TempDir()
+	cacheDir := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"base/base.go": cacheBaseV1,
+		"top/top.go":   cacheTop,
+	})
+
+	// Cold: both packages computed.
+	ix := buildCached(t, root, cacheDir, "top")
+	if ix.CacheMisses != 2 || ix.CacheHits != 0 {
+		t.Fatalf("cold build: misses=%d hits=%d, want 2/0", ix.CacheMisses, ix.CacheHits)
+	}
+	if got := ix.Func("top.Use").Acquires; !reflect.DeepEqual(got, []string{"base.Mu"}) {
+		t.Fatalf("top.Use.Acquires = %v, want [base.Mu]", got)
+	}
+
+	// Warm: both served from cache.
+	ix = buildCached(t, root, cacheDir, "top")
+	if ix.CacheMisses != 0 || ix.CacheHits != 2 {
+		t.Fatalf("warm build: misses=%d hits=%d, want 0/2", ix.CacheMisses, ix.CacheHits)
+	}
+
+	// A comment-only change to base recomputes base but leaves its
+	// summaries identical, so top — keyed on base's *results* — stays
+	// cached.
+	writeTree(t, root, map[string]string{"base/base.go": cacheBaseV1 + "\n// tweak\n"})
+	ix = buildCached(t, root, cacheDir, "top")
+	if ix.CacheMisses != 1 || ix.CacheHits != 1 {
+		t.Fatalf("comment tweak: misses=%d hits=%d, want 1/1", ix.CacheMisses, ix.CacheHits)
+	}
+
+	// A behavior change in base alters its summaries; top's key changes
+	// with the dependency result hash, so the stale top entry is not
+	// used and the new fact propagates.
+	writeTree(t, root, map[string]string{"base/base.go": `package base
+
+import "sync"
+
+var Mu sync.Mutex
+
+var Mu2 sync.Mutex
+
+func Hold() {
+	Mu.Lock()
+	Mu2.Lock()
+	Mu2.Unlock()
+	Mu.Unlock()
+}
+`})
+	ix = buildCached(t, root, cacheDir, "top")
+	if ix.CacheMisses != 2 || ix.CacheHits != 0 {
+		t.Fatalf("behavior change: misses=%d hits=%d, want 2/0", ix.CacheMisses, ix.CacheHits)
+	}
+	if got := ix.Func("top.Use").Acquires; !reflect.DeepEqual(got, []string{"base.Mu", "base.Mu2"}) {
+		t.Fatalf("top.Use.Acquires after change = %v, want [base.Mu base.Mu2]", got)
+	}
+}
+
+// Cache-loaded sites must resolve to valid positions in the new
+// process's FileSet (offset-based resolution against identical bytes).
+func TestCachedSitesResolve(t *testing.T) {
+	root := t.TempDir()
+	cacheDir := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"r/r.go": `package r
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+type T struct{ mu sync.Mutex }
+
+func ab(s *S, t *T) {
+	s.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+`,
+	})
+	buildCached(t, root, cacheDir, "r")
+
+	loader := newTreeLoader(root)
+	pkg, err := loader.load("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := summary.NewCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := summary.BuildIndex([]*callgraph.SourcePkg{pkg}, cache)
+	if ix.CacheHits != 1 {
+		t.Fatalf("expected cache hit, got misses=%d hits=%d", ix.CacheMisses, ix.CacheHits)
+	}
+	edges := ix.AllLockEdges()
+	if len(edges) != 1 {
+		t.Fatalf("lock edges = %+v, want exactly one", edges)
+	}
+	pos := edges[0].Site.Pos(loader.fset)
+	if !pos.IsValid() {
+		t.Fatal("cached site did not resolve in the new FileSet")
+	}
+	if p := loader.fset.Position(pos); p.Line != edges[0].Site.Line {
+		t.Fatalf("resolved line %d != recorded line %d", p.Line, edges[0].Site.Line)
+	}
+	_ = token.NoPos
+}

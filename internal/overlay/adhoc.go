@@ -29,6 +29,9 @@ type Adhoc struct {
 	Net *network.Network
 	// Schema is the community schema of this SON.
 	Schema *rdf.Schema
+	// DeadlineMS bounds neighbor discovery and plan forwarding on the
+	// simulated clock (0 = none).
+	DeadlineMS float64
 
 	mu    sync.Mutex
 	peers map[pattern.PeerID]*peer.Peer
@@ -144,7 +147,7 @@ func (a *Adhoc) ExpandNeighborhood(id pattern.PeerID, depth int) (int, error) {
 	for d := 1; d < depth; d++ {
 		var next []pattern.PeerID
 		for _, f := range frontier {
-			reply, err := a.Net.Call(id, f, "adv.neighbors", nil)
+			reply, err := a.Net.CallWithin(id, f, "adv.neighbors", nil, a.DeadlineMS)
 			if err != nil {
 				continue
 			}
@@ -331,7 +334,7 @@ func (a *Adhoc) forwardTo(p *peer.Peer, cand pattern.PeerID, filled *plan.Plan, 
 	if err != nil {
 		return nil, err
 	}
-	if err := p.Net.Send(p.ID, cand, "adhoc.plan", body); err != nil {
+	if err := p.Net.SendWithin(p.ID, cand, "adhoc.plan", body, a.DeadlineMS); err != nil {
 		p.Channels.MarkFailed(ch)
 		return nil, fmt.Errorf("overlay: forward to %s failed: %w", cand, err)
 	}

@@ -1,0 +1,94 @@
+package overlay_test
+
+import (
+	"testing"
+
+	"sqpeer/internal/gen"
+	"sqpeer/internal/network"
+	"sqpeer/internal/overlay"
+	"sqpeer/internal/rdf"
+	"sqpeer/internal/stats"
+)
+
+// TestFloodingDeadlineSkipsSlowNeighbor: Flooding.DeadlineMS bounds each
+// flood hop, so a neighbor behind a gray-failed link is skipped like a
+// dead one instead of stalling the whole flood; the zero default keeps
+// the old unbounded reach.
+func TestFloodingDeadlineSkipsSlowNeighbor(t *testing.T) {
+	net := network.New()
+	f := overlay.NewFlooding(net, gen.PaperSchema())
+	if _, err := f.AddPeer("P1", propBase("P1", 2, "prop1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddPeer("P2", propBase("P2", 2, "prop1"), "P1"); err != nil {
+		t.Fatal(err)
+	}
+	net.SetLink("P1", "P2", stats.Link{LatencyMS: 500, BandwidthKBps: 1000})
+
+	f.DeadlineMS = 10
+	res, err := f.Query("P1", gen.PaperRQL, 3)
+	if err != nil {
+		t.Fatalf("bounded flood: %v", err)
+	}
+	if res.PeersReached != 1 {
+		t.Errorf("bounded flood reached %d peers, want only the initiator", res.PeersReached)
+	}
+
+	f.DeadlineMS = 0
+	res, err = f.Query("P1", gen.PaperRQL, 3)
+	if err != nil {
+		t.Fatalf("unbounded flood: %v", err)
+	}
+	if res.PeersReached != 2 {
+		t.Errorf("unbounded flood reached %d peers, want 2", res.PeersReached)
+	}
+}
+
+// TestAdhocDeadlineBoundsPlanForwarding: the partial-plan forward (the
+// interleaved routing/processing hop of Figure 7) honors
+// Adhoc.DeadlineMS. P1 can fill Q1 itself but must forward the Q2 hole;
+// when every forward candidate sits behind a gray-failed link the
+// bounded forward gives up instead of stalling, while the zero default
+// resolves the plan as before.
+func TestAdhocDeadlineBoundsPlanForwarding(t *testing.T) {
+	build := func(t *testing.T) (*network.Network, *overlay.Adhoc) {
+		t.Helper()
+		net := network.New()
+		a := overlay.NewAdhoc(net, gen.PaperSchema())
+		if _, err := a.AddPeer("P1", rdf.NewBase()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AddPeer("P2", propBase("P2", 2, "prop1"), "P1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AddPeer("P3", propBase("P3", 2, "prop1"), "P1"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.AddPeer("P5", propBase("P5", 2, "prop2"), "P2"); err != nil {
+			t.Fatal(err)
+		}
+		// Every peer P1 could forward the partial plan to gray-fails:
+		// reachable, but far beyond any useful deadline.
+		slow := stats.Link{LatencyMS: 5000, BandwidthKBps: 1000}
+		net.SetLink("P1", "P2", slow)
+		net.SetLink("P1", "P3", slow)
+		return net, a
+	}
+
+	_, a := build(t)
+	a.DeadlineMS = 100 // generous for healthy links, hopeless at 5000ms
+	if _, err := a.Query("P1", gen.PaperRQL); err == nil {
+		t.Fatal("bounded forwards over 5000ms links resolved the plan")
+	}
+
+	// The zero default keeps forwards unbounded: the same topology
+	// resolves (latency is simulated-clock accounting, not wall time).
+	_, a = build(t)
+	rows, err := a.Query("P1", gen.PaperRQL)
+	if err != nil {
+		t.Fatalf("unbounded Query: %v", err)
+	}
+	if rows.Len() != 4 {
+		t.Errorf("answer = %d rows, want 4:\n%s", rows.Len(), rows)
+	}
+}

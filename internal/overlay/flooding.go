@@ -25,6 +25,10 @@ type Flooding struct {
 	Net *network.Network
 	// Schema is the community schema used for local evaluation.
 	Schema *rdf.Schema
+	// DeadlineMS bounds each flood hop on the simulated clock (0 =
+	// none); a stalled neighbor fails its hop instead of pinning the
+	// whole flood.
+	DeadlineMS float64
 
 	mu    sync.Mutex
 	peers map[pattern.PeerID]*peer.Peer
@@ -135,7 +139,7 @@ func (f *Flooding) queryHandler(p *peer.Peer) network.Handler {
 				return nil, err
 			}
 			for _, n := range p.Neighbors() {
-				resp, err := f.Net.Call(p.ID, n, "flood.query", body)
+				resp, err := f.Net.CallWithin(p.ID, n, "flood.query", body, f.DeadlineMS)
 				if err != nil {
 					continue // dead neighbor
 				}
@@ -184,7 +188,7 @@ func (f *Flooding) Query(at pattern.PeerID, rqlText string, ttl int) (*FloodResu
 	if err != nil {
 		return nil, err
 	}
-	resp, err := f.Net.Call(p.ID, p.ID, "flood.query", body)
+	resp, err := f.Net.CallWithin(p.ID, p.ID, "flood.query", body, f.DeadlineMS)
 	if err != nil {
 		return nil, err
 	}

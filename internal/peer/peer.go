@@ -164,6 +164,10 @@ type Peer struct {
 	// Super is the super-peer this simple-peer is attached to (hybrid
 	// architecture); empty otherwise.
 	Super pattern.PeerID
+	// DeadlineMS bounds this peer's control-plane RPCs (advertisement
+	// push/pull, departure, routing requests) on the simulated clock,
+	// mirroring Config.DeadlineMS on the data plane. 0 means none.
+	DeadlineMS float64
 	// qos is the default QoS for this peer's own queries (from
 	// Config.Tenant/Priority).
 	qos admission.QoS
@@ -223,6 +227,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	p.Engine.StatsSink = p.Catalog.PutPeer
 	p.Engine.Parallelism = cfg.Parallelism
 	p.Engine.DeadlineMS = cfg.DeadlineMS
+	p.DeadlineMS = cfg.DeadlineMS
 	p.Engine.MaxRetries = cfg.MaxRetries
 	p.Engine.AllowPartial = cfg.AllowPartial
 	p.Engine.MaxMigrations = cfg.MaxMigrations
@@ -390,7 +395,7 @@ func (p *Peer) PushAdvertisement(to pattern.PeerID) error {
 	if err != nil {
 		return fmt.Errorf("peer %s: marshal advertisement: %w", p.ID, err)
 	}
-	if _, err := p.Net.Call(p.ID, to, "adv.push", body); err != nil {
+	if _, err := p.Net.CallWithin(p.ID, to, "adv.push", body, p.DeadlineMS); err != nil {
 		return fmt.Errorf("peer %s: push advertisement to %s: %w", p.ID, to, err)
 	}
 	return nil
@@ -400,7 +405,7 @@ func (p *Peer) PushAdvertisement(to pattern.PeerID) error {
 // (the pull of §3.2: "the peer explicitly requests the active-schemas of
 // its neighbor peers").
 func (p *Peer) PullAdvertisement(from pattern.PeerID) error {
-	reply, err := p.Net.Call(p.ID, from, "adv.pull", nil)
+	reply, err := p.Net.CallWithin(p.ID, from, "adv.pull", nil, p.DeadlineMS)
 	if err != nil {
 		return fmt.Errorf("peer %s: pull advertisement from %s: %w", p.ID, from, err)
 	}
@@ -417,7 +422,7 @@ func (p *Peer) PullAdvertisement(from pattern.PeerID) error {
 // drop it from their routing knowledge. Dead recipients are skipped.
 func (p *Peer) AnnounceDeparture(to ...pattern.PeerID) {
 	for _, id := range to {
-		_ = p.Net.Send(p.ID, id, "adv.leave", []byte(p.ID))
+		_ = p.Net.SendWithin(p.ID, id, "adv.leave", []byte(p.ID), p.DeadlineMS)
 	}
 }
 
@@ -462,7 +467,7 @@ func (p *Peer) RequestRouting(from pattern.PeerID, q *pattern.QueryPattern) (*pa
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: marshal query pattern: %w", p.ID, err)
 	}
-	reply, err := p.Net.Call(p.ID, from, "query.route", body)
+	reply, err := p.Net.CallWithin(p.ID, from, "query.route", body, p.DeadlineMS)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: routing request to %s: %w", p.ID, from, err)
 	}
