@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json batch fault trace overload clean
+.PHONY: build test lint check bench bench-json batch fault trace overload member clean
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,17 @@ fault:
 overload:
 	$(GO) test -race -run TestOverloadSoak ./internal/exec/
 	$(GO) run ./cmd/sqpeer-bench -exp overload
+
+# Membership suite: the decentralized-membership unit tests (SWIM
+# detector + anti-entropy) under the race detector, then the
+# deterministic CLAIM-MEMBER experiment under -race — bounded bootstrap
+# convergence, detection latency under seeded churn + 10% faults,
+# partition degradation to annotated partial answers, post-heal
+# reconvergence to oracle-equal views, byte-identical reruns (rewrites
+# BENCH_PR9.json). See DESIGN.md §14.
+member:
+	$(GO) test -race ./internal/membership/
+	$(GO) run -race ./cmd/sqpeer-bench -exp member
 
 # Observability: the CLAIM-TRACE experiment (rewrites BENCH_PR5.json)
 # plus a captured chrome://tracing file for the paper query — open

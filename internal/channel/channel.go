@@ -112,6 +112,13 @@ type Packet struct {
 	// dispatched it.
 	TraceID string `json:"traceId,omitempty"`
 	SpanID  string `json:"spanId,omitempty"`
+	// Gossip is an opaque membership-gossip blob piggybacked on the
+	// packet (Manager.GossipSource/OnGossip): liveness updates ride the
+	// result traffic that is flowing anyway, so detection spreads at
+	// data-plane rates without extra messages. Dropped with the packet
+	// when the dedupe window rejects a replay — gossip merges are
+	// monotone, so losing a replayed copy is harmless.
+	Gossip []byte `json:"gossip,omitempty"`
 }
 
 // seenWindow bounds the out-of-order acceptance window: packets this far
@@ -229,6 +236,14 @@ type Manager struct {
 	// network.SendWithin).
 	DeadlineMS float64
 
+	// GossipSource, when set, is polled before each upstream packet; a
+	// non-nil blob is piggybacked as Packet.Gossip. OnGossip, when set,
+	// receives the blob (and the sending peer) on the root side of every
+	// accepted packet that carries one. Both must be wired before the
+	// manager carries traffic; they are invoked outside manager locks.
+	GossipSource func() []byte
+	OnGossip     func(from pattern.PeerID, blob []byte)
+
 	mu       sync.Mutex
 	nextID   int
 	channels map[string]*Channel                  // channels rooted here
@@ -266,6 +281,9 @@ type ManagerStats struct {
 	ChannelsOpened   int
 	ChannelsAccepted int
 	ChannelsClosed   int
+	// GossipPiggybacked counts upstream packets that carried a membership
+	// gossip blob.
+	GossipPiggybacked int
 	// TenantAccepts splits dest-side accepts by the open request's
 	// tenant header (untagged opens count under ""), the per-tenant
 	// serving-load view the fairness metrics draw on.
@@ -430,12 +448,21 @@ func (m *Manager) SendToRootEnc(channelID string, typ PacketType, rows int, enc 
 		m.stats.PacketsSent++
 		m.stats.PayloadBytesSent += len(payload)
 	}
+	gossipSrc := m.GossipSource
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("channel: %s: unknown inbound channel %q", m.self, channelID)
 	}
+	var gossip []byte
+	if gossipSrc != nil {
+		if gossip = gossipSrc(); gossip != nil {
+			m.mu.Lock()
+			m.stats.GossipPiggybacked++
+			m.mu.Unlock()
+		}
+	}
 	pkt := Packet{ChannelID: channelID, Type: typ, Seq: seq, Rows: rows, Payload: payload,
-		Enc: enc, TraceID: tb.traceID, SpanID: tb.spanID}
+		Enc: enc, TraceID: tb.traceID, SpanID: tb.spanID, Gossip: gossip}
 	body, err := json.Marshal(pkt)
 	if err != nil {
 		return fmt.Errorf("channel: marshal packet: %w", err)
@@ -501,7 +528,11 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 	m.mu.Lock()
 	m.stats.PacketsAccepted++
 	m.stats.WindowForced += forced
+	onGossip := m.OnGossip
 	m.mu.Unlock()
+	if len(pkt.Gossip) > 0 && onGossip != nil {
+		onGossip(msg.From, pkt.Gossip)
+	}
 	if cb != nil {
 		cb(pkt)
 	}

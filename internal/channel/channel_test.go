@@ -184,3 +184,54 @@ func TestPacketsCountedOnNetwork(t *testing.T) {
 		t.Errorf("Bytes = %d, payload not accounted", c.Bytes)
 	}
 }
+
+// Membership gossip rides upstream packets: the destination's
+// GossipSource blob arrives at the root's OnGossip hook attributed to
+// the sending peer, and packets without a pending blob carry nothing.
+func TestGossipPiggybackOnPackets(t *testing.T) {
+	net := network.New()
+	ms := managers(t, net, "P1", "P2")
+
+	var mu sync.Mutex
+	pending := []byte(`[{"peer":"X","status":2,"incarnation":1}]`)
+	ms["P2"].GossipSource = func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		b := pending
+		pending = nil
+		return b
+	}
+	type gossip struct {
+		from pattern.PeerID
+		blob string
+	}
+	var seen []gossip
+	ms["P1"].OnGossip = func(from pattern.PeerID, blob []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, gossip{from, string(blob)})
+	}
+
+	ch, err := ms["P1"].Open("P2", nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Results, 1, []byte("r")); err != nil {
+		t.Fatalf("send 1: %v", err)
+	}
+	if err := ms["P2"].SendToRoot(ch.ID, channel.Done, 0, nil); err != nil {
+		t.Fatalf("send 2: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 1 {
+		t.Fatalf("OnGossip fired %d times, want 1 (second packet had no blob)", len(seen))
+	}
+	if seen[0].from != "P2" || seen[0].blob != `[{"peer":"X","status":2,"incarnation":1}]` {
+		t.Fatalf("gossip = %+v", seen[0])
+	}
+	if g := ms["P2"].Stats().GossipPiggybacked; g != 1 {
+		t.Fatalf("GossipPiggybacked = %d, want 1", g)
+	}
+}

@@ -19,6 +19,7 @@ func (s ManagerStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
 	g.Count("channel_opens_total", float64(s.ChannelsOpened), labels...)
 	g.Count("channel_accepts_total", float64(s.ChannelsAccepted), labels...)
 	g.Count("channel_closes_total", float64(s.ChannelsClosed), labels...)
+	g.Count("channel_gossip_piggybacked_total", float64(s.GossipPiggybacked), labels...)
 	tenants := make([]string, 0, len(s.TenantAccepts))
 	for t := range s.TenantAccepts {
 		tenants = append(tenants, t)

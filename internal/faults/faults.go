@@ -192,6 +192,13 @@ type ScheduleRates struct {
 	// Flap is the per-node per-round probability that the node's link to
 	// the root is cut for one round (a flapping link).
 	Flap float64
+	// Partition is the per-node per-round probability that the node's
+	// link to the root is cut for PartitionLen rounds before healing — a
+	// held partition (vs Flap's one-round blip), long enough for failure
+	// detection to confirm and for the heal path to be exercised.
+	Partition float64
+	// PartitionLen is how many rounds a held partition lasts (≥1).
+	PartitionLen int
 }
 
 // Event is one scheduled fault transition.
@@ -246,6 +253,9 @@ func NewSchedule(seed int64, root pattern.PeerID, volatile []pattern.PeerID, rou
 	if rates.GrayDelayMS <= 0 {
 		rates.GrayDelayMS = 1000
 	}
+	if rates.PartitionLen < 1 {
+		rates.PartitionLen = 3
+	}
 	rng := rand.New(rand.NewSource(seed))
 	nodes := append([]pattern.PeerID{}, volatile...)
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
@@ -277,6 +287,14 @@ func NewSchedule(seed int64, root pattern.PeerID, volatile []pattern.PeerID, rou
 				add(Event{Round: round, Kind: "cut", Node: node, Peer: root})
 				add(Event{Round: round + 1, Kind: "heal", Node: node, Peer: root})
 				busyUntil[node] = round + 2
+			// The rate guard keeps the RNG stream of schedules that never
+			// enabled partitions byte-identical to before the case existed:
+			// a zero rate must consume no draw.
+			case rates.Partition > 0 && rng.Float64() < rates.Partition:
+				end := round + rates.PartitionLen
+				add(Event{Round: round, Kind: "cut", Node: node, Peer: root})
+				add(Event{Round: end, Kind: "heal", Node: node, Peer: root})
+				busyUntil[node] = end + 1
 			}
 		}
 	}

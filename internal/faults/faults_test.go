@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -201,5 +202,69 @@ func TestScheduleApplyDrivesNetworkAndInjector(t *testing.T) {
 	}
 	if net.IsDown("P2") || inj.Gray("P2") {
 		t.Fatal("round 1 should restore P2")
+	}
+}
+
+// Partition-heal events: a held partition cuts a node from the root for
+// PartitionLen rounds, heals symmetrically, and the healed link delivers
+// again — the schedule-level regression for the membership heal path.
+func TestSchedulePartitionHealEvents(t *testing.T) {
+	vol := []pattern.PeerID{"P2", "P3", "P4"}
+	rates := ScheduleRates{Partition: 0.3, PartitionLen: 4}
+	s1 := NewSchedule(7, "P1", vol, 30, rates)
+	s2 := NewSchedule(7, "P1", vol, 30, rates)
+	if !reflect.DeepEqual(s1.Events, s2.Events) {
+		t.Fatal("same seed produced different partition schedules")
+	}
+	cuts := map[pattern.PeerID][]int{}
+	heals := map[pattern.PeerID][]int{}
+	for _, e := range s1.Events {
+		switch e.Kind {
+		case "cut":
+			cuts[e.Node] = append(cuts[e.Node], e.Round)
+		case "heal":
+			heals[e.Node] = append(heals[e.Node], e.Round)
+		default:
+			t.Fatalf("partition-only rates produced %v", e)
+		}
+		if e.Peer != "P1" {
+			t.Fatalf("partition must be against the root: %v", e)
+		}
+	}
+	if len(cuts) == 0 {
+		t.Fatal("expected partitions at 30% over 30 rounds")
+	}
+	for node, on := range cuts {
+		off := heals[node]
+		if len(on) != len(off) {
+			t.Fatalf("%s: %d cuts but %d heals", node, len(on), len(off))
+		}
+		for i := range on {
+			if off[i]-on[i] != 4 {
+				t.Fatalf("%s: partition %d lasted %d rounds, want 4", node, i, off[i]-on[i])
+			}
+		}
+	}
+
+	// Apply round-trip: the cut blocks delivery with a partition error,
+	// the heal restores it.
+	net := network.New()
+	for _, id := range []pattern.PeerID{"P1", "P2"} {
+		net.AddNode(id)
+	}
+	net.Handle("P2", "echo", func(m network.Message) ([]byte, error) { return m.Payload, nil })
+	one := &Schedule{rates: rates, root: "P1", byTurn: map[int][]Event{
+		0: {{Round: 0, Kind: "cut", Node: "P2", Peer: "P1"}},
+		4: {{Round: 4, Kind: "heal", Node: "P2", Peer: "P1"}},
+	}}
+	one.Apply(0, net, nil)
+	_, err := net.CallWithin("P1", "P2", "echo", []byte("x"), 200)
+	var de *network.DeliveryError
+	if !errors.As(err, &de) || de.Reason != network.ReasonPartition {
+		t.Fatalf("cut link should fail with partition, got %v", err)
+	}
+	one.Apply(4, net, nil)
+	if _, err := net.CallWithin("P1", "P2", "echo", []byte("x"), 200); err != nil {
+		t.Fatalf("healed link should deliver again: %v", err)
 	}
 }

@@ -15,4 +15,7 @@ const (
 	// overloadSeed drives CLAIM-OVERLOAD's Zipfian tenant mix and its
 	// fault injector.
 	overloadSeed = 20260808
+	// memberSeed drives CLAIM-MEMBER: every detector's probe/sync RNG,
+	// the churn schedule and the fault injector.
+	memberSeed = 9090
 )

@@ -1,0 +1,43 @@
+// Gossip-loop fixtures: a background gossip pump must have a bounded
+// exit (stop channel or error return); a pump that loops forever leaks.
+package a
+
+func gossipOnce() error { return nil }
+
+// pumpForever relays gossip with no exit condition: unbounded.
+func pumpForever(updates chan []byte) {
+	for {
+		<-updates
+	}
+}
+
+func spawnGossipBad(updates chan []byte) {
+	go pumpForever(updates) // want `goroutine pumpForever runs forever`
+	go func() {             // want `goroutine runs forever`
+		for {
+			_ = gossipOnce()
+		}
+	}()
+}
+
+func spawnGossipGood(stop chan struct{}, updates chan []byte) {
+	// The bounded-exit gossip pump: every iteration can observe stop.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case u := <-updates:
+				_ = u
+			}
+		}
+	}()
+	// Error-bounded variant: the pump dies with its transport.
+	go func() {
+		for {
+			if gossipOnce() != nil {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,76 @@
+package a
+
+import (
+	"sync"
+
+	"network"
+)
+
+// detector mirrors the membership-detector shape: one mutex guarding the
+// member table, a transport, caller-supplied verdict callbacks, and a
+// logical-clock callback. Probes are round-trips and callbacks may take
+// routing locks, so neither may run under the member mutex — the
+// sanctioned shape reads the clock before locking and defers callback
+// delivery to after the unlock.
+type detector struct {
+	mu      sync.Mutex
+	members map[string]int
+	net     *network.Network
+	clock   func() int
+	OnDead  func(string)
+}
+
+func (d *detector) badProbeUnderMemberMutex(target string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, _ = d.net.CallWithin("self", target, "member.ping", nil, 200) // want `network round-trip CallWithin while holding d\.mu`
+}
+
+func (d *detector) badClockUnderMemberMutex() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.members["t"] = d.clock() // want `callback field d\.clock invoked while holding d\.mu`
+}
+
+func (d *detector) badVerdictUnderMemberMutex(peer string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.members[peer] > 2 {
+		d.OnDead(peer) // want `callback field d\.OnDead invoked while holding d\.mu`
+	}
+}
+
+func (d *detector) cleanClockReadBeforeLock() {
+	// The gossip-tick idiom: read the logical clock first, then take the
+	// member mutex — a clock that consults the detector cannot deadlock.
+	now := d.clock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.members["t"] = now
+}
+
+func (d *detector) cleanDeferredVerdicts(peers []string) {
+	// Accumulate transitions under the lock, fire callbacks after — the
+	// deferred-event discipline every detector callback follows.
+	var dead []string
+	d.mu.Lock()
+	for _, p := range peers {
+		if d.members[p] > 2 {
+			dead = append(dead, p)
+		}
+	}
+	cb := d.OnDead
+	d.mu.Unlock()
+	if cb != nil {
+		for _, p := range dead {
+			cb(p)
+		}
+	}
+}
+
+func (d *detector) cleanProbeOutsideLock(target string) {
+	d.mu.Lock()
+	n := d.net
+	d.mu.Unlock()
+	_, _ = n.CallWithin("self", target, "member.ping", nil, 200)
+}

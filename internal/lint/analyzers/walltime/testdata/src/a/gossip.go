@@ -1,0 +1,41 @@
+// Gossip-cadence fixtures: a gossip/probe loop must be driven by the
+// harness's logical clock (an injected tick counter), never by wall
+// time — wall-paced gossip makes detect-and-converge bounds and reruns
+// nondeterministic.
+package a
+
+import "time"
+
+func probeTarget() {}
+
+// badTickerGossip paces gossip rounds off the wall clock.
+func badTickerGossip(stop chan struct{}) {
+	t := time.NewTicker(time.Second) // want `wall-clock time\.NewTicker is forbidden`
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			probeTarget()
+		}
+	}
+}
+
+// badSleepGossip throttles probes with a wall-clock sleep.
+func badSleepGossip(rounds int) {
+	for i := 0; i < rounds; i++ {
+		probeTarget()
+		time.Sleep(100 * time.Millisecond) // want `wall-clock time\.Sleep is forbidden`
+	}
+}
+
+// cleanLogicalGossip advances on an injected logical tick: one probe per
+// Tick call, no timers anywhere.
+type gossiper struct {
+	tick int
+}
+
+func (g *gossiper) Tick() {
+	g.tick++
+	probeTarget()
+}

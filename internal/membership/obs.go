@@ -1,0 +1,27 @@
+package membership
+
+import "sqpeer/internal/obs"
+
+// CollectObs publishes the detector's counters into an obs gather under
+// the unified naming scheme — suspicion and convergence traffic become
+// first-class metrics next to routing and channel accounting.
+func (s Stats) CollectObs(g *obs.Gather, labels ...obs.Label) {
+	g.Count("member_ticks_total", float64(s.Ticks), labels...)
+	g.Count("member_pings_total", float64(s.Pings), labels...)
+	g.Count("member_ping_acks_total", float64(s.PingAcks), labels...)
+	g.Count("member_ping_fails_total", float64(s.PingFails), labels...)
+	g.Count("member_indirect_reqs_total", float64(s.IndirectReqs), labels...)
+	g.Count("member_indirect_acks_total", float64(s.IndirectAcks), labels...)
+	g.Count("member_suspects_total", float64(s.Suspects), labels...)
+	g.Count("member_refutations_total", float64(s.Refutations), labels...)
+	g.Count("member_confirmed_dead_total", float64(s.ConfirmedDead), labels...)
+	g.Count("member_rejoins_total", float64(s.Rejoins), labels...)
+	g.Count("member_self_rejoins_total", float64(s.SelfRejoins), labels...)
+	g.Count("member_dead_retries_total", float64(s.DeadRetries), labels...)
+	g.Count("member_sync_calls_total", float64(s.SyncCalls), labels...)
+	g.Count("member_sync_served_total", float64(s.SyncServed), labels...)
+	g.Count("member_sync_pushes_total", float64(s.SyncPushes), labels...)
+	g.Count("member_entries_applied_total", float64(s.EntriesApplied), labels...)
+	g.Count("member_adv_applied_total", float64(s.AdvApplied), labels...)
+	g.Count("member_gossip_sent_total", float64(s.GossipSent), labels...)
+}

@@ -14,6 +14,7 @@ import (
 	"sqpeer/internal/admission"
 	"sqpeer/internal/channel"
 	"sqpeer/internal/exec"
+	"sqpeer/internal/membership"
 	"sqpeer/internal/network"
 	"sqpeer/internal/obs"
 	"sqpeer/internal/optimizer"
@@ -114,6 +115,17 @@ type Config struct {
 	// the engine admits arriving subplans and sheds past-watermark work.
 	// Its counters fold into the Obs collector alongside the engine's.
 	Admission *admission.Controller
+	// Membership, when set, runs a failure detector + anti-entropy
+	// endpoint at this peer: the routing registry becomes per-peer state
+	// fed by membership events — advertisements adopted via anti-entropy
+	// are Learned, a confirm-dead verdict condemns the peer (Health
+	// breaker pinned open when Quarantine is on, plain registry
+	// quarantine otherwise — either way the epoch bumps so in-flight
+	// queries migrate), and a higher-incarnation rejoin reinstates it.
+	// Gossip updates additionally piggyback on the peer's channel
+	// traffic. The owner drives Peer.Membership.Tick once per protocol
+	// round.
+	Membership *membership.Options
 }
 
 // Advertisement is the wire form of a peer's self-description: its
@@ -161,6 +173,9 @@ type Peer struct {
 	// Admission is the peer's admission controller (nil unless
 	// Config.Admission was set).
 	Admission *admission.Controller
+	// Membership is the peer's failure detector / anti-entropy endpoint
+	// (nil unless Config.Membership was set).
+	Membership *membership.Detector
 	// Super is the super-peer this simple-peer is attached to (hybrid
 	// architecture); empty otherwise.
 	Super pattern.PeerID
@@ -241,6 +256,38 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 	p.Admission = cfg.Admission
 	p.Engine.Admission = cfg.Admission
 	p.qos = admission.QoS{Tenant: cfg.Tenant, Priority: cfg.Priority}
+	if cfg.Membership != nil {
+		p.Membership = membership.New(cfg.ID, net, *cfg.Membership)
+		p.Membership.ApplyAdv = p.applyMemberAdv
+		p.Membership.OnDead = func(id pattern.PeerID) {
+			// Confirm-dead: quarantine the peer out of routing (epoch
+			// bump — in-flight queries migrate off it via plan change).
+			// With the breaker on, the quarantine is pinned: no half-open
+			// probe until the rejoin path revives it.
+			if id == p.ID {
+				return
+			}
+			if p.Health != nil {
+				p.Health.Condemn(id)
+			} else {
+				p.Registry.Quarantine(id)
+			}
+		}
+		p.Membership.OnRejoin = func(id pattern.PeerID) {
+			if id == p.ID {
+				return
+			}
+			if p.Health != nil {
+				p.Health.Revive(id)
+			} else {
+				p.Registry.Reinstate(id)
+			}
+		}
+		// Liveness updates ride the peer's existing channel traffic both
+		// ways (piggybacked gossip), on top of the detector's own probes.
+		p.Channels.GossipSource = p.Membership.Piggyback
+		p.Channels.OnGossip = p.Membership.HandleGossip
+	}
 	if cfg.Obs != nil {
 		p.Obs = cfg.Obs
 		p.Engine.Obs = cfg.Obs
@@ -251,6 +298,9 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 			if p.Health != nil {
 				p.Health.Stats().CollectObs(g, peerL)
 			}
+			if p.Membership != nil {
+				p.Membership.Stats().CollectObs(g, peerL)
+			}
 			p.Admission.CollectObs(g, peerL)
 		})
 	}
@@ -260,6 +310,7 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 		p.Registry.Register(p.ID, p.Active)
 	}
 	p.Catalog.PutPeer(p.selfStats())
+	p.refreshMemberAdv()
 
 	net.Handle(p.ID, "adv.push", p.handleAdvPush)
 	net.Handle(p.ID, "adv.pull", p.handleAdvPull)
@@ -344,6 +395,43 @@ func (p *Peer) RefreshAdvertisement() {
 		p.Registry.Register(p.ID, p.Active)
 	}
 	p.Catalog.PutPeer(p.selfStats())
+	p.refreshMemberAdv()
+}
+
+// refreshMemberAdv installs the current advertisement as the membership
+// layer's local blob, bumping the advertisement epoch so anti-entropy
+// propagates the change. Only sharing peers with a populated
+// active-schema advertise — mirroring the self-registration rule — so
+// client peers never enter remote routing registries through membership.
+func (p *Peer) refreshMemberAdv() {
+	if p.Membership == nil || p.Kind == ClientPeer || p.Active.Size() == 0 {
+		return
+	}
+	blob, err := json.Marshal(p.Advertisement())
+	if err != nil {
+		return
+	}
+	p.Membership.SetLocalAdvertisement(blob)
+}
+
+// applyMemberAdv is the membership ApplyAdv callback: an advertisement
+// blob adopted as fresher by the anti-entropy merge folds into this
+// peer's own routing registry and statistics catalog — the per-peer
+// routing view the detector feeds, replacing the shared oracle.
+func (p *Peer) applyMemberAdv(id pattern.PeerID, blob []byte) {
+	var adv Advertisement
+	if err := json.Unmarshal(blob, &adv); err != nil || adv.Peer != id {
+		return
+	}
+	if adv.ActiveSchema == nil || adv.ActiveSchema.Size() == 0 {
+		// Non-sharing peers carry no routable advertisement; keep any
+		// statistics, skip the registry.
+		if adv.Stats != nil {
+			p.Catalog.PutPeer(adv.Stats)
+		}
+		return
+	}
+	p.Learn(&adv)
 }
 
 // Learn folds a remote advertisement into the peer's routing and

@@ -31,6 +31,11 @@ type peerHealth struct {
 	// cooldown is the length of the peer's next quarantine (doubles on
 	// probation failure, up to MaxCooldownTicks).
 	cooldown int
+	// condemned pins the breaker open past every cool-down: a membership
+	// confirm-dead verdict, not a transient delivery failure. Only Revive
+	// (a rejoin at a higher incarnation) clears it — a condemned peer is
+	// never half-open probed.
+	condemned bool
 }
 
 // HealthStats counts breaker transitions.
@@ -42,6 +47,9 @@ type HealthStats struct {
 	Reinstates int
 	// Recoveries counts probation successes closing the breaker.
 	Recoveries int
+	// Condemnations counts membership confirm-dead pins; Revivals counts
+	// higher-incarnation rejoins lifting them.
+	Condemnations, Revivals int
 }
 
 // Health is the circuit-breaker quarantine tracker feeding a Registry.
@@ -147,18 +155,65 @@ func (h *Health) QuarantineNow(peer pattern.PeerID) {
 	h.quarantineLocked(peer, ph)
 }
 
+// Condemn pins the breaker open for a peer the failure detector has
+// confirmed dead: quarantined immediately (registry epoch bump, so
+// in-flight queries migrate off it) and excluded from the probation
+// cycle — no cool-down expiry will half-open probe it. The pin lifts
+// only via Revive, i.e. a rejoin observed at a higher incarnation.
+func (h *Health) Condemn(peer pattern.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.get(peer)
+	if ph.condemned {
+		return
+	}
+	ph.condemned = true
+	h.stats.Condemnations++
+	if ph.state != quarantined {
+		h.quarantineLocked(peer, ph)
+	}
+}
+
+// Revive lifts a condemnation after the peer rejoined at a higher
+// incarnation: breaker closed, cool-down reset, advertisements
+// reinstated into routing. A no-op for peers that are not condemned
+// (transient quarantines keep their normal probation path).
+func (h *Health) Revive(peer pattern.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph := h.get(peer)
+	if !ph.condemned {
+		return
+	}
+	ph.condemned = false
+	ph.state = healthy
+	ph.consecutive = 0
+	ph.cooldown = h.CooldownTicks
+	h.stats.Revivals++
+	h.Registry.Reinstate(peer)
+}
+
+// Condemned reports whether the breaker is pinned open for the peer.
+func (h *Health) Condemned(peer pattern.PeerID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ph, ok := h.peers[peer]
+	return ok && ph.condemned
+}
+
 // Tick advances logical time one step (one query round). Quarantines
 // whose cool-down has expired lift into probation — the peer becomes
 // routable again, and its next reported outcome decides whether the
-// breaker closes or re-opens for twice as long. Returns the peers
-// reinstated this tick, sorted.
+// breaker closes or re-opens for twice as long. Condemned peers never
+// lift: their quarantine outlives every cool-down until Revive. Returns
+// the peers reinstated this tick, sorted.
 func (h *Health) Tick() []pattern.PeerID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.now++
 	var lifted []pattern.PeerID
 	for peer, ph := range h.peers {
-		if ph.state == quarantined && h.now >= ph.until {
+		if ph.state == quarantined && !ph.condemned && h.now >= ph.until {
 			ph.state = probation
 			h.stats.Reinstates++
 			h.Registry.Reinstate(peer)

@@ -171,3 +171,63 @@ func TestHealthQuarantineNowAndSuccessReset(t *testing.T) {
 		t.Fatal("a success while quarantined must not close the breaker")
 	}
 }
+
+// A membership confirm-dead pins the breaker open: no number of ticks
+// may half-open probe a condemned peer, and only Revive (the rejoin at
+// a higher incarnation, reported by the failure detector) reinstates it.
+func TestHealthCondemnPinsUntilRevive(t *testing.T) {
+	reg := routing.NewRegistry()
+	for peer, as := range gen.PaperActiveSchemas() {
+		reg.Register(peer, as)
+	}
+	h := routing.NewHealth(reg)
+	h.CooldownTicks = 1
+
+	h.Condemn("P2")
+	if !reg.IsQuarantined("P2") || !h.Condemned("P2") {
+		t.Fatal("condemn must quarantine immediately")
+	}
+	// Far past any cool-down (the initial is 1 tick): still pinned, never
+	// lifted into probation.
+	for i := 0; i < 20; i++ {
+		if lifted := h.Tick(); len(lifted) != 0 {
+			t.Fatalf("tick %d half-open probed a condemned peer: %v", i, lifted)
+		}
+	}
+	if !reg.IsQuarantined("P2") {
+		t.Fatal("condemned peer lifted without a rejoin")
+	}
+	// Outcome reports from stale in-flight dispatches cannot unpin it.
+	h.ReportSuccess("P2")
+	h.ReportFailure("P2")
+	if !reg.IsQuarantined("P2") || !h.Condemned("P2") {
+		t.Fatal("stale outcome reports must not unpin a condemned peer")
+	}
+
+	// The rejoin path: Revive closes the breaker and restores routing.
+	h.Revive("P2")
+	if reg.IsQuarantined("P2") || h.Condemned("P2") {
+		t.Fatal("revive must reinstate the peer")
+	}
+	if lifted := h.Tick(); len(lifted) != 0 {
+		t.Fatalf("revived peer should not also lift from quarantine: %v", lifted)
+	}
+	st := h.Stats()
+	if st.Condemnations != 1 || st.Revivals != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Revive of a merely-quarantined (not condemned) peer is a no-op: the
+	// normal probation cycle owns transient quarantines.
+	h.QuarantineNow("P3")
+	h.Revive("P3")
+	if !reg.IsQuarantined("P3") {
+		t.Fatal("revive must not bypass a transient quarantine's probation cycle")
+	}
+	// Condemning an already-quarantined peer pins the existing quarantine.
+	h.Condemn("P3")
+	for i := 0; i < 10; i++ {
+		if lifted := h.Tick(); len(lifted) != 0 {
+			t.Fatalf("condemned-while-quarantined peer lifted: %v", lifted)
+		}
+	}
+}
