@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint check bench bench-json batch fault trace overload member clean
+.PHONY: build test lint check bench bench-json batch fault trace overload member observe clean
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,17 @@ overload:
 member:
 	$(GO) test -race ./internal/membership/
 	$(GO) run -race ./cmd/sqpeer-bench -exp member
+
+# Operations plane: the obs/debugsrv unit tests (event log, flight
+# recorder, SLO evaluator, Prometheus exposition, HTTP endpoints) under
+# the race detector, then the deterministic CLAIM-OBSERVE experiment
+# under -race — byte-identical event-log reruns, exact event↔counter
+# reconciliation, anomaly-triggered post-mortem dumps, SLO burn-rate
+# alerts and the plane-off overhead ablation (rewrites BENCH_PR10.json
+# and the sample dump bundle FLIGHTREC_PR10.json). See DESIGN.md §15.
+observe:
+	$(GO) test -race ./internal/obs/ ./internal/debugsrv/
+	$(GO) run -race ./cmd/sqpeer-bench -exp observe
 
 # Observability: the CLAIM-TRACE experiment (rewrites BENCH_PR5.json)
 # plus a captured chrome://tracing file for the paper query — open

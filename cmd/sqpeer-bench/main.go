@@ -80,6 +80,13 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", r.ArtifactName)
 		}
+		for _, extra := range r.Extras {
+			if err := os.WriteFile(extra.Name, extra.Blob, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("wrote %s\n", extra.Name)
+		}
 		if !r.Pass {
 			failed++
 		}

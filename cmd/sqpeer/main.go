@@ -19,11 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
+	"sqpeer/internal/debugsrv"
 	"sqpeer/internal/gen"
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/overlay"
 	"sqpeer/internal/pattern"
 	"sqpeer/internal/peer"
@@ -45,23 +48,103 @@ func main() {
 		verbose    = flag.Bool("v", false, "print plans and annotations")
 		schemaFile = flag.String("schema-file", "", "text-format schema file (custom mode)")
 		dataFiles  = flag.String("data", "", "comma-separated N-Triples base files, one peer each (custom mode)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug endpoints on this address after the query and wait for interrupt (paper and custom modes)")
 	)
 	flag.Parse()
 
 	if *schemaFile != "" {
-		if err := runCustom(*schemaFile, *dataFiles, *query, *verbose); err != nil {
+		if err := runCustom(*schemaFile, *dataFiles, *query, *verbose, *debugAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "sqpeer:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*mode, *query, *peers, *chains, *distName, *props, *qlen, *ttl, *parseOnly, *verbose); err != nil {
+	if err := run(*mode, *query, *peers, *chains, *distName, *props, *qlen, *ttl, *parseOnly, *verbose, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "sqpeer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, query string, nPeers, chains int, distName string, props, qlen, ttl int, parseOnly, verbose bool) error {
+// opsPlane bundles the live operations plane the -debug-addr flag turns
+// on: a shared metrics registry, the unified event log (stamped by the
+// simulated network's logical clock), one tracer for the query root, and
+// a flight recorder per peer — served over HTTP after the query runs.
+type opsPlane struct {
+	addr   string
+	reg    *obs.Registry
+	events *obs.EventLog
+	tracer *obs.Tracer
+	clock  func() float64
+	recs   []*obs.FlightRecorder
+}
+
+func newOpsPlane(net *network.Network, addr string) *opsPlane {
+	if addr == "" {
+		return nil
+	}
+	return &opsPlane{
+		addr:   addr,
+		reg:    obs.NewRegistry(),
+		events: obs.NewEventLog(net.NowMS),
+		tracer: obs.NewTracer(),
+		clock:  net.NowMS,
+	}
+}
+
+// configure decorates a peer config with the plane's shared pieces (a
+// no-op on a nil plane).
+func (o *opsPlane) configure(cfg peer.Config) peer.Config {
+	if o == nil {
+		return cfg
+	}
+	cfg.Obs, cfg.Events, cfg.Tracer = o.reg, o.events, o.tracer
+	rc := obs.DefaultRecorderConfig()
+	cfg.FlightRec = &rc
+	return cfg
+}
+
+// adopt collects a constructed peer's flight recorder for /debug/flightrec.
+func (o *opsPlane) adopt(p *peer.Peer) {
+	if o == nil || p.Recorder == nil {
+		return
+	}
+	o.recs = append(o.recs, p.Recorder)
+}
+
+// serve evaluates the SLO rules once over the finished run, starts the
+// debug listener and blocks until interrupted.
+func (o *opsPlane) serve() error {
+	if o == nil {
+		return nil
+	}
+	slo := obs.NewSLOEvaluator(o.reg, o.clock, nil)
+	// Adoption order follows peer construction (map order in the
+	// fully-connected fixture), so pick the dump target by sorted peer
+	// ID: the root peer — lowest ID — carries the query-scoped context.
+	sort.Slice(o.recs, func(i, j int) bool { return o.recs[i].PeerID() < o.recs[j].PeerID() })
+	if len(o.recs) > 0 {
+		root := o.recs[0]
+		slo.OnAlert = func(a obs.Alert) { root.TriggerDump("slo:"+a.Rule, "", a.TMS) }
+	}
+	slo.Eval()
+	srv := &debugsrv.Server{Registry: o.reg, Events: o.events, Recorders: o.recs, SLO: slo}
+	bound, err := srv.Start(o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noperations plane on http://%s — try:\n", bound)
+	for _, ep := range []string{"/metrics", "/healthz", "/debug/events", "/debug/flightrec", "/debug/slo"} {
+		fmt.Printf("  curl http://%s%s\n", bound, ep)
+	}
+	fmt.Println("interrupt (ctrl-c) to exit")
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Stop()
+	return nil
+}
+
+func run(mode, query string, nPeers, chains int, distName string, props, qlen, ttl int, parseOnly, verbose bool, debugAddr string) error {
 	var dist gen.Distribution
 	switch distName {
 	case "vertical":
@@ -100,10 +183,13 @@ func run(mode, query string, nPeers, chains int, distName string, props, qlen, t
 		return nil
 	}
 
+	if debugAddr != "" && mode != "paper" {
+		return fmt.Errorf("-debug-addr is supported in paper mode (and custom mode via -schema-file)")
+	}
 	net := network.New()
 	switch mode {
 	case "paper":
-		return runFullyConnected(net, schema, bases, query, compiled, verbose)
+		return runFullyConnected(net, schema, bases, query, compiled, verbose, newOpsPlane(net, debugAddr))
 	case "hybrid":
 		return runHybrid(net, schema, bases, query, verbose)
 	case "adhoc":
@@ -117,13 +203,15 @@ func run(mode, query string, nPeers, chains int, distName string, props, qlen, t
 
 // runFullyConnected wires every peer with full mutual knowledge (the
 // paper-fixture mode) and executes at the first peer.
-func runFullyConnected(net *network.Network, schema *rdf.Schema, bases map[pattern.PeerID]*rdf.Base, query string, compiled *rql.Compiled, verbose bool) error {
+func runFullyConnected(net *network.Network, schema *rdf.Schema, bases map[pattern.PeerID]*rdf.Base, query string, compiled *rql.Compiled, verbose bool, ops *opsPlane) error {
 	var nodes []*peer.Peer
 	for id, base := range bases {
-		p, err := peer.New(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: base}, net)
+		cfg := ops.configure(peer.Config{ID: id, Kind: peer.SimplePeer, Schema: schema, Base: base})
+		p, err := peer.New(cfg, net)
 		if err != nil {
 			return err
 		}
+		ops.adopt(p)
 		nodes = append(nodes, p)
 	}
 	// Sort so the fallback root (nodes[0] when no P1 exists) does not
@@ -158,7 +246,7 @@ func runFullyConnected(net *network.Network, schema *rdf.Schema, bases map[patte
 		return err
 	}
 	printOutcome(rows, net, string(root.ID))
-	return nil
+	return ops.serve()
 }
 
 func runHybrid(net *network.Network, schema *rdf.Schema, bases map[pattern.PeerID]*rdf.Base, query string, verbose bool) error {
@@ -270,7 +358,7 @@ func printOutcome(rows *rql.ResultSet, net *network.Network, root string) {
 
 // runCustom loads a user schema and one base file per peer, wires a
 // fully-known SON, and answers the query at the first peer.
-func runCustom(schemaFile, dataFiles, query string, verbose bool) error {
+func runCustom(schemaFile, dataFiles, query string, verbose bool, debugAddr string) error {
 	sf, err := os.Open(schemaFile)
 	if err != nil {
 		return err
@@ -304,7 +392,8 @@ func runCustom(schemaFile, dataFiles, query string, verbose bool) error {
 		return err
 	}
 	fmt.Println("query pattern:", compiled.Pattern)
-	return runFullyConnected(network.New(), schema, bases, query, compiled, verbose)
+	net := network.New()
+	return runFullyConnected(net, schema, bases, query, compiled, verbose, newOpsPlane(net, debugAddr))
 }
 
 func sortPeerIDs(ids []pattern.PeerID) {

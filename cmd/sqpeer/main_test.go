@@ -18,7 +18,7 @@ func TestRunModes(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if err := run(c.mode, "", 6, 4, "vertical", 3, 2, 6, false, true); err != nil {
+			if err := run(c.mode, "", 6, 4, "vertical", 3, 2, 6, false, true, ""); err != nil {
 				t.Fatalf("run(%s): %v", c.mode, err)
 			}
 		})
@@ -26,23 +26,26 @@ func TestRunModes(t *testing.T) {
 }
 
 func TestRunParseOnlyAndErrors(t *testing.T) {
-	if err := run("paper", "", 4, 2, "vertical", 3, 2, 3, true, false); err != nil {
+	if err := run("paper", "", 4, 2, "vertical", 3, 2, 3, true, false, ""); err != nil {
 		t.Fatalf("parse-only: %v", err)
 	}
-	if err := run("paper", "garbage", 4, 2, "vertical", 3, 2, 3, false, false); err == nil {
+	if err := run("paper", "garbage", 4, 2, "vertical", 3, 2, 3, false, false, ""); err == nil {
 		t.Error("bad query accepted")
 	}
-	if err := run("nosuch", "", 4, 2, "vertical", 3, 2, 3, false, false); err == nil {
+	if err := run("nosuch", "", 4, 2, "vertical", 3, 2, 3, false, false, ""); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run("paper", "", 4, 2, "diagonal", 3, 2, 3, false, false); err == nil {
+	if err := run("paper", "", 4, 2, "diagonal", 3, 2, 3, false, false, ""); err == nil {
 		t.Error("unknown distribution accepted")
+	}
+	if err := run("flood", "", 4, 2, "vertical", 3, 2, 3, false, false, "127.0.0.1:0"); err == nil {
+		t.Error("-debug-addr accepted outside paper mode")
 	}
 }
 
 func TestRunDistributions(t *testing.T) {
 	for _, dist := range []string{"vertical", "horizontal", "mixed"} {
-		if err := run("hybrid", "", 5, 4, dist, 3, 2, 3, false, false); err != nil {
+		if err := run("hybrid", "", 5, 4, dist, 3, 2, 3, false, false, ""); err != nil {
 			t.Fatalf("hybrid/%s: %v", dist, err)
 		}
 	}
@@ -59,20 +62,20 @@ func TestRunCustomMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	query := `SELECT X FROM {X}d:p{Y} USING NAMESPACE d = &http://demo#&`
-	if err := runCustom(schemaFile, dataFile, query, true); err != nil {
+	if err := runCustom(schemaFile, dataFile, query, true, ""); err != nil {
 		t.Fatalf("runCustom: %v", err)
 	}
 	// Error paths.
-	if err := runCustom(filepath.Join(dir, "nosuch"), dataFile, query, false); err == nil {
+	if err := runCustom(filepath.Join(dir, "nosuch"), dataFile, query, false, ""); err == nil {
 		t.Error("missing schema accepted")
 	}
-	if err := runCustom(schemaFile, "", query, false); err == nil {
+	if err := runCustom(schemaFile, "", query, false, ""); err == nil {
 		t.Error("missing data accepted")
 	}
-	if err := runCustom(schemaFile, dataFile, "", false); err == nil {
+	if err := runCustom(schemaFile, dataFile, "", false, ""); err == nil {
 		t.Error("missing query accepted")
 	}
-	if err := runCustom(schemaFile, filepath.Join(dir, "ghost.nt"), query, false); err == nil {
+	if err := runCustom(schemaFile, filepath.Join(dir, "ghost.nt"), query, false, ""); err == nil {
 		t.Error("missing data file accepted")
 	}
 }

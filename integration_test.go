@@ -186,8 +186,8 @@ func TestHarnessReproducesEveryExperiment(t *testing.T) {
 			t.Errorf("experiment %s failed:\n%s", r.ID, r)
 		}
 	}
-	if got := len(harness.IDs()); got != 22 {
-		t.Errorf("expected 22 experiments, have %d", got)
+	if got := len(harness.IDs()); got != 23 {
+		t.Errorf("expected 23 experiments, have %d", got)
 	}
 }
 

@@ -113,6 +113,14 @@ type tenantStats struct {
 type Controller struct {
 	cfg Config
 
+	// events/peerID feed the unified operations log; set once via
+	// SetEventLog during peer wiring, before traffic (same plain-field
+	// discipline as the channel manager's GossipSource). Emission always
+	// happens after the controller's mutex is released, so the lock
+	// order stays one-deep.
+	events *obs.EventLog
+	peerID string
+
 	mu       sync.Mutex
 	buckets  map[string]*bucket
 	tenants  map[string]*tenantStats
@@ -150,6 +158,33 @@ func NewController(cfg Config) *Controller {
 		buckets: map[string]*bucket{},
 		tenants: map[string]*tenantStats{},
 	}
+}
+
+// SetEventLog wires the operations event log (nil is fine: no events).
+// Call during peer construction, before any admission traffic.
+func (c *Controller) SetEventLog(log *obs.EventLog, peer string) {
+	if c == nil {
+		return
+	}
+	c.events = log
+	c.peerID = peer
+}
+
+// emitReject publishes one admission rejection into the event log,
+// outside the controller mutex.
+func (c *Controller) emitReject(q QoS, scope string, err error) {
+	if c.events == nil {
+		return
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		return
+	}
+	c.events.Emit("admission", "reject", c.peerID, "",
+		obs.A("scope", scope), obs.A("reason", oe.Reason),
+		obs.A("tenant", q.Tenant), obs.A("priority", q.Priority.String()),
+		obs.A("retryAfterMs", fmt.Sprintf("%.1f", oe.RetryAfterMS)),
+		obs.A("hopeless", fmt.Sprintf("%t", oe.Hopeless)))
 }
 
 // Disabled reports whether the controller is in ablation pass-through
@@ -219,6 +254,16 @@ func (c *Controller) AdmitQuery(q QoS, deadlineMS float64) error {
 	if c == nil {
 		return nil
 	}
+	err := c.admitQueryLocked(q, deadlineMS)
+	if err != nil {
+		c.emitReject(q, "query", err)
+	}
+	return err
+}
+
+// admitQueryLocked holds the mutex for the admission decision; the
+// caller emits any rejection event after release.
+func (c *Controller) admitQueryLocked(q QoS, deadlineMS float64) error {
 	// The clock is a caller-supplied callback: read it before taking the
 	// lock so a clock that consults the controller cannot deadlock.
 	now := c.cfg.Clock()
@@ -252,6 +297,16 @@ func (c *Controller) AdmitWork(q QoS) error {
 	if c == nil {
 		return nil
 	}
+	err := c.admitWorkLocked(q)
+	if err != nil {
+		c.emitReject(q, "subplan", err)
+	}
+	return err
+}
+
+// admitWorkLocked holds the mutex for the decision; the caller emits
+// any rejection event after release.
+func (c *Controller) admitWorkLocked(q QoS) error {
 	now := c.cfg.Clock() // before the lock: the clock may re-enter
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -313,8 +368,12 @@ func (c *Controller) RecordShed(q QoS) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.statsFor(q.Tenant).Shed++
+	c.mu.Unlock()
+	if c.events != nil {
+		c.events.Emit("admission", "shed", c.peerID, "",
+			obs.A("tenant", q.Tenant), obs.A("priority", q.Priority.String()))
+	}
 }
 
 // Occupancy returns the live slot usage (for load-aware replication

@@ -11,9 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/pattern"
 )
 
@@ -243,6 +245,11 @@ type Manager struct {
 	// manager carries traffic; they are invoked outside manager locks.
 	GossipSource func() []byte
 	OnGossip     func(from pattern.PeerID, blob []byte)
+
+	// Events, when set, receives channel-plane operations events
+	// (dedupe drops, plan-change arrivals). Wired once before traffic,
+	// like GossipSource; a nil log is inert.
+	Events *obs.EventLog
 
 	mu       sync.Mutex
 	nextID   int
@@ -516,6 +523,11 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 		m.mu.Lock()
 		m.stats.PacketsDuplicate++
 		m.mu.Unlock()
+		// One "dedupe" event per PacketsDuplicate increment — the
+		// event↔counter reconciliation invariant for this plane.
+		m.Events.Emit("channel", "dedupe", string(m.self), pkt.TraceID,
+			obs.A("channel", pkt.ChannelID), obs.A("seq", strconv.Itoa(pkt.Seq)),
+			obs.A("from", string(msg.From)))
 		return nil, nil
 	}
 	if pkt.Type == Results {
@@ -532,6 +544,10 @@ func (m *Manager) handlePacket(msg network.Message) ([]byte, error) {
 	m.mu.Unlock()
 	if len(pkt.Gossip) > 0 && onGossip != nil {
 		onGossip(msg.From, pkt.Gossip)
+	}
+	if pkt.Type == PlanChange {
+		m.Events.Emit("channel", "plan-change", string(m.self), pkt.TraceID,
+			obs.A("channel", pkt.ChannelID), obs.A("from", string(msg.From)))
 	}
 	if cb != nil {
 		cb(pkt)

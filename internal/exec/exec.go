@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -196,6 +197,14 @@ type Engine struct {
 	// their watermark into completeness holes (AllowPartial only; High
 	// is never shed). Nil disables both — the historical behaviour.
 	Admission *admission.Controller
+	// Events, when set, receives the executor's operations events — one
+	// "shed" per Metrics.Shed, one "migrate" per Metrics.Migrations, one
+	// "retry"/"resume" per retry-loop transition, one "replan" per
+	// Metrics.Replans, one "ledger" per ledger entry, and a "dispatch"
+	// per shipped try. The exact 1:1 pairing with the counters is the
+	// reconciliation invariant CLAIM-OBSERVE checks. Nil disables the
+	// plane (the ablation path); events are emitted outside e.mu.
+	Events *obs.EventLog
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -336,6 +345,12 @@ func (e *Engine) appendLedger(entry LedgerEntry) {
 	e.mu.Lock()
 	e.lastLedger = append(e.lastLedger, entry)
 	e.mu.Unlock()
+	// One "ledger" event per entry, emitted after e.mu is released (the
+	// log has its own lock; lock order stays one-deep).
+	e.Events.Emit("exec", "ledger", string(e.Self), "",
+		obs.A("site", string(entry.Site)), obs.A("outcome", entry.Outcome),
+		obs.A("patterns", entry.Patterns), obs.A("rows", strconv.Itoa(entry.Rows)),
+		obs.A("attempt", strconv.Itoa(entry.Attempt)))
 }
 
 // patternKey renders a node's pattern ids, deduplicated and sorted — the
@@ -544,6 +559,8 @@ func (e *Engine) ExecuteAnnotatedQoS(p *plan.Plan, span *obs.Span, qos admission
 					rsp := span.Child(obs.KindReplan, fmt.Sprintf("replan.%d", attempt))
 					rsp.Annotate("trigger", "throughput")
 					rsp.Annotate("obsolete", peersCSV(slow))
+					rsp.EmitEvent(e.Events, "exec", "replan",
+						obs.A("trigger", "throughput"), obs.A("obsolete", peersCSV(slow)))
 					rsp.End()
 					e.mu.Lock()
 					e.metrics.Replans++
@@ -592,6 +609,10 @@ func (e *Engine) ExecuteAnnotatedQoS(p *plan.Plan, span *obs.Span, qos admission
 				e.mu.Lock()
 				e.metrics.Replans++
 				e.mu.Unlock()
+				// One "replan" event per Replans increment (rsp has Ended;
+				// the root span is still open).
+				span.EmitEvent(e.Events, "exec", "replan",
+					obs.A("trigger", "failure-partial"), obs.A("obsolete", string(pf.Peer)))
 				current = replanned
 				continue
 			}
@@ -600,6 +621,8 @@ func (e *Engine) ExecuteAnnotatedQoS(p *plan.Plan, span *obs.Span, qos admission
 		e.mu.Lock()
 		e.metrics.Replans++
 		e.mu.Unlock()
+		span.EmitEvent(e.Events, "exec", "replan",
+			obs.A("trigger", "failure"), obs.A("obsolete", string(pf.Peer)))
 		current = replanned
 	}
 }
@@ -1304,6 +1327,12 @@ func (ex *execution) shedSubplan(site pattern.PeerID, n plan.Node, sp *obs.Span)
 		ssp.Annotate("reason", reason)
 		ssp.Annotate("priority", ex.qos.Priority.String())
 	}
+	// Exactly one "shed" event per Metrics.Shed increment above — the
+	// shed reconciliation invariant. Emitted before End (post-End event
+	// emission is an obsspan lint error).
+	ssp.EmitEvent(e.Events, "exec", "shed",
+		obs.A("site", string(site)), obs.A("priority", ex.qos.Priority.String()),
+		obs.A("patterns", patternKey(n)))
 	ssp.End()
 	return true
 }
@@ -1373,6 +1402,9 @@ func (ex *execution) tryMigrate(site pattern.PeerID, n plan.Node, sp *obs.Span) 
 	if msp != nil {
 		msp.Annotate("retainedRows", fmt.Sprintf("%d", retained))
 	}
+	// Exactly one "migrate" event per Metrics.Migrations increment above.
+	msp.EmitEvent(e.Events, "exec", "migrate",
+		obs.A("from", string(site)), obs.A("retainedRows", strconv.Itoa(retained)))
 	rows, err := ex.run(filled.Root, msp)
 	msp.End()
 	if err == nil && rows == nil {
@@ -1416,6 +1448,8 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 		ssp := leaf.Child(kind, name)
 		ssp.ChargeMS(pendingBackoffMS)
 		pendingBackoffMS = 0
+		ssp.EmitEvent(e.Events, "exec", "dispatch",
+			obs.A("site", string(site)), obs.A("try", strconv.Itoa(try)))
 		var res *remoteResult
 		res, err = ex.dispatch(site, n, checkpoint, ssp)
 		ssp.End()
@@ -1438,6 +1472,10 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 				e.metrics.RowsRetained += checkpoint
 				e.mu.Unlock()
 				ssp.Annotate("checkpoint", "resumed")
+				// One "resume" event per Metrics.Resumes increment; on the
+				// leaf span (ssp has already Ended).
+				leaf.EmitEvent(e.Events, "exec", "resume",
+					obs.A("site", string(site)), obs.A("checkpoint", strconv.Itoa(checkpoint)))
 			}
 			if rel := res.gathered(); rel != nil {
 				if partial == nil {
@@ -1487,6 +1525,10 @@ func (ex *execution) dispatchRetry(site pattern.PeerID, n plan.Node, leaf *obs.S
 		e.metrics.Retries++
 		e.metrics.BackoffMS += wait
 		e.mu.Unlock()
+		// One "retry" event per Metrics.Retries increment.
+		leaf.EmitEvent(e.Events, "exec", "retry",
+			obs.A("site", string(site)), obs.A("try", strconv.Itoa(try+1)),
+			obs.A("waitMs", strconv.FormatFloat(wait, 'g', -1, 64)))
 		pendingBackoffMS = wait
 		ex.resetSite(site)
 	}
@@ -1858,6 +1900,7 @@ func (e *Engine) handleSubplan(msg network.Message) ([]byte, error) {
 		RowWire:       e.RowWire,
 		WindowSize:    e.WindowSize,
 		Obs:           e.Obs,
+		Events:        e.Events,
 	}
 	ex := newExecution(local)
 	ex.qos = qos // nested dispatches ship under the root's class

@@ -29,6 +29,16 @@ type Report struct {
 	// to its stdout report.
 	ArtifactName string
 	ArtifactJSON []byte
+	// Extras are additional artifact files the experiment produced
+	// beyond the primary JSON (e.g. a sample flight-recorder dump);
+	// cmd/sqpeer-bench writes each one alongside the primary artifact.
+	Extras []Artifact
+}
+
+// Artifact is one named side file an experiment emits.
+type Artifact struct {
+	Name string
+	Blob []byte
 }
 
 func (r *Report) linef(format string, args ...any) {

@@ -9,7 +9,7 @@ import (
 
 func TestIDsAreStable(t *testing.T) {
 	ids := harness.IDs()
-	want := []string{"adapt", "adv", "batch", "churn", "dht", "dist", "fault", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "med", "member", "overload", "recover", "son", "sub", "topn", "trace"}
+	want := []string{"adapt", "adv", "batch", "churn", "dht", "dist", "fault", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "med", "member", "observe", "overload", "recover", "son", "sub", "topn", "trace"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

@@ -20,6 +20,14 @@
 // straight-line blocks, defer-End, and handing the span down the call
 // tree all pass; anything where a return path can skip the End is
 // reported. Genuinely fine sites carry //lint:allow obsspan.
+//
+// The analyzer also guards the PR10 event-log contract: an
+// x.EmitEvent(...) lexically after x.End() is flagged. A span's
+// identity (peer, trace id, path) is fixed when it Ends — emitting
+// afterwards correlates the event to a span the exporters have already
+// sealed, so the emit must move before the End or onto a still-open
+// ancestor span. defer x.End() is exempt: it runs at return, after
+// every lexical emit.
 package obsspan
 
 import (
@@ -33,7 +41,7 @@ import (
 // Analyzer flags span opens that can leak; see the package comment.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsspan",
-	Doc:  "flag obs spans opened without End on every return path (discarded, or neither deferred, closed, nor escaped)",
+	Doc:  "flag obs spans opened without End on every return path (discarded, or neither deferred, closed, nor escaped), and events emitted on a span after its End",
 	Run:  run,
 }
 
@@ -118,6 +126,7 @@ func checkCandidate(pass *analysis.Pass, body *ast.BlockStmt, c candidate) {
 		escaped  bool
 		deferEnd bool
 		ends     []token.Pos
+		emits    []token.Pos
 		returns  []token.Pos
 	)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -139,6 +148,12 @@ func checkCandidate(pass *analysis.Pass, body *ast.BlockStmt, c candidate) {
 		case *ast.CallExpr:
 			if isEndOn(pass, s, c.obj) {
 				ends = append(ends, s.Pos())
+				return false
+			}
+			if isEmitOn(pass, s, c.obj) {
+				// A method call on the span; its arguments carry the
+				// event log and attributes, never the span itself.
+				emits = append(emits, s.Pos())
 				return false
 			}
 			// A method call on the span itself (Annotate, ChargeMS) is
@@ -169,6 +184,19 @@ func checkCandidate(pass *analysis.Pass, body *ast.BlockStmt, c candidate) {
 		}
 		return true
 	})
+	// Emit-after-End: a sealed span must not source new events. Checked
+	// before the escape/defer exemptions — an explicit End() seals the
+	// span no matter who else holds it, and defer-End (which runs after
+	// every lexical emit) contributes nothing to ends.
+	for _, emit := range emits {
+		for _, end := range ends {
+			if end < emit {
+				pass.Reportf(emit,
+					"event emitted on span %s after %s.End(); move the emit before End() or emit on a still-open ancestor span", c.name, c.name)
+				break
+			}
+		}
+	}
 	if escaped || deferEnd {
 		return
 	}
@@ -211,6 +239,16 @@ func isOpener(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return analysis.PkgFunc(fn, fn.Pkg().Path()) && analysis.PkgPathTail(fn.Pkg().Path(), "obs")
 	}
 	return false
+}
+
+// isEmitOn reports whether call is obj.EmitEvent(...).
+func isEmitOn(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "EmitEvent" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
 }
 
 // isEndOn reports whether call is obj.End().

@@ -111,3 +111,48 @@ func nonOpenerUntracked() {
 	c := give()
 	c.Annotate("rows", "3")
 }
+
+// Emit-after-End: a sealed span must not source new events.
+
+func emitAfterEnd(sp *obs.Span, log *obs.EventLog) {
+	c := sp.Child("scan", "sealed")
+	c.End()
+	c.EmitEvent(log, "exec", "shed") // want `after c.End\(\)`
+}
+
+// The same emit before End is the sanctioned shape.
+
+func emitBeforeEnd(sp *obs.Span, log *obs.EventLog) {
+	c := sp.Child("scan", "ok")
+	c.EmitEvent(log, "exec", "shed", obs.Attr{Key: "site", Value: "P2"})
+	c.End()
+}
+
+// defer-End runs at return, after every lexical emit: exempt.
+
+func emitUnderDeferEnd(sp *obs.Span, log *obs.EventLog) {
+	c := sp.Child("scan", "ok")
+	defer c.End()
+	c.EmitEvent(log, "exec", "dispatch")
+}
+
+// Ending one span and emitting on a still-open ancestor is the
+// documented fix, not a violation.
+
+func emitOnOpenAncestor(sp *obs.Span, log *obs.EventLog) {
+	parent := sp.Child("join", "ok")
+	c := parent.Child("scan", "ok")
+	c.End()
+	parent.EmitEvent(log, "exec", "resume")
+	parent.End()
+}
+
+// Emit-after-End is flagged even when the span later escapes: the End
+// sealed it for every holder.
+
+func emitAfterEndThenEscape(sp *obs.Span, log *obs.EventLog) {
+	c := sp.Child("scan", "sealed")
+	c.End()
+	c.EmitEvent(log, "exec", "retry") // want `after c.End\(\)`
+	sink(c)
+}

@@ -21,5 +21,15 @@ func (s *Span) Annotate(k, v string) {}
 // ChargeMS accumulates logical time (use, not escape).
 func (s *Span) ChargeMS(ms float64) {}
 
+// EmitEvent emits a span-correlated event (use, not escape; flagged
+// when it lexically follows the span's End).
+func (s *Span) EmitEvent(log *EventLog, component, kind string, attrs ...Attr) {}
+
 // RemoteSpan rebuilds a shipped trace context (an opener).
 func RemoteSpan(traceID, parentPath, peer string) *Span { return nil }
+
+// EventLog is the fixture stand-in for the unified event log.
+type EventLog struct{}
+
+// Attr is one event attribute.
+type Attr struct{ Key, Value string }

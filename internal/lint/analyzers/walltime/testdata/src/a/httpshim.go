@@ -1,0 +1,53 @@
+// HTTP debug-listener fixtures: pins the one sanctioned wall-clock
+// shape on the operations plane (internal/debugsrv). The listener's
+// /healthz uptime is operator-facing wall time that never feeds
+// results, so it may read the wall clock — but only through a confined
+// two-function shim (one anchor read at Start, one paired elapsed
+// read), each carrying //lint:allow walltime at its definition site.
+// Inside analysistest the directives do not suppress, so the shim's two
+// reads appear here as `want` lines: the fixture both documents the
+// shape and proves the analyzer still sees through it. Anything beyond
+// the shim — per-request stamps, wall-paced refresh loops — is flagged
+// with no allowance.
+package a
+
+import "time"
+
+// wallStart is the confined anchor, mirroring debugsrv.wallStart.
+type wallStart struct{ t time.Time }
+
+// newWallStart is the single anchor read, taken once at listener start.
+func newWallStart() wallStart {
+	return wallStart{t: time.Now()} // want `wall-clock time\.Now is forbidden`
+}
+
+// uptimeSeconds is the paired elapsed read.
+func (w wallStart) uptimeSeconds() float64 {
+	return time.Since(w.t).Seconds() // want `wall-clock time\.Since is forbidden`
+}
+
+// badPerRequestStamp stamps a response with the wall clock directly —
+// outside the shim, never allowed.
+func badPerRequestStamp() string {
+	return time.Now().Format(time.RFC3339) // want `wall-clock time\.Now is forbidden`
+}
+
+// badWallRefreshLoop paces an endpoint's cache refresh off the wall
+// clock; refresh must be driven by requests or the logical clock.
+func badWallRefreshLoop(stop chan struct{}, refresh func()) {
+	t := time.NewTicker(time.Minute) // want `wall-clock time\.NewTicker is forbidden`
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			refresh()
+		}
+	}
+}
+
+// cleanUptimeHandler consumes the shim without touching the clock: the
+// sanctioned consumer shape for /healthz.
+func cleanUptimeHandler(start wallStart) float64 {
+	return start.uptimeSeconds()
+}

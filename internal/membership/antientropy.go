@@ -24,8 +24,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/pattern"
 )
 
@@ -123,6 +125,10 @@ func (d *Detector) SyncWith(partner pattern.PeerID) error {
 		return fmt.Errorf("membership %s: bad sync ack from %s: %w", d.self, partner, err)
 	}
 	d.Merge(ack.Entries)
+	d.Events.Emit("membership", "antientropy", string(d.self), "",
+		obs.A("partner", string(partner)),
+		obs.A("entries", strconv.Itoa(len(ack.Entries))),
+		obs.A("want", strconv.Itoa(len(ack.Want))))
 	if len(ack.Want) == 0 {
 		return nil
 	}

@@ -49,6 +49,7 @@ import (
 
 	"sqpeer/internal/gen"
 	"sqpeer/internal/network"
+	"sqpeer/internal/obs"
 	"sqpeer/internal/pattern"
 )
 
@@ -211,6 +212,13 @@ type Detector struct {
 	OnSuspect func(peer pattern.PeerID)
 	OnDead    func(peer pattern.PeerID)
 	OnRejoin  func(peer pattern.PeerID)
+
+	// Events, when set (before traffic, like the callbacks above), feeds
+	// every liveness transition into the unified operations log. Emission
+	// happens in fire, outside the detector's mutex, and maps one-to-one
+	// onto the stats counters: suspect↔Suspects, confirm-dead↔
+	// ConfirmedDead, rejoin↔Rejoins — the reconciliation invariant.
+	Events *obs.EventLog
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -780,18 +788,26 @@ func (d *Detector) fire(events []event) {
 			if d.ApplyAdv != nil {
 				d.ApplyAdv(ev.peer, ev.adv)
 			}
+			d.Events.Emit("membership", "adv", string(d.self), "",
+				obs.A("target", string(ev.peer)))
 		case "suspect":
 			if d.OnSuspect != nil {
 				d.OnSuspect(ev.peer)
 			}
+			d.Events.Emit("membership", "suspect", string(d.self), "",
+				obs.A("target", string(ev.peer)))
 		case "dead":
 			if d.OnDead != nil {
 				d.OnDead(ev.peer)
 			}
+			d.Events.Emit("membership", "confirm-dead", string(d.self), "",
+				obs.A("target", string(ev.peer)))
 		case "rejoin":
 			if d.OnRejoin != nil {
 				d.OnRejoin(ev.peer)
 			}
+			d.Events.Emit("membership", "rejoin", string(d.self), "",
+				obs.A("target", string(ev.peer)))
 		}
 	}
 }

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A builds an event attribute (the Emit counterpart of L for labels).
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one entry of the unified operations log: a logical-clock
+// timestamp, the emitting component and peer, the event kind, the
+// correlating trace ID (empty for events outside any query, e.g.
+// membership rounds), and free-form string attributes. The JSON
+// rendering is canonical — encoding/json sorts map keys — so an event's
+// bytes are a pure function of its content.
+type Event struct {
+	// TMS is the logical-clock timestamp in simulated milliseconds.
+	TMS float64 `json:"tms"`
+	// Seq is the export-time sequence number within the log: assigned by
+	// Events()/JSONL() after the canonical sort, never at emission, so
+	// concurrent emission order cannot leak into the output (the same
+	// trick export.go uses for span timelines).
+	Seq int `json:"seq"`
+	// Trace correlates the event with a query's span tree ("" if none).
+	Trace string `json:"trace,omitempty"`
+	// Peer is the emitting peer.
+	Peer string `json:"peer,omitempty"`
+	// Component is the emitting subsystem: "exec", "admission",
+	// "channel", "health", "membership", "peer", "slo".
+	Component string `json:"component"`
+	// Kind is the event type within the component (e.g. "shed",
+	// "migrate", "condemn", "suspect", "query-done").
+	Kind string `json:"kind"`
+	// Attrs carries event-specific detail (reason, tenant, target peer,
+	// durations). Rendered sorted by key.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// contentKey is the event's canonical sort key after TMS: the attribute-
+// inclusive JSON rendering with Seq zeroed. Two events with equal keys
+// are byte-interchangeable, so any tie order yields identical exports.
+func (e Event) contentKey() string {
+	e.Seq = 0
+	b, err := json.Marshal(e)
+	if err != nil {
+		// Marshal of map[string]string/strings/floats cannot fail; keep a
+		// defined fallback anyway rather than panicking in an exporter.
+		return e.Component + "|" + e.Kind
+	}
+	return string(b)
+}
+
+// EventLog is the unified structured event stream every subsystem emits
+// into. It is deterministic the same way the tracer is: emission stamps
+// the logical clock under a mutex, but ordering is assigned at export —
+// events are canonically sorted by (TMS, content) and numbered then, so
+// goroutine interleaving during a query cannot perturb the exported
+// bytes as long as the emitted multiset is deterministic.
+//
+// A nil *EventLog is valid and inert (Emit is a no-op), which is the
+// entire plane-off ablation path: components hold a possibly-nil pointer
+// and pay one branch when the plane is disabled.
+type EventLog struct {
+	mu     sync.Mutex
+	clock  func() float64
+	events []Event
+	sinks  []func(Event)
+}
+
+// NewEventLog builds a log stamped by the given logical clock (typically
+// network.Network.NowMS). A nil clock stamps every event at 0.
+func NewEventLog(clock func() float64) *EventLog {
+	return &EventLog{clock: clock}
+}
+
+// Emit appends one event and fans it out to the registered sinks. The
+// sinks run outside the log's mutex (the flight recorder takes its own
+// lock in its sink), in registration order.
+func (l *EventLog) Emit(component, kind, peer, trace string, attrs ...Attr) {
+	if l == nil {
+		return
+	}
+	ev := Event{Component: component, Kind: kind, Peer: peer, Trace: trace}
+	if len(attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			ev.Attrs[a.Key] = a.Value
+		}
+	}
+	// The clock is a caller-supplied callback: read it before taking the
+	// lock so a clock that consults the log cannot deadlock (l.clock is
+	// set once at construction, so the unlocked read is safe). Canonical
+	// export sorts by (TMS, content), so cross-goroutine append order
+	// never reaches the exported stream.
+	if l.clock != nil {
+		ev.TMS = l.clock()
+	}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	sinks := l.sinks
+	l.mu.Unlock()
+	for _, fn := range sinks {
+		fn(ev)
+	}
+}
+
+// AddSink registers a live subscriber called on every subsequent Emit,
+// outside the log's mutex. Sinks must be registered before traffic
+// starts; there is no removal.
+func (l *EventLog) AddSink(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	// Copy-on-write so Emit can read the slice outside the lock.
+	sinks := make([]func(Event), len(l.sinks), len(l.sinks)+1)
+	copy(sinks, l.sinks)
+	l.sinks = append(sinks, fn)
+	l.mu.Unlock()
+}
+
+// Len returns the number of events emitted so far.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// CountBy returns how many events match the component and kind ("" is a
+// wildcard) — the reconciliation primitive: every shed/migrate/condemn
+// counter in the registry must equal its event count.
+func (l *EventLog) CountBy(component, kind string) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if (component == "" || ev.Component == component) && (kind == "" || ev.Kind == kind) {
+			n++
+		}
+	}
+	return n
+}
+
+// Events returns the canonically ordered log: sorted by logical
+// timestamp, ties broken by content, Seq assigned 1..n after the sort.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	evs := make([]Event, len(l.events))
+	copy(evs, l.events)
+	l.mu.Unlock()
+	return CanonicalEvents(evs)
+}
+
+// CanonicalEvents sorts events by (TMS, content) and assigns Seq 1..n —
+// the canonical order shared by the log export and flight-recorder
+// dumps. Identical-content ties are byte-interchangeable, so any
+// runtime emission interleaving renders the same bytes.
+func CanonicalEvents(evs []Event) []Event {
+	type keyed struct {
+		ev  Event
+		key string
+	}
+	rows := make([]keyed, len(evs))
+	for i, ev := range evs {
+		rows[i] = keyed{ev: ev, key: ev.contentKey()}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].ev.TMS != rows[j].ev.TMS {
+			return rows[i].ev.TMS < rows[j].ev.TMS
+		}
+		return rows[i].key < rows[j].key
+	})
+	out := make([]Event, len(rows))
+	for i, r := range rows {
+		out[i] = r.ev
+		out[i].Seq = i + 1
+	}
+	return out
+}
+
+// JSONL renders the canonical log, one event per line — the replayable
+// narrative artifact. Byte-identical across same-seed reruns.
+func (l *EventLog) JSONL() []byte {
+	var b strings.Builder
+	for _, ev := range l.Events() {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Reset drops all events (sinks stay registered).
+func (l *EventLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = nil
+	l.mu.Unlock()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogCanonicalExport(t *testing.T) {
+	clock := 0.0
+	log := NewEventLog(func() float64 { return clock })
+	clock = 10
+	log.Emit("exec", "shed", "P1", "T1", Attr{Key: "reason", Value: "overload"})
+	clock = 5
+	log.Emit("admission", "reject", "P1", "T1")
+	clock = 10
+	log.Emit("channel", "dedupe", "P2", "T1")
+
+	evs := log.Events()
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %d", len(evs))
+	}
+	if evs[0].TMS != 5 || evs[0].Component != "admission" {
+		t.Fatalf("events not sorted by logical time: %+v", evs[0])
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("seq not assigned at export: %+v", ev)
+		}
+	}
+}
+
+// Emission interleaving must not perturb the exported bytes: the canonical
+// sort makes the JSONL a function of the emitted multiset alone.
+func TestEventLogOrderInsensitive(t *testing.T) {
+	build := func(order []int) []byte {
+		log := NewEventLog(func() float64 { return 42 })
+		emits := []func(){
+			func() { log.Emit("exec", "shed", "P1", "T1") },
+			func() { log.Emit("exec", "migrate", "P2", "T1") },
+			func() { log.Emit("health", "condemn", "P0", "", Attr{Key: "target", Value: "P3"}) },
+		}
+		for _, i := range order {
+			emits[i]()
+		}
+		return log.JSONL()
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("export depends on emission order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var log *EventLog
+	log.Emit("exec", "shed", "P1", "T1") // must not panic
+	log.AddSink(func(Event) {})
+	if log.Len() != 0 || log.CountBy("exec", "shed") != 0 || log.Events() != nil {
+		t.Fatal("nil log should be inert")
+	}
+	if len(log.JSONL()) != 0 {
+		t.Fatal("nil log JSONL should be empty")
+	}
+}
+
+func TestEventLogCountBy(t *testing.T) {
+	log := NewEventLog(nil)
+	log.Emit("exec", "shed", "P1", "")
+	log.Emit("exec", "shed", "P2", "")
+	log.Emit("exec", "migrate", "P1", "")
+	if got := log.CountBy("exec", "shed"); got != 2 {
+		t.Fatalf("CountBy(exec,shed)=%d, want 2", got)
+	}
+	if got := log.CountBy("exec", ""); got != 3 {
+		t.Fatalf("CountBy(exec,*)=%d, want 3", got)
+	}
+}
+
+func TestEventLogSinkFanout(t *testing.T) {
+	log := NewEventLog(nil)
+	var mu sync.Mutex
+	var seen []string
+	log.AddSink(func(ev Event) {
+		mu.Lock()
+		seen = append(seen, ev.Kind)
+		mu.Unlock()
+	})
+	log.Emit("exec", "shed", "P1", "")
+	log.Emit("exec", "migrate", "P1", "")
+	if strings.Join(seen, ",") != "shed,migrate" {
+		t.Fatalf("sink saw %v", seen)
+	}
+}
+
+func TestSpanEmitEventCorrelation(t *testing.T) {
+	tr := NewTracer().StartTrace("q", "P0")
+	log := NewEventLog(func() float64 { return 7 })
+	sp := tr.Root().Child(KindAttempt, "attempt-1")
+	sp.EmitEvent(log, "exec", "replan", Attr{Key: "round", Value: "2"})
+	sp.End()
+	evs := log.Events()
+	if len(evs) != 1 {
+		t.Fatalf("want 1 event, got %d", len(evs))
+	}
+	ev := evs[0]
+	if ev.Trace != tr.ID || ev.Peer != "P0" || ev.Attrs["span"] != "/q/attempt-1" {
+		t.Fatalf("span correlation missing: %+v", ev)
+	}
+	// Nil span still reaches the log, uncorrelated.
+	var nilSpan *Span
+	nilSpan.EmitEvent(log, "exec", "replan")
+	if log.Len() != 2 {
+		t.Fatal("nil-span emit lost")
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketSlotsMatchesBounds(t *testing.T) {
+	if bucketSlots != len(DefaultBuckets)+1 {
+		t.Fatalf("bucketSlots=%d, want len(DefaultBuckets)+1=%d", bucketSlots, len(DefaultBuckets)+1)
+	}
+}
+
+// The satellite contract: every quantile edge case the SLO evaluator can
+// hit must return a defined value — never NaN, never a panic.
+func TestHistogramQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		h := &Histogram{}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if v := h.Quantile(q); v != 0 {
+				t.Fatalf("empty histogram Quantile(%g)=%g, want 0", q, v)
+			}
+		}
+	})
+	t.Run("single observation", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(37)
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			v := h.Quantile(q)
+			if math.IsNaN(v) || v != 37 {
+				t.Fatalf("single-obs Quantile(%g)=%g, want 37", q, v)
+			}
+		}
+	})
+	t.Run("all in one bucket", func(t *testing.T) {
+		h := &Histogram{}
+		for i := 0; i < 100; i++ {
+			h.Observe(42) // bucket (25,50]
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			v := h.Quantile(q)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("all-in-one-bucket Quantile(%g)=%g", q, v)
+			}
+			if v != 42 {
+				t.Fatalf("all-in-one-bucket Quantile(%g)=%g, want the clamp to 42", q, v)
+			}
+		}
+	})
+	t.Run("overflow bucket", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(9000)
+		h.Observe(11000)
+		v := h.Quantile(0.99)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 9000 || v > 11000 {
+			t.Fatalf("overflow-bucket Quantile(0.99)=%g, want within [9000,11000]", v)
+		}
+	})
+	t.Run("out of range q", func(t *testing.T) {
+		h := &Histogram{}
+		h.Observe(5)
+		h.Observe(10)
+		if v := h.Quantile(-1); math.IsNaN(v) || v < 5 || v > 10 {
+			t.Fatalf("Quantile(-1)=%g", v)
+		}
+		if v := h.Quantile(2); v != 10 {
+			t.Fatalf("Quantile(2)=%g, want max", v)
+		}
+	})
+	t.Run("monotone", func(t *testing.T) {
+		h := &Histogram{}
+		for _, v := range []float64{0.5, 2, 4, 8, 20, 40, 80, 200, 400, 900} {
+			h.Observe(v)
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantiles not monotone: Quantile(%g)=%g < %g", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0.5) // bucket 0
+	h.Observe(3)   // bucket 2
+	h.Observe(3)
+	h.Observe(6000) // overflow
+	b := h.Buckets()
+	if len(b) != bucketSlots {
+		t.Fatalf("len(Buckets())=%d", len(b))
+	}
+	if b[0] != 1 || b[1] != 1 || b[2] != 3 || b[len(b)-1] != 4 {
+		t.Fatalf("cumulative buckets wrong: %v", b)
+	}
+	count, _, _, _ := h.Summary()
+	if b[len(b)-1] != count {
+		t.Fatal("+Inf bucket must equal total count")
+	}
+}

@@ -25,11 +25,11 @@ type Label struct {
 // L builds a label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// canonLabels renders labels in canonical sorted "k=v,k2=v2" form — the
-// identity of an instrument and the deterministic sort key of snapshots.
-func canonLabels(labels []Label) string {
+// canonPairs returns a sorted copy of labels — the canonical order every
+// rendering (snapshot key, Prometheus exposition) agrees on.
+func canonPairs(labels []Label) []Label {
 	if len(labels) == 0 {
-		return ""
+		return nil
 	}
 	ls := make([]Label, len(labels))
 	copy(ls, labels)
@@ -39,6 +39,18 @@ func canonLabels(labels []Label) string {
 		}
 		return ls[i].Value < ls[j].Value
 	})
+	return ls
+}
+
+// canonLabels renders labels in canonical sorted "k=v,k2=v2" form — the
+// identity of an instrument and the deterministic sort key of snapshots.
+func canonLabels(labels []Label) string { return joinPairs(canonPairs(labels)) }
+
+// joinPairs renders already-sorted pairs as "k=v,k2=v2".
+func joinPairs(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
 	parts := make([]string, len(ls))
 	for i, l := range ls {
 		parts[i] = l.Key + "=" + l.Value
@@ -89,15 +101,27 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram summarizes a stream of observations (count/sum/min/max —
-// enough for the harness microbenchmarks and trace reports to agree on
-// units). Safe for concurrent use.
+// DefaultBuckets are the upper bounds (inclusive) of the histogram
+// buckets, in logical milliseconds — an exponential ladder wide enough
+// for both per-packet transfer times and end-to-end query latencies.
+// The implicit final bucket is +Inf.
+var DefaultBuckets = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram summarizes a stream of observations: count/sum/min/max plus
+// cumulative bucket counts over DefaultBuckets, enough for the SLO
+// evaluator's quantile estimates and the Prometheus exposition. Safe for
+// concurrent use.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int
 	sum      float64
 	min, max float64
+	buckets  [bucketSlots]int // per-bound counts; last slot is +Inf overflow
 }
+
+// bucketSlots sizes the bucket array: len(DefaultBuckets) bounds plus the
+// +Inf overflow slot (checked by a unit test against DefaultBuckets).
+const bucketSlots = 13
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
@@ -110,6 +134,14 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	slot := len(DefaultBuckets)
+	for i, bound := range DefaultBuckets {
+		if v <= bound {
+			slot = i
+			break
+		}
+	}
+	h.buckets[slot]++
 	h.mu.Unlock()
 }
 
@@ -130,6 +162,68 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Buckets returns cumulative counts per DefaultBuckets bound; the final
+// element counts everything (the +Inf bucket) and equals Count.
+func (h *Histogram) Buckets() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, bucketSlots)
+	cum := 0
+	for i, c := range h.buckets {
+		cum += c
+		out[i] = cum
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, clamped to the observed
+// [min,max] envelope. Every edge case yields a defined value: an empty
+// histogram returns 0, a single observation returns that observation,
+// and all-in-one-bucket collapses to the clamp (never NaN, never a
+// panic) — the contract the SLO evaluator depends on.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := 0
+	for i, c := range h.buckets {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = DefaultBuckets[i-1]
+		}
+		hi := h.max
+		if i < len(DefaultBuckets) {
+			hi = DefaultBuckets[i]
+		}
+		// Interpolate inside the bucket, then clamp to what was actually
+		// observed so degenerate buckets stay finite and meaningful.
+		frac := (rank - float64(cum-c)) / float64(c)
+		v := lo + (hi-lo)*frac
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // Metric is one row of a registry snapshot.
 type Metric struct {
 	// Name is the metric name (snake_case, _total suffix for counters).
@@ -144,6 +238,11 @@ type Metric struct {
 	Count int     `json:"count,omitempty"`
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
+	// Pairs carries the canonical sorted label pairs — the structured
+	// twin of Labels, used by the Prometheus renderer so label values
+	// containing '=' or ',' never have to be re-parsed from the flat
+	// string. Excluded from JSON (Labels stays the wire form).
+	Pairs []Label `json:"-"`
 }
 
 // Gather is the sink a collector writes its component's counters into at
@@ -158,12 +257,14 @@ type Gather struct {
 
 // Count emits one counter row.
 func (g *Gather) Count(name string, v float64, labels ...Label) {
-	g.rows = append(g.rows, Metric{Name: name, Labels: canonLabels(labels), Kind: "counter", Value: v})
+	ls := canonPairs(labels)
+	g.rows = append(g.rows, Metric{Name: name, Labels: joinPairs(ls), Pairs: ls, Kind: "counter", Value: v})
 }
 
 // Gauge emits one gauge row.
 func (g *Gather) Gauge(name string, v float64, labels ...Label) {
-	g.rows = append(g.rows, Metric{Name: name, Labels: canonLabels(labels), Kind: "gauge", Value: v})
+	ls := canonPairs(labels)
+	g.rows = append(g.rows, Metric{Name: name, Labels: joinPairs(ls), Pairs: ls, Kind: "gauge", Value: v})
 }
 
 // Registry is the unified metrics store: direct instruments (counters,
@@ -196,8 +297,9 @@ func NewRegistry() *Registry {
 }
 
 func key(name string, labels []Label) (string, Metric) {
-	cl := canonLabels(labels)
-	return name + "|" + cl, Metric{Name: name, Labels: cl}
+	ls := canonPairs(labels)
+	cl := joinPairs(ls)
+	return name + "|" + cl, Metric{Name: name, Labels: cl, Pairs: ls}
 }
 
 // Counter returns (creating on first use) the counter instrument for the

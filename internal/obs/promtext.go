@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition
+// format (version 0.0.4) and provides a minimal parser for it — enough
+// for the round-trip escaping tests, the endpoint smoke test, and the
+// CLAIM-OBSERVE scrape check, without importing any client library.
+
+// escapeMetricName maps an arbitrary instrument name onto the legal
+// Prometheus metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*. Invalid
+// runes become '_'; a leading digit gets a '_' prefix; an empty name
+// becomes "_". Registry names are already snake_case, so this is a
+// guard for collector-provided names, not a renaming pass.
+func escapeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelName maps a label name onto [a-zA-Z_][a-zA-Z0-9_]* (no
+// colons in label names, per the exposition format).
+func escapeLabelName(name string) string {
+	s := escapeMetricName(name)
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double-quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promNumber renders a sample value the way Prometheus expects.
+func promNumber(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders a label set (already canonically sorted) as
+// {k="v",...}; extra pairs are appended after the set (the histogram
+// renderer passes le= through it). Empty input renders as "".
+func renderLabels(pairs []Label, extra ...Label) string {
+	all := make([]Label, 0, len(pairs)+len(extra))
+	all = append(all, pairs...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = escapeLabelName(l.Key) + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// histRow is one histogram's exposition payload, captured under the
+// registry lock so buckets and summary agree.
+type histRow struct {
+	pairs   []Label
+	count   int
+	sum     float64
+	buckets []int
+}
+
+// PromText renders the full registry — direct instruments and collector
+// rows — in the Prometheus text exposition format. Families are emitted
+// in sorted-name order with one "# TYPE" header each; histograms expand
+// into cumulative _bucket{le=...} series plus _sum and _count. Output is
+// deterministic: same registry state, same bytes.
+func (r *Registry) PromText() string {
+	type family struct {
+		kind  string
+		lines []string
+	}
+	families := map[string]*family{}
+	add := func(name, kind, line string) {
+		f, ok := families[name]
+		if !ok {
+			f = &family{kind: kind}
+			families[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.meta))
+	for k := range r.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type instRow struct {
+		m     Metric
+		hist  *histRow
+		value float64
+	}
+	var rowsOut []instRow
+	for _, k := range keys {
+		m := r.meta[k]
+		switch m.Kind {
+		case "counter":
+			rowsOut = append(rowsOut, instRow{m: m, value: r.counters[k].Value()})
+		case "gauge":
+			rowsOut = append(rowsOut, instRow{m: m, value: r.gauges[k].Value()})
+		case "histogram":
+			h := r.hists[k]
+			count, sum, _, _ := h.Summary()
+			rowsOut = append(rowsOut, instRow{m: m, hist: &histRow{
+				pairs: m.Pairs, count: count, sum: sum, buckets: h.Buckets(),
+			}})
+		}
+	}
+	collectors := make([]collectorEntry, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	for _, row := range rowsOut {
+		name := escapeMetricName(row.m.Name)
+		if row.hist != nil {
+			for i, cum := range row.hist.buckets {
+				le := "+Inf"
+				if i < len(DefaultBuckets) {
+					le = promNumber(DefaultBuckets[i])
+				}
+				add(name, "histogram", name+"_bucket"+renderLabels(row.hist.pairs, L("le", le))+" "+strconv.Itoa(cum))
+			}
+			add(name, "histogram", name+"_sum"+renderLabels(row.hist.pairs)+" "+promNumber(row.hist.sum))
+			add(name, "histogram", name+"_count"+renderLabels(row.hist.pairs)+" "+strconv.Itoa(row.hist.count))
+			continue
+		}
+		add(name, row.m.Kind, name+renderLabels(row.m.Pairs)+" "+promNumber(row.value))
+	}
+
+	sort.Slice(collectors, func(i, j int) bool { return collectors[i].id < collectors[j].id })
+	g := &Gather{}
+	for _, c := range collectors {
+		c.fn(g)
+	}
+	collected := g.rows
+	sort.Slice(collected, func(i, j int) bool {
+		if collected[i].Name != collected[j].Name {
+			return collected[i].Name < collected[j].Name
+		}
+		return collected[i].Labels < collected[j].Labels
+	})
+	for _, m := range collected {
+		name := escapeMetricName(m.Name)
+		add(name, m.Kind, name+renderLabels(m.Pairs)+" "+promNumber(m.Value))
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		f := families[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", n, f.kind)
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	// Name is the sample's metric name (bucket/sum/count suffixes kept).
+	Name string
+	// Labels are the sample's label pairs in file order.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// ParsePromText parses Prometheus text-format exposition into samples,
+// validating the grammar as it goes: every non-comment line must be
+// `name[{labels}] value`, label values must be properly quoted and
+// escaped, and values must parse as floats. It exists so tests and the
+// CLAIM-OBSERVE experiment can assert "the scrape is valid exposition
+// format" without a client_golang dependency.
+func ParsePromText(text string) ([]PromSample, error) {
+	var out []PromSample
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	var s PromSample
+	i := 0
+	for i < len(line) && !strings.ContainsRune("{ ", rune(line[i])) {
+		i++
+	}
+	s.Name = line[:i]
+	if s.Name == "" || !validPromName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		j := 1
+		for {
+			// label name
+			k := j
+			for k < len(rest) && rest[k] != '=' {
+				k++
+			}
+			if k >= len(rest) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			lname := rest[j:k]
+			if !validPromName(lname) || strings.Contains(lname, ":") {
+				return s, fmt.Errorf("bad label name %q", lname)
+			}
+			if k+1 >= len(rest) || rest[k+1] != '"' {
+				return s, fmt.Errorf("label %q: expected quoted value", lname)
+			}
+			var val strings.Builder
+			k += 2
+			for {
+				if k >= len(rest) {
+					return s, fmt.Errorf("label %q: unterminated value", lname)
+				}
+				c := rest[k]
+				if c == '\\' {
+					if k+1 >= len(rest) {
+						return s, fmt.Errorf("label %q: dangling escape", lname)
+					}
+					switch rest[k+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("label %q: bad escape \\%c", lname, rest[k+1])
+					}
+					k += 2
+					continue
+				}
+				if c == '"' {
+					k++
+					break
+				}
+				val.WriteByte(c)
+				k++
+			}
+			s.Labels = append(s.Labels, L(lname, val.String()))
+			if k < len(rest) && rest[k] == ',' {
+				j = k + 1
+				continue
+			}
+			if k < len(rest) && rest[k] == '}' {
+				rest = rest[k+1:]
+				break
+			}
+			return s, fmt.Errorf("expected ',' or '}' after label %q", lname)
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	// Optional timestamp after the value is allowed by the format; we
+	// never emit one, so treat any second field as an error to keep the
+	// checker strict about our own output.
+	if strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("unexpected trailing field in %q", rest)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// validPromName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}

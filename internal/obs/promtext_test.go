@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The satellite contract: hostile label values and invalid-rune metric
+// names must survive the text format round trip.
+func TestPromTextEscapingRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		metric   string
+		labels   []Label
+		wantName string
+	}{
+		{name: "plain", metric: "exec_shed_total",
+			labels: []Label{L("peer", "P1")}, wantName: "exec_shed_total"},
+		{name: "quote in value", metric: "adm_shed_total",
+			labels: []Label{L("tenant", `ten"ant`)}, wantName: "adm_shed_total"},
+		{name: "backslash in value", metric: "adm_shed_total",
+			labels: []Label{L("tenant", `a\b`)}, wantName: "adm_shed_total"},
+		{name: "newline in value", metric: "adm_shed_total",
+			labels: []Label{L("tenant", "a\nb")}, wantName: "adm_shed_total"},
+		{name: "all three", metric: "adm_shed_total",
+			labels: []Label{L("tenant", "x\\\"\n\"")}, wantName: "adm_shed_total"},
+		{name: "invalid runes in name", metric: "exec.shed-total/π",
+			labels: []Label{L("peer", "P1")}, wantName: "exec_shed_total__"},
+		{name: "leading digit", metric: "9lives_total", wantName: "_9lives_total"},
+		{name: "invalid runes in label name", metric: "x_total",
+			labels: []Label{L("peer-id", "P1")}, wantName: "x_total"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.Counter(tc.metric, tc.labels...).Add(3)
+			text := r.PromText()
+			samples, err := ParsePromText(text)
+			if err != nil {
+				t.Fatalf("own output does not parse: %v\n%s", err, text)
+			}
+			if len(samples) != 1 {
+				t.Fatalf("want 1 sample, got %d\n%s", len(samples), text)
+			}
+			s := samples[0]
+			if s.Name != tc.wantName {
+				t.Fatalf("name %q, want %q", s.Name, tc.wantName)
+			}
+			if s.Value != 3 {
+				t.Fatalf("value %g, want 3", s.Value)
+			}
+			if len(s.Labels) != len(tc.labels) {
+				t.Fatalf("label count %d, want %d", len(s.Labels), len(tc.labels))
+			}
+			for i, l := range tc.labels {
+				if got := s.Labels[i].Value; got != l.Value {
+					t.Fatalf("label %s round-tripped as %q, want %q", l.Key, got, l.Value)
+				}
+			}
+		})
+	}
+}
+
+func TestPromTextHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("peer_query_latency_ms", L("peer", "P0"))
+	h.Observe(3)
+	h.Observe(30)
+	h.Observe(9000) // +Inf bucket
+	text := r.PromText()
+	if !strings.Contains(text, "# TYPE peer_query_latency_ms histogram") {
+		t.Fatalf("missing TYPE header:\n%s", text)
+	}
+	if !strings.Contains(text, `peer_query_latency_ms_bucket{peer="P0",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, `peer_query_latency_ms_count{peer="P0"} 3`) {
+		t.Fatalf("missing _count:\n%s", text)
+	}
+	samples, err := ParsePromText(text)
+	if err != nil {
+		t.Fatalf("histogram exposition does not parse: %v", err)
+	}
+	// 13 buckets + sum + count
+	if len(samples) != bucketSlots+2 {
+		t.Fatalf("want %d samples, got %d", bucketSlots+2, len(samples))
+	}
+	// Bucket counts must be cumulative and end at the total.
+	var last float64 = -1
+	for _, s := range samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			if s.Value < last {
+				t.Fatalf("bucket counts not cumulative:\n%s", text)
+			}
+			last = s.Value
+		}
+	}
+	if last != 3 {
+		t.Fatalf("final bucket %g, want 3", last)
+	}
+}
+
+func TestPromTextCollectorRows(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterCollector("x", func(g *Gather) {
+		g.Count("exec_shed_total", 7, L("peer", "P1"))
+		g.Gauge("adm_occupancy", 2, L("peer", "P1"))
+	})
+	samples, err := ParsePromText(r.PromText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]float64{}
+	for _, s := range samples {
+		found[s.Name] = s.Value
+	}
+	if found["exec_shed_total"] != 7 || found["adm_occupancy"] != 2 {
+		t.Fatalf("collector rows missing from exposition: %v", found)
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no value",
+		`x{tenant=unquoted} 1`,
+		`x{tenant="open} 1`,
+		`x{tenant="a\q"} 1`,
+		`9bad{} x`,
+		`x{} notanumber`,
+	} {
+		if _, err := ParsePromText(bad); err == nil {
+			t.Fatalf("parser accepted %q", bad)
+		}
+	}
+}

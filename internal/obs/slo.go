@@ -1,0 +1,285 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SLORule is one service-level objective evaluated against the registry
+// on the logical clock. Two kinds:
+//
+//   - "quantile": Quantile(Q) of the named histogram family (rows summed
+//     across label sets) must stay at or below Threshold. The quantile is
+//     cumulative over the run — the paper-style "p99 latency" objective.
+//   - "ratio": the windowed burn rate of a bad/total counter pair. Each
+//     Eval samples the counters; the rule looks back Window logical ms,
+//     computes frac = Δbad/Δtotal over that window, and fires when
+//     frac/Budget ≥ Burn (e.g. Budget 0.05, Burn 1 fires when more than
+//     5% of the window's queries were bad).
+type SLORule struct {
+	// Name identifies the rule in alerts and /debug/slo.
+	Name string `json:"name"`
+	// Kind is "quantile" or "ratio".
+	Kind string `json:"kind"`
+	// Metric is the histogram family for "quantile" rules.
+	Metric string `json:"metric,omitempty"`
+	// Q is the quantile (e.g. 0.99) for "quantile" rules.
+	Q float64 `json:"q,omitempty"`
+	// Threshold is the quantile ceiling (logical ms) for "quantile" rules.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Bad/Total name the counter families for "ratio" rules; rows are
+	// summed across label sets (registry instruments and collector rows).
+	Bad   string `json:"bad,omitempty"`
+	Total string `json:"total,omitempty"`
+	// Budget is the acceptable bad fraction for "ratio" rules.
+	Budget float64 `json:"budget,omitempty"`
+	// Burn is the firing multiple of Budget (default 1).
+	Burn float64 `json:"burn,omitempty"`
+	// WindowMS is the look-back window for "ratio" rules, logical ms.
+	WindowMS float64 `json:"windowMS,omitempty"`
+}
+
+// Alert is one fired SLO violation.
+type Alert struct {
+	// Rule is the violated rule's name.
+	Rule string `json:"rule"`
+	// Kind mirrors the rule kind.
+	Kind string `json:"kind"`
+	// TMS is the logical evaluation time.
+	TMS float64 `json:"tms"`
+	// Value is the observed quantile (quantile rules) or windowed bad
+	// fraction (ratio rules).
+	Value float64 `json:"value"`
+	// Threshold is the rule's ceiling: Threshold for quantile rules,
+	// Budget×Burn for ratio rules.
+	Threshold float64 `json:"threshold"`
+	// Burn is Value/Threshold — how fast the error budget burns.
+	Burn float64 `json:"burn"`
+}
+
+// DefaultSLORules returns the shipped objectives: p99 end-to-end latency,
+// answer completeness, and admission shed fraction.
+func DefaultSLORules() []SLORule {
+	return []SLORule{
+		{Name: "latency-p99", Kind: "quantile", Metric: "peer_query_latency_ms", Q: 0.99, Threshold: 200},
+		{Name: "completeness", Kind: "ratio", Bad: "exec_partial_answers_total",
+			Total: "peer_queries_total", Budget: 0.1, Burn: 1, WindowMS: 2000},
+		{Name: "shed-fraction", Kind: "ratio", Bad: "adm_shed_total",
+			Total: "adm_admitted_total", Budget: 0.05, Burn: 1, WindowMS: 2000},
+	}
+}
+
+// sloSample is one (tms, bad, total) counter reading for a ratio rule.
+type sloSample struct {
+	tms        float64
+	bad, total float64
+}
+
+// SLOEvaluator evaluates burn-rate rules against a registry on the
+// logical clock. Call Eval at protocol-round boundaries (or any other
+// deterministic cadence); it snapshots the registry, updates each ratio
+// rule's sample window, and fires OnAlert for every violated rule. A
+// rule re-fires on every violating Eval — deduplication is the
+// consumer's concern (the experiment counts distinct rule names).
+type SLOEvaluator struct {
+	mu      sync.Mutex
+	reg     *Registry
+	clock   func() float64
+	rules   []SLORule
+	windows map[string][]sloSample
+	alerts  []Alert
+
+	// OnAlert, when set, runs for every fired alert outside the
+	// evaluator's mutex — the hook that trips flight-recorder dumps and
+	// emits ("slo", rule) events. Set once at wiring, before traffic.
+	OnAlert func(Alert)
+}
+
+// NewSLOEvaluator builds an evaluator over the registry and logical
+// clock. A nil rules slice installs DefaultSLORules.
+func NewSLOEvaluator(reg *Registry, clock func() float64, rules []SLORule) *SLOEvaluator {
+	if rules == nil {
+		rules = DefaultSLORules()
+	}
+	return &SLOEvaluator{reg: reg, clock: clock, rules: rules,
+		windows: map[string][]sloSample{}}
+}
+
+// Rules returns the installed rules.
+func (e *SLOEvaluator) Rules() []SLORule {
+	if e == nil {
+		return nil
+	}
+	return append([]SLORule(nil), e.rules...)
+}
+
+// Eval evaluates every rule at the current logical time and returns the
+// alerts fired by this pass (also retained; see Alerts). Safe on nil.
+func (e *SLOEvaluator) Eval() []Alert {
+	if e == nil || e.reg == nil {
+		return nil
+	}
+	now := 0.0
+	if e.clock != nil {
+		now = e.clock()
+	}
+	snap := e.reg.Snapshot()
+	sumCounter := func(name string) float64 {
+		total := 0.0
+		for _, m := range snap {
+			if m.Name == name {
+				total += m.Value
+			}
+		}
+		return total
+	}
+
+	var fired []Alert
+	e.mu.Lock()
+	for _, rule := range e.rules {
+		switch rule.Kind {
+		case "quantile":
+			// Sum-of-rows is meaningless for quantiles; find the family's
+			// histograms directly and merge their buckets.
+			v, ok := e.reg.quantileOf(rule.Metric, rule.Q)
+			if !ok {
+				continue
+			}
+			if v > rule.Threshold {
+				fired = append(fired, Alert{Rule: rule.Name, Kind: rule.Kind, TMS: now,
+					Value: v, Threshold: rule.Threshold, Burn: safeDiv(v, rule.Threshold)})
+			}
+		case "ratio":
+			s := sloSample{tms: now, bad: sumCounter(rule.Bad), total: sumCounter(rule.Total)}
+			win := append(e.windows[rule.Name], s)
+			// Keep the newest sample at or before the window start as the
+			// baseline, drop anything older.
+			cut := 0
+			for i := range win {
+				if win[i].tms <= now-rule.WindowMS {
+					cut = i
+				}
+			}
+			win = win[cut:]
+			e.windows[rule.Name] = win
+			base := win[0]
+			dBad, dTotal := s.bad-base.bad, s.total-base.total
+			if dTotal <= 0 {
+				continue
+			}
+			frac := dBad / dTotal
+			ceiling := rule.Budget * burnOf(rule)
+			if frac >= ceiling && ceiling > 0 {
+				fired = append(fired, Alert{Rule: rule.Name, Kind: rule.Kind, TMS: now,
+					Value: frac, Threshold: ceiling, Burn: safeDiv(frac, ceiling)})
+			}
+		}
+	}
+	e.alerts = append(e.alerts, fired...)
+	cb := e.OnAlert
+	e.mu.Unlock()
+	if cb != nil {
+		for _, a := range fired {
+			cb(a)
+		}
+	}
+	return fired
+}
+
+// Alerts returns every alert fired so far, in firing order.
+func (e *SLOEvaluator) Alerts() []Alert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Alert(nil), e.alerts...)
+}
+
+// String renders the rules and current alert count for /debug/slo.
+func (e *SLOEvaluator) String() string {
+	if e == nil {
+		return "slo: disabled\n"
+	}
+	var b strings.Builder
+	for _, r := range e.rules {
+		switch r.Kind {
+		case "quantile":
+			fmt.Fprintf(&b, "rule %-16s p%g(%s) <= %gms\n", r.Name, r.Q*100, r.Metric, r.Threshold)
+		case "ratio":
+			fmt.Fprintf(&b, "rule %-16s %s/%s budget %g burn %g window %gms\n",
+				r.Name, r.Bad, r.Total, r.Budget, burnOf(r), r.WindowMS)
+		}
+	}
+	fmt.Fprintf(&b, "alerts fired: %d\n", len(e.Alerts()))
+	return b.String()
+}
+
+func burnOf(r SLORule) float64 {
+	if r.Burn <= 0 {
+		return 1
+	}
+	return r.Burn
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// quantileOf merges every histogram row of the named family and returns
+// the q-quantile over the merged buckets (ok=false when the family has
+// no observations yet).
+func (r *Registry) quantileOf(name string, q float64) (float64, bool) {
+	r.mu.Lock()
+	// Collect matching rows by sorted key: bucket merging is commutative,
+	// but a fixed order keeps every walk of the registry deterministic.
+	var keys []string
+	for k, m := range r.meta {
+		if m.Kind == "histogram" && m.Name == name {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	hists := make([]*Histogram, 0, len(keys))
+	for _, k := range keys {
+		hists = append(hists, r.hists[k])
+	}
+	r.mu.Unlock()
+	switch len(hists) {
+	case 0:
+		return 0, false
+	case 1:
+		count, _, _, _ := hists[0].Summary()
+		if count == 0 {
+			return 0, false
+		}
+		return hists[0].Quantile(q), true
+	}
+	merged := &Histogram{}
+	for _, h := range hists {
+		h.mu.Lock()
+		if h.count > 0 {
+			if merged.count == 0 || h.min < merged.min {
+				merged.min = h.min
+			}
+			if merged.count == 0 || h.max > merged.max {
+				merged.max = h.max
+			}
+			merged.count += h.count
+			merged.sum += h.sum
+			for i, c := range h.buckets {
+				merged.buckets[i] += c
+			}
+		}
+		h.mu.Unlock()
+	}
+	if merged.count == 0 {
+		return 0, false
+	}
+	return merged.Quantile(q), true
+}

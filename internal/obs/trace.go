@@ -176,6 +176,31 @@ func (s *Span) TraceID() string {
 	return s.traceID
 }
 
+// Peer returns the span's owning peer ("" on nil).
+func (s *Span) Peer() string {
+	if s == nil {
+		return ""
+	}
+	return s.peer
+}
+
+// EmitEvent emits a trace-correlated event into the log, carrying the
+// span's trace ID, peer, and path (as the "span" attribute). Safe on a
+// nil span or nil log. Emitting on a span after End is a lint error
+// (the obsspan analyzer flags it): an ended span's story is over, and
+// post-End events would attach to a timeline the export layer has
+// already laid out.
+func (s *Span) EmitEvent(log *EventLog, component, kind string, attrs ...Attr) {
+	if s == nil {
+		log.Emit(component, kind, "", "", attrs...)
+		return
+	}
+	withSpan := make([]Attr, 0, len(attrs)+1)
+	withSpan = append(withSpan, attrs...)
+	withSpan = append(withSpan, Attr{Key: "span", Value: s.path})
+	log.Emit(component, kind, s.peer, s.traceID, withSpan...)
+}
+
 // Path returns the span's deterministic ID ("" on nil).
 func (s *Span) Path() string {
 	if s == nil {

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"sqpeer/internal/admission"
@@ -115,6 +116,21 @@ type Config struct {
 	// the engine admits arriving subplans and sheds past-watermark work.
 	// Its counters fold into the Obs collector alongside the engine's.
 	Admission *admission.Controller
+	// Events, when set, is the unified operations event log every layer
+	// of this peer emits into: admission rejections and sheds, executor
+	// dispatch/retry/migrate/resume/replan/ledger transitions, channel
+	// dedupe drops and plan-change arrivals, health quarantines and
+	// condemnations, membership verdicts, and a "query-done" per answered
+	// facade query. Several peers may share one log (events carry the
+	// peer ID). Nil disables the plane entirely — the ablation path.
+	Events *obs.EventLog
+	// FlightRec, when set alongside Events, attaches a per-peer flight
+	// recorder to the log: a bounded ring of this peer's recent events
+	// plus anomaly triggers (slow query, shed burst, condemnation,
+	// migration storm) that freeze post-mortem dumps merging the ring
+	// with the query's span subtree, critical-path attribution, row
+	// ledger and admission occupancy.
+	FlightRec *obs.RecorderConfig
 	// Membership, when set, runs a failure detector + anti-entropy
 	// endpoint at this peer: the routing registry becomes per-peer state
 	// fed by membership events — advertisements adopted via anti-entropy
@@ -176,6 +192,12 @@ type Peer struct {
 	// Membership is the peer's failure detector / anti-entropy endpoint
 	// (nil unless Config.Membership was set).
 	Membership *membership.Detector
+	// Events is the unified operations event log (nil when the plane is
+	// off).
+	Events *obs.EventLog
+	// Recorder is the peer's flight recorder (nil unless Config.Events
+	// and Config.FlightRec were both set).
+	Recorder *obs.FlightRecorder
 	// Super is the super-peer this simple-peer is attached to (hybrid
 	// architecture); empty otherwise.
 	Super pattern.PeerID
@@ -287,6 +309,21 @@ func New(cfg Config, net *network.Network) (*Peer, error) {
 		// ways (piggybacked gossip), on top of the detector's own probes.
 		p.Channels.GossipSource = p.Membership.Piggyback
 		p.Channels.OnGossip = p.Membership.HandleGossip
+	}
+	if cfg.Events != nil {
+		p.Events = cfg.Events
+		p.Engine.Events = cfg.Events
+		p.Channels.Events = cfg.Events
+		p.Admission.SetEventLog(cfg.Events, string(cfg.ID))
+		p.Health.SetEventLog(cfg.Events, string(cfg.ID))
+		if p.Membership != nil {
+			p.Membership.Events = cfg.Events
+		}
+		if cfg.FlightRec != nil {
+			p.Recorder = obs.NewFlightRecorder(string(cfg.ID), *cfg.FlightRec)
+			p.Recorder.Context = p.recorderContext
+			cfg.Events.AddSink(p.Recorder.Observe)
+		}
 	}
 	if cfg.Obs != nil {
 		p.Obs = cfg.Obs
@@ -567,6 +604,62 @@ func (p *Peer) Compile(rqlText string) (*rql.Compiled, error) {
 	return rql.ParseAndAnalyze(rqlText, p.Schema)
 }
 
+// finishQuery books one answered facade query into the operations
+// plane: a peer_queries_total tick and a peer_query_latency_ms sample
+// (the SLO evaluator's p99 and completeness inputs), plus a
+// "query-done" event whose durMs attribute feeds the flight recorder's
+// slow-query baseline. Latency is the logical-clock delta across the
+// facade, the same measure the harnesses report. No-op pieces when the
+// registry or the event log are off.
+func (p *Peer) finishQuery(qsp *obs.Span, qos admission.QoS, startMS float64, res *exec.Result) {
+	durMS := p.Net.NowMS() - startMS
+	if p.Obs != nil {
+		peerL := obs.L("peer", string(p.ID))
+		p.Obs.Counter("peer_queries_total", peerL).Inc()
+		p.Obs.Histogram("peer_query_latency_ms", peerL).Observe(durMS)
+	}
+	attrs := []obs.Attr{
+		obs.A("durMs", strconv.FormatFloat(durMS, 'g', -1, 64)),
+		obs.A("rows", strconv.Itoa(res.Rows.Len())),
+		obs.A("complete", strconv.FormatBool(res.Completeness.Complete)),
+	}
+	if qos.Tenant != "" {
+		attrs = append(attrs, obs.A("tenant", qos.Tenant))
+	}
+	if qsp != nil {
+		qsp.EmitEvent(p.Events, "peer", "query-done", attrs...)
+		return
+	}
+	p.Events.Emit("peer", "query-done", string(p.ID), "", attrs...)
+}
+
+// recorderContext assembles the post-mortem context a flight-recorder
+// dump freezes for one trace: the query's span subtree, its
+// critical-path attribution, the engine's row ledger and the admission
+// occupancy at freeze time.
+func (p *Peer) recorderContext(trace string) map[string]any {
+	ctx := map[string]any{}
+	if p.Tracer != nil && trace != "" {
+		for _, tr := range p.Tracer.Traces() {
+			if tr.ID != trace {
+				continue
+			}
+			ctx["spans"] = tr.Root().Record()
+			if a := obs.Analyze(tr, 0); a != nil {
+				ctx["critpath"] = a
+			}
+			break
+		}
+	}
+	if led := p.Engine.Ledger(); len(led) > 0 {
+		ctx["ledger"] = led
+	}
+	if p.Admission != nil {
+		ctx["admissionOccupancy"] = p.Admission.Occupancy()
+	}
+	return ctx
+}
+
 // PlanQuery routes a query pattern (locally, or through the super-peer
 // when attached to one) and compiles the annotation into an optimized
 // distributed plan.
@@ -646,6 +739,7 @@ func (p *Peer) AskAnnotatedAs(rqlText string, qos admission.QoS) (*exec.Result, 
 		return nil, err
 	}
 	defer p.Admission.Done()
+	startMS := p.Net.NowMS()
 	qsp := p.startQuerySpan("ask")
 	defer qsp.End()
 	if qsp != nil && qos.Tenant != "" {
@@ -669,5 +763,6 @@ func (p *Peer) AskAnnotatedAs(rqlText string, qos admission.QoS) (*exec.Result, 
 		return nil, err
 	}
 	res.Rows = filtered.Project(c.Pattern.Projections).Limit(c.Query.Limit)
+	p.finishQuery(qsp, qos, startMS, res)
 	return res, nil
 }

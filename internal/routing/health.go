@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"sqpeer/internal/obs"
 	"sqpeer/internal/pattern"
 )
 
@@ -68,6 +69,13 @@ type Health struct {
 	// MaxCooldownTicks caps the doubling (default 16).
 	MaxCooldownTicks int
 
+	// events/peerID feed the unified operations log; set once via
+	// SetEventLog during peer wiring, before traffic. Breaker methods
+	// collect pending events under h.mu and emit them after release, so
+	// the lock order stays one-deep.
+	events *obs.EventLog
+	peerID string
+
 	mu    sync.Mutex
 	now   int
 	peers map[pattern.PeerID]*peerHealth
@@ -83,6 +91,25 @@ func NewHealth(reg *Registry) *Health {
 		MaxCooldownTicks: 16,
 		peers:            map[pattern.PeerID]*peerHealth{},
 	}
+}
+
+// SetEventLog wires the operations event log (nil is fine: no events).
+// Call during peer construction, before any traffic.
+func (h *Health) SetEventLog(log *obs.EventLog, peer string) {
+	if h == nil {
+		return
+	}
+	h.events = log
+	h.peerID = peer
+}
+
+// emit publishes breaker transitions after h.mu is released.
+func (h *Health) emit(kind string, target pattern.PeerID, attrs ...obs.Attr) {
+	if h.events == nil {
+		return
+	}
+	all := append([]obs.Attr{obs.A("target", string(target))}, attrs...)
+	h.events.Emit("health", kind, h.peerID, "", all...)
 }
 
 func (h *Health) get(peer pattern.PeerID) *peerHealth {
@@ -113,14 +140,19 @@ func (h *Health) quarantineLocked(peer pattern.PeerID, ph *peerHealth) {
 // probation — the breaker opens and the peer is quarantined.
 func (h *Health) ReportFailure(peer pattern.PeerID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	ph := h.get(peer)
 	if ph.state == quarantined {
+		h.mu.Unlock()
 		return
 	}
 	ph.consecutive++
-	if ph.state == probation || ph.consecutive >= h.FailureThreshold {
+	tripped := ph.state == probation || ph.consecutive >= h.FailureThreshold
+	if tripped {
 		h.quarantineLocked(peer, ph)
+	}
+	h.mu.Unlock()
+	if tripped {
+		h.emit("quarantine", peer, obs.A("reason", "failures"))
 	}
 }
 
@@ -147,12 +179,14 @@ func (h *Health) ReportSuccess(peer pattern.PeerID) {
 // permanent-for-this-peer (e.g. a replan-triggering *PeerFailure*).
 func (h *Health) QuarantineNow(peer pattern.PeerID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	ph := h.get(peer)
 	if ph.state == quarantined {
+		h.mu.Unlock()
 		return
 	}
 	h.quarantineLocked(peer, ph)
+	h.mu.Unlock()
+	h.emit("quarantine", peer, obs.A("reason", "forced"))
 }
 
 // Condemn pins the breaker open for a peer the failure detector has
@@ -162,9 +196,9 @@ func (h *Health) QuarantineNow(peer pattern.PeerID) {
 // only via Revive, i.e. a rejoin observed at a higher incarnation.
 func (h *Health) Condemn(peer pattern.PeerID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	ph := h.get(peer)
 	if ph.condemned {
+		h.mu.Unlock()
 		return
 	}
 	ph.condemned = true
@@ -172,6 +206,10 @@ func (h *Health) Condemn(peer pattern.PeerID) {
 	if ph.state != quarantined {
 		h.quarantineLocked(peer, ph)
 	}
+	h.mu.Unlock()
+	// Exactly one condemn event per Condemnations increment: the
+	// event↔counter reconciliation invariant.
+	h.emit("condemn", peer)
 }
 
 // Revive lifts a condemnation after the peer rejoined at a higher
@@ -180,9 +218,9 @@ func (h *Health) Condemn(peer pattern.PeerID) {
 // (transient quarantines keep their normal probation path).
 func (h *Health) Revive(peer pattern.PeerID) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	ph := h.get(peer)
 	if !ph.condemned {
+		h.mu.Unlock()
 		return
 	}
 	ph.condemned = false
@@ -191,6 +229,8 @@ func (h *Health) Revive(peer pattern.PeerID) {
 	ph.cooldown = h.CooldownTicks
 	h.stats.Revivals++
 	h.Registry.Reinstate(peer)
+	h.mu.Unlock()
+	h.emit("revive", peer)
 }
 
 // Condemned reports whether the breaker is pinned open for the peer.
@@ -209,7 +249,6 @@ func (h *Health) Condemned(peer pattern.PeerID) bool {
 // the peers reinstated this tick, sorted.
 func (h *Health) Tick() []pattern.PeerID {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.now++
 	var lifted []pattern.PeerID
 	for peer, ph := range h.peers {
@@ -220,7 +259,11 @@ func (h *Health) Tick() []pattern.PeerID {
 			lifted = append(lifted, peer)
 		}
 	}
+	h.mu.Unlock()
 	sort.Slice(lifted, func(i, j int) bool { return lifted[i] < lifted[j] })
+	for _, peer := range lifted {
+		h.emit("reinstate", peer)
+	}
 	return lifted
 }
 

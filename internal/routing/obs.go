@@ -8,4 +8,6 @@ func (s HealthStats) CollectObs(g *obs.Gather, labels ...obs.Label) {
 	g.Count("routing_health_quarantines_total", float64(s.Quarantines), labels...)
 	g.Count("routing_health_reinstates_total", float64(s.Reinstates), labels...)
 	g.Count("routing_health_recoveries_total", float64(s.Recoveries), labels...)
+	g.Count("routing_health_condemnations_total", float64(s.Condemnations), labels...)
+	g.Count("routing_health_revivals_total", float64(s.Revivals), labels...)
 }
